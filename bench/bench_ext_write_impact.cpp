@@ -1,0 +1,65 @@
+// Extension experiment (beyond the paper): does multiple-patterning
+// variability hit the WRITE operation as hard as the read?
+//
+// Same worst-case corners as Table I, same column substrate, but the
+// figure of merit is tw (word-line 50% to storage-node flip).  The write
+// driver is much stronger than a cell's pull-down, so the expectation is
+// that the wire-RC penalty is diluted relative to the read — quantified
+// here.
+#include <iostream>
+
+#include "core/study.h"
+#include "sram/write_sim.h"
+#include "util/table.h"
+
+int main()
+{
+    using namespace mpsram;
+
+    core::Variability_study study;
+    const tech::Technology& t = study.technology();
+    const auto cell = sram::Cell_electrical::n10(t.feol);
+
+    std::cout << "Extension: write-time penalty (twp) vs read-time "
+                 "penalty (tdp)\nat the per-option worst-case corners\n\n";
+
+    util::Table table({"option", "array", "tw nominal", "twp", "tdp (read)"});
+
+    for (int n : {16, 64}) {
+        sram::Array_config cfg = study.options().array;
+        cfg.word_lines = n;
+
+        const geom::Wire_array nominal =
+            study.decomposed_array(tech::Patterning_option::euv, n);
+        const auto wires_nom =
+            sram::roll_up_nominal(study.extractor(), nominal, t, cfg);
+        sram::Write_netlist wn =
+            sram::build_write_netlist(t, cell, wires_nom, cfg);
+        const double tw_nom = sram::simulate_write(wn).tw;
+
+        for (const auto option : tech::all_patterning_options) {
+            const auto wc = study.worst_case_full(option, n);
+            const geom::Wire_array dec = study.decomposed_array(option, n);
+            const auto wires = sram::roll_up_bitline(
+                study.extractor(), dec, wc.realized, t, cfg);
+
+            sram::Write_netlist net =
+                sram::build_write_netlist(t, cell, wires, cfg);
+            const double tw = sram::simulate_write(net).tw;
+            const double twp = (tw / tw_nom - 1.0) * 100.0;
+            const auto read = study.worst_case_read(option, n);
+
+            table.add_row({std::string(tech::to_string(option)),
+                           "10x" + std::to_string(n),
+                           util::fmt_time(tw_nom, 2),
+                           util::fmt_fixed(twp, 2) + "%",
+                           util::fmt_fixed(read.tdp_percent, 2) + "%"});
+        }
+    }
+
+    std::cout << table.render() << '\n'
+              << "Expected: the write penalty follows the same option\n"
+                 "ordering as the read (LE3 worst) but is diluted by the\n"
+                 "strong, array-scaled write driver.\n";
+    return 0;
+}

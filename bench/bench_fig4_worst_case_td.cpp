@@ -1,0 +1,58 @@
+// Reproduces Fig. 4: nominal td and worst-case variability-induced td
+// penalty (tdp) versus array size, from full SPICE simulation.
+//
+// The paper plots, for each array size {16, 64, 256, 1024} word lines:
+//   * the nominal (no patterning variability) td, and
+//   * the worst-case tdp for each option: LE3 up to ~20%, SADP and EUV
+//     below ~3%, with a non-monotonic trend (tdp first rises then falls
+//     with n; EUV goes negative at 10x1024).
+//
+// Output: one console table plus a CSV (fig4_worst_case_td.csv) with the
+// series for external plotting.
+#include <fstream>
+#include <iostream>
+
+#include "core/study.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main()
+{
+    using namespace mpsram;
+
+    core::Variability_study study;
+    constexpr int sizes[] = {16, 64, 256, 1024};
+
+    std::cout << "Fig. 4: worst case wire variability impact on td\n\n";
+
+    util::Table table({"Array size", "td nominal", "tdp LELELE", "tdp SADP",
+                       "tdp EUV"});
+    std::ofstream csv_file("fig4_worst_case_td.csv");
+    util::Csv_writer csv(csv_file);
+    csv.write_header({"word_lines", "td_nominal_s", "tdp_le3_pct",
+                      "tdp_sadp_pct", "tdp_euv_pct"});
+
+    for (int n : sizes) {
+        double tdp[3] = {};
+        double td_nominal = 0.0;
+        for (int oi = 0; oi < 3; ++oi) {
+            const auto row =
+                study.worst_case_read(tech::all_patterning_options[oi], n);
+            tdp[oi] = row.tdp_percent;
+            td_nominal = row.td_nominal;
+        }
+        table.add_row({"10x" + std::to_string(n),
+                       util::fmt_time(td_nominal, 2),
+                       util::fmt_fixed(tdp[0], 2) + "%",
+                       util::fmt_fixed(tdp[1], 2) + "%",
+                       util::fmt_fixed(tdp[2], 2) + "%"});
+        csv.write_row({static_cast<double>(n), td_nominal, tdp[0], tdp[1],
+                       tdp[2]});
+    }
+
+    std::cout << table.render() << '\n'
+              << "Paper reference: LE3 17.3/20.0/20.6/18.3%; SADP\n"
+                 "2.1/1.5/1.7/2.3%; EUV 2.6/2.4/1.4/-1.0%.\n"
+                 "CSV written to fig4_worst_case_td.csv\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+// Engine performance benchmarks (google-benchmark): the parameterized LPE.
+//
+// Extraction sits in the Monte-Carlo inner loop (one realize + extract per
+// sample), so its throughput bounds the achievable sample counts.
+#include <benchmark/benchmark.h>
+
+#include "extract/extractor.h"
+#include "pattern/corners.h"
+#include "pattern/engine.h"
+#include "sram/layout.h"
+#include "tech/technology.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mpsram;
+
+void bm_wire_rc(benchmark::State& state)
+{
+    const tech::Technology t = tech::n10();
+    const extract::Extractor ex(t.metal1);
+    sram::Array_config cfg;
+    cfg.word_lines = 64;
+    const geom::Wire_array arr = sram::build_metal1_array(t, cfg);
+    const std::size_t victim = sram::find_victim_wires(arr, cfg).bl;
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ex.wire_rc(arr, victim).c_total());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_wire_rc);
+
+void bm_realize_and_extract(benchmark::State& state)
+{
+    const auto option =
+        static_cast<tech::Patterning_option>(state.range(0));
+    const tech::Technology t = tech::n10();
+    const extract::Extractor ex(t.metal1);
+    const auto engine = pattern::make_engine(option, t);
+
+    sram::Array_config cfg;
+    cfg.word_lines = 64;
+    cfg.victim_pair = 6;
+    const geom::Wire_array nominal =
+        engine->decompose(sram::build_metal1_array(t, cfg));
+    const std::size_t victim = sram::find_victim_wires(nominal, cfg).bl;
+
+    util::Rng rng(7);
+    for (auto _ : state) {
+        const auto sample = engine->sample_gaussian(rng);
+        const geom::Wire_array realized = engine->realize(nominal, sample);
+        benchmark::DoNotOptimize(
+            ex.variation(nominal, realized, victim).c_factor);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_realize_and_extract)->Arg(0)->Arg(1)->Arg(2);
+
+void bm_corner_enumeration(benchmark::State& state)
+{
+    const tech::Technology t = tech::n10();
+    const extract::Extractor ex(t.metal1);
+    const auto engine =
+        pattern::make_engine(tech::Patterning_option::le3, t);
+
+    sram::Array_config cfg;
+    cfg.word_lines = 64;
+    cfg.victim_pair = 6;
+    const geom::Wire_array nominal =
+        engine->decompose(sram::build_metal1_array(t, cfg));
+    const std::size_t victim = sram::find_victim_wires(nominal, cfg).bl;
+
+    for (auto _ : state) {
+        const auto metric = [&](const pattern::Process_sample& s) {
+            return ex.wire_rc(engine->realize(nominal, s), victim).c_total();
+        };
+        const auto search = pattern::enumerate_corners(*engine, metric);
+        benchmark::DoNotOptimize(search.worst.metric);
+    }
+}
+BENCHMARK(bm_corner_enumeration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

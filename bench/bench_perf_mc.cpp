@@ -1,0 +1,34 @@
+// Engine performance benchmarks (google-benchmark): the Monte-Carlo loop.
+#include <benchmark/benchmark.h>
+
+#include "core/study.h"
+
+namespace {
+
+using namespace mpsram;
+
+void bm_mc_tdp(benchmark::State& state)
+{
+    const core::Variability_study study;
+    const auto option =
+        static_cast<tech::Patterning_option>(state.range(0));
+
+    mc::Distribution_options mo;
+    mo.samples = static_cast<int>(state.range(1));
+
+    for (auto _ : state) {
+        const auto dist = study.mc_tdp(option, 64, mo);
+        benchmark::DoNotOptimize(dist.summary.stddev);
+    }
+    state.SetItemsProcessed(state.iterations() * mo.samples);
+}
+BENCHMARK(bm_mc_tdp)
+    ->Args({0, 1000})
+    ->Args({1, 1000})
+    ->Args({2, 1000})
+    ->Args({0, 10000})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Engine performance benchmarks (google-benchmark): the SPICE core.
+//
+// Tracks the cost of the pieces the study leans on — sparse LU
+// factorization on ladder-structured MNA matrices, full read transients at
+// several array sizes, and the BE-vs-TRAP integrator trade — so regressions
+// in the solver show up before they poison the experiment wall-times.
+#include <benchmark/benchmark.h>
+
+#include "core/study.h"
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "sram/netlist_builder.h"
+#include "sram/read_sim.h"
+
+namespace {
+
+using namespace mpsram;
+
+/// RC ladder transient: the distilled numerical core of a bit line.
+void bm_rc_ladder_transient(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        spice::Circuit c;
+        const spice::Node in = c.node("in");
+        c.add_voltage_source("Vin", in, spice::ground_node,
+                             spice::Waveform::pulse(0.0, 0.7, 10e-12, 5e-12));
+        spice::Node prev = in;
+        for (int i = 0; i < n; ++i) {
+            const spice::Node ni = c.node("n" + std::to_string(i));
+            c.add_resistor("R" + std::to_string(i), prev, ni, 10.0);
+            c.add_capacitor("C" + std::to_string(i), ni, spice::ground_node,
+                            0.05e-15);
+            prev = ni;
+        }
+        spice::Transient_options topts;
+        topts.tstop = 200e-12;
+        topts.nominal_steps = 400;
+        state.ResumeTiming();
+
+        auto result = spice::run_transient(c, {prev}, topts);
+        benchmark::DoNotOptimize(result.sample_count());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(bm_rc_ladder_transient)->Arg(64)->Arg(256)->Arg(1024);
+
+/// Full SRAM read simulation at several array sizes.
+void bm_sram_read(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const core::Variability_study study;
+    const tech::Technology& t = study.technology();
+    const auto cell = sram::Cell_electrical::n10(t.feol);
+
+    sram::Array_config cfg;
+    cfg.word_lines = n;
+    cfg.victim_pair = 6;
+    const geom::Wire_array nominal =
+        study.decomposed_array(tech::Patterning_option::euv, n);
+    const auto wires =
+        sram::roll_up_nominal(study.extractor(), nominal, t, cfg);
+
+    for (auto _ : state) {
+        sram::Read_netlist net =
+            sram::build_read_netlist(t, cell, wires, cfg);
+        sram::Read_options ro;
+        ro.nominal_steps = 800;
+        const auto r = sram::simulate_read(net, ro);
+        benchmark::DoNotOptimize(r.td);
+    }
+}
+BENCHMARK(bm_sram_read)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+/// Integrator comparison on the same read problem.
+void bm_integrator(benchmark::State& state)
+{
+    const bool use_be = state.range(0) == 0;
+    const core::Variability_study study;
+    const tech::Technology& t = study.technology();
+    const auto cell = sram::Cell_electrical::n10(t.feol);
+
+    sram::Array_config cfg;
+    cfg.word_lines = 64;
+    cfg.victim_pair = 6;
+    const geom::Wire_array nominal =
+        study.decomposed_array(tech::Patterning_option::euv, 64);
+    const auto wires =
+        sram::roll_up_nominal(study.extractor(), nominal, t, cfg);
+
+    for (auto _ : state) {
+        sram::Read_netlist net =
+            sram::build_read_netlist(t, cell, wires, cfg);
+        sram::Read_options ro;
+        ro.nominal_steps = 800;
+        ro.method = use_be ? spice::Integration_method::backward_euler
+                           : spice::Integration_method::trapezoidal;
+        const auto r = sram::simulate_read(net, ro);
+        benchmark::DoNotOptimize(r.td);
+    }
+}
+BENCHMARK(bm_integrator)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Custom technology: run the paper's methodology on a node it never saw.
+//
+// The study object is fully parametric in the technology description; this
+// example sketches a hypothetical "N7-like" node (tighter metal1 pitch,
+// thinner wires, tighter spacer control) and re-asks the paper's question:
+// does the LE3-vs-SADP ranking survive scaling?
+//
+//   $ ./custom_technology
+#include <iostream>
+
+#include "core/study.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+mpsram::tech::Technology n7ish()
+{
+    using namespace mpsram::units;
+    // Start from N10 and scale the critical layer.
+    mpsram::tech::Technology t = mpsram::tech::n10();
+    t.name = "hypothetical-N7";
+    t.metal1.pitch = 36.0 * nm;
+    t.metal1.nominal_width = 20.0 * nm;
+    t.metal1.thickness = 22.0 * nm;
+    t.metal1.drc.min_width = 14.0 * nm;
+    t.metal1.drc.min_space = 9.0 * nm;
+    // Scanner improves: tighter CD and spacer control, overlay unchanged
+    // (the pessimistic assumption).
+    t.variability.cd_3sigma = 2.0 * nm;
+    t.variability.sadp_spacer_3sigma = 1.0 * nm;
+    t.cell.cell_length = 80.0 * nm;
+    return t;
+}
+
+} // namespace
+
+int main()
+{
+    using namespace mpsram;
+
+    for (const bool scaled : {false, true}) {
+        core::Variability_study study(scaled ? n7ish() : tech::n10());
+        std::cout << "=== " << study.technology().name << " ===\n";
+
+        util::Table table(
+            {"option", "worst dCbl", "worst dRbl", "sigma(tdp) @10x64"});
+        mc::Distribution_options mo;
+        mo.samples = 8000;
+        for (const auto option : tech::all_patterning_options) {
+            const auto wc = study.worst_case(option);
+            const auto dist = study.mc_tdp(option, 64, mo);
+            table.add_row({std::string(tech::to_string(option)),
+                           util::fmt_percent(wc.cbl_percent / 100.0, 2),
+                           util::fmt_percent(wc.rbl_percent / 100.0, 2),
+                           util::fmt_fixed(dist.summary.stddev, 3)});
+        }
+        std::cout << table.render() << '\n';
+    }
+
+    std::cout << "Reading: at the tighter node the same overlay budget\n"
+                 "eats a larger fraction of the spacing, so LE3's spread\n"
+                 "degrades faster than SADP's — the paper's conclusion\n"
+                 "sharpens with scaling.\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+// SPICE playground: the circuit engine as a standalone tool.
+//
+// mpsram's simulator is a general MNA engine, not an SRAM-only artifact.
+// This example builds a 5-stage CMOS inverter chain driving an RC load,
+// runs a transient, measures stage delays, and prints an ASCII waveform —
+// no SRAM or patterning code involved.
+//
+//   $ ./spice_playground
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "spice/analysis.h"
+#include "spice/measure.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace mpsram;
+using namespace mpsram::spice;
+
+/// Crude terminal oscilloscope: one row per time slice.
+void plot(const Transient_result& res, const std::string& probe,
+          double vdd, int rows = 24, int width = 60)
+{
+    const auto wave = res.waveform(probe);
+    const double t0 = res.time().front();
+    const double t1 = res.time().back();
+    for (int r = 0; r < rows; ++r) {
+        const double t = t0 + (t1 - t0) * r / (rows - 1);
+        const double v = wave.at(t);
+        const auto col = static_cast<int>(v / vdd * width);
+        std::cout << util::fmt_time(t, 1) << " |"
+                  << std::string(
+                         static_cast<std::size_t>(std::clamp(col, 0, width)),
+                         ' ')
+                  << "*\n";
+    }
+}
+
+} // namespace
+
+int main()
+{
+    constexpr double vdd = 0.7;
+
+    Mosfet_params nmos;
+    nmos.type = Mosfet_type::nmos;
+    nmos = calibrate_beta(nmos, vdd, 40e-6);
+    Mosfet_params pmos;
+    pmos.type = Mosfet_type::pmos;
+    pmos = calibrate_beta(pmos, vdd, 30e-6);
+
+    Circuit c;
+    const Node vdd_n = c.node("vdd");
+    c.add_voltage_source("Vdd", vdd_n, ground_node, Waveform::dc(vdd));
+    const Node in = c.node("in");
+    c.add_voltage_source("Vin", in, ground_node,
+                         Waveform::pulse(0.0, vdd, 20e-12, 5e-12));
+
+    constexpr int stages = 5;
+    Node prev = in;
+    std::vector<Node> taps;
+    for (int s = 0; s < stages; ++s) {
+        const Node out = c.node("s" + std::to_string(s));
+        c.add_mosfet("Mp" + std::to_string(s), out, prev, vdd_n, pmos);
+        c.add_mosfet("Mn" + std::to_string(s), out, prev, ground_node,
+                     nmos);
+        // Gate load of the next stage plus local wiring.
+        c.add_capacitor("Cl" + std::to_string(s), out, ground_node,
+                        0.12e-15);
+        taps.push_back(out);
+        prev = out;
+    }
+    // Far-end RC wire load.
+    const Node far = c.node("far");
+    c.add_resistor("Rwire", prev, far, 500.0);
+    c.add_capacitor("Cwire", far, ground_node, 2e-15);
+
+    Transient_options opts;
+    opts.tstop = 300e-12;
+    opts.nominal_steps = 3000;
+
+    std::vector<Node> probes = taps;
+    probes.push_back(in);
+    probes.push_back(far);
+    const Transient_result res = run_transient(c, probes, opts);
+
+    // Per-stage 50% crossing delays.
+    util::Table table({"stage", "t50", "stage delay"});
+    double prev_t = spice::crossing_time(res, "in", vdd / 2, 0.0);
+    for (int s = 0; s < stages; ++s) {
+        const double t =
+            crossing_time(res, "s" + std::to_string(s), vdd / 2, prev_t);
+        table.add_row({"s" + std::to_string(s), util::fmt_time(t, 2),
+                       util::fmt_time(t - prev_t, 2)});
+        prev_t = t;
+    }
+    std::cout << "5-stage inverter chain at vdd = " << vdd << " V\n\n"
+              << table.render() << '\n';
+
+    std::cout << "far-end waveform (x: voltage 0.." << vdd << " V):\n";
+    plot(res, "far", vdd);
+    return 0;
+}

@@ -1,0 +1,43 @@
+#include "analytic/params.h"
+
+#include "spice/mosfet_model.h"
+#include "util/contracts.h"
+
+namespace mpsram::analytic {
+
+double effective_switch_resistance(double vdd, double ion)
+{
+    util::expects(vdd > 0.0 && ion > 0.0,
+                  "vdd and drive current must be positive");
+    return vdd / (2.0 * ion);
+}
+
+Td_params derive_params(const tech::Technology& tech,
+                        const sram::Cell_electrical& cell,
+                        const sram::Bitline_electrical& wires)
+{
+    const double vdd = tech.feol.vdd;
+
+    Td_params p;
+    p.a = discharge_constant(tech.feol.sense_margin / vdd);
+    p.r_bl_cell = wires.r_bl_cell;
+    p.c_bl_cell = wires.c_bl_cell;
+
+    // RFE: pass gate and pull-down in series (the discharge path through
+    // the accessed cell), each at its effective switch resistance.
+    const double ion_pg =
+        spice::drive_current(cell.pass_gate, vdd) * cell.m_pass_gate;
+    const double ion_pd =
+        spice::drive_current(cell.pull_down, vdd) * cell.m_pull_down;
+    p.r_fe = effective_switch_resistance(vdd, ion_pg) +
+             effective_switch_resistance(vdd, ion_pd);
+
+    p.c_fe = cell.bitline_junction_cap();
+
+    // Same precharge scaling rule as the netlist builder.
+    p.c_pre = [cell](int n) { return sram::precharge_cap(n, cell); };
+
+    return p;
+}
+
+} // namespace mpsram::analytic

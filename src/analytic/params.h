@@ -1,0 +1,27 @@
+// Derivation of the formula parameters from the reproduction's own models,
+// the way a designer would fill eq. (4) in first-order: extracted per-cell
+// wire RC, effective switch resistances from the drive currents, junction
+// loads from the cell spec, and the same Cpre(n) rule the netlist uses.
+#ifndef MPSRAM_ANALYTIC_PARAMS_H
+#define MPSRAM_ANALYTIC_PARAMS_H
+
+#include "analytic/td_formula.h"
+#include "sram/bitline_model.h"
+#include "sram/cell.h"
+#include "tech/technology.h"
+
+namespace mpsram::analytic {
+
+/// Effective large-signal switch resistance of a MOSFET driven at vdd:
+/// the classic vdd / (2 * Ion) estimate.
+double effective_switch_resistance(double vdd, double ion);
+
+/// Build Td_params from the technology, cell and extracted wire values.
+/// The discharge level is sense_margin / vdd (the paper's 10%).
+Td_params derive_params(const tech::Technology& tech,
+                        const sram::Cell_electrical& cell,
+                        const sram::Bitline_electrical& wires);
+
+} // namespace mpsram::analytic
+
+#endif // MPSRAM_ANALYTIC_PARAMS_H

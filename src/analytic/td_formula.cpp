@@ -1,0 +1,47 @@
+#include "analytic/td_formula.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace mpsram::analytic {
+
+double discharge_constant(double level)
+{
+    util::expects(level > 0.0 && level < 1.0,
+                  "discharge level must be in (0,1)");
+    return -std::log(1.0 - level);
+}
+
+double td_lumped(const Td_params& p, int n, double rvar, double cvar)
+{
+    util::expects(n > 0, "array length must be positive");
+    util::expects(p.c_pre != nullptr, "Td_params::c_pre must be set");
+    util::expects(rvar > 0.0 && cvar > 0.0,
+                  "variation multipliers must be positive");
+
+    const double nn = static_cast<double>(n);
+    const double r = nn * p.r_bl_cell * rvar + p.r_fe;
+    const double c = nn * (p.c_bl_cell * cvar + p.c_fe) + p.c_pre(n);
+    return p.a * r * c;
+}
+
+double tdp_percent(const Td_params& p, int n, double rvar, double cvar)
+{
+    const double nominal = td_lumped(p, n, 1.0, 1.0);
+    const double varied = td_lumped(p, n, rvar, cvar);
+    return (varied / nominal - 1.0) * 100.0;
+}
+
+Td_polynomial td_polynomial(const Td_params& p, double c_pre_value,
+                            double rvar, double cvar)
+{
+    Td_polynomial poly;
+    const double c_cell = p.c_bl_cell * cvar + p.c_fe;
+    poly.quadratic = p.a * p.r_bl_cell * rvar * c_cell;
+    poly.linear = p.a * (p.r_fe * c_cell + p.r_bl_cell * rvar * c_pre_value);
+    poly.constant = p.a * p.r_fe * c_pre_value;
+    return poly;
+}
+
+} // namespace mpsram::analytic

@@ -1,0 +1,55 @@
+// The paper's analytical read-time model (Section III-A, eqs. 1-5).
+//
+//   td = a * (n*Rbl*Rvar + RFE) * (n*(Cbl*Cvar + CFE) + Cpre(n))     (4)
+//
+// with a set by the target discharge level (eq. 3: a ~ 0.105 for 10%),
+// n the bit-line length in cells, Rvar/Cvar the patterning-induced
+// variation multipliers, RFE the lumped front-end discharge resistance and
+// CFE the per-cell pass-gate junction load.  tdp is the ratio of the
+// varied td over the nominal td, expressed in percent.
+//
+// The model is deliberately lumped: it ignores the distributed nature of
+// the line (no Elmore term), via resistance, leakage, and the VSS-rail
+// resistance change that anti-correlates with Rbl under SADP — the paper
+// documents exactly these blind spots (Tables II and III), and the
+// reproduction keeps them.
+#ifndef MPSRAM_ANALYTIC_TD_FORMULA_H
+#define MPSRAM_ANALYTIC_TD_FORMULA_H
+
+#include <functional>
+
+namespace mpsram::analytic {
+
+/// Discharge-level constant `a` of eq. (3): solving 1 - e^(-t/RC) = level
+/// for t gives t = -ln(1 - level) * RC.
+double discharge_constant(double level);
+
+struct Td_params {
+    double a = 0.105;        ///< discharge constant (10% level)
+    double r_bl_cell = 0.0;  ///< per-cell bit-line resistance [ohm]
+    double c_bl_cell = 0.0;  ///< per-cell bit-line capacitance [F]
+    double r_fe = 0.0;       ///< lumped front-end resistance RFE [ohm]
+    double c_fe = 0.0;       ///< per-cell front-end capacitance CFE [F]
+    /// Precharge-circuit capacitance as a function of the array length n.
+    std::function<double(int)> c_pre;
+};
+
+/// Eq. (4).  rvar/cvar are the "1 + x%" multipliers.
+double td_lumped(const Td_params& p, int n, double rvar = 1.0,
+                 double cvar = 1.0);
+
+/// Read-time penalty in percent: (td(rvar,cvar) / td(1,1) - 1) * 100.
+double tdp_percent(const Td_params& p, int n, double rvar, double cvar);
+
+/// Eq. (5): the polynomial-in-n view for a frozen Cpre value.
+struct Td_polynomial {
+    double quadratic = 0.0;  ///< coefficient of n^2
+    double linear = 0.0;     ///< coefficient of n
+    double constant = 0.0;
+};
+Td_polynomial td_polynomial(const Td_params& p, double c_pre_value,
+                            double rvar = 1.0, double cvar = 1.0);
+
+} // namespace mpsram::analytic
+
+#endif // MPSRAM_ANALYTIC_TD_FORMULA_H

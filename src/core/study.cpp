@@ -1,0 +1,177 @@
+#include "core/study.h"
+
+#include "analytic/params.h"
+#include "pattern/engine.h"
+#include "sram/netlist_builder.h"
+#include "util/contracts.h"
+
+namespace mpsram::core {
+
+Variability_study::Variability_study(tech::Technology tech,
+                                     Study_options opts)
+    : tech_(std::move(tech)),
+      opts_(opts),
+      extractor_(std::make_unique<extract::Extractor>(tech_.metal1,
+                                                      opts.extraction)),
+      cell_(sram::Cell_electrical::n10(tech_.feol))
+{
+    if (opts_.array.victim_pair < 0) {
+        // The paper's LE3 worst case (Table I) perturbs only masks B and C:
+        // the victim bit line itself is on the alignment reference mask A.
+        // With 4 tracks per pair and cyclic 3-coloring, pairs 0/3/6/9 have
+        // mask-A bit lines; pick the interior one nearest the center.
+        opts_.array.victim_pair = 6;
+    }
+}
+
+tech::Technology Variability_study::tech_with_ol(double ol_3sigma) const
+{
+    tech::Technology t = tech_;
+    if (ol_3sigma >= 0.0) t.variability.le3_ol_3sigma = ol_3sigma;
+    return t;
+}
+
+geom::Wire_array Variability_study::decomposed_array(
+    tech::Patterning_option option, int word_lines, double ol_3sigma) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+    const tech::Technology t = tech_with_ol(ol_3sigma);
+    const auto engine = pattern::make_engine(option, t);
+    return engine->decompose(sram::build_metal1_array(t, cfg));
+}
+
+Variability_study::Worst_case_row Variability_study::worst_case(
+    tech::Patterning_option option, double ol_3sigma) const
+{
+    const mc::Worst_case_result full =
+        worst_case_full(option, opts_.array.word_lines, ol_3sigma);
+
+    const tech::Technology t = tech_with_ol(ol_3sigma);
+    const auto engine = pattern::make_engine(option, t);
+
+    Worst_case_row row;
+    row.option = option;
+    row.corner = full.corner.describe(*engine);
+    row.cbl_percent = full.variation.c_percent();
+    row.rbl_percent = full.variation.r_percent();
+    row.vss_r_percent = (full.vss_r_factor - 1.0) * 100.0;
+    return row;
+}
+
+mc::Worst_case_result Variability_study::worst_case_full(
+    tech::Patterning_option option, int word_lines, double ol_3sigma) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+    const tech::Technology t = tech_with_ol(ol_3sigma);
+    const auto engine = pattern::make_engine(option, t);
+    const geom::Wire_array nominal =
+        engine->decompose(sram::build_metal1_array(t, cfg));
+    const sram::Victim_wires victims = sram::find_victim_wires(nominal, cfg);
+    return mc::find_worst_case(*engine, *extractor_, nominal, victims.bl,
+                               victims.vss);
+}
+
+double Variability_study::simulate_td(const sram::Bitline_electrical& wires,
+                                      int word_lines) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+    sram::Read_netlist net = sram::build_read_netlist(
+        tech_, cell_, wires, cfg, opts_.timing, opts_.netlist);
+    const sram::Read_result r = sram::simulate_read(net, opts_.read);
+    util::ensures(r.crossed,
+                  "read simulation never reached the sense margin");
+    return r.td;
+}
+
+double Variability_study::nominal_td_spice(int word_lines) const
+{
+    const auto it = td_nominal_cache_.find(word_lines);
+    if (it != td_nominal_cache_.end()) return it->second;
+
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+    // Nominal geometry needs no patterning engine: use EUV decomposition
+    // (single mask) with a zero sample == drawn layout.
+    const geom::Wire_array nominal =
+        decomposed_array(tech::Patterning_option::euv, word_lines);
+    const sram::Bitline_electrical wires =
+        sram::roll_up_nominal(*extractor_, nominal, tech_, cfg);
+    const double td = simulate_td(wires, word_lines);
+    td_nominal_cache_[word_lines] = td;
+    return td;
+}
+
+Variability_study::Read_row Variability_study::worst_case_read(
+    tech::Patterning_option option, int word_lines) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+
+    const mc::Worst_case_result wc = worst_case_full(option, word_lines);
+    const geom::Wire_array nominal = decomposed_array(option, word_lines);
+    const sram::Bitline_electrical wires = sram::roll_up_bitline(
+        *extractor_, nominal, wc.realized, tech_, cfg);
+
+    Read_row row;
+    row.td_nominal = nominal_td_spice(word_lines);
+    row.td_varied = simulate_td(wires, word_lines);
+    row.tdp_percent = (row.td_varied / row.td_nominal - 1.0) * 100.0;
+    return row;
+}
+
+analytic::Td_params Variability_study::formula_params(int word_lines) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+    const geom::Wire_array nominal =
+        decomposed_array(tech::Patterning_option::euv, word_lines);
+    const sram::Bitline_electrical wires =
+        sram::roll_up_nominal(*extractor_, nominal, tech_, cfg);
+    return analytic::derive_params(tech_, cell_, wires);
+}
+
+Variability_study::Nominal_td_row Variability_study::nominal_td(
+    int word_lines) const
+{
+    Nominal_td_row row;
+    row.td_simulation = nominal_td_spice(word_lines);
+    row.td_formula =
+        analytic::td_lumped(formula_params(word_lines), word_lines);
+    return row;
+}
+
+Variability_study::Tdp_row Variability_study::worst_case_tdp(
+    tech::Patterning_option option, int word_lines) const
+{
+    const Read_row read = worst_case_read(option, word_lines);
+    const mc::Worst_case_result wc = worst_case_full(option, word_lines);
+
+    Tdp_row row;
+    row.tdp_simulation = read.tdp_percent;
+    row.tdp_formula = analytic::tdp_percent(
+        formula_params(word_lines), word_lines, wc.variation.r_factor,
+        wc.variation.c_factor);
+    return row;
+}
+
+mc::Tdp_distribution Variability_study::mc_tdp(
+    tech::Patterning_option option, int word_lines,
+    const mc::Distribution_options& mc_opts, double ol_3sigma) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+    const tech::Technology t = tech_with_ol(ol_3sigma);
+    const auto engine = pattern::make_engine(option, t);
+    const geom::Wire_array nominal =
+        engine->decompose(sram::build_metal1_array(t, cfg));
+    const sram::Victim_wires victims = sram::find_victim_wires(nominal, cfg);
+
+    return mc::tdp_distribution(*engine, *extractor_, nominal, victims.bl,
+                                formula_params(word_lines), word_lines,
+                                mc_opts);
+}
+
+} // namespace mpsram::core

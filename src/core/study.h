@@ -1,0 +1,123 @@
+// Variability_study: the paper's end-to-end flow as a single object.
+//
+// Wraps technology selection, layout generation, patterning decomposition,
+// extraction, worst-case search, SPICE read simulation, the analytic
+// formula, and the Monte-Carlo distribution — one method per experiment of
+// the paper:
+//
+//   worst_case()        -> Table I rows
+//   worst_case_read()   -> Fig. 4 points
+//   nominal_td()        -> Table II rows
+//   worst_case_tdp()    -> Table III rows
+//   mc_tdp()            -> Fig. 5 histograms / Table IV sigmas
+#ifndef MPSRAM_CORE_STUDY_H
+#define MPSRAM_CORE_STUDY_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "extract/extractor.h"
+#include "mc/distribution.h"
+#include "mc/worst_case.h"
+#include "sram/read_sim.h"
+#include "tech/technology.h"
+
+namespace mpsram::core {
+
+struct Study_options {
+    sram::Array_config array;  ///< bl_pairs defaults to the paper's 10
+    extract::Extraction_options extraction;
+    sram::Read_timing timing;
+    sram::Read_options read;
+    sram::Netlist_options netlist;
+};
+
+class Variability_study {
+public:
+    explicit Variability_study(tech::Technology tech = tech::n10(),
+                               Study_options opts = Study_options{});
+
+    const tech::Technology& technology() const { return tech_; }
+    const Study_options& options() const { return opts_; }
+
+    // --- Table I -------------------------------------------------------------
+    struct Worst_case_row {
+        tech::Patterning_option option;
+        std::string corner;       ///< human-readable worst corner
+        double cbl_percent = 0.0; ///< victim Cbl change
+        double rbl_percent = 0.0; ///< victim Rbl change
+        double vss_r_percent = 0.0;
+    };
+    /// Worst case for one option.  `ol_3sigma` < 0 uses the technology's
+    /// assumption (LE3 only; ignored otherwise).
+    Worst_case_row worst_case(tech::Patterning_option option,
+                              double ol_3sigma = -1.0) const;
+
+    // --- Fig. 4 ---------------------------------------------------------------
+    struct Read_row {
+        double td_nominal = 0.0;  ///< [s] SPICE, no variability
+        double td_varied = 0.0;   ///< [s] SPICE at the worst corner
+        double tdp_percent = 0.0;
+    };
+    Read_row worst_case_read(tech::Patterning_option option,
+                             int word_lines) const;
+
+    // --- Table II ---------------------------------------------------------------
+    struct Nominal_td_row {
+        double td_simulation = 0.0;  ///< [s]
+        double td_formula = 0.0;     ///< [s]
+    };
+    Nominal_td_row nominal_td(int word_lines) const;
+
+    // --- Table III ----------------------------------------------------------------
+    struct Tdp_row {
+        double tdp_simulation = 0.0;  ///< [%]
+        double tdp_formula = 0.0;     ///< [%]
+    };
+    Tdp_row worst_case_tdp(tech::Patterning_option option,
+                           int word_lines) const;
+
+    // --- Fig. 5 / Table IV ----------------------------------------------------------
+    mc::Tdp_distribution mc_tdp(tech::Patterning_option option,
+                                int word_lines,
+                                const mc::Distribution_options& mc_opts,
+                                double ol_3sigma = -1.0) const;
+
+    // --- building blocks (exposed for examples, benches and tests) -----------
+    /// Nominal metal1 array, decomposed for the option.
+    geom::Wire_array decomposed_array(tech::Patterning_option option,
+                                      int word_lines,
+                                      double ol_3sigma = -1.0) const;
+
+    const extract::Extractor& extractor() const { return *extractor_; }
+
+    /// SPICE td with explicit wire electricals (shared by the Fig. 4 and
+    /// Table II/III paths; also useful for ablation benches).
+    double simulate_td(const sram::Bitline_electrical& wires,
+                       int word_lines) const;
+
+    /// Formula parameters at nominal wires for a given array length.
+    analytic::Td_params formula_params(int word_lines) const;
+
+    /// Worst-case search result with full geometry (Fig. 2-style dumps).
+    mc::Worst_case_result worst_case_full(tech::Patterning_option option,
+                                          int word_lines,
+                                          double ol_3sigma = -1.0) const;
+
+private:
+    tech::Technology tech_with_ol(double ol_3sigma) const;
+    double nominal_td_spice(int word_lines) const;
+
+    tech::Technology tech_;
+    Study_options opts_;
+    std::unique_ptr<extract::Extractor> extractor_;
+    sram::Cell_electrical cell_;
+
+    mutable std::map<int, double> td_nominal_cache_;
+};
+
+} // namespace mpsram::core
+
+#endif // MPSRAM_CORE_STUDY_H

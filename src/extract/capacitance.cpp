@@ -1,0 +1,74 @@
+#include "extract/capacitance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/cross_section.h"
+#include "util/contracts.h"
+
+namespace mpsram::extract {
+
+double coupling_per_length(const tech::Beol_layer& layer,
+                           double drawn_spacing,
+                           const Extraction_options& opts)
+{
+    util::expects(opts.integration_points >= 3 &&
+                      opts.integration_points % 2 == 1,
+                  "Simpson integration needs an odd point count >= 3");
+    const double eps = layer.ild.permittivity();
+    const double flare = layer.thickness * std::tan(layer.taper_angle);
+
+    // Facing gap at relative height u in [0,1]: both trenches flare toward
+    // each other by u * flare each.  Clamp at min_gap so corner cases that
+    // short the wires price a saturated (huge but finite) coupling.
+    const auto gap_at = [&](double u) {
+        return std::max(drawn_spacing - 2.0 * u * flare, opts.min_gap);
+    };
+
+    // Simpson's rule over u for integrand thickness / gap(u).
+    const int n = opts.integration_points;
+    const double h = 1.0 / static_cast<double>(n - 1);
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double u = static_cast<double>(i) * h;
+        const double f = layer.thickness / gap_at(u);
+        const double w =
+            (i == 0 || i == n - 1) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+        acc += w * f;
+    }
+    const double plate_integral = acc * h / 3.0;
+
+    const double c = eps * (plate_integral + opts.k_fringe_coupling);
+    util::ensures(c > 0.0, "coupling capacitance must be positive");
+    return c;
+}
+
+double plate_per_length(const tech::Beol_layer& layer,
+                        double drawn_width,
+                        const Extraction_options& opts)
+{
+    const double eps = layer.ild.permittivity();
+    const auto xs = geom::Cross_section::from_taper(
+        drawn_width, layer.thickness, layer.taper_angle);
+    (void)opts;
+    const double below = xs.bottom_width() / layer.below_plane_dist;
+    const double above = xs.top_width() / layer.above_plane_dist;
+    return eps * (below + above);
+}
+
+double fringe_per_length(const tech::Beol_layer& layer,
+                         std::optional<double> drawn_spacing,
+                         const Extraction_options& opts)
+{
+    const double eps = layer.ild.permittivity();
+    const auto shield = [&](double plane_dist) {
+        if (!drawn_spacing) return 1.0;  // unshielded edge wire
+        const double s = std::max(*drawn_spacing, opts.min_gap);
+        return std::pow(s / (s + plane_dist), opts.fringe_shield_power);
+    };
+    const double below = shield(layer.below_plane_dist);
+    const double above = shield(layer.above_plane_dist);
+    return eps * opts.k_fringe_ground * (below + above);
+}
+
+} // namespace mpsram::extract

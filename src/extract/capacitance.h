@@ -1,0 +1,43 @@
+// Per-unit-length capacitance components of a wire in a parallel array.
+//
+// Components per the standard dense-grating decomposition:
+//   * sidewall coupling to each neighbor: parallel-plate integral over the
+//     tapered facing gap (trenches flare toward each other at the top, so
+//     the integral grows super-linearly as drawn spacing shrinks) plus a
+//     constant corner-field term;
+//   * area capacitance to the conducting planes below (FEOL) and above
+//     (next metal);
+//   * fringe capacitance to those planes, shielded by the neighbors: the
+//     closer the neighbor, the less fringe field escapes to the planes.
+#ifndef MPSRAM_EXTRACT_CAPACITANCE_H
+#define MPSRAM_EXTRACT_CAPACITANCE_H
+
+#include <optional>
+
+#include "extract/options.h"
+#include "tech/technology.h"
+
+namespace mpsram::extract {
+
+/// Sidewall coupling per unit length [F/m] between two wires on `layer`
+/// whose drawn (bottom) edge-to-edge spacing is `drawn_spacing`.
+double coupling_per_length(const tech::Beol_layer& layer,
+                           double drawn_spacing,
+                           const Extraction_options& opts);
+
+/// Plate (area) capacitance per unit length [F/m] of a wire of drawn
+/// width `drawn_width` to the planes below and above.
+double plate_per_length(const tech::Beol_layer& layer,
+                        double drawn_width,
+                        const Extraction_options& opts);
+
+/// Fringe capacitance per unit length [F/m] to both planes for ONE side of
+/// the wire, given the drawn spacing to the neighbor on that side
+/// (nullopt = no neighbor, unshielded fringe).
+double fringe_per_length(const tech::Beol_layer& layer,
+                         std::optional<double> drawn_spacing,
+                         const Extraction_options& opts);
+
+} // namespace mpsram::extract
+
+#endif // MPSRAM_EXTRACT_CAPACITANCE_H

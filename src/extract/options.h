@@ -1,0 +1,33 @@
+// Tuning constants of the analytical extraction models.
+//
+// The defaults are calibrated (see bench/bench_calibration.cpp) so the
+// worst-case Table I sensitivities land close to the paper's values; they
+// are exposed so studies can explore model sensitivity.
+#ifndef MPSRAM_EXTRACT_OPTIONS_H
+#define MPSRAM_EXTRACT_OPTIONS_H
+
+namespace mpsram::extract {
+
+struct Extraction_options {
+    /// Simpson integration points for the tapered-sidewall coupling
+    /// integral (odd, >= 3).
+    int integration_points = 17;
+    /// Clamp on the local facing gap [m]; a variation corner that shorts
+    /// two wires saturates at this gap instead of producing infinities
+    /// (the DRC checker reports the short separately).
+    double min_gap = 0.3e-9;
+    /// Constant corner/fringe coupling term between neighbors, in units of
+    /// the ILD permittivity (dimensionless, i.e. C/len = eps * k).
+    /// Calibrated against Table I (bench_calibration --search).
+    double k_fringe_coupling = 1.254;
+    /// Fringe-to-plane coefficient per side per plane (units of eps).
+    double k_fringe_ground = 1.642;
+    /// Exponent on the fringe shielding factor (s / (s + h))^p.
+    double fringe_shield_power = 0.6214;
+    /// Model the diffusion barrier as electrically dead area.
+    bool include_barrier = true;
+};
+
+} // namespace mpsram::extract
+
+#endif // MPSRAM_EXTRACT_OPTIONS_H

@@ -1,0 +1,33 @@
+#include "extract/resistance.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace mpsram::extract {
+
+geom::Cross_section conducting_core(const tech::Beol_layer& layer,
+                                    double drawn_width,
+                                    const Extraction_options& opts)
+{
+    util::expects(drawn_width > 0.0, "drawn width must be positive");
+    const auto full = geom::Cross_section::from_taper(
+        drawn_width, layer.thickness, layer.taper_angle);
+    if (!opts.include_barrier) return full;
+    return full.inset(layer.conductor.barrier_thickness);
+}
+
+double resistance_per_length(const tech::Beol_layer& layer,
+                             double drawn_width,
+                             const Extraction_options& opts)
+{
+    const geom::Cross_section core =
+        conducting_core(layer, drawn_width, opts);
+    const double limiting = std::min(core.mean_width(), core.height());
+    const double rho = layer.conductor.effective_resistivity(limiting);
+    const double r = rho / core.area();
+    util::ensures(r > 0.0, "resistance must be positive");
+    return r;
+}
+
+} // namespace mpsram::extract

@@ -1,0 +1,32 @@
+// Per-unit-length resistance of a damascene wire.
+//
+// R/len = rho_eff / A_core, where A_core is the trapezoidal cross-section
+// minus the barrier liner and rho_eff includes the first-order
+// surface/grain-scattering size effect.  The limiting dimension for the
+// size effect is the smaller of the conducting core's mean width and its
+// height; for the paper's track plan the height limits, which is why Rbl
+// scales essentially with 1/width — exactly the sensitivity Table I implies
+// (+3 nm CD -> Rbl -10.36%).
+#ifndef MPSRAM_EXTRACT_RESISTANCE_H
+#define MPSRAM_EXTRACT_RESISTANCE_H
+
+#include "extract/options.h"
+#include "geom/cross_section.h"
+#include "tech/technology.h"
+
+namespace mpsram::extract {
+
+/// Conducting core cross-section for a drawn width on a layer (applies
+/// taper and, per options, the barrier inset).
+geom::Cross_section conducting_core(const tech::Beol_layer& layer,
+                                    double drawn_width,
+                                    const Extraction_options& opts);
+
+/// Resistance per unit length [ohm/m] of a wire drawn at `drawn_width`.
+double resistance_per_length(const tech::Beol_layer& layer,
+                             double drawn_width,
+                             const Extraction_options& opts);
+
+} // namespace mpsram::extract
+
+#endif // MPSRAM_EXTRACT_RESISTANCE_H

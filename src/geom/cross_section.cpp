@@ -1,0 +1,54 @@
+#include "geom/cross_section.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace mpsram::geom {
+
+Cross_section::Cross_section(double top_width, double bottom_width,
+                             double height)
+    : top_w_(top_width), bottom_w_(bottom_width), height_(height)
+{
+    util::expects(top_width > 0.0, "cross-section top width must be positive");
+    util::expects(bottom_width > 0.0,
+                  "cross-section bottom width must be positive");
+    util::expects(height > 0.0, "cross-section height must be positive");
+}
+
+Cross_section Cross_section::from_taper(double drawn_width, double height,
+                                        double taper_angle)
+{
+    util::expects(drawn_width > 0.0, "drawn width must be positive");
+    util::expects(height > 0.0, "layer thickness must be positive");
+    util::expects(taper_angle >= 0.0 && taper_angle < 0.5,
+                  "taper angle must be in [0, 0.5) rad");
+    const double top = drawn_width + 2.0 * height * std::tan(taper_angle);
+    return Cross_section(top, drawn_width, height);
+}
+
+double Cross_section::width_at(double t) const
+{
+    util::expects(t >= 0.0 && t <= 1.0,
+                  "relative height must be in [0,1]");
+    return bottom_w_ + t * (top_w_ - bottom_w_);
+}
+
+double Cross_section::sidewall_length() const
+{
+    const double run = 0.5 * (top_w_ - bottom_w_);
+    return std::sqrt(height_ * height_ + run * run);
+}
+
+Cross_section Cross_section::inset(double t) const
+{
+    util::expects(t >= 0.0, "liner thickness must be non-negative");
+    const double top = top_w_ - 2.0 * t;
+    const double bottom = bottom_w_ - 2.0 * t;
+    const double height = height_ - t;
+    util::expects(top > 0.0 && bottom > 0.0 && height > 0.0,
+                  "liner consumes the whole conductor");
+    return Cross_section(top, bottom, height);
+}
+
+} // namespace mpsram::geom

@@ -1,0 +1,54 @@
+// Trapezoidal conductor cross-section.
+//
+// Damascene copper wires are etched as trenches that flare toward the top:
+// the drawn CD is realized at the trench bottom and the top is wider by
+// 2 * height * tan(taper).  The paper's LPE tool takes "layer thickness,
+// tapering angles" as inputs.  The cross-section drives both the resistance
+// (conducting area) and the sidewall coupling capacitance: because
+// neighboring trenches flare toward each other, the facing gap closes
+// super-linearly at the top when drawn spacing shrinks — the mechanism that
+// makes the LE3 worst-case Cbl penalty so much larger than EUV's.
+#ifndef MPSRAM_GEOM_CROSS_SECTION_H
+#define MPSRAM_GEOM_CROSS_SECTION_H
+
+namespace mpsram::geom {
+
+/// Isosceles trapezoid: `top_width` at the top, `bottom_width` at the
+/// bottom, vertical extent `height`.  For damascene metal, top >= bottom.
+class Cross_section {
+public:
+    Cross_section(double top_width, double bottom_width, double height);
+
+    /// Build from a drawn (bottom) width, layer thickness, and sidewall
+    /// taper angle measured from vertical (radians); the top widens by
+    /// 2 * height * tan(taper).
+    static Cross_section from_taper(double drawn_width, double height,
+                                    double taper_angle);
+
+    double top_width() const { return top_w_; }
+    double bottom_width() const { return bottom_w_; }
+    double height() const { return height_; }
+
+    /// Width at a relative height t in [0,1] (0 = bottom).
+    double width_at(double t) const;
+
+    double mean_width() const { return 0.5 * (top_w_ + bottom_w_); }
+    double area() const { return mean_width() * height_; }
+
+    /// Length of one slanted sidewall.
+    double sidewall_length() const;
+
+    /// Shrink uniformly by a liner/barrier of thickness `t` on both
+    /// sidewalls and the bottom (not the top, which is capped after CMP).
+    /// Returns the remaining conductor core; throws if nothing remains.
+    Cross_section inset(double t) const;
+
+private:
+    double top_w_;
+    double bottom_w_;
+    double height_;
+};
+
+} // namespace mpsram::geom
+
+#endif // MPSRAM_GEOM_CROSS_SECTION_H

@@ -1,0 +1,48 @@
+#include "geom/drc.h"
+
+#include <sstream>
+
+namespace mpsram::geom {
+
+std::string Drc_violation::describe() const
+{
+    std::ostringstream out;
+    switch (kind) {
+    case Drc_violation_kind::min_width:
+        out << "min-width";
+        break;
+    case Drc_violation_kind::min_space:
+        out << "min-space";
+        break;
+    case Drc_violation_kind::short_circuit:
+        out << "short";
+        break;
+    }
+    out << " at wire " << wire_index << ": " << actual * 1e9
+        << " nm (rule " << required * 1e9 << " nm)";
+    return out.str();
+}
+
+std::vector<Drc_violation> check_drc(const Wire_array& arr,
+                                     const Drc_rules& rules)
+{
+    std::vector<Drc_violation> out;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (arr[i].width < rules.min_width) {
+            out.push_back({Drc_violation_kind::min_width, i, arr[i].width,
+                           rules.min_width});
+        }
+    }
+    for (std::size_t i = 0; i + 1 < arr.size(); ++i) {
+        const double s = arr.spacing_above(i);
+        if (s <= 0.0) {
+            out.push_back({Drc_violation_kind::short_circuit, i, s, 0.0});
+        } else if (s < rules.min_space) {
+            out.push_back({Drc_violation_kind::min_space, i, s,
+                           rules.min_space});
+        }
+    }
+    return out;
+}
+
+} // namespace mpsram::geom

@@ -1,0 +1,43 @@
+// Design-rule style checks on realized wire arrays.
+//
+// A multiple-patterning corner can push geometry outside manufacturable
+// bounds (pinched wires, merged neighbors).  The study prices such geometry
+// electrically, but flags it so the Monte-Carlo engine can report how often
+// a process assumption breaks the layout outright.
+#ifndef MPSRAM_GEOM_DRC_H
+#define MPSRAM_GEOM_DRC_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/wire_array.h"
+
+namespace mpsram::geom {
+
+enum class Drc_violation_kind {
+    min_width,   ///< wire narrower than the rule
+    min_space,   ///< spacing below the rule
+    short_circuit, ///< spacing <= 0: wires merged
+};
+
+struct Drc_violation {
+    Drc_violation_kind kind;
+    std::size_t wire_index;  ///< offending wire (lower index for spacing)
+    double actual;           ///< measured value [m]
+    double required;         ///< rule value [m]
+    std::string describe() const;
+};
+
+struct Drc_rules {
+    double min_width = 0.0;
+    double min_space = 0.0;
+};
+
+/// Check every wire and every adjacent pair; returns all violations.
+std::vector<Drc_violation> check_drc(const Wire_array& arr,
+                                     const Drc_rules& rules);
+
+} // namespace mpsram::geom
+
+#endif // MPSRAM_GEOM_DRC_H

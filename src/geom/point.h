@@ -1,0 +1,58 @@
+// Basic 2-D primitives for layout geometry.  The routing direction of the
+// metal1 layer studied in the paper is horizontal (x); track positions are
+// measured along y.
+#ifndef MPSRAM_GEOM_POINT_H
+#define MPSRAM_GEOM_POINT_H
+
+#include <algorithm>
+
+namespace mpsram::geom {
+
+struct Point {
+    double x = 0.0;
+    double y = 0.0;
+
+    friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+constexpr Point operator*(double s, Point p) { return {s * p.x, s * p.y}; }
+
+/// Axis-aligned rectangle; degenerate (zero-area) rectangles are allowed.
+struct Rect {
+    double x0 = 0.0;
+    double y0 = 0.0;
+    double x1 = 0.0;
+    double y1 = 0.0;
+
+    constexpr double width() const { return x1 - x0; }
+    constexpr double height() const { return y1 - y0; }
+    constexpr double area() const { return width() * height(); }
+    constexpr Point center() const { return {0.5 * (x0 + x1), 0.5 * (y0 + y1)}; }
+
+    constexpr bool valid() const { return x1 >= x0 && y1 >= y0; }
+
+    constexpr bool contains(Point p) const
+    {
+        return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+    }
+
+    constexpr bool overlaps(const Rect& o) const
+    {
+        return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+    }
+
+    /// Intersection; empty (invalid) if the rectangles do not overlap.
+    constexpr Rect intersect(const Rect& o) const
+    {
+        return {std::max(x0, o.x0), std::max(y0, o.y0),
+                std::min(x1, o.x1), std::min(y1, o.y1)};
+    }
+
+    friend constexpr bool operator==(const Rect&, const Rect&) = default;
+};
+
+} // namespace mpsram::geom
+
+#endif // MPSRAM_GEOM_POINT_H

@@ -1,0 +1,93 @@
+#include "geom/polygon.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace mpsram::geom {
+
+Polygon::Polygon(std::vector<Point> vertices) : vertices_(std::move(vertices))
+{
+    util::expects(vertices_.size() >= 3,
+                  "polygon needs at least three vertices");
+}
+
+Polygon Polygon::from_rect(const Rect& r)
+{
+    util::expects(r.valid(), "rect must be valid");
+    return Polygon({{r.x0, r.y0}, {r.x1, r.y0}, {r.x1, r.y1}, {r.x0, r.y1}});
+}
+
+double Polygon::signed_area() const
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < vertices_.size(); ++i) {
+        const Point& a = vertices_[i];
+        const Point& b = vertices_[(i + 1) % vertices_.size()];
+        acc += a.x * b.y - b.x * a.y;
+    }
+    return 0.5 * acc;
+}
+
+double Polygon::area() const
+{
+    return std::fabs(signed_area());
+}
+
+Rect Polygon::bounding_box() const
+{
+    util::expects(!vertices_.empty(), "bounding box of empty polygon");
+    Rect r{std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+    for (const Point& p : vertices_) {
+        r.x0 = std::min(r.x0, p.x);
+        r.y0 = std::min(r.y0, p.y);
+        r.x1 = std::max(r.x1, p.x);
+        r.y1 = std::max(r.y1, p.y);
+    }
+    return r;
+}
+
+bool Polygon::contains(Point p) const
+{
+    // Even-odd ray casting with an explicit on-edge check so boundary
+    // points are reported as inside deterministically.
+    bool inside = false;
+    const std::size_t n = vertices_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Point& a = vertices_[i];
+        const Point& b = vertices_[(i + 1) % n];
+
+        // On-edge check via collinearity + box containment.
+        const double cross =
+            (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+        if (std::fabs(cross) < 1e-30 &&
+            p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+            p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y)) {
+            return true;
+        }
+
+        const bool crosses = (a.y > p.y) != (b.y > p.y);
+        if (crosses) {
+            const double x_at =
+                a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+            if (x_at > p.x) inside = !inside;
+        }
+    }
+    return inside;
+}
+
+Polygon Polygon::translated(double dx, double dy) const
+{
+    std::vector<Point> moved = vertices_;
+    for (Point& p : moved) {
+        p.x += dx;
+        p.y += dy;
+    }
+    return Polygon(std::move(moved));
+}
+
+} // namespace mpsram::geom

@@ -1,0 +1,44 @@
+// Simple polygon support for layout import/export style operations.
+//
+// The study itself works on Wire_array abstractions, but a layout library
+// without polygons cannot round-trip GDS-like data; examples use this to
+// emit the distorted metal1 layouts of Fig. 2 as rectangles.
+#ifndef MPSRAM_GEOM_POLYGON_H
+#define MPSRAM_GEOM_POLYGON_H
+
+#include <vector>
+
+#include "geom/point.h"
+
+namespace mpsram::geom {
+
+/// Simple (non-self-intersecting) polygon, vertices in order.
+class Polygon {
+public:
+    Polygon() = default;
+    explicit Polygon(std::vector<Point> vertices);
+
+    static Polygon from_rect(const Rect& r);
+
+    std::size_t size() const { return vertices_.size(); }
+    const std::vector<Point>& vertices() const { return vertices_; }
+
+    /// Signed area (positive for counter-clockwise winding).
+    double signed_area() const;
+    double area() const;
+
+    Rect bounding_box() const;
+
+    /// Point-in-polygon test (even-odd rule); boundary points count inside.
+    bool contains(Point p) const;
+
+    /// Translate by (dx, dy).
+    Polygon translated(double dx, double dy) const;
+
+private:
+    std::vector<Point> vertices_;
+};
+
+} // namespace mpsram::geom
+
+#endif // MPSRAM_GEOM_POLYGON_H

@@ -1,0 +1,105 @@
+#include "geom/wire_array.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace mpsram::geom {
+
+Wire_array::Wire_array(std::vector<Wire> wires) : wires_(std::move(wires))
+{
+    for (const Wire& w : wires_) check(w);
+    std::sort(wires_.begin(), wires_.end(),
+              [](const Wire& a, const Wire& b) { return a.y_center < b.y_center; });
+    for (std::size_t i = 1; i < wires_.size(); ++i) {
+        util::expects(wires_[i].y_center > wires_[i - 1].y_center,
+                      "wire tracks must have distinct y positions");
+    }
+}
+
+void Wire_array::add(Wire w)
+{
+    check(w);
+    util::expects(wires_.empty() || w.y_center > wires_.back().y_center,
+                  "Wire_array::add expects ascending y positions");
+    wires_.push_back(std::move(w));
+}
+
+void Wire_array::check(const Wire& w) const
+{
+    util::expects(w.width > 0.0, "wire width must be positive");
+    util::expects(w.length > 0.0, "wire length must be positive");
+    util::expects(!w.net.empty(), "wire net label must be non-empty");
+}
+
+const Wire& Wire_array::operator[](std::size_t i) const
+{
+    util::expects(i < wires_.size(), "wire index out of range");
+    return wires_[i];
+}
+
+Wire& Wire_array::operator[](std::size_t i)
+{
+    util::expects(i < wires_.size(), "wire index out of range");
+    return wires_[i];
+}
+
+double Wire_array::spacing_above(std::size_t i) const
+{
+    util::expects(i + 1 < wires_.size(), "no wire above");
+    const Wire& lo = wires_[i];
+    const Wire& hi = wires_[i + 1];
+    return (hi.y_center - 0.5 * hi.width) - (lo.y_center + 0.5 * lo.width);
+}
+
+double Wire_array::spacing_below(std::size_t i) const
+{
+    util::expects(i > 0 && i < wires_.size(), "no wire below");
+    return spacing_above(i - 1);
+}
+
+std::optional<std::size_t> Wire_array::find_net(const std::string& net,
+                                                std::size_t start) const
+{
+    for (std::size_t i = start; i < wires_.size(); ++i) {
+        if (wires_[i].net == net) return i;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::size_t> Wire_array::all_with_net(const std::string& net) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < wires_.size(); ++i) {
+        if (wires_[i].net == net) out.push_back(i);
+    }
+    return out;
+}
+
+std::size_t Wire_array::center_wire_of_net(const std::string& net) const
+{
+    util::expects(!wires_.empty(), "center_wire_of_net on empty array");
+    const double mid =
+        0.5 * (wires_.front().y_center + wires_.back().y_center);
+
+    std::optional<std::size_t> best;
+    double best_dist = 0.0;
+    for (std::size_t i = 0; i < wires_.size(); ++i) {
+        if (wires_[i].net != net) continue;
+        const double d = std::fabs(wires_[i].y_center - mid);
+        if (!best || d < best_dist) {
+            best = i;
+            best_dist = d;
+        }
+    }
+    util::expects(best.has_value(), "net not present in wire array");
+    return *best;
+}
+
+bool Wire_array::interior(std::size_t i) const
+{
+    return i > 0 && i + 1 < wires_.size();
+}
+
+} // namespace mpsram::geom

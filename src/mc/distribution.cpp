@@ -1,0 +1,92 @@
+#include "mc/distribution.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.h"
+#include "util/numeric.h"
+#include "util/rng.h"
+
+namespace mpsram::mc {
+
+namespace {
+
+/// Build all samples up front for Latin-hypercube sampling: each axis is
+/// cut into `samples` equal-probability strata of the truncated normal;
+/// every stratum is hit exactly once, in an axis-independent random order.
+std::vector<pattern::Process_sample> lhs_samples(
+    const pattern::Patterning_engine& engine, util::Rng& rng,
+    const Distribution_options& opts)
+{
+    const auto& axes = engine.axes();
+    const auto n = static_cast<std::size_t>(opts.samples);
+
+    // Truncation in probability space.
+    const double p_lo = util::normal_cdf(-opts.truncate_k);
+    const double p_hi = util::normal_cdf(opts.truncate_k);
+
+    std::vector<pattern::Process_sample> out(
+        n, pattern::Process_sample(axes.size(), 0.0));
+
+    std::vector<std::size_t> perm(n);
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+        std::iota(perm.begin(), perm.end(), 0);
+        // Fisher-Yates with the study RNG (deterministic per seed).
+        for (std::size_t i = n; i > 1; --i) {
+            std::swap(perm[i - 1], perm[rng.index(i)]);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const double u = rng.uniform(0.0, 1.0);
+            const double p =
+                p_lo + (p_hi - p_lo) *
+                           ((static_cast<double>(perm[i]) + u) /
+                            static_cast<double>(n));
+            out[i][a] = axes[a].sigma * util::normal_quantile(p);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Tdp_distribution tdp_distribution(const pattern::Patterning_engine& engine,
+                                  const extract::Extractor& extractor,
+                                  const geom::Wire_array& nominal,
+                                  std::size_t victim,
+                                  const analytic::Td_params& params, int n,
+                                  const Distribution_options& opts)
+{
+    util::expects(opts.samples > 0, "sample count must be positive");
+    util::expects(victim < nominal.size(), "victim index out of range");
+
+    util::Rng rng = util::Rng(opts.seed).child(engine.name());
+
+    std::vector<pattern::Process_sample> pregen;
+    if (opts.sampling == Sampling::latin_hypercube) {
+        pregen = lhs_samples(engine, rng, opts);
+    }
+
+    Tdp_distribution dist;
+    dist.tdp.reserve(static_cast<std::size_t>(opts.samples));
+    dist.rvar.reserve(static_cast<std::size_t>(opts.samples));
+    dist.cvar.reserve(static_cast<std::size_t>(opts.samples));
+
+    for (int i = 0; i < opts.samples; ++i) {
+        const pattern::Process_sample s =
+            opts.sampling == Sampling::latin_hypercube
+                ? pregen[static_cast<std::size_t>(i)]
+                : engine.sample_gaussian(rng, opts.truncate_k);
+        const geom::Wire_array realized = engine.realize(nominal, s);
+        const extract::Rc_variation v =
+            extractor.variation(nominal, realized, victim);
+        dist.rvar.push_back(v.r_factor);
+        dist.cvar.push_back(v.c_factor);
+        dist.tdp.push_back(
+            analytic::tdp_percent(params, n, v.r_factor, v.c_factor));
+    }
+
+    dist.summary = util::summarize(dist.tdp);
+    return dist;
+}
+
+} // namespace mpsram::mc

@@ -1,0 +1,37 @@
+#include "mc/worst_case.h"
+
+#include "util/contracts.h"
+
+namespace mpsram::mc {
+
+Worst_case_result find_worst_case(const pattern::Patterning_engine& engine,
+                                  const extract::Extractor& extractor,
+                                  const geom::Wire_array& nominal,
+                                  std::size_t victim, std::size_t vss,
+                                  int levels_per_axis)
+{
+    util::expects(victim < nominal.size() && vss < nominal.size(),
+                  "victim/vss indices out of range");
+
+    const auto metric = [&](const pattern::Process_sample& s) {
+        const geom::Wire_array realized = engine.realize(nominal, s);
+        return extractor.wire_rc(realized, victim).c_total();
+    };
+
+    const pattern::Corner_search search =
+        pattern::enumerate_corners(engine, metric, 3.0, levels_per_axis);
+
+    Worst_case_result result{search.worst,
+                             extract::Rc_variation{},
+                             1.0,
+                             engine.realize(nominal, search.worst.sample)};
+    result.variation =
+        extractor.variation(nominal, result.realized, victim);
+
+    const double r_vss_nom = extractor.wire_rc(nominal, vss).r;
+    const double r_vss_real = extractor.wire_rc(result.realized, vss).r;
+    result.vss_r_factor = r_vss_real / r_vss_nom;
+    return result;
+}
+
+} // namespace mpsram::mc

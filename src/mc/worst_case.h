@@ -1,0 +1,31 @@
+// Worst-case variability search (Section II-B): enumerate the +/-3-sigma
+// corners of a patterning option and report the corner that maximizes the
+// victim bit line's capacitance, with its R/C impact (Table I).
+#ifndef MPSRAM_MC_WORST_CASE_H
+#define MPSRAM_MC_WORST_CASE_H
+
+#include "extract/extractor.h"
+#include "geom/wire_array.h"
+#include "pattern/corners.h"
+#include "pattern/engine.h"
+
+namespace mpsram::mc {
+
+struct Worst_case_result {
+    pattern::Corner corner;            ///< maximizing corner
+    extract::Rc_variation variation;   ///< victim BL R/C factors
+    double vss_r_factor = 1.0;         ///< VSS rail resistance factor
+    geom::Wire_array realized;         ///< geometry at the worst corner
+};
+
+/// Find the Cbl-maximizing corner.  `nominal` must already be decomposed
+/// by the engine; `victim` / `vss` are wire indices in that array.
+Worst_case_result find_worst_case(const pattern::Patterning_engine& engine,
+                                  const extract::Extractor& extractor,
+                                  const geom::Wire_array& nominal,
+                                  std::size_t victim, std::size_t vss,
+                                  int levels_per_axis = 3);
+
+} // namespace mpsram::mc
+
+#endif // MPSRAM_MC_WORST_CASE_H

@@ -1,0 +1,83 @@
+#include "pattern/corners.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace mpsram::pattern {
+
+std::string Corner::describe(const Patterning_engine& engine) const
+{
+    const auto& axes = engine.axes();
+    util::expects(sample.size() == axes.size(),
+                  "corner sample does not match engine axes");
+    std::ostringstream out;
+    bool first = true;
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+        if (sample[i] == 0.0) continue;
+        if (!first) out << ' ';
+        first = false;
+        const double sigmas =
+            axes[i].sigma > 0.0 ? sample[i] / axes[i].sigma : 0.0;
+        out << axes[i].name << '='
+            << (sigmas >= 0.0 ? '+' : '-')
+            << std::lround(std::fabs(sigmas)) << 's';
+    }
+    if (first) out << "nominal";
+    return out.str();
+}
+
+Corner_search enumerate_corners(const Patterning_engine& engine,
+                                const Corner_metric& metric,
+                                double k_sigma,
+                                int levels_per_axis)
+{
+    util::expects(levels_per_axis == 2 || levels_per_axis == 3,
+                  "levels_per_axis must be 2 or 3");
+    util::expects(k_sigma > 0.0, "k_sigma must be positive");
+
+    const auto& axes = engine.axes();
+    const std::size_t dims = axes.size();
+
+    std::size_t total = 1;
+    for (std::size_t i = 0; i < dims; ++i) {
+        total *= static_cast<std::size_t>(levels_per_axis);
+    }
+
+    Corner_search result;
+    result.all.reserve(total);
+
+    // Mixed-radix counter over the per-axis levels.
+    std::vector<int> digits(dims, 0);
+    for (std::size_t it = 0; it < total; ++it) {
+        Process_sample s(dims, 0.0);
+        for (std::size_t d = 0; d < dims; ++d) {
+            double level = 0.0;
+            if (levels_per_axis == 2) {
+                level = (digits[d] == 0) ? -k_sigma : k_sigma;
+            } else {
+                level = static_cast<double>(digits[d] - 1) * k_sigma;
+            }
+            s[d] = level * axes[d].sigma;
+        }
+        Corner c{std::move(s), 0.0};
+        c.metric = metric(c.sample);
+        result.all.push_back(std::move(c));
+
+        // Increment the counter.
+        for (std::size_t d = 0; d < dims; ++d) {
+            if (++digits[d] < levels_per_axis) break;
+            digits[d] = 0;
+        }
+    }
+
+    util::ensures(!result.all.empty(), "corner enumeration produced nothing");
+    result.worst = result.all.front();
+    for (const Corner& c : result.all) {
+        if (c.metric > result.worst.metric) result.worst = c;
+    }
+    return result;
+}
+
+} // namespace mpsram::pattern

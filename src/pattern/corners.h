@@ -1,0 +1,46 @@
+// Corner enumeration over a patterning engine's variation axes.
+//
+// Section II-B: "Using all combinations of CD and OL errors as input
+// parameters, we identified the worst case scenario for each option with
+// respect to Cbl increase."  This module enumerates every {-3s, 0, +3s}
+// combination, scores each with a caller-supplied metric, and reports the
+// maximizing corner.
+#ifndef MPSRAM_PATTERN_CORNERS_H
+#define MPSRAM_PATTERN_CORNERS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pattern/engine.h"
+
+namespace mpsram::pattern {
+
+/// One evaluated corner.
+struct Corner {
+    Process_sample sample;
+    double metric = 0.0;
+
+    /// Human-readable rendering, e.g. "cd_mask_a=+3s overlay_b=-3s".
+    std::string describe(const Patterning_engine& engine) const;
+};
+
+struct Corner_search {
+    Corner worst;                ///< maximizing corner
+    std::vector<Corner> all;     ///< every evaluated corner
+};
+
+/// Metric: maps a realized process sample to a score (e.g. extracted Cbl).
+using Corner_metric = std::function<double(const Process_sample&)>;
+
+/// Enumerate all +/-k-sigma (and optionally zero) combinations of the
+/// engine's axes and return the metric-maximizing corner.
+/// `levels_per_axis` is 2 ({-k, +k}) or 3 ({-k, 0, +k}).
+Corner_search enumerate_corners(const Patterning_engine& engine,
+                                const Corner_metric& metric,
+                                double k_sigma = 3.0,
+                                int levels_per_axis = 3);
+
+} // namespace mpsram::pattern
+
+#endif // MPSRAM_PATTERN_CORNERS_H

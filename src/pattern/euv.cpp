@@ -1,0 +1,40 @@
+#include "pattern/euv.h"
+
+#include "util/contracts.h"
+
+namespace mpsram::pattern {
+
+Euv_engine::Euv_engine(const tech::Technology& tech)
+{
+    axes_ = {
+        {"cd", tech.variability.cd_3sigma / 3.0},
+    };
+}
+
+geom::Wire_array Euv_engine::decompose(geom::Wire_array nominal) const
+{
+    for (std::size_t i = 0; i < nominal.size(); ++i) {
+        nominal[i].color = geom::Mask_color::mask_a;
+        nominal[i].sadp = geom::Sadp_class::none;
+    }
+    return nominal;
+}
+
+geom::Wire_array Euv_engine::realize(const geom::Wire_array& decomposed,
+                                     std::span<const double> sample) const
+{
+    check_sample(sample);
+    const double dcd = sample[cd];
+
+    std::vector<geom::Wire> out;
+    out.reserve(decomposed.size());
+    for (std::size_t i = 0; i < decomposed.size(); ++i) {
+        geom::Wire w = decomposed[i];
+        w.width += dcd;
+        util::ensures(w.width > 0.0, "EUV CD bias pinched a wire off");
+        out.push_back(std::move(w));
+    }
+    return geom::Wire_array(std::move(out));
+}
+
+} // namespace mpsram::pattern

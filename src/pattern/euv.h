@@ -1,0 +1,41 @@
+// Single-patterning EUV.
+//
+// One exposure prints every line: a single CD bias moves all widths
+// together and there is no overlay term.  The paper carries EUV as the
+// reference point, noting its 3 nm 3-sigma CD assumption "may be
+// pessimistic".
+#ifndef MPSRAM_PATTERN_EUV_H
+#define MPSRAM_PATTERN_EUV_H
+
+#include "pattern/engine.h"
+
+namespace mpsram::pattern {
+
+class Euv_engine final : public Patterning_engine {
+public:
+    explicit Euv_engine(const tech::Technology& tech);
+
+    tech::Patterning_option option() const override
+    {
+        return tech::Patterning_option::euv;
+    }
+
+    const std::vector<Variation_axis>& axes() const override { return axes_; }
+
+    geom::Wire_array decompose(geom::Wire_array nominal) const override;
+
+    geom::Wire_array realize(const geom::Wire_array& decomposed,
+                             std::span<const double> sample) const override;
+
+    enum Axis : std::size_t {
+        cd = 0,
+        axis_count = 1,
+    };
+
+private:
+    std::vector<Variation_axis> axes_;
+};
+
+} // namespace mpsram::pattern
+
+#endif // MPSRAM_PATTERN_EUV_H

@@ -1,0 +1,79 @@
+#include "pattern/le3.h"
+
+#include "util/contracts.h"
+
+namespace mpsram::pattern {
+
+namespace {
+
+geom::Mask_color color_of_index(std::size_t i)
+{
+    switch (i % 3) {
+    case 0: return geom::Mask_color::mask_a;
+    case 1: return geom::Mask_color::mask_b;
+    default: return geom::Mask_color::mask_c;
+    }
+}
+
+std::size_t mask_index(geom::Mask_color c)
+{
+    switch (c) {
+    case geom::Mask_color::mask_a: return 0;
+    case geom::Mask_color::mask_b: return 1;
+    case geom::Mask_color::mask_c: return 2;
+    case geom::Mask_color::unassigned: break;
+    }
+    throw util::Precondition_error("LE3 realize on undecomposed wire array");
+}
+
+} // namespace
+
+Le3_engine::Le3_engine(const tech::Technology& tech)
+{
+    const double cd_sigma = tech.variability.cd_3sigma / 3.0;
+    const double ol_sigma = tech.variability.le3_ol_3sigma / 3.0;
+    axes_ = {
+        {"cd_mask_a", cd_sigma},
+        {"cd_mask_b", cd_sigma},
+        {"cd_mask_c", cd_sigma},
+        {"overlay_b", ol_sigma},
+        {"overlay_c", ol_sigma},
+    };
+}
+
+geom::Wire_array Le3_engine::decompose(geom::Wire_array nominal) const
+{
+    // Cyclic coloring: a dense 1-D line array is 3-colorable by position;
+    // this is the standard LE3 decomposition for gratings.
+    for (std::size_t i = 0; i < nominal.size(); ++i) {
+        nominal[i].color = color_of_index(i);
+        nominal[i].sadp = geom::Sadp_class::none;
+    }
+    return nominal;
+}
+
+geom::Wire_array Le3_engine::realize(const geom::Wire_array& decomposed,
+                                     std::span<const double> sample) const
+{
+    check_sample(sample);
+
+    // Mask A is the alignment reference: B and C shift relative to it.
+    const double cd[3] = {sample[cd_a], sample[cd_b], sample[cd_c]};
+    const double ol[3] = {0.0, sample[ol_b], sample[ol_c]};
+
+    std::vector<geom::Wire> out;
+    out.reserve(decomposed.size());
+    for (std::size_t i = 0; i < decomposed.size(); ++i) {
+        geom::Wire w = decomposed[i];
+        const std::size_t m = mask_index(w.color);
+        w.width += cd[m];
+        util::ensures(w.width > 0.0, "LE3 CD bias pinched a wire off");
+        w.y_center += ol[m];
+        out.push_back(std::move(w));
+    }
+    // Overlay never exceeds a pitch in practice, so the track order is
+    // preserved and the Wire_array ordering invariant holds.
+    return geom::Wire_array(std::move(out));
+}
+
+} // namespace mpsram::pattern

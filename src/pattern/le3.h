@@ -1,0 +1,48 @@
+// Triple litho-etch (LELELE) patterning.
+//
+// Consecutive tracks cycle through masks A, B, C, so same-mask neighbors
+// sit three pitches apart.  Masks B and C are aligned to mask A (paper
+// assumption, Section II-A), so their overlay errors shift whole line
+// groups vertically while mask A stays put; every mask also carries an
+// independent CD bias.  This is the option whose worst case crunches one
+// spacing by CD growth *and* opposing overlay shifts (Fig. 2, top).
+#ifndef MPSRAM_PATTERN_LE3_H
+#define MPSRAM_PATTERN_LE3_H
+
+#include "pattern/engine.h"
+
+namespace mpsram::pattern {
+
+class Le3_engine final : public Patterning_engine {
+public:
+    explicit Le3_engine(const tech::Technology& tech);
+
+    tech::Patterning_option option() const override
+    {
+        return tech::Patterning_option::le3;
+    }
+
+    const std::vector<Variation_axis>& axes() const override { return axes_; }
+
+    geom::Wire_array decompose(geom::Wire_array nominal) const override;
+
+    geom::Wire_array realize(const geom::Wire_array& decomposed,
+                             std::span<const double> sample) const override;
+
+    /// Axis indices within a Process_sample.
+    enum Axis : std::size_t {
+        cd_a = 0,
+        cd_b = 1,
+        cd_c = 2,
+        ol_b = 3,
+        ol_c = 4,
+        axis_count = 5,
+    };
+
+private:
+    std::vector<Variation_axis> axes_;
+};
+
+} // namespace mpsram::pattern
+
+#endif // MPSRAM_PATTERN_LE3_H

@@ -1,0 +1,65 @@
+#include "pattern/sadp.h"
+
+#include "util/contracts.h"
+
+namespace mpsram::pattern {
+
+Sadp_engine::Sadp_engine(const tech::Technology& tech)
+    : spacer_nominal_(tech.sadp_spacer_nominal())
+{
+    axes_ = {
+        {"cd_core", tech.variability.cd_3sigma / 3.0},
+        {"spacer", tech.variability.sadp_spacer_3sigma / 3.0},
+    };
+}
+
+geom::Wire_array Sadp_engine::decompose(geom::Wire_array nominal) const
+{
+    for (std::size_t i = 0; i < nominal.size(); ++i) {
+        nominal[i].color = geom::Mask_color::mask_a;  // one core mask
+        nominal[i].sadp = (i % 2 == 1) ? geom::Sadp_class::mandrel
+                                       : geom::Sadp_class::gap;
+    }
+    return nominal;
+}
+
+geom::Wire_array Sadp_engine::realize(const geom::Wire_array& decomposed,
+                                      std::span<const double> sample) const
+{
+    check_sample(sample);
+    const double dcd = sample[cd_core];
+    const double dsp = sample[spacer];
+
+    // Mandrels print directly: symmetric CD bias, center fixed (a single
+    // core mask has no self-overlay).  Gap lines are bounded by the
+    // spacers on the neighboring mandrels.
+    std::vector<geom::Wire> out;
+    out.reserve(decomposed.size());
+    for (std::size_t i = 0; i < decomposed.size(); ++i) {
+        geom::Wire w = decomposed[i];
+        switch (w.sadp) {
+        case geom::Sadp_class::mandrel:
+            w.width += dcd;
+            break;
+        case geom::Sadp_class::gap: {
+            // Lower edge: neighbor mandrel's top edge + spacer; upper edge
+            // symmetric.  Edge wires without a mandrel neighbor behave as
+            // if one sat a pitch away (guard tracks make edges irrelevant
+            // in the study).  Net effect on the width:
+            w.width -= dcd + 2.0 * dsp;
+            // Center: mandrel centers don't move and the spacer grows
+            // symmetrically on both bounding mandrels, so the gap line's
+            // center is unchanged.
+            break;
+        }
+        case geom::Sadp_class::none:
+            throw util::Precondition_error(
+                "SADP realize on undecomposed wire array");
+        }
+        util::ensures(w.width > 0.0, "SADP variation pinched a wire off");
+        out.push_back(std::move(w));
+    }
+    return geom::Wire_array(std::move(out));
+}
+
+} // namespace mpsram::pattern

@@ -1,0 +1,56 @@
+// Self-aligned double patterning (SADP).
+//
+// Mandrel lines are printed lithographically; spacers of nominally uniform
+// thickness are deposited on every mandrel sidewall; the lines between
+// spacers ("gap" lines) are defined by whatever room remains.  Spacings are
+// therefore *spacer-defined everywhere* — the self-aligned property that
+// makes SADP's coupling-capacitance variability so small — and the gap-line
+// width anti-correlates with the mandrel CD:
+//
+//     w_gap = 2*pitch - w_mandrel - dCD - 2*(t_spacer + dSp)
+//
+// In the paper's SRAM track plan the bit lines are the spacer/gap-defined
+// lines and the power rails are mandrel-defined, which produces the
+// Rbl <-> Rvss anti-correlation discussed in Section III-A.
+#ifndef MPSRAM_PATTERN_SADP_H
+#define MPSRAM_PATTERN_SADP_H
+
+#include "pattern/engine.h"
+
+namespace mpsram::pattern {
+
+class Sadp_engine final : public Patterning_engine {
+public:
+    explicit Sadp_engine(const tech::Technology& tech);
+
+    tech::Patterning_option option() const override
+    {
+        return tech::Patterning_option::sadp;
+    }
+
+    const std::vector<Variation_axis>& axes() const override { return axes_; }
+
+    /// Odd-indexed tracks become mandrels, even-indexed tracks gap lines.
+    /// With the SRAM track order (BL, VSS, BLB, VDD) this puts every power
+    /// rail on a mandrel and every bit line in a gap, as the paper states.
+    geom::Wire_array decompose(geom::Wire_array nominal) const override;
+
+    geom::Wire_array realize(const geom::Wire_array& decomposed,
+                             std::span<const double> sample) const override;
+
+    enum Axis : std::size_t {
+        cd_core = 0,
+        spacer = 1,
+        axis_count = 2,
+    };
+
+    double nominal_spacer() const { return spacer_nominal_; }
+
+private:
+    std::vector<Variation_axis> axes_;
+    double spacer_nominal_ = 0.0;
+};
+
+} // namespace mpsram::pattern
+
+#endif // MPSRAM_PATTERN_SADP_H

@@ -1,0 +1,263 @@
+#include "spice/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/exceptions.h"
+#include "util/contracts.h"
+
+namespace mpsram::spice {
+
+namespace {
+
+Eval_context dc_context(const std::vector<double>& voltages)
+{
+    Eval_context ctx;
+    ctx.mode = Analysis_mode::dc;
+    ctx.time = 0.0;
+    ctx.dt = 0.0;
+    ctx.voltages = voltages.data();
+    return ctx;
+}
+
+/// One DC Newton solve with optional forces, trying progressively larger
+/// gmin values on failure and walking gmin back down (gmin stepping).
+int dc_solve(Mna_system& system, std::vector<double>& voltages,
+             const Dc_options& opts, std::span<const Forced_node> forces)
+{
+    try {
+        return system.solve(dc_context(voltages), voltages, opts.newton,
+                            forces);
+    } catch (const Convergence_error&) {
+        // fall through to gmin stepping
+    }
+
+    const double gmin_start = 1e-2;
+    Newton_options stepped = opts.newton;
+    int iters = 0;
+    for (double g = gmin_start; g >= opts.newton.gmin; g *= 1e-2) {
+        stepped.gmin = g;
+        iters = system.solve(dc_context(voltages), voltages, stepped, forces);
+    }
+    stepped.gmin = opts.newton.gmin;
+    return iters + system.solve(dc_context(voltages), voltages, stepped,
+                                forces);
+}
+
+} // namespace
+
+Dc_result dc_operating_point(Circuit& circuit, const Dc_options& opts)
+{
+    Mna_system system(circuit);
+
+    Dc_result result;
+    result.voltages.assign(circuit.node_count(), 0.0);
+    system.apply_driven(0.0, result.voltages);
+    for (const auto& [node, v] : opts.initial_guesses) {
+        result.voltages[static_cast<std::size_t>(node)] = v;
+    }
+    for (const Forced_node& f : opts.forces) {
+        result.voltages[static_cast<std::size_t>(f.node)] = f.voltage;
+    }
+
+    if (!opts.forces.empty()) {
+        // Phase 1: pinned solve selects the basin of attraction.
+        dc_solve(system, result.voltages, opts, opts.forces);
+    }
+    // Phase 2 (or only phase): free solve.
+    result.iterations = dc_solve(system, result.voltages, opts, {});
+
+    // Let dynamic devices latch their DC state.
+    system.accept(dc_context(result.voltages));
+    return result;
+}
+
+// --- Transient_result ---------------------------------------------------------
+
+Transient_result::Transient_result(std::vector<Node> probes,
+                                   std::vector<std::string> names)
+    : probes_(std::move(probes)), names_(std::move(names))
+{
+    util::expects(probes_.size() == names_.size(),
+                  "probe/name count mismatch");
+    samples_.resize(probes_.size());
+}
+
+void Transient_result::append(double t, const std::vector<double>& voltages)
+{
+    util::expects(time_.empty() || t > time_.back(),
+                  "transient samples must advance in time");
+    time_.push_back(t);
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+        samples_[i].push_back(
+            voltages[static_cast<std::size_t>(probes_[i])]);
+    }
+}
+
+std::size_t Transient_result::probe_index(const std::string& name) const
+{
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name) return i;
+    }
+    throw Netlist_error("no probe named " + name);
+}
+
+util::Piecewise_linear Transient_result::waveform(
+    const std::string& name) const
+{
+    return util::Piecewise_linear(time_, samples_[probe_index(name)]);
+}
+
+util::Piecewise_linear Transient_result::differential(
+    const std::string& a, const std::string& b) const
+{
+    const auto& sa = samples_[probe_index(a)];
+    const auto& sb = samples_[probe_index(b)];
+    std::vector<double> diff(sa.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+        diff[i] = std::fabs(sa[i] - sb[i]);
+    }
+    return util::Piecewise_linear(time_, std::move(diff));
+}
+
+double Transient_result::final_value(const std::string& name) const
+{
+    const auto& s = samples_[probe_index(name)];
+    util::expects(!s.empty(), "no samples recorded");
+    return s.back();
+}
+
+// --- run_transient -------------------------------------------------------------
+
+Transient_result run_transient(Circuit& circuit,
+                               const std::vector<Node>& probes,
+                               const Transient_options& opts)
+{
+    util::expects(opts.tstop > 0.0, "tstop must be positive");
+    util::expects(opts.nominal_steps > 0, "nominal_steps must be positive");
+
+    // Operating point (also latches capacitor DC state).
+    Dc_result dc = dc_operating_point(circuit, opts.dc);
+    std::vector<double> voltages = std::move(dc.voltages);
+
+    Mna_system system(circuit);
+
+    std::vector<std::string> names;
+    names.reserve(probes.size());
+    for (Node p : probes) names.push_back(circuit.node_name(p));
+    Transient_result result(probes, std::move(names));
+    result.append(0.0, voltages);
+
+    std::vector<double> breakpoints = system.breakpoints(opts.tstop);
+    breakpoints.push_back(opts.tstop);
+    std::size_t next_bp = 0;
+
+    const double dt_nominal =
+        opts.tstop / static_cast<double>(opts.nominal_steps);
+    const double dt_max = dt_nominal * opts.lte_max_growth;
+    const double dt_min = dt_nominal * opts.lte_min_shrink;
+
+    // Slope history for the LTE predictor.
+    std::vector<double> prev_voltages = voltages;
+    double prev_dt = 0.0;
+
+    double t = 0.0;
+    double dt_next = dt_nominal;
+    bool after_breakpoint = true;  // t=0 counts as a corner
+    while (t < opts.tstop - 1e-18) {
+        // Advance the breakpoint cursor past times we already passed.
+        while (next_bp < breakpoints.size() &&
+               breakpoints[next_bp] <= t + 1e-18) {
+            ++next_bp;
+        }
+        double dt_wish = opts.adaptive ? dt_next : dt_nominal;
+        if (opts.adaptive && after_breakpoint) {
+            // Restart small after every waveform corner: the first step has
+            // no slope history for the LTE predictor, and corners are where
+            // stiff hand-offs (e.g. a pass gate snapping on) live.
+            dt_wish = std::max(dt_nominal * 1e-2, dt_min);
+        }
+        double t_target = std::min(t + dt_wish, opts.tstop);
+        if (next_bp < breakpoints.size()) {
+            t_target = std::min(t_target, breakpoints[next_bp]);
+        }
+
+        Eval_context ctx;
+        ctx.mode = Analysis_mode::transient;
+        ctx.method = (after_breakpoint && opts.be_after_breakpoint)
+                         ? Integration_method::backward_euler
+                         : opts.method;
+
+        // Try the step; shrink on Newton failure or excessive LTE.
+        double dt = t_target - t;
+        std::vector<double> attempt;
+        int halvings = 0;
+        double lte = 0.0;
+        for (;;) {
+            attempt = voltages;
+            ctx.time = t + dt;
+            ctx.dt = dt;
+            bool converged = true;
+            try {
+                system.solve(ctx, attempt, opts.newton);
+            } catch (const Convergence_error&) {
+                converged = false;
+            }
+
+            if (converged && opts.adaptive && prev_dt > 0.0 &&
+                !after_breakpoint) {
+                // Normalized predictor error: forward-Euler extrapolation
+                // of the last accepted slope vs the implicit solution.
+                lte = 0.0;
+                for (std::size_t i = 0; i < attempt.size(); ++i) {
+                    const double slope =
+                        (voltages[i] - prev_voltages[i]) / prev_dt;
+                    const double predicted = voltages[i] + slope * dt;
+                    const double tol = opts.lte_abs +
+                                       opts.lte_rel * std::fabs(attempt[i]);
+                    lte = std::max(lte,
+                                   std::fabs(attempt[i] - predicted) / tol);
+                }
+                if (lte > 1.0 && dt > dt_min) {
+                    converged = false;  // reject: retry smaller
+                }
+            }
+
+            if (converged) break;
+            if (++halvings > opts.max_step_halvings) {
+                throw Convergence_error(
+                    "transient step kept failing at t = " +
+                    std::to_string(t) + " s");
+            }
+            dt *= 0.5;
+        }
+
+        prev_voltages = voltages;
+        prev_dt = dt;
+        voltages = std::move(attempt);
+        ctx.voltages = voltages.data();
+        system.accept(ctx);
+        t += dt;
+        result.append(t, voltages);
+
+        if (opts.adaptive) {
+            // Grow toward the error target (cube-root law for a
+            // second-order method), clamped to the configured band.
+            double factor = 2.0;
+            if (lte > 0.0) {
+                factor = 0.9 * std::pow(1.0 / lte, 1.0 / 3.0);
+                factor = std::clamp(factor, 0.3, 2.0);
+            }
+            dt_next = std::clamp(dt * factor, dt_min, dt_max);
+        }
+
+        const bool hit_breakpoint =
+            next_bp < breakpoints.size() &&
+            std::fabs(t - breakpoints[next_bp]) < 1e-18;
+        after_breakpoint = hit_breakpoint || halvings > 0;
+    }
+
+    return result;
+}
+
+} // namespace mpsram::spice

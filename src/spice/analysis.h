@@ -1,0 +1,104 @@
+// Analysis drivers: DC operating point and transient simulation.
+#ifndef MPSRAM_SPICE_ANALYSIS_H
+#define MPSRAM_SPICE_ANALYSIS_H
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/system.h"
+#include "util/numeric.h"
+
+namespace mpsram::spice {
+
+struct Dc_options {
+    Newton_options newton;
+    /// Nodes pinned during a first solve pass and released for a second,
+    /// warm-started pass — the supported way to pick a stable state of a
+    /// bistable circuit (SRAM latch).
+    std::vector<Forced_node> forces;
+    /// Plain initial guesses (no pinning).
+    std::vector<std::pair<Node, double>> initial_guesses;
+};
+
+struct Dc_result {
+    std::vector<double> voltages;  ///< full node-indexed vector
+    int iterations = 0;
+
+    double v(Node n) const { return voltages[static_cast<std::size_t>(n)]; }
+};
+
+/// Solve the DC operating point (caps open).  Applies gmin stepping if the
+/// direct solve fails to converge.
+Dc_result dc_operating_point(Circuit& circuit, const Dc_options& opts = {});
+
+struct Transient_options {
+    double tstop = 0.0;
+    /// Nominal step = tstop / nominal_steps; the engine additionally lands
+    /// exactly on every source breakpoint and halves the step on Newton
+    /// failure.
+    int nominal_steps = 1200;
+    Integration_method method = Integration_method::trapezoidal;
+    /// Use one backward-Euler step right after each breakpoint to damp the
+    /// trapezoidal ringing a slope discontinuity would excite.
+    bool be_after_breakpoint = true;
+    int max_step_halvings = 20;
+    Newton_options newton;
+    Dc_options dc;  ///< options for the t=0 operating point
+
+    // --- local-truncation-error step control ---------------------------------
+    /// When true, each step's solution is compared against a forward
+    /// predictor built from the previous slope; steps whose normalized
+    /// error exceeds 1 are rejected and retried smaller, and accepted
+    /// steps grow/shrink the next step toward the error target.  The
+    /// nominal step acts as the reference size; growth is capped at
+    /// `lte_max_growth` times it.
+    bool adaptive = false;
+    /// Per-node LTE tolerance: |v - predictor| <= lte_abs + lte_rel * |v|.
+    double lte_rel = 2e-3;
+    double lte_abs = 2e-4;
+    /// Growth cap relative to the nominal step.
+    double lte_max_growth = 4.0;
+    /// Smallest allowed step relative to the nominal step.
+    double lte_min_shrink = 1e-4;
+};
+
+/// Recorded transient waveforms at the probed nodes.
+class Transient_result {
+public:
+    Transient_result(std::vector<Node> probes,
+                     std::vector<std::string> names);
+
+    void append(double t, const std::vector<double>& voltages);
+
+    std::size_t sample_count() const { return time_.size(); }
+    const std::vector<double>& time() const { return time_; }
+
+    /// Waveform of a probed node (by name used at probe registration).
+    util::Piecewise_linear waveform(const std::string& name) const;
+
+    /// Differential waveform |v(a) - v(b)| of two probed nodes.
+    util::Piecewise_linear differential(const std::string& a,
+                                        const std::string& b) const;
+
+    double final_value(const std::string& name) const;
+
+private:
+    std::size_t probe_index(const std::string& name) const;
+
+    std::vector<Node> probes_;
+    std::vector<std::string> names_;
+    std::vector<double> time_;
+    std::vector<std::vector<double>> samples_;  ///< per probe
+};
+
+/// Run a transient from the DC operating point.  `probes` are circuit
+/// nodes whose waveforms are recorded (keep the list small: memory is
+/// samples x probes).
+Transient_result run_transient(Circuit& circuit,
+                               const std::vector<Node>& probes,
+                               const Transient_options& opts);
+
+} // namespace mpsram::spice
+
+#endif // MPSRAM_SPICE_ANALYSIS_H

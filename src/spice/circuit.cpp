@@ -1,0 +1,118 @@
+#include "spice/circuit.h"
+
+#include "spice/exceptions.h"
+#include "util/contracts.h"
+
+namespace mpsram::spice {
+
+Circuit::Circuit()
+{
+    node_names_.push_back("0");
+    node_index_["0"] = ground_node;
+    node_index_["gnd"] = ground_node;
+}
+
+Node Circuit::node(const std::string& name)
+{
+    util::expects(!name.empty(), "node name must be non-empty");
+    const auto it = node_index_.find(name);
+    if (it != node_index_.end()) return it->second;
+    const Node n = static_cast<Node>(node_names_.size());
+    node_names_.push_back(name);
+    node_index_[name] = n;
+    return n;
+}
+
+Node Circuit::find_node(const std::string& name) const
+{
+    const auto it = node_index_.find(name);
+    if (it == node_index_.end()) {
+        throw Netlist_error("unknown node: " + name);
+    }
+    return it->second;
+}
+
+const std::string& Circuit::node_name(Node n) const
+{
+    util::expects(n >= 0 && static_cast<std::size_t>(n) < node_names_.size(),
+                  "node id out of range");
+    return node_names_[static_cast<std::size_t>(n)];
+}
+
+void Circuit::check_node(Node n) const
+{
+    util::expects(n >= 0 && static_cast<std::size_t>(n) < node_names_.size(),
+                  "device references an unknown node");
+}
+
+void Circuit::check_name(const std::string& name)
+{
+    util::expects(!name.empty(), "device name must be non-empty");
+    if (!device_names_.insert(name).second) {
+        throw Netlist_error("duplicate device name: " + name);
+    }
+}
+
+template <typename T, typename... Args>
+T& Circuit::add_device(Args&&... args)
+{
+    auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *dev;
+    for (Node n : ref.nodes()) check_node(n);
+    devices_.push_back(std::move(dev));
+    return ref;
+}
+
+Resistor& Circuit::add_resistor(std::string name, Node a, Node b, double ohms)
+{
+    check_name(name);
+    return add_device<Resistor>(std::move(name), a, b, ohms);
+}
+
+Capacitor& Circuit::add_capacitor(std::string name, Node a, Node b,
+                                  double farads)
+{
+    check_name(name);
+    return add_device<Capacitor>(std::move(name), a, b, farads);
+}
+
+Current_source& Circuit::add_current_source(std::string name, Node from,
+                                            Node to, Waveform w)
+{
+    check_name(name);
+    return add_device<Current_source>(std::move(name), from, to, std::move(w));
+}
+
+Voltage_source& Circuit::add_voltage_source(std::string name, Node pos,
+                                            Node neg, Waveform w)
+{
+    check_name(name);
+    auto& src =
+        add_device<Voltage_source>(std::move(name), pos, neg, std::move(w));
+    vsources_.push_back(&src);
+    return src;
+}
+
+Mosfet& Circuit::add_mosfet(std::string name, Node drain, Node gate,
+                            Node source, Mosfet_params params,
+                            double multiplicity)
+{
+    check_name(name);
+    return add_device<Mosfet>(std::move(name), drain, gate, source, params,
+                              multiplicity);
+}
+
+double Circuit::node_capacitance(Node n) const
+{
+    double total = 0.0;
+    for (const auto& dev : devices_) {
+        const auto* cap = dynamic_cast<const Capacitor*>(dev.get());
+        if (cap == nullptr) continue;
+        for (Node dn : cap->nodes()) {
+            if (dn == n) total += cap->capacitance();
+        }
+    }
+    return total;
+}
+
+} // namespace mpsram::spice

@@ -1,0 +1,33 @@
+// Error types of the circuit simulation engine.
+#ifndef MPSRAM_SPICE_EXCEPTIONS_H
+#define MPSRAM_SPICE_EXCEPTIONS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace mpsram::spice {
+
+/// Newton-Raphson failed to converge (DC or one transient step).
+class Convergence_error : public std::runtime_error {
+public:
+    explicit Convergence_error(const std::string& what_arg)
+        : std::runtime_error("convergence failure: " + what_arg) {}
+};
+
+/// The MNA matrix factorization hit a (near-)zero pivot.
+class Singular_matrix_error : public std::runtime_error {
+public:
+    explicit Singular_matrix_error(const std::string& what_arg)
+        : std::runtime_error("singular matrix: " + what_arg) {}
+};
+
+/// The netlist is malformed (dangling nodes, conflicting sources, ...).
+class Netlist_error : public std::runtime_error {
+public:
+    explicit Netlist_error(const std::string& what_arg)
+        : std::runtime_error("netlist error: " + what_arg) {}
+};
+
+} // namespace mpsram::spice
+
+#endif // MPSRAM_SPICE_EXCEPTIONS_H

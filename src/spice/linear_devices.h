@@ -1,0 +1,83 @@
+// Linear circuit elements: resistor, capacitor, independent sources.
+#ifndef MPSRAM_SPICE_LINEAR_DEVICES_H
+#define MPSRAM_SPICE_LINEAR_DEVICES_H
+
+#include "spice/device.h"
+#include "spice/waveform.h"
+
+namespace mpsram::spice {
+
+class Resistor final : public Device {
+public:
+    Resistor(std::string name, Node a, Node b, double ohms);
+
+    double resistance() const { return ohms_; }
+
+    void stamp(Stamper& s, const Eval_context& ctx) const override;
+
+private:
+    double ohms_;
+};
+
+/// Capacitor with trapezoidal / backward-Euler companion models.  Holds
+/// its own history (voltage and current at the last accepted time point).
+class Capacitor final : public Device {
+public:
+    Capacitor(std::string name, Node a, Node b, double farads);
+
+    double capacitance() const { return farads_; }
+
+    void stamp(Stamper& s, const Eval_context& ctx) const override;
+    void accept_step(const Eval_context& ctx) override;
+
+private:
+    double companion_g(const Eval_context& ctx) const;
+    double history_current(const Eval_context& ctx) const;
+
+    double farads_;
+    double v_prev_ = 0.0;  ///< branch voltage v(a) - v(b) at last accepted point
+    double i_prev_ = 0.0;  ///< branch current a->b at last accepted point
+};
+
+/// Independent current source: `value(t)` amps flow from `from` to `to`
+/// through the source (i.e. injected into `to`).
+class Current_source final : public Device {
+public:
+    Current_source(std::string name, Node from, Node to, Waveform w);
+
+    void stamp(Stamper& s, const Eval_context& ctx) const override;
+    void add_breakpoints(double tstop, std::vector<double>& out) const override;
+
+    double value(double t) const { return wave_.value(t); }
+    const Waveform& wave() const { return wave_; }
+
+private:
+    Waveform wave_;
+};
+
+/// Ideal independent voltage source, v(pos) - v(neg) = value(t).
+///
+/// The MNA system special-cases these: a source whose `neg` is ground
+/// turns `pos` into a driven node (no extra unknown); a floating source
+/// gets a branch-current unknown.  stamp() is therefore a no-op.
+class Voltage_source final : public Device {
+public:
+    Voltage_source(std::string name, Node pos, Node neg, Waveform w);
+
+    Node pos() const { return nodes()[0]; }
+    Node neg() const { return nodes()[1]; }
+    bool grounded() const { return neg() == ground_node; }
+
+    void stamp(Stamper& s, const Eval_context& ctx) const override;
+    void add_breakpoints(double tstop, std::vector<double>& out) const override;
+
+    double value(double t) const { return wave_.value(t); }
+    const Waveform& wave() const { return wave_; }
+
+private:
+    Waveform wave_;
+};
+
+} // namespace mpsram::spice
+
+#endif // MPSRAM_SPICE_LINEAR_DEVICES_H

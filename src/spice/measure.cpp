@@ -1,0 +1,17 @@
+#include "spice/measure.h"
+
+namespace mpsram::spice {
+
+double crossing_time(const Transient_result& result, const std::string& probe,
+                     double level, double from)
+{
+    return result.waveform(probe).first_crossing(level, from);
+}
+
+double differential_time(const Transient_result& result, const std::string& a,
+                         const std::string& b, double level, double from)
+{
+    return result.differential(a, b).first_crossing(level, from);
+}
+
+} // namespace mpsram::spice

@@ -1,0 +1,23 @@
+// Waveform measurements on transient results (the paper's figure of merit
+// is the time for |Vbl - Vblb| to reach the sense-amplifier sensitivity).
+#ifndef MPSRAM_SPICE_MEASURE_H
+#define MPSRAM_SPICE_MEASURE_H
+
+#include <string>
+
+#include "spice/analysis.h"
+
+namespace mpsram::spice {
+
+/// First time (>= from) the probed node crosses `level`; negative if never.
+double crossing_time(const Transient_result& result, const std::string& probe,
+                     double level, double from = 0.0);
+
+/// First time (>= from) |v(a) - v(b)| reaches `level`; negative if never.
+double differential_time(const Transient_result& result, const std::string& a,
+                         const std::string& b, double level,
+                         double from = 0.0);
+
+} // namespace mpsram::spice
+
+#endif // MPSRAM_SPICE_MEASURE_H

@@ -1,0 +1,51 @@
+#include "spice/mosfet.h"
+
+#include "util/contracts.h"
+
+namespace mpsram::spice {
+
+Mosfet::Mosfet(std::string name, Node drain, Node gate, Node source,
+               Mosfet_params params, double multiplicity)
+    : Device(std::move(name), {drain, gate, source}),
+      params_(params),
+      m_(multiplicity)
+{
+    util::expects(multiplicity > 0.0, "multiplicity must be positive");
+}
+
+void Mosfet::stamp(Stamper& s, const Eval_context& ctx) const
+{
+    const Node d = drain();
+    const Node g = gate();
+    const Node src = source();
+
+    const double vd = ctx.v(d);
+    const double vg = ctx.v(g);
+    const double vs = ctx.v(src);
+
+    const Mosfet_eval e = evaluate_mosfet(params_, vd, vg, vs, m_);
+
+    // Newton companion: ids(v) ~ ids0 + gds*dvd + gm*dvg + gms*dvs.
+    // ids flows d -> s inside the device, i.e. leaves node d and enters
+    // node s.
+    s.jacobian(d, d, e.gds);
+    s.jacobian(d, g, e.gm);
+    s.jacobian(d, src, e.gms);
+    s.jacobian(src, d, -e.gds);
+    s.jacobian(src, g, -e.gm);
+    s.jacobian(src, src, -e.gms);
+
+    const double i_const =
+        e.ids - (e.gds * vd + e.gm * vg + e.gms * vs);
+    s.rhs(d, -i_const);
+    s.rhs(src, i_const);
+}
+
+double Mosfet::current(const Eval_context& ctx) const
+{
+    return evaluate_mosfet(params_, ctx.v(drain()), ctx.v(gate()),
+                           ctx.v(source()), m_)
+        .ids;
+}
+
+} // namespace mpsram::spice

@@ -1,0 +1,122 @@
+#include "spice/mosfet_model.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/numeric.h"
+
+namespace mpsram::spice {
+
+namespace {
+
+/// softplus(u) = ln(1 + e^u) with overflow guards.
+double softplus(double u)
+{
+    if (u > 40.0) return u;
+    if (u < -40.0) return std::exp(u);
+    return std::log1p(std::exp(u));
+}
+
+/// d softplus / du = logistic(u).
+double logistic(double u)
+{
+    if (u > 40.0) return 1.0;
+    if (u < -40.0) return std::exp(u);
+    return 1.0 / (1.0 + std::exp(-u));
+}
+
+struct Half_current {
+    double i = 0.0;    ///< normalized current component
+    double di_dv = 0.0; ///< derivative w.r.t. the channel-end voltage
+    double di_dvp = 0.0; ///< derivative w.r.t. the pinch-off voltage
+};
+
+/// EKV normalized current for one channel end:
+///   i = [softplus((vp - v_end) / (2 vt))]^2
+Half_current half_current(double vp, double v_end, double v_t)
+{
+    const double denom = 2.0 * v_t;
+    const double u = (vp - v_end) / denom;
+    const double l = softplus(u);
+    const double sig = logistic(u);
+    Half_current h;
+    h.i = l * l;
+    h.di_dvp = 2.0 * l * sig / denom;
+    h.di_dv = -h.di_dvp;
+    return h;
+}
+
+} // namespace
+
+Mosfet_eval evaluate_mosfet(const Mosfet_params& p, double vd, double vg,
+                            double vs, double m)
+{
+    util::expects(m > 0.0, "device multiplicity must be positive");
+    util::expects(p.n >= 1.0, "slope factor n must be >= 1");
+    util::expects(p.v_t > 0.0, "thermal voltage must be positive");
+
+    // PMOS: mirror all voltages, evaluate as NMOS, mirror the current.
+    // (For a PMOS the source sits at the high rail; mirroring maps it onto
+    // the NMOS picture exactly.)
+    if (p.type == Mosfet_type::pmos) {
+        Mosfet_params np = p;
+        np.type = Mosfet_type::nmos;
+        const Mosfet_eval e = evaluate_mosfet(np, -vd, -vg, -vs, m);
+        // i' = -i(-v): first derivatives are unchanged in sign.
+        return Mosfet_eval{-e.ids, e.gm, e.gds, e.gms};
+    }
+
+    const double is = 2.0 * p.n * p.beta * p.v_t * p.v_t * m;
+    const double vp = (vg - p.vth) / p.n;
+
+    const Half_current fwd = half_current(vp, vs, p.v_t);
+    const Half_current rev = half_current(vp, vd, p.v_t);
+
+    const double i_norm = fwd.i - rev.i;
+
+    // Smooth channel-length modulation: 1 + lambda * smooth|vd - vs|.
+    constexpr double eps = 1e-3;  // 1 mV smoothing
+    const double vds = vd - vs;
+    const double sabs = std::sqrt(vds * vds + eps * eps);
+    const double clm = 1.0 + p.lambda * sabs;
+    const double dclm_dvds = p.lambda * vds / sabs;
+
+    Mosfet_eval e;
+    e.ids = is * i_norm * clm;
+
+    const double di_dvg = (fwd.di_dvp - rev.di_dvp) / p.n;
+    e.gm = is * di_dvg * clm;
+
+    // half_current's di_dv is d i / d v_end.  i_norm = fwd.i - rev.i, so
+    // d i_norm / d vd = -rev.di_dv and d i_norm / d vs = fwd.di_dv.
+    const double dnorm_dvd = -rev.di_dv;
+    const double dnorm_dvs = fwd.di_dv;
+    e.gds = is * (dnorm_dvd * clm + i_norm * dclm_dvds);
+    e.gms = is * (dnorm_dvs * clm - i_norm * dclm_dvds);
+
+    return e;
+}
+
+double drive_current(const Mosfet_params& p, double vdd)
+{
+    util::expects(vdd > 0.0, "vdd must be positive");
+    if (p.type == Mosfet_type::pmos) {
+        return -evaluate_mosfet(p, 0.0, 0.0, vdd).ids;
+    }
+    return evaluate_mosfet(p, vdd, vdd, 0.0).ids;
+}
+
+Mosfet_params calibrate_beta(Mosfet_params p, double vdd, double ion)
+{
+    util::expects(ion > 0.0, "target drive current must be positive");
+    // drive_current is linear in beta, so one division calibrates exactly.
+    p.beta = 1.0;
+    const double base = drive_current(p, vdd);
+    util::invariant(base > 0.0, "unit drive current must be positive");
+    p.beta = ion / base;
+    util::ensures(util::rel_diff(drive_current(p, vdd), ion) < 1e-9,
+                  "beta calibration failed to hit the drive target");
+    return p;
+}
+
+} // namespace mpsram::spice

@@ -1,0 +1,59 @@
+// EKV-style compact MOSFET model.
+//
+// A smooth single-expression charge-sheet model covering weak to strong
+// inversion, adequate for the N10-class read-path transistors of the study
+// (drive strength, pass-gate conduction, subthreshold leakage).  The model
+// is source/drain-symmetric: forward and reverse normalized currents are
+// evaluated against the bulk-referenced pinch-off voltage, so vds < 0 needs
+// no terminal swapping.  Channel-length modulation uses a smooth |vds|.
+//
+// Terminal capacitances are deliberately NOT part of this device: the SRAM
+// netlist builder instantiates explicit linear capacitors (gate, junction)
+// so each energy-storage element is visible and testable on its own.
+#ifndef MPSRAM_SPICE_MOSFET_MODEL_H
+#define MPSRAM_SPICE_MOSFET_MODEL_H
+
+namespace mpsram::spice {
+
+enum class Mosfet_type { nmos, pmos };
+
+struct Mosfet_params {
+    Mosfet_type type = Mosfet_type::nmos;
+    /// Threshold voltage magnitude [V].
+    double vth = 0.25;
+    /// Subthreshold slope factor (n * 60 mV/dec at room temperature).
+    double n = 1.3;
+    /// Transconductance factor [A/V^2] of a unit device.
+    double beta = 5.0e-4;
+    /// Channel-length modulation [1/V] (applied with a smooth |vds|).
+    double lambda = 0.05;
+    /// Thermal voltage kT/q [V].
+    double v_t = 0.02585;
+};
+
+/// Drain current and its derivatives at a bias point (NMOS convention:
+/// ids flows drain -> source for vgs > vth, vds > 0).
+struct Mosfet_eval {
+    double ids = 0.0;  ///< [A]
+    double gm = 0.0;   ///< d ids / d vg  [S]
+    double gds = 0.0;  ///< d ids / d vd  [S]
+    double gms = 0.0;  ///< d ids / d vs  [S]
+};
+
+/// Evaluate the model at absolute terminal voltages (bulk at ground for
+/// NMOS, at the most positive rail for PMOS — the model is referenced
+/// internally, callers pass plain node voltages).  `m` is the device
+/// multiplicity (parallel fins/fingers).
+Mosfet_eval evaluate_mosfet(const Mosfet_params& p, double vd, double vg,
+                            double vs, double m = 1.0);
+
+/// Saturation drive current at vgs = vds = vdd (unit multiplicity).
+double drive_current(const Mosfet_params& p, double vdd);
+
+/// Calibrate `beta` so drive_current(p, vdd) == ion.  Returns the adjusted
+/// parameter set.
+Mosfet_params calibrate_beta(Mosfet_params p, double vdd, double ion);
+
+} // namespace mpsram::spice
+
+#endif // MPSRAM_SPICE_MOSFET_MODEL_H

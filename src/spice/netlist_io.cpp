@@ -1,0 +1,80 @@
+#include "spice/netlist_io.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace mpsram::spice {
+
+namespace {
+
+void write_waveform(std::ostream& out, const Waveform& w)
+{
+    if (w.is_dc()) {
+        out << "DC " << w.corner_values().front();
+        return;
+    }
+    out << "PWL(";
+    const auto& ts = w.corner_times();
+    const auto& vs = w.corner_values();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (i > 0) out << ' ';
+        out << ts[i] << ' ' << vs[i];
+    }
+    out << ')';
+}
+
+} // namespace
+
+void write_spice(const Circuit& circuit, std::ostream& out,
+                 const std::string& title)
+{
+    out << "* " << title << '\n';
+    out << "* nodes: " << circuit.node_count()
+        << ", devices: " << circuit.device_count() << '\n';
+
+    const auto node = [&](Node n) -> const std::string& {
+        return circuit.node_name(n);
+    };
+
+    for (const auto& dev : circuit.devices()) {
+        if (const auto* r = dynamic_cast<const Resistor*>(dev.get())) {
+            out << r->name() << ' ' << node(r->nodes()[0]) << ' '
+                << node(r->nodes()[1]) << ' ' << r->resistance() << '\n';
+        } else if (const auto* c =
+                       dynamic_cast<const Capacitor*>(dev.get())) {
+            out << c->name() << ' ' << node(c->nodes()[0]) << ' '
+                << node(c->nodes()[1]) << ' ' << c->capacitance() << '\n';
+        } else if (const auto* v =
+                       dynamic_cast<const Voltage_source*>(dev.get())) {
+            out << v->name() << ' ' << node(v->pos()) << ' '
+                << node(v->neg()) << ' ';
+            write_waveform(out, v->wave());
+            out << '\n';
+        } else if (const auto* i =
+                       dynamic_cast<const Current_source*>(dev.get())) {
+            out << i->name() << ' ' << node(i->nodes()[0]) << ' '
+                << node(i->nodes()[1]) << ' ';
+            write_waveform(out, i->wave());
+            out << '\n';
+        } else if (const auto* m = dynamic_cast<const Mosfet*>(dev.get())) {
+            const char* model =
+                m->params().type == Mosfet_type::nmos ? "nmos_ekv"
+                                                      : "pmos_ekv";
+            out << m->name() << ' ' << node(m->drain()) << ' '
+                << node(m->gate()) << ' ' << node(m->source()) << ' '
+                << node(ground_node) << ' ' << model
+                << " m=" << m->multiplicity() << '\n';
+        }
+    }
+
+    out << ".end\n";
+}
+
+std::string to_spice(const Circuit& circuit, const std::string& title)
+{
+    std::ostringstream out;
+    write_spice(circuit, out, title);
+    return out.str();
+}
+
+} // namespace mpsram::spice

@@ -1,0 +1,28 @@
+// Netlist serialization: dump a Circuit as SPICE-compatible text.
+//
+// Lets a user cross-check any generated netlist (e.g. the SRAM read path)
+// in an external simulator, and doubles as a human-readable debug view.
+// MOSFETs are emitted as .MODEL-referencing M-cards with the EKV-style
+// parameters recorded as a comment (external simulators will need their
+// own model binding; geometry and connectivity carry over verbatim).
+#ifndef MPSRAM_SPICE_NETLIST_IO_H
+#define MPSRAM_SPICE_NETLIST_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "spice/circuit.h"
+
+namespace mpsram::spice {
+
+/// Write the circuit in SPICE card format.
+void write_spice(const Circuit& circuit, std::ostream& out,
+                 const std::string& title = "mpsram netlist");
+
+/// Convenience string form.
+std::string to_spice(const Circuit& circuit,
+                     const std::string& title = "mpsram netlist");
+
+} // namespace mpsram::spice
+
+#endif // MPSRAM_SPICE_NETLIST_IO_H

@@ -1,0 +1,293 @@
+#include "spice/system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/exceptions.h"
+#include "util/contracts.h"
+
+namespace mpsram::spice {
+
+// --- stampers ----------------------------------------------------------------
+
+/// Pattern pass: records which (eq, wrt) matrix positions devices touch.
+class Mna_system::Pattern_stamper final : public Stamper {
+public:
+    Pattern_stamper(const std::vector<int>& solve_index,
+                    std::vector<std::pair<int, int>>& entries)
+        : solve_index_(&solve_index), entries_(&entries)
+    {
+    }
+
+    void jacobian(Node eq, Node wrt, double) override
+    {
+        const int row = (*solve_index_)[static_cast<std::size_t>(eq)];
+        const int col = (*solve_index_)[static_cast<std::size_t>(wrt)];
+        if (row >= 0 && col >= 0) entries_->push_back({row, col});
+    }
+
+    void rhs(Node, double) override {}
+
+private:
+    const std::vector<int>* solve_index_;
+    std::vector<std::pair<int, int>>* entries_;
+};
+
+/// Numeric pass: writes values into the matrix / RHS, routing known-voltage
+/// columns to the RHS.
+class Mna_system::Assembly_stamper final : public Stamper {
+public:
+    Assembly_stamper(const std::vector<int>& solve_index,
+                     Sparse_matrix& m, std::vector<double>& rhs,
+                     const std::vector<double>& voltages)
+        : solve_index_(&solve_index),
+          matrix_(&m),
+          rhs_(&rhs),
+          voltages_(&voltages)
+    {
+    }
+
+    void jacobian(Node eq, Node wrt, double g) override
+    {
+        const int row = (*solve_index_)[static_cast<std::size_t>(eq)];
+        if (row < 0) return;  // ground or driven equation: dropped
+        const int col = (*solve_index_)[static_cast<std::size_t>(wrt)];
+        if (col >= 0) {
+            matrix_->add(row, col, g);
+        } else {
+            // Known voltage (ground contributes 0): move to the RHS.
+            (*rhs_)[static_cast<std::size_t>(row)] -=
+                g * (*voltages_)[static_cast<std::size_t>(wrt)];
+        }
+    }
+
+    void rhs(Node eq, double value) override
+    {
+        const int row = (*solve_index_)[static_cast<std::size_t>(eq)];
+        if (row >= 0) (*rhs_)[static_cast<std::size_t>(row)] += value;
+    }
+
+private:
+    const std::vector<int>* solve_index_;
+    Sparse_matrix* matrix_;
+    std::vector<double>* rhs_;
+    const std::vector<double>* voltages_;
+};
+
+// --- Mna_system ---------------------------------------------------------------
+
+Mna_system::Mna_system(Circuit& circuit) : circuit_(&circuit)
+{
+    classify();
+    build_pattern();
+}
+
+void Mna_system::classify()
+{
+    const std::size_t n_nodes = circuit_->node_count();
+    solve_index_.assign(n_nodes, -2);  // -2: unclassified
+    solve_index_[ground_node] = -1;
+
+    // Driven nodes from grounded sources.
+    for (const Voltage_source* src : circuit_->voltage_sources()) {
+        if (!src->grounded()) continue;
+        const Node pos = src->pos();
+        if (pos == ground_node) {
+            throw Netlist_error("voltage source " + src->name() +
+                                " shorts ground to ground");
+        }
+        if (solve_index_[static_cast<std::size_t>(pos)] == -1) {
+            throw Netlist_error("node " + circuit_->node_name(pos) +
+                                " driven by multiple voltage sources");
+        }
+        solve_index_[static_cast<std::size_t>(pos)] = -1;
+        driven_.push_back({pos, src});
+    }
+
+    // Remaining nodes become unknowns, in node order (which follows the
+    // netlist build order and therefore the physical structure).
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+        if (solve_index_[n] == -2) {
+            solve_index_[n] = static_cast<int>(unknown_nodes_.size());
+            unknown_nodes_.push_back(static_cast<Node>(n));
+        }
+    }
+
+    // Floating sources get branch unknowns after the node unknowns.
+    int next = static_cast<int>(unknown_nodes_.size());
+    for (const Voltage_source* src : circuit_->voltage_sources()) {
+        if (src->grounded()) continue;
+        branches_.push_back({src, next++});
+    }
+
+    total_unknowns_ =
+        unknown_nodes_.size() + branches_.size();
+    util::ensures(total_unknowns_ > 0, "circuit has no unknowns to solve");
+
+    nonlinear_ = std::any_of(
+        circuit_->devices().begin(), circuit_->devices().end(),
+        [](const auto& d) { return d->is_nonlinear(); });
+
+    branch_currents_.assign(branches_.size(), 0.0);
+}
+
+void Mna_system::build_pattern()
+{
+    std::vector<std::pair<int, int>> entries;
+
+    // Device entries: one structural pass with zeroed voltages.
+    Pattern_stamper ps(solve_index_, entries);
+    std::vector<double> zeros(circuit_->node_count(), 0.0);
+    Eval_context ctx;
+    ctx.mode = Analysis_mode::transient;
+    ctx.method = Integration_method::backward_euler;
+    ctx.time = 0.0;
+    ctx.dt = 1.0;  // any positive value: pattern only
+    ctx.voltages = zeros.data();
+    for (const auto& dev : circuit_->devices()) dev->stamp(ps, ctx);
+
+    // Branch rows/columns for floating sources.
+    for (const Branch& b : branches_) {
+        const int prow = solve_index_[static_cast<std::size_t>(b.source->pos())];
+        const int nrow = solve_index_[static_cast<std::size_t>(b.source->neg())];
+        if (prow >= 0) {
+            entries.push_back({prow, b.index});
+            entries.push_back({b.index, prow});
+        }
+        if (nrow >= 0) {
+            entries.push_back({nrow, b.index});
+            entries.push_back({b.index, nrow});
+        }
+    }
+
+    matrix_ = std::make_unique<Sparse_matrix>(total_unknowns_, entries);
+    lu_ = std::make_unique<Sparse_lu>(*matrix_);
+    rhs_.assign(total_unknowns_, 0.0);
+    solution_.assign(total_unknowns_, 0.0);
+}
+
+void Mna_system::apply_driven(double t, std::vector<double>& voltages) const
+{
+    util::expects(voltages.size() == circuit_->node_count(),
+                  "voltage vector size mismatch");
+    voltages[ground_node] = 0.0;
+    for (const Driven& d : driven_) {
+        voltages[static_cast<std::size_t>(d.node)] = d.source->value(t);
+    }
+}
+
+int Mna_system::solve(const Eval_context& ctx_in,
+                      std::vector<double>& voltages,
+                      const Newton_options& opts,
+                      std::span<const Forced_node> forces)
+{
+    util::expects(voltages.size() == circuit_->node_count(),
+                  "voltage vector size mismatch");
+
+    Eval_context ctx = ctx_in;
+    apply_driven(ctx.time, voltages);
+
+    const int max_iter = opts.max_iterations;
+
+    for (int iter = 1; iter <= max_iter; ++iter) {
+        matrix_->clear_values();
+        std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+        ctx.voltages = voltages.data();
+        Assembly_stamper stamper(solve_index_, *matrix_, rhs_, voltages);
+        for (const auto& dev : circuit_->devices()) {
+            dev->stamp(stamper, ctx);
+        }
+
+        // gmin on every node diagonal.
+        for (std::size_t u = 0; u < unknown_nodes_.size(); ++u) {
+            matrix_->add(static_cast<int>(u), static_cast<int>(u), opts.gmin);
+        }
+
+        // Initial-condition forcing.
+        for (const Forced_node& f : forces) {
+            const int row = solve_index_[static_cast<std::size_t>(f.node)];
+            if (row < 0) continue;
+            matrix_->add(row, row, f.conductance);
+            rhs_[static_cast<std::size_t>(row)] += f.conductance * f.voltage;
+        }
+
+        // Floating-source branch equations.
+        for (const Branch& b : branches_) {
+            const Node pos = b.source->pos();
+            const Node neg = b.source->neg();
+            const int prow = solve_index_[static_cast<std::size_t>(pos)];
+            const int nrow = solve_index_[static_cast<std::size_t>(neg)];
+            double v_rhs = b.source->value(ctx.time);
+            // KCL columns: branch current flows into pos, out of neg.
+            if (prow >= 0) {
+                matrix_->add(prow, b.index, -1.0);
+                matrix_->add(b.index, prow, 1.0);
+            } else {
+                v_rhs -= voltages[static_cast<std::size_t>(pos)];
+            }
+            if (nrow >= 0) {
+                matrix_->add(nrow, b.index, 1.0);
+                matrix_->add(b.index, nrow, -1.0);
+            } else {
+                v_rhs += voltages[static_cast<std::size_t>(neg)];
+            }
+            rhs_[static_cast<std::size_t>(b.index)] += v_rhs;
+        }
+
+        lu_->factor(*matrix_, opts.pivot_floor);
+        solution_ = rhs_;
+        lu_->solve(solution_);
+
+        // Damped update + convergence check.
+        bool converged = true;
+        for (std::size_t u = 0; u < unknown_nodes_.size(); ++u) {
+            const auto node = static_cast<std::size_t>(unknown_nodes_[u]);
+            double dv = solution_[u] - voltages[node];
+            if (dv > opts.vstep_limit) dv = opts.vstep_limit;
+            if (dv < -opts.vstep_limit) dv = -opts.vstep_limit;
+            voltages[node] += dv;
+            const double tol =
+                opts.abstol + opts.reltol * std::fabs(voltages[node]);
+            if (std::fabs(dv) > tol) converged = false;
+        }
+        for (std::size_t b = 0; b < branches_.size(); ++b) {
+            branch_currents_[b] =
+                solution_[unknown_nodes_.size() + b];
+        }
+
+        if (converged && iter > 1) return iter;
+    }
+
+    throw Convergence_error(
+        "Newton did not converge in " + std::to_string(max_iter) +
+        " iterations (t = " + std::to_string(ctx.time) + " s)");
+}
+
+void Mna_system::accept(const Eval_context& ctx)
+{
+    for (const auto& dev : circuit_->devices()) dev->accept_step(ctx);
+}
+
+std::vector<double> Mna_system::breakpoints(double tstop) const
+{
+    std::vector<double> out;
+    for (const auto& dev : circuit_->devices()) {
+        dev->add_breakpoints(tstop, out);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](double a, double b) {
+                              return std::fabs(a - b) < 1e-18;
+                          }),
+              out.end());
+    return out;
+}
+
+double Mna_system::branch_current(std::size_t i) const
+{
+    util::expects(i < branch_currents_.size(), "branch index out of range");
+    return branch_currents_[i];
+}
+
+} // namespace mpsram::spice

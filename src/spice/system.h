@@ -1,0 +1,105 @@
+// Compiled MNA system: node classification, pattern assembly, and the
+// Newton-Raphson solve shared by DC and transient analyses.
+//
+// Classification: a voltage source with its negative terminal on ground
+// makes its positive node "driven" (known voltage, no unknown — the common
+// case for rails and clocks, and what keeps the matrix a pure conductance
+// matrix).  Floating voltage sources get a branch-current unknown appended
+// after the node unknowns, where elimination fill guarantees their pivots.
+#ifndef MPSRAM_SPICE_SYSTEM_H
+#define MPSRAM_SPICE_SYSTEM_H
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/sparse.h"
+
+namespace mpsram::spice {
+
+struct Newton_options {
+    int max_iterations = 100;
+    /// Per-node voltage convergence: |dv| <= abstol + reltol * |v|.
+    double abstol = 1e-6;
+    double reltol = 1e-4;
+    /// Per-iteration voltage step clamp [V] (Newton damping).
+    double vstep_limit = 0.3;
+    /// Conductance to ground added on every node diagonal [S].
+    double gmin = 1e-12;
+    double pivot_floor = 1e-13;
+};
+
+/// A node temporarily pinned toward a voltage through a conductance
+/// (initial-condition support for bistable circuits).
+struct Forced_node {
+    Node node = ground_node;
+    double voltage = 0.0;
+    double conductance = 1.0;
+};
+
+class Mna_system {
+public:
+    explicit Mna_system(Circuit& circuit);
+
+    std::size_t unknown_count() const { return total_unknowns_; }
+    std::size_t node_unknown_count() const { return unknown_nodes_.size(); }
+    std::size_t branch_count() const { return branches_.size(); }
+
+    /// Fill driven-node voltages for time t into the full voltage vector.
+    void apply_driven(double t, std::vector<double>& voltages) const;
+
+    /// Newton-solve the system at the given context.  `voltages` (full
+    /// node-indexed vector) is both the initial guess and the result.
+    /// Returns the iteration count; throws Convergence_error on failure.
+    int solve(const Eval_context& ctx, std::vector<double>& voltages,
+              const Newton_options& opts,
+              std::span<const Forced_node> forces = {});
+
+    /// Notify every device that the step at `ctx` was accepted.
+    void accept(const Eval_context& ctx);
+
+    /// Union of breakpoints of all sources in (0, tstop), sorted unique.
+    std::vector<double> breakpoints(double tstop) const;
+
+    bool nonlinear() const { return nonlinear_; }
+
+    /// Branch current of floating source `i` from the last solve [A].
+    double branch_current(std::size_t i) const;
+
+private:
+    class Assembly_stamper;
+    class Pattern_stamper;
+
+    void classify();
+    void build_pattern();
+
+    Circuit* circuit_;
+    std::vector<int> solve_index_;    ///< node -> unknown index or -1
+    std::vector<Node> unknown_nodes_; ///< unknown index -> node
+
+    struct Driven {
+        Node node;
+        const Voltage_source* source;
+    };
+    std::vector<Driven> driven_;
+
+    struct Branch {
+        const Voltage_source* source;
+        int index;  ///< unknown index of the branch current
+    };
+    std::vector<Branch> branches_;
+
+    std::size_t total_unknowns_ = 0;
+    bool nonlinear_ = false;
+
+    std::unique_ptr<Sparse_matrix> matrix_;
+    std::unique_ptr<Sparse_lu> lu_;
+    std::vector<double> rhs_;
+    std::vector<double> solution_;
+    std::vector<double> branch_currents_;
+};
+
+} // namespace mpsram::spice
+
+#endif // MPSRAM_SPICE_SYSTEM_H

@@ -1,0 +1,70 @@
+#include "spice/waveform.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/numeric.h"
+
+namespace mpsram::spice {
+
+Waveform Waveform::dc(double value)
+{
+    Waveform w;
+    w.times_ = {0.0};
+    w.values_ = {value};
+    return w;
+}
+
+Waveform Waveform::pulse(double v0, double v1, double delay, double rise,
+                         double width, double fall)
+{
+    util::expects(delay >= 0.0, "pulse delay must be non-negative");
+    util::expects(rise > 0.0, "pulse rise time must be positive");
+
+    Waveform w;
+    w.times_ = {0.0, delay, delay + rise};
+    w.values_ = {v0, v0, v1};
+    if (width > 0.0) {
+        util::expects(fall > 0.0,
+                      "a finite-width pulse needs a positive fall time");
+        w.times_.push_back(delay + rise + width);
+        w.values_.push_back(v1);
+        w.times_.push_back(delay + rise + width + fall);
+        w.values_.push_back(v0);
+    }
+    return w;
+}
+
+Waveform Waveform::pwl(std::vector<double> times, std::vector<double> values)
+{
+    util::expects(!times.empty(), "pwl needs at least one point");
+    util::expects(times.size() == values.size(),
+                  "pwl needs matching time/value lengths");
+    for (std::size_t i = 1; i < times.size(); ++i) {
+        util::expects(times[i] > times[i - 1],
+                      "pwl times must be strictly increasing");
+    }
+    Waveform w;
+    w.times_ = std::move(times);
+    w.values_ = std::move(values);
+    return w;
+}
+
+double Waveform::value(double t) const
+{
+    if (t <= times_.front()) return values_.front();
+    if (t >= times_.back()) return values_.back();
+    const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+    const auto hi = static_cast<std::size_t>(it - times_.begin());
+    return util::lerp(times_[hi - 1], values_[hi - 1], times_[hi],
+                      values_[hi], t);
+}
+
+void Waveform::breakpoints(double tstop, std::vector<double>& out) const
+{
+    for (double t : times_) {
+        if (t > 0.0 && t < tstop) out.push_back(t);
+    }
+}
+
+} // namespace mpsram::spice

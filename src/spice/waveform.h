@@ -1,0 +1,49 @@
+// Source waveforms: DC, pulse and piecewise-linear, with breakpoint
+// reporting so the transient engine never integrates across a corner.
+#ifndef MPSRAM_SPICE_WAVEFORM_H
+#define MPSRAM_SPICE_WAVEFORM_H
+
+#include <vector>
+
+namespace mpsram::spice {
+
+/// Value-semantic waveform: v(t) plus the list of slope discontinuities.
+class Waveform {
+public:
+    /// Constant value for all t.
+    static Waveform dc(double value);
+
+    /// Single pulse: `v0` until `delay`, linear rise over `rise` to `v1`,
+    /// hold for `width`, linear fall over `fall` back to `v0`.
+    /// A non-positive `width` means the pulse never falls.
+    static Waveform pulse(double v0, double v1, double delay, double rise,
+                          double width = -1.0, double fall = 0.0);
+
+    /// Piecewise linear through (t, v) points (t strictly increasing);
+    /// clamps outside the range.
+    static Waveform pwl(std::vector<double> times, std::vector<double> values);
+
+    double value(double t) const;
+
+    /// Slope-discontinuity times within [0, tstop], appended to `out`.
+    void breakpoints(double tstop, std::vector<double>& out) const;
+
+    /// True if the waveform is a single constant value.
+    bool is_dc() const { return times_.size() == 1; }
+
+    /// Internal PWL corners (for serialization / inspection).
+    const std::vector<double>& corner_times() const { return times_; }
+    const std::vector<double>& corner_values() const { return values_; }
+
+private:
+    Waveform() = default;
+
+    // Internal representation: sorted PWL corners; DC is a single corner.
+    std::vector<double> times_;
+    std::vector<double> values_;
+    bool hold_last_ = true;
+};
+
+} // namespace mpsram::spice
+
+#endif // MPSRAM_SPICE_WAVEFORM_H

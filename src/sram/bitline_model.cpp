@@ -1,0 +1,42 @@
+#include "sram/bitline_model.h"
+
+#include "util/contracts.h"
+
+namespace mpsram::sram {
+
+Bitline_electrical roll_up_bitline(const extract::Extractor& extractor,
+                                   const geom::Wire_array& nominal,
+                                   const geom::Wire_array& realized,
+                                   const tech::Technology& tech,
+                                   const Array_config& cfg)
+{
+    util::expects(nominal.size() == realized.size(),
+                  "nominal/realized arrays must match");
+
+    const Victim_wires victims = find_victim_wires(realized, cfg);
+    const double cell_len = tech.cell.cell_length;
+
+    const extract::Wire_rc bl = extractor.wire_rc(realized, victims.bl);
+    const extract::Wire_rc blb = extractor.wire_rc(realized, victims.blb);
+    const extract::Wire_rc vss = extractor.wire_rc(realized, victims.vss);
+
+    Bitline_electrical e;
+    e.r_bl_cell = bl.r * cell_len;
+    e.c_bl_cell = bl.c_total() * cell_len;
+    e.r_blb_cell = blb.r * cell_len;
+    e.c_blb_cell = blb.c_total() * cell_len;
+    e.r_vss_cell = vss.r * cell_len;
+    e.c_vss_cell = vss.c_total() * cell_len;
+    e.bl_variation = extractor.variation(nominal, realized, victims.bl);
+    return e;
+}
+
+Bitline_electrical roll_up_nominal(const extract::Extractor& extractor,
+                                   const geom::Wire_array& nominal,
+                                   const tech::Technology& tech,
+                                   const Array_config& cfg)
+{
+    return roll_up_bitline(extractor, nominal, nominal, tech, cfg);
+}
+
+} // namespace mpsram::sram

@@ -1,0 +1,43 @@
+// Per-cell electrical rollup of the extracted bit-line / rail parasitics:
+// the bridge between the LPE world (per-length RC of wires in a realized
+// array) and the circuit world (per-cell ladder segments).
+#ifndef MPSRAM_SRAM_BITLINE_MODEL_H
+#define MPSRAM_SRAM_BITLINE_MODEL_H
+
+#include "extract/extractor.h"
+#include "sram/layout.h"
+#include "tech/technology.h"
+
+namespace mpsram::sram {
+
+/// Per-cell parasitics of the victim column's wires [ohm, F].
+struct Bitline_electrical {
+    double r_bl_cell = 0.0;
+    double c_bl_cell = 0.0;
+    double r_blb_cell = 0.0;
+    double c_blb_cell = 0.0;
+    double r_vss_cell = 0.0;
+    double c_vss_cell = 0.0;
+
+    /// Variation factors of the victim BL vs nominal (formula inputs).
+    extract::Rc_variation bl_variation;
+};
+
+/// Roll up per-cell values from a realized wire array (and the nominal
+/// array for the variation factors).  Both arrays must come from
+/// build_metal1_array with the same configuration.
+Bitline_electrical roll_up_bitline(const extract::Extractor& extractor,
+                                   const geom::Wire_array& nominal,
+                                   const geom::Wire_array& realized,
+                                   const tech::Technology& tech,
+                                   const Array_config& cfg);
+
+/// Nominal-only convenience (realized == nominal).
+Bitline_electrical roll_up_nominal(const extract::Extractor& extractor,
+                                   const geom::Wire_array& nominal,
+                                   const tech::Technology& tech,
+                                   const Array_config& cfg);
+
+} // namespace mpsram::sram
+
+#endif // MPSRAM_SRAM_BITLINE_MODEL_H

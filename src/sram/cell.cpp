@@ -1,0 +1,62 @@
+#include "sram/cell.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace mpsram::sram {
+
+double Cell_electrical::storage_node_cap() const
+{
+    // The storage node sees the gates of the opposite inverter (PU + PD)
+    // and the drain junctions of its own inverter pair.
+    const double gates = c_gate * (m_pull_up + m_pull_down);
+    const double junctions = c_junction * (m_pull_up + m_pull_down);
+    return gates + junctions;
+}
+
+double Cell_electrical::bitline_junction_cap() const
+{
+    return c_junction * m_pass_gate;
+}
+
+Cell_electrical Cell_electrical::n10(const tech::Feol_params& feol)
+{
+    Cell_electrical cell;
+
+    spice::Mosfet_params nmos;
+    nmos.type = spice::Mosfet_type::nmos;
+    nmos.vth = feol.vth;
+    cell.pull_down = spice::calibrate_beta(nmos, feol.vdd, feol.nmos_ion);
+    // Pass gate is drawn slightly weaker than the pull-down so the cell is
+    // read-stable (classic HD-cell beta ratio).
+    cell.pass_gate =
+        spice::calibrate_beta(nmos, feol.vdd, 0.8 * feol.nmos_ion);
+
+    spice::Mosfet_params pmos;
+    pmos.type = spice::Mosfet_type::pmos;
+    pmos.vth = feol.vth;
+    cell.pull_up = spice::calibrate_beta(pmos, feol.vdd, feol.pmos_ion);
+
+    cell.c_gate = feol.c_gate;
+    cell.c_junction = feol.c_junction;
+    return cell;
+}
+
+double precharge_multiplicity(int word_lines)
+{
+    util::expects(word_lines > 0, "array must have word lines");
+    return std::max(1.0, std::ceil(static_cast<double>(word_lines) / 64.0));
+}
+
+double precharge_cap(int word_lines, const Cell_electrical& cell)
+{
+    const double m = precharge_multiplicity(word_lines);
+    // Constant column-periphery junctions (sense amp input + column mux)
+    // plus the scaling precharge PMOS and its equalizer share.  The
+    // constant part dominates for short arrays, which is what bends the
+    // tdp(n) trend at n = 16 (the "almost constant" term of eq. 5).
+    return cell.c_junction * (2.0 + 1.5 * m);
+}
+
+} // namespace mpsram::sram

@@ -1,0 +1,52 @@
+// Electrical specification of the 6T SRAM cell (Fig. 1a of the paper).
+//
+// Device roles: two cross-coupled inverters (pull-up PMOS + pull-down
+// NMOS) and two NMOS pass-gates connecting the storage nodes to BL/BLB
+// under word-line control.  The N10 high-density cell is a 1-1-1 fin
+// configuration; drive currents calibrate the compact-model beta.
+#ifndef MPSRAM_SRAM_CELL_H
+#define MPSRAM_SRAM_CELL_H
+
+#include "spice/mosfet_model.h"
+#include "tech/technology.h"
+
+namespace mpsram::sram {
+
+struct Cell_electrical {
+    spice::Mosfet_params pull_down;  ///< NMOS, storage-node to VSS
+    spice::Mosfet_params pass_gate;  ///< NMOS, bit line to storage node
+    spice::Mosfet_params pull_up;    ///< PMOS, storage-node to VDD
+    double m_pull_down = 1.0;        ///< fin multiplicity
+    double m_pass_gate = 1.0;
+    double m_pull_up = 1.0;
+
+    /// Gate capacitance of a unit device [F].
+    double c_gate = 0.0;
+    /// Source/drain junction capacitance of a unit device [F].
+    double c_junction = 0.0;
+
+    /// Lumped storage-node capacitance: two gate loads (the opposite
+    /// inverter) plus the inverter drain junctions [F].
+    double storage_node_cap() const;
+
+    /// Pass-gate drain junction on the bit line per cell — the paper's
+    /// per-cell CFE [F].
+    double bitline_junction_cap() const;
+
+    /// Build the N10 cell from the technology's FEOL constants.
+    static Cell_electrical n10(const tech::Feol_params& feol);
+};
+
+/// Precharge-circuit sizing rule: drive strength scales with the
+/// (horizontal) array size n, in steps of whole devices (paper Section
+/// II-C assumption).
+double precharge_multiplicity(int word_lines);
+
+/// Capacitive load the precharge circuit leaves on each bit line — the
+/// paper's Cpre(n) [F]: junction of the precharge PMOS plus half the
+/// equalizer device.
+double precharge_cap(int word_lines, const Cell_electrical& cell);
+
+} // namespace mpsram::sram
+
+#endif // MPSRAM_SRAM_CELL_H

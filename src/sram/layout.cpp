@@ -1,0 +1,76 @@
+#include "sram/layout.h"
+
+#include "util/contracts.h"
+
+namespace mpsram::sram {
+
+int victim_pair_index(const Array_config& cfg)
+{
+    util::expects(cfg.bl_pairs > 0, "array needs at least one pair");
+    if (cfg.victim_pair >= 0) {
+        util::expects(cfg.victim_pair < cfg.bl_pairs,
+                      "victim pair out of range");
+        return cfg.victim_pair;
+    }
+    return cfg.bl_pairs / 2;
+}
+
+std::string bl_net(int pair)
+{
+    return "BL" + std::to_string(pair);
+}
+
+std::string blb_net(int pair)
+{
+    return "BLB" + std::to_string(pair);
+}
+
+geom::Wire_array build_metal1_array(const tech::Technology& tech,
+                                    const Array_config& cfg)
+{
+    util::expects(cfg.word_lines > 0, "array needs word lines");
+    util::expects(cfg.bl_pairs > 0, "array needs bit-line pairs");
+
+    const tech::Beol_layer& m1 = tech.metal1;
+    const double length =
+        static_cast<double>(cfg.word_lines) * tech.cell.cell_length;
+
+    geom::Wire_array arr;
+    std::size_t track = 0;
+    for (int pair = 0; pair < cfg.bl_pairs; ++pair) {
+        const std::string names[4] = {bl_net(pair), "VSS" + std::to_string(pair),
+                                      blb_net(pair),
+                                      "VDD" + std::to_string(pair)};
+        for (const auto& net : names) {
+            geom::Wire w;
+            w.net = net;
+            w.y_center = static_cast<double>(track) * m1.pitch;
+            w.width = m1.nominal_width;
+            w.length = length;
+            arr.add(std::move(w));
+            ++track;
+        }
+    }
+    return arr;
+}
+
+Victim_wires find_victim_wires(const geom::Wire_array& arr,
+                               const Array_config& cfg)
+{
+    const int pair = victim_pair_index(cfg);
+    Victim_wires v;
+    const auto bl = arr.find_net(bl_net(pair));
+    const auto blb = arr.find_net(blb_net(pair));
+    util::expects(bl.has_value() && blb.has_value(),
+                  "victim pair not present in wire array");
+    v.bl = *bl;
+    v.blb = *blb;
+    // The VSS rail of the pair sits immediately above the BL track.
+    v.vss = v.bl + 1;
+    util::expects(v.vss < arr.size() &&
+                      arr[v.vss].net == "VSS" + std::to_string(pair),
+                  "unexpected track order: VSS rail not adjacent to BL");
+    return v;
+}
+
+} // namespace mpsram::sram

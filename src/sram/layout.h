@@ -1,0 +1,51 @@
+// Metal1 track layout of the SRAM array (Fig. 1b / Fig. 3).
+//
+// The paper's high-density N10 cell routes horizontal metal1: each cell row
+// contributes the track sequence [BL, VSS, BLB, VDD] at the layer pitch;
+// stacking `bl_pairs` rows gives the array cross-section.  Bit lines run
+// along x with length proportional to the number of word lines.  With this
+// order every bit line is flanked by power rails (VSS one side, the
+// neighbor row's VDD the other), and the SADP mandrel parity (odd tracks)
+// lands exactly on the power rails, making bit lines spacer/gap-defined —
+// both facts the paper relies on.
+#ifndef MPSRAM_SRAM_LAYOUT_H
+#define MPSRAM_SRAM_LAYOUT_H
+
+#include <string>
+
+#include "geom/wire_array.h"
+#include "tech/technology.h"
+
+namespace mpsram::sram {
+
+struct Array_config {
+    int word_lines = 64;  ///< n: cells along each bit line
+    int bl_pairs = 10;    ///< fixed word length of the study
+    int victim_pair = -1; ///< index of the analyzed pair; -1 = center
+};
+
+/// Resolved victim pair index.
+int victim_pair_index(const Array_config& cfg);
+
+/// Net names of the victim pair's wires.
+std::string bl_net(int pair);
+std::string blb_net(int pair);
+
+/// Build the nominal metal1 wire array for the configuration: 4 tracks per
+/// pair row, wires of length word_lines * cell_length.
+geom::Wire_array build_metal1_array(const tech::Technology& tech,
+                                    const Array_config& cfg);
+
+/// Indices of the victim BL, its VSS rail neighbor, and the victim BLB in
+/// an array built by build_metal1_array.
+struct Victim_wires {
+    std::size_t bl = 0;
+    std::size_t vss = 0;
+    std::size_t blb = 0;
+};
+Victim_wires find_victim_wires(const geom::Wire_array& arr,
+                               const Array_config& cfg);
+
+} // namespace mpsram::sram
+
+#endif // MPSRAM_SRAM_LAYOUT_H

@@ -1,0 +1,169 @@
+#include "sram/netlist_builder.h"
+
+#include <string>
+
+#include "util/contracts.h"
+
+namespace mpsram::sram {
+
+namespace {
+
+std::string idx_name(const char* base, int i)
+{
+    return std::string(base) + std::to_string(i);
+}
+
+} // namespace
+
+Read_netlist build_read_netlist(const tech::Technology& tech,
+                                const Cell_electrical& cell,
+                                const Bitline_electrical& wires,
+                                const Array_config& cfg,
+                                const Read_timing& timing,
+                                const Netlist_options& nopts)
+{
+    util::expects(nopts.vss_strap_interval >= 0,
+                  "strap interval must be non-negative");
+    util::expects(nopts.vss_rail_sharing >= 1.0,
+                  "rail sharing factor must be >= 1");
+    util::expects(cfg.word_lines > 0, "array needs word lines");
+    util::expects(wires.r_bl_cell > 0.0 && wires.c_bl_cell > 0.0,
+                  "bit-line parasitics must be extracted first");
+
+    const int n = cfg.word_lines;
+    const double vdd = tech.feol.vdd;
+
+    Read_netlist net;
+    net.timing = timing;
+    net.vdd = vdd;
+    net.sense_margin = tech.feol.sense_margin;
+    net.word_lines = n;
+
+    spice::Circuit& c = net.circuit;
+
+    // --- rails and controls -------------------------------------------------
+    const spice::Node vdd_n = c.node("vdd");
+    c.add_voltage_source("Vdd", vdd_n, spice::ground_node,
+                         spice::Waveform::dc(vdd));
+
+    const spice::Node prechb = c.node("prechb");
+    c.add_voltage_source(
+        "Vprechb", prechb, spice::ground_node,
+        spice::Waveform::pulse(0.0, vdd, timing.t_precharge_off,
+                               timing.edge_time));
+
+    net.wl = c.node("wl");
+    c.add_voltage_source(
+        "Vwl", net.wl, spice::ground_node,
+        spice::Waveform::pulse(0.0, vdd, timing.t_wl_on, timing.edge_time));
+
+    // --- bit-line heads (sense side) ----------------------------------------
+    net.bl_sense = c.node("bl_h");
+    net.blb_sense = c.node("blb_h");
+
+    // Precharge PMOS pair + equalizer, sized with the array.
+    const double m_pre = precharge_multiplicity(n);
+    c.add_mosfet("Mpre_bl", net.bl_sense, prechb, vdd_n, cell.pull_up,
+                 m_pre);
+    c.add_mosfet("Mpre_blb", net.blb_sense, prechb, vdd_n, cell.pull_up,
+                 m_pre);
+    c.add_mosfet("Meq", net.bl_sense, prechb, net.blb_sense, cell.pull_up,
+                 m_pre);
+    // Junction load of the precharge circuit on each head: Cpre(n).
+    const double c_pre = precharge_cap(n, cell);
+    c.add_capacitor("Cpre_bl", net.bl_sense, spice::ground_node, c_pre);
+    c.add_capacitor("Cpre_blb", net.blb_sense, spice::ground_node, c_pre);
+
+    // --- per-cell ladders and cells ------------------------------------------
+    spice::Node bl_prev = net.bl_sense;
+    spice::Node blb_prev = net.blb_sense;
+    spice::Node vss_prev = spice::ground_node;  // rail tap at the near end
+
+    net.dc.newton = spice::Newton_options{};
+
+    for (int i = 0; i < n; ++i) {
+        const spice::Node bl_i = c.node(idx_name("bl", i));
+        const spice::Node blb_i = c.node(idx_name("blb", i));
+        const spice::Node vss_i = c.node(idx_name("vss", i));
+        const spice::Node q_i = c.node(idx_name("q", i));
+        const spice::Node qb_i = c.node(idx_name("qb", i));
+
+        // Wire ladder segments.
+        c.add_resistor(idx_name("Rbl", i), bl_prev, bl_i, wires.r_bl_cell);
+        c.add_resistor(idx_name("Rblb", i), blb_prev, blb_i,
+                       wires.r_blb_cell);
+        c.add_resistor(idx_name("Rvss", i), vss_prev, vss_i,
+                       wires.r_vss_cell / nopts.vss_rail_sharing);
+
+        // Optional periodic VSS strap into the vertical power grid.
+        if (nopts.vss_strap_interval > 0 &&
+            (i + 1) % nopts.vss_strap_interval == 0) {
+            c.add_resistor(idx_name("Rstrap", i), vss_i, spice::ground_node,
+                           nopts.vss_strap_resistance);
+        }
+
+        // Wire capacitance (coupling to static rails folded to ground).
+        c.add_capacitor(idx_name("Cbl", i), bl_i, spice::ground_node,
+                        wires.c_bl_cell);
+        c.add_capacitor(idx_name("Cblb", i), blb_i, spice::ground_node,
+                        wires.c_blb_cell);
+        c.add_capacitor(idx_name("Cvss", i), vss_i, spice::ground_node,
+                        wires.c_vss_cell);
+
+        // Pass-gate junction load on the bit lines (the per-cell CFE).
+        c.add_capacitor(idx_name("Cfe_bl", i), bl_i, spice::ground_node,
+                        cell.bitline_junction_cap());
+        c.add_capacitor(idx_name("Cfe_blb", i), blb_i, spice::ground_node,
+                        cell.bitline_junction_cap());
+
+        // The 6T cell.  Only the last row's word line is driven; all other
+        // pass gates are held off by grounding their gates.
+        const bool accessed = (i == n - 1);
+        const spice::Node wl_i = accessed ? net.wl : spice::ground_node;
+
+        c.add_mosfet(idx_name("Mpu_q", i), q_i, qb_i, vdd_n, cell.pull_up,
+                     cell.m_pull_up);
+        c.add_mosfet(idx_name("Mpd_q", i), q_i, qb_i, vss_i, cell.pull_down,
+                     cell.m_pull_down);
+        c.add_mosfet(idx_name("Mpu_qb", i), qb_i, q_i, vdd_n, cell.pull_up,
+                     cell.m_pull_up);
+        c.add_mosfet(idx_name("Mpd_qb", i), qb_i, q_i, vss_i, cell.pull_down,
+                     cell.m_pull_down);
+        c.add_mosfet(idx_name("Mpg_bl", i), bl_i, wl_i, q_i, cell.pass_gate,
+                     cell.m_pass_gate);
+        c.add_mosfet(idx_name("Mpg_blb", i), blb_i, wl_i, qb_i,
+                     cell.pass_gate, cell.m_pass_gate);
+
+        // Storage-node capacitance.
+        c.add_capacitor(idx_name("Cq", i), q_i, spice::ground_node,
+                        cell.storage_node_cap());
+        c.add_capacitor(idx_name("Cqb", i), qb_i, spice::ground_node,
+                        cell.storage_node_cap());
+
+        // Latch initialization: every cell stores 0 on the BL side, so the
+        // accessed read discharges BL.
+        net.dc.forces.push_back({q_i, 0.0, 1.0});
+        net.dc.forces.push_back({qb_i, vdd, 1.0});
+        net.dc.initial_guesses.emplace_back(bl_i, vdd);
+        net.dc.initial_guesses.emplace_back(blb_i, vdd);
+        net.dc.initial_guesses.emplace_back(vss_i, 0.0);
+
+        if (accessed) {
+            net.q = q_i;
+            net.qb = qb_i;
+            net.bl_far = bl_i;
+            net.blb_far = blb_i;
+        }
+
+        bl_prev = bl_i;
+        blb_prev = blb_i;
+        vss_prev = vss_i;
+    }
+
+    net.dc.initial_guesses.emplace_back(net.bl_sense, vdd);
+    net.dc.initial_guesses.emplace_back(net.blb_sense, vdd);
+
+    return net;
+}
+
+} // namespace mpsram::sram

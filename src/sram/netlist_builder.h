@@ -1,0 +1,84 @@
+// Read-path netlist generator.
+//
+// Builds the transistor-level circuit of one column pair of the array for
+// a read operation: every cell on the column as a full 6T latch (off cells
+// load the bit lines with their pass-gate junctions and leakage), the bit
+// lines and the VSS rail as distributed per-cell RC ladders, the precharge
+// and equalize devices (sized with the array, Section II-C), and the
+// word-line / precharge control waveforms.
+//
+// The accessed cell sits at the far end of the bit line (worst case); the
+// sense point is the near end, next to the precharge circuit.  Quiet
+// neighbor columns couple to the victim only through static rails in this
+// track plan (BL and BLB are shielded by VSS/VDD), so a single column pair
+// is electrically equivalent to the paper's 10-pair array — the 10 pairs
+// matter for extraction, which is where they are modeled.
+#ifndef MPSRAM_SRAM_NETLIST_BUILDER_H
+#define MPSRAM_SRAM_NETLIST_BUILDER_H
+
+#include <vector>
+
+#include "spice/analysis.h"
+#include "spice/circuit.h"
+#include "sram/bitline_model.h"
+#include "sram/cell.h"
+#include "sram/layout.h"
+
+namespace mpsram::sram {
+
+/// Control-signal schedule of the read operation.
+struct Read_timing {
+    double t_precharge_off = 30e-12;  ///< precharge releases [s]
+    double t_wl_on = 60e-12;          ///< word line fires [s]
+    double edge_time = 4e-12;         ///< control edge rise/fall [s]
+
+    /// Reference instant for td: word line at 50%.
+    double wl_mid() const { return t_wl_on + 0.5 * edge_time; }
+};
+
+/// Structural knobs of the generated netlist.
+struct Netlist_options {
+    /// Optional periodic VSS strap into the vertical power grid, every
+    /// this many cells; 0 disables straps.  The paper's array behaves as
+    /// end-tapped (its RVSS effect grows with n, Section III-A), so the
+    /// default is no straps; the ablation bench sweeps this.
+    int vss_strap_interval = 0;
+    /// Resistance of one strap (via stack into the grid) [ohm].
+    double vss_strap_resistance = 25.0;
+    /// VSS return current spreads over the mirrored-row rails and the
+    /// substrate/grid return path, not just the one drawn rail; the
+    /// effective per-cell rail resistance is divided by this factor.
+    /// Keeps the far cell's ground bounce survivable at n = 1024 while the
+    /// rail resistance still scales with n, as the paper's simulations
+    /// show.  The default reproduces the paper's Table III SADP row.
+    double vss_rail_sharing = 8.0;
+};
+
+/// A built read-path circuit plus the handles the measurement needs.
+struct Read_netlist {
+    spice::Circuit circuit;
+    spice::Node bl_sense = 0;   ///< near-end BL (sense-amplifier side)
+    spice::Node blb_sense = 0;
+    spice::Node bl_far = 0;     ///< far-end BL (accessed-cell side)
+    spice::Node blb_far = 0;
+    spice::Node wl = 0;         ///< accessed word line
+    spice::Node q = 0;          ///< accessed cell storage node (reads 0)
+    spice::Node qb = 0;
+    spice::Dc_options dc;       ///< latch initialization (forces + guesses)
+    Read_timing timing;
+    double vdd = 0.0;
+    double sense_margin = 0.0;
+    int word_lines = 0;
+};
+
+/// Build the read netlist for the given electrical parameters.
+Read_netlist build_read_netlist(const tech::Technology& tech,
+                                const Cell_electrical& cell,
+                                const Bitline_electrical& wires,
+                                const Array_config& cfg,
+                                const Read_timing& timing = Read_timing{},
+                                const Netlist_options& nopts = Netlist_options{});
+
+} // namespace mpsram::sram
+
+#endif // MPSRAM_SRAM_NETLIST_BUILDER_H

@@ -1,0 +1,52 @@
+#include "sram/read_sim.h"
+
+#include <algorithm>
+
+#include "spice/measure.h"
+#include "util/contracts.h"
+
+namespace mpsram::sram {
+
+Read_result simulate_read(Read_netlist& net, const Read_options& opts)
+{
+    util::expects(opts.nominal_steps > 0, "steps must be positive");
+
+    const double t_ref = net.timing.wl_mid();
+    double window =
+        std::max(opts.min_window,
+                 opts.window_per_cell * static_cast<double>(net.word_lines));
+
+    Read_result result;
+    for (int attempt = 0; attempt <= opts.max_retries; ++attempt) {
+        spice::Transient_options topts;
+        topts.tstop = t_ref + window;
+        topts.nominal_steps = opts.nominal_steps;
+        topts.method = opts.method;
+        topts.dc = net.dc;
+
+        const std::vector<spice::Node> probes = {
+            net.bl_sense, net.blb_sense, net.bl_far, net.blb_far, net.wl,
+            net.q, net.qb};
+        spice::Transient_result waves =
+            spice::run_transient(net.circuit, probes, topts);
+
+        const std::string bl_name = net.circuit.node_name(net.bl_sense);
+        const std::string blb_name = net.circuit.node_name(net.blb_sense);
+        const double t_cross = spice::differential_time(
+            waves, bl_name, blb_name, net.sense_margin, t_ref);
+
+        result.bl_final = waves.final_value(bl_name);
+        result.blb_final = waves.final_value(blb_name);
+
+        if (t_cross >= 0.0) {
+            result.crossed = true;
+            result.t_cross = t_cross;
+            result.td = t_cross - t_ref;
+            return result;
+        }
+        window *= 2.0;
+    }
+    return result;  // never crossed: td = -1
+}
+
+} // namespace mpsram::sram

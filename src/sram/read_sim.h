@@ -1,0 +1,41 @@
+// Read-time measurement: run the read transient and extract td, the time
+// from the word line reaching 50% to |Vbl - Vblb| reaching the
+// sense-amplifier sensitivity at the sense end of the column.
+#ifndef MPSRAM_SRAM_READ_SIM_H
+#define MPSRAM_SRAM_READ_SIM_H
+
+#include "spice/analysis.h"
+#include "sram/netlist_builder.h"
+
+namespace mpsram::sram {
+
+struct Read_options {
+    /// Transient resolution (steps across the whole window).
+    int nominal_steps = 1500;
+    /// Initial guess of the measurement window after word-line mid [s];
+    /// grows with the array automatically and doubles on a miss.
+    double min_window = 200e-12;
+    /// Per-cell window padding [s].
+    double window_per_cell = 1.5e-12;
+    /// Maximum window-doubling retries before giving up.
+    int max_retries = 3;
+    spice::Integration_method method =
+        spice::Integration_method::trapezoidal;
+};
+
+struct Read_result {
+    double td = -1.0;       ///< [s]; negative if never crossed
+    double t_cross = -1.0;  ///< absolute crossing time [s]
+    bool crossed = false;
+    double bl_final = 0.0;  ///< sense-node BL voltage at window end [V]
+    double blb_final = 0.0;
+};
+
+/// Simulate the read and measure td.  The netlist is reusable: capacitor
+/// history is re-initialized by the DC operating point of each run.
+Read_result simulate_read(Read_netlist& net,
+                          const Read_options& opts = Read_options{});
+
+} // namespace mpsram::sram
+
+#endif // MPSRAM_SRAM_READ_SIM_H

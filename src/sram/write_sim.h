@@ -1,0 +1,63 @@
+// Write-operation analysis (extension beyond the paper's read study).
+//
+// The same column infrastructure, driven the other way: with the cell
+// storing 0 on the BL side, a write-1 pulls the high storage node down by
+// yanking BLB low through the column write driver while the word line is
+// up.  The figure of merit is the write time tw: word-line 50% to the
+// storage flip (q crossing vdd/2 upward).  Interconnect variability enters
+// through the BLB ladder the driver must discharge — the same RC the read
+// study varies.
+#ifndef MPSRAM_SRAM_WRITE_SIM_H
+#define MPSRAM_SRAM_WRITE_SIM_H
+
+#include "sram/netlist_builder.h"
+
+namespace mpsram::sram {
+
+/// Control schedule of the write: precharge releases, then the write
+/// driver and word line fire together.
+struct Write_timing {
+    double t_precharge_off = 20e-12;
+    double t_drive_on = 50e-12;  ///< write-enable and word line
+    double edge_time = 4e-12;
+
+    double wl_mid() const { return t_drive_on + 0.5 * edge_time; }
+};
+
+/// A built write-path circuit plus measurement handles.
+struct Write_netlist {
+    spice::Circuit circuit;
+    spice::Node bl = 0;   ///< near-end BL (held high)
+    spice::Node blb = 0;  ///< near-end BLB (driven low)
+    spice::Node q = 0;    ///< target cell storage (flips 0 -> 1)
+    spice::Node qb = 0;
+    spice::Dc_options dc;
+    Write_timing timing;
+    double vdd = 0.0;
+    int word_lines = 0;
+};
+
+/// Build the write netlist: column ladders and cells as in the read path,
+/// plus an n-scaled write driver (NMOS pull-down on BLB, PMOS keeper on
+/// BL) instead of an active precharge.
+Write_netlist build_write_netlist(const tech::Technology& tech,
+                                  const Cell_electrical& cell,
+                                  const Bitline_electrical& wires,
+                                  const Array_config& cfg,
+                                  const Write_timing& timing = Write_timing{},
+                                  const Netlist_options& nopts = Netlist_options{});
+
+struct Write_result {
+    double tw = -1.0;      ///< [s] word-line mid to q = vdd/2; <0 if no flip
+    bool flipped = false;
+    double q_final = 0.0;
+    double qb_final = 0.0;
+};
+
+/// Simulate the write and measure tw.
+Write_result simulate_write(Write_netlist& net, int nominal_steps = 1500,
+                            double window = 400e-12);
+
+} // namespace mpsram::sram
+
+#endif // MPSRAM_SRAM_WRITE_SIM_H

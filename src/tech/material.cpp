@@ -1,0 +1,40 @@
+#include "tech/material.h"
+
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace mpsram::tech {
+
+double Conductor::effective_resistivity(double d) const
+{
+    util::expects(d > 0.0, "limiting dimension must be positive");
+    return rho_bulk * (1.0 + size_coeff / d);
+}
+
+double Dielectric::permittivity() const
+{
+    return k * units::eps0;
+}
+
+Conductor damascene_copper()
+{
+    Conductor cu;
+    cu.name = "Cu (damascene)";
+    cu.rho_bulk = 1.9 * units::uohm_cm;
+    // Chosen so a ~25 nm wide wire runs at roughly 2.5x bulk resistivity,
+    // consistent with published sub-30 nm Cu line data.
+    cu.size_coeff = 38.0 * units::nm;
+    cu.barrier_thickness = 1.5 * units::nm;
+    cu.rho_barrier = 200.0 * units::uohm_cm;
+    return cu;
+}
+
+Dielectric low_k_ild()
+{
+    Dielectric d;
+    d.name = "low-k ILD";
+    d.k = 2.7;
+    return d;
+}
+
+} // namespace mpsram::tech

@@ -1,0 +1,50 @@
+// Electrical material models for BEOL conductors and dielectrics.
+//
+// Resistivity of nanoscale copper rises steeply as the wire narrows
+// (surface and grain-boundary scattering); the extractor prices that via a
+// first-order size-effect model, which is what makes Rbl respond
+// super-linearly to patterning CD loss.
+#ifndef MPSRAM_TECH_MATERIAL_H
+#define MPSRAM_TECH_MATERIAL_H
+
+#include <string>
+
+namespace mpsram::tech {
+
+/// Interconnect conductor (e.g. damascene Cu with a TaN liner).
+struct Conductor {
+    std::string name;
+    /// Bulk resistivity [ohm*m].
+    double rho_bulk = 0.0;
+    /// Size-effect length [m]: rho_eff = rho_bulk * (1 + size_coeff / d)
+    /// where d is the limiting cross-section dimension.  First-order
+    /// Fuchs-Sondheimer / Mayadas-Shatzkes surrogate.
+    double size_coeff = 0.0;
+    /// Diffusion-barrier liner thickness [m] (sidewalls and bottom).
+    double barrier_thickness = 0.0;
+    /// Barrier resistivity [ohm*m]; high enough that the liner is usually
+    /// treated as electrically dead area.
+    double rho_barrier = 0.0;
+
+    /// Effective resistivity for a conducting core of limiting dimension
+    /// `d` [m] (the smaller of mean width and thickness).
+    double effective_resistivity(double d) const;
+};
+
+/// Inter-layer / inter-metal dielectric.
+struct Dielectric {
+    std::string name;
+    /// Relative permittivity.
+    double k = 1.0;
+
+    /// Absolute permittivity [F/m].
+    double permittivity() const;
+};
+
+/// Reference materials.
+Conductor damascene_copper();
+Dielectric low_k_ild();
+
+} // namespace mpsram::tech
+
+#endif // MPSRAM_TECH_MATERIAL_H

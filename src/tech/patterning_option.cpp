@@ -1,0 +1,20 @@
+#include "tech/patterning_option.h"
+
+#include "util/contracts.h"
+
+namespace mpsram::tech {
+
+std::string_view to_string(Patterning_option option)
+{
+    switch (option) {
+    case Patterning_option::le3:
+        return "LELELE";
+    case Patterning_option::sadp:
+        return "SADP";
+    case Patterning_option::euv:
+        return "EUV";
+    }
+    throw util::Invariant_error("unknown patterning option");
+}
+
+} // namespace mpsram::tech

@@ -1,0 +1,27 @@
+// The three metal1 patterning options compared by the paper (Section I):
+// triple litho-etch (LELELE), self-aligned double patterning, and
+// single-patterning EUV.
+#ifndef MPSRAM_TECH_PATTERNING_OPTION_H
+#define MPSRAM_TECH_PATTERNING_OPTION_H
+
+#include <array>
+#include <string_view>
+
+namespace mpsram::tech {
+
+enum class Patterning_option {
+    le3,   ///< triple litho-etch (LELELE)
+    sadp,  ///< self-aligned double patterning
+    euv,   ///< single-patterning extreme-UV
+};
+
+/// All options, in the order the paper tabulates them.
+inline constexpr std::array<Patterning_option, 3> all_patterning_options = {
+    Patterning_option::le3, Patterning_option::sadp, Patterning_option::euv};
+
+/// Paper-style label ("LELELE", "SADP", "EUV").
+std::string_view to_string(Patterning_option option);
+
+} // namespace mpsram::tech
+
+#endif // MPSRAM_TECH_PATTERNING_OPTION_H

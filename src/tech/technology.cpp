@@ -1,0 +1,75 @@
+#include "tech/technology.h"
+
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace mpsram::tech {
+
+using namespace mpsram::units;
+
+double Technology::sadp_spacer_nominal() const
+{
+    // One SADP period spans two tracks: mandrel line + gap line, separated
+    // by two spacers:  2 * pitch = w_mandrel + w_gap + 2 * t_spacer.
+    // With uniform track width w this reduces to pitch - w.
+    const double t = metal1.pitch - metal1.nominal_width;
+    util::ensures(t > 0.0, "track plan leaves no room for SADP spacers");
+    return t;
+}
+
+Technology n10()
+{
+    Technology t;
+    t.name = "imec-N10-like";
+
+    // --- metal1: the bit-line / power-rail layer -------------------------
+    t.metal1.name = "metal1";
+    t.metal1.pitch = 45.0 * nm;
+    // Non-minimum bit-line CD.  26 nm reproduces the paper's Rbl
+    // sensitivity: +3 nm CD -> Rbl ~ -10.4% (Table I, LE3 and EUV rows).
+    t.metal1.nominal_width = 26.0 * nm;
+    // Thickness / taper / effective plane distances calibrated against the
+    // paper's Table I worst-case sensitivities (bench_calibration --search).
+    t.metal1.thickness = 25.65 * nm;
+    t.metal1.taper_angle = 0.0869;  // ~5 degrees of trench flare
+    t.metal1.conductor = damascene_copper();
+    t.metal1.ild = low_k_ild();
+    t.metal1.below_plane_dist = 82.4 * nm;
+    t.metal1.above_plane_dist = 62.85 * nm;
+    t.metal1.drc.min_width = 18.0 * nm;
+    t.metal1.drc.min_space = 12.0 * nm;
+
+    // --- metal2: vertical word lines (carried for completeness) ----------
+    t.metal2.name = "metal2";
+    t.metal2.pitch = 64.0 * nm;
+    t.metal2.nominal_width = 32.0 * nm;
+    t.metal2.thickness = 45.0 * nm;
+    t.metal2.taper_angle = 0.052;
+    t.metal2.conductor = damascene_copper();
+    t.metal2.ild = low_k_ild();
+    t.metal2.below_plane_dist = 50.0 * nm;
+    t.metal2.above_plane_dist = 55.0 * nm;
+    t.metal2.drc.min_width = 24.0 * nm;
+    t.metal2.drc.min_space = 24.0 * nm;
+
+    // --- FEOL ------------------------------------------------------------
+    t.feol = Feol_params{};  // defaults above are the N10 values
+
+    // --- variability (Section II-A) ---------------------------------------
+    t.variability.cd_3sigma = 3.0 * nm;
+    t.variability.sadp_spacer_3sigma = 1.5 * nm;
+    t.variability.le3_ol_3sigma = 8.0 * nm;  // extreme of the 3-8 nm range
+
+    // --- SRAM cell footprint ----------------------------------------------
+    // High-density 6T cell: 4 horizontal metal1 tracks per cell row
+    // (BL, VSS, BLB, VDD) and ~100 nm (two gate pitches) along the bit
+    // line.  Together with the junction load below this puts the wire share
+    // of the per-cell bit-line capacitance near 30%, the fraction the
+    // paper's Table III implies.
+    t.cell.cell_length = 100.0 * nm;
+    t.cell.tracks_per_cell = 4;
+
+    return t;
+}
+
+} // namespace mpsram::tech

@@ -1,0 +1,100 @@
+// The technology description: everything the parameterized LPE tool of the
+// paper takes as input ("layer thickness, tapering angles, material
+// properties, etch and CMP parameters") plus the process-variability
+// assumptions of Section II-A and the FEOL electrical constants the SRAM
+// netlists need.
+#ifndef MPSRAM_TECH_TECHNOLOGY_H
+#define MPSRAM_TECH_TECHNOLOGY_H
+
+#include <string>
+
+#include "geom/drc.h"
+#include "tech/material.h"
+#include "tech/patterning_option.h"
+
+namespace mpsram::tech {
+
+/// One BEOL routing layer (the study concerns metal1).
+struct Beol_layer {
+    std::string name;
+    /// Track pitch [m].
+    double pitch = 0.0;
+    /// Nominal drawn line width [m].  The paper's bit lines are drawn at a
+    /// non-minimum CD; this is that CD.
+    double nominal_width = 0.0;
+    /// Metal thickness [m].
+    double thickness = 0.0;
+    /// Sidewall taper angle from vertical [rad] (damascene: top wider).
+    double taper_angle = 0.0;
+    Conductor conductor;
+    Dielectric ild;
+    /// Distance from wire bottom to the conducting plane below (FEOL /
+    /// gate level acting as a ground plane) [m].
+    double below_plane_dist = 0.0;
+    /// Distance from wire top to the plane above (next metal) [m].
+    double above_plane_dist = 0.0;
+    geom::Drc_rules drc;
+
+    /// Edge-to-edge spacing between nominal neighbors [m].
+    double nominal_space() const { return pitch - nominal_width; }
+};
+
+/// FEOL electrical constants used by the SRAM netlists and the analytic
+/// formula (Section III-A nomenclature: RFE, CFE).
+struct Feol_params {
+    /// Supply, precharge and word-line high level [V] (paper: 0.7 V).
+    double vdd = 0.7;
+    /// Sense-amplifier sensitivity |Vbl - Vblb| [V] (paper: 0.07 V).
+    double sense_margin = 0.07;
+    /// Saturation drive current of a unit NMOS at vgs = vds = vdd [A].
+    double nmos_ion = 40e-6;
+    /// Saturation drive current of a unit PMOS [A].
+    double pmos_ion = 30e-6;
+    /// Threshold voltage magnitude [V].
+    double vth = 0.25;
+    /// Gate capacitance of a unit transistor [F].
+    double c_gate = 0.05e-15;
+    /// Source/drain junction capacitance of a unit transistor, including
+    /// the local-interconnect stub and via down to the device [F].
+    double c_junction = 0.045e-15;
+};
+
+/// Process-variation assumptions (Section II-A, in-house data).
+struct Variability_assumptions {
+    /// 3-sigma CD variation for LE3 masks, the SADP core layer and EUV [m].
+    double cd_3sigma = 0.0;
+    /// 3-sigma SADP spacer thickness variation [m].
+    double sadp_spacer_3sigma = 0.0;
+    /// 3-sigma overlay error for LE3 masks B and C relative to A [m].
+    /// The paper studies the 3 nm - 8 nm range; defaults to the extreme.
+    double le3_ol_3sigma = 0.0;
+};
+
+/// SRAM cell-level geometry knobs needed to build metal1 track arrays.
+struct Cell_geometry {
+    /// Cell extent along the bit line (routing direction x) [m].
+    double cell_length = 0.0;
+    /// Number of metal1 tracks a cell row contributes (BL, VSS, BLB, VDD).
+    int tracks_per_cell = 4;
+};
+
+/// A complete technology node description.
+struct Technology {
+    std::string name;
+    Beol_layer metal1;
+    Beol_layer metal2;  ///< word-line layer; carried for completeness
+    Feol_params feol;
+    Variability_assumptions variability;
+    Cell_geometry cell;
+
+    /// SADP nominal spacer thickness implied by the metal1 track plan:
+    /// two tracks per mandrel period, spacing fully spacer-defined.
+    double sadp_spacer_nominal() const;
+};
+
+/// The imec-N10-like technology used throughout the paper's experiments.
+Technology n10();
+
+} // namespace mpsram::tech
+
+#endif // MPSRAM_TECH_TECHNOLOGY_H

@@ -1,0 +1,57 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects() for expressing preconditions", I.8 Ensures()).
+//
+// Contracts are always on: the library is a measurement tool and a silently
+// out-of-domain model parameter is worse than a stopped run.  Violations
+// throw, so tests can assert on them and callers can recover if they choose.
+#ifndef MPSRAM_UTIL_CONTRACTS_H
+#define MPSRAM_UTIL_CONTRACTS_H
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mpsram::util {
+
+/// Thrown when a function precondition is violated.
+class Precondition_error : public std::logic_error {
+public:
+    explicit Precondition_error(const std::string& what_arg)
+        : std::logic_error("precondition violated: " + what_arg) {}
+};
+
+/// Thrown when a function postcondition is violated.
+class Postcondition_error : public std::logic_error {
+public:
+    explicit Postcondition_error(const std::string& what_arg)
+        : std::logic_error("postcondition violated: " + what_arg) {}
+};
+
+/// Thrown when an internal invariant no longer holds.
+class Invariant_error : public std::logic_error {
+public:
+    explicit Invariant_error(const std::string& what_arg)
+        : std::logic_error("invariant violated: " + what_arg) {}
+};
+
+/// Precondition check: call at function entry.
+inline void expects(bool condition, std::string_view message)
+{
+    if (!condition) throw Precondition_error(std::string(message));
+}
+
+/// Postcondition check: call before returning a computed result.
+inline void ensures(bool condition, std::string_view message)
+{
+    if (!condition) throw Postcondition_error(std::string(message));
+}
+
+/// Invariant check: call where a class/algorithm invariant must hold.
+inline void invariant(bool condition, std::string_view message)
+{
+    if (!condition) throw Invariant_error(std::string(message));
+}
+
+} // namespace mpsram::util
+
+#endif // MPSRAM_UTIL_CONTRACTS_H

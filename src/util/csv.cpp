@@ -1,0 +1,53 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+namespace mpsram::util {
+
+void Csv_writer::write_header(const std::vector<std::string>& names)
+{
+    write_cells(names);
+}
+
+void Csv_writer::write_row(const std::vector<std::string>& cells)
+{
+    write_cells(cells);
+}
+
+void Csv_writer::write_row(const std::vector<double>& values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) {
+        std::ostringstream s;
+        s.precision(12);
+        s << v;
+        cells.push_back(s.str());
+    }
+    write_cells(cells);
+}
+
+void Csv_writer::write_cells(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) *out_ << ',';
+        *out_ << escape(cells[i]);
+    }
+    *out_ << '\n';
+}
+
+std::string Csv_writer::escape(const std::string& cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"') quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace mpsram::util

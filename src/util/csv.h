@@ -1,0 +1,31 @@
+// Minimal CSV writer so benches can dump raw series (Fig. 4 curves, Fig. 5
+// samples) for external plotting in addition to the console rendering.
+#ifndef MPSRAM_UTIL_CSV_H
+#define MPSRAM_UTIL_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mpsram::util {
+
+/// Streaming CSV writer with RFC-4180 quoting for text cells.
+class Csv_writer {
+public:
+    /// Writes to an externally owned stream; the stream must outlive this.
+    explicit Csv_writer(std::ostream& out) : out_(&out) {}
+
+    void write_header(const std::vector<std::string>& names);
+    void write_row(const std::vector<std::string>& cells);
+    void write_row(const std::vector<double>& values);
+
+private:
+    void write_cells(const std::vector<std::string>& cells);
+    static std::string escape(const std::string& cell);
+
+    std::ostream* out_;
+};
+
+} // namespace mpsram::util
+
+#endif // MPSRAM_UTIL_CSV_H

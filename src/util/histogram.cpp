@@ -1,0 +1,100 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace mpsram::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    expects(hi > lo, "Histogram range must be non-empty");
+    expects(bins > 0, "Histogram needs at least one bin");
+}
+
+Histogram Histogram::from_samples(const std::vector<double>& samples,
+                                  std::size_t bins)
+{
+    expects(!samples.empty(), "Histogram::from_samples on empty input");
+    const auto [lo_it, hi_it] = std::minmax_element(samples.begin(), samples.end());
+    double lo = *lo_it;
+    double hi = *hi_it;
+    if (lo == hi) {
+        // Degenerate sample set: widen artificially so the constructor's
+        // non-empty-range contract holds.
+        lo -= 0.5;
+        hi += 0.5;
+    } else {
+        // Stretch the top edge so the max sample falls inside [lo, hi).
+        hi += (hi - lo) * 1e-9;
+    }
+    Histogram h(lo, hi, bins);
+    h.add_all(samples);
+    return h;
+}
+
+void Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+    bin = std::min(bin, counts_.size() - 1);
+    ++counts_[bin];
+}
+
+void Histogram::add_all(const std::vector<double>& samples)
+{
+    for (double x : samples) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const
+{
+    expects(bin < counts_.size(), "Histogram bin out of range");
+    return counts_[bin];
+}
+
+double Histogram::bin_width() const
+{
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_center(std::size_t bin) const
+{
+    expects(bin < counts_.size(), "Histogram bin out of range");
+    return lo_ + (static_cast<double>(bin) + 0.5) * bin_width();
+}
+
+std::string Histogram::render(std::size_t width) const
+{
+    const std::size_t peak = counts_.empty()
+        ? 0
+        : *std::max_element(counts_.begin(), counts_.end());
+
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(4);
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        const std::size_t len = peak == 0
+            ? 0
+            : (counts_[b] * width + peak / 2) / peak;
+        out << std::showpos << bin_center(b) << std::noshowpos << " |";
+        out << std::string(len, '#');
+        out << "  " << counts_[b] << '\n';
+    }
+    if (underflow_ > 0) out << "(underflow: " << underflow_ << ")\n";
+    if (overflow_ > 0) out << "(overflow: " << overflow_ << ")\n";
+    return out.str();
+}
+
+} // namespace mpsram::util

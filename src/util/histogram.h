@@ -1,0 +1,57 @@
+// Fixed-bin histogram with ASCII rendering.
+//
+// Used to reproduce Fig. 5 of the paper (Monte-Carlo tdp distribution): the
+// bench binaries print the distribution directly on the console, the same way
+// the paper plots it.
+#ifndef MPSRAM_UTIL_HISTOGRAM_H
+#define MPSRAM_UTIL_HISTOGRAM_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mpsram::util {
+
+/// Equal-width binning histogram over [lo, hi); under/overflow tracked
+/// separately so no sample is silently dropped.
+class Histogram {
+public:
+    /// Construct with `bins` equal-width bins spanning [lo, hi).
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /// Convenience: build a histogram spanning the sample range.
+    static Histogram from_samples(const std::vector<double>& samples,
+                                  std::size_t bins);
+
+    void add(double x);
+    void add_all(const std::vector<double>& samples);
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    std::size_t bin_count() const { return counts_.size(); }
+    std::size_t count(std::size_t bin) const;
+    std::size_t underflow() const { return underflow_; }
+    std::size_t overflow() const { return overflow_; }
+    std::size_t total() const { return total_; }
+
+    /// Center x-value of a bin.
+    double bin_center(std::size_t bin) const;
+    /// Width of each bin.
+    double bin_width() const;
+
+    /// Render a horizontal-bar ASCII chart, one row per bin.
+    /// `width` is the maximum bar length in characters.
+    std::string render(std::size_t width = 60) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+} // namespace mpsram::util
+
+#endif // MPSRAM_UTIL_HISTOGRAM_H

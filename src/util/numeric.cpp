@@ -1,0 +1,167 @@
+#include "util/numeric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace mpsram::util {
+
+double lerp(double x0, double y0, double x1, double y1, double x)
+{
+    expects(x1 != x0, "lerp endpoints must differ in x");
+    const double t = (x - x0) / (x1 - x0);
+    return y0 + t * (y1 - y0);
+}
+
+Piecewise_linear::Piecewise_linear(std::vector<double> xs,
+                                   std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys))
+{
+    expects(xs_.size() == ys_.size(),
+            "Piecewise_linear needs equal x/y lengths");
+    for (std::size_t i = 1; i < xs_.size(); ++i) {
+        expects(xs_[i] > xs_[i - 1],
+                "Piecewise_linear x samples must be strictly increasing");
+    }
+}
+
+void Piecewise_linear::append(double x, double y)
+{
+    expects(xs_.empty() || x > xs_.back(),
+            "Piecewise_linear::append x must increase");
+    xs_.push_back(x);
+    ys_.push_back(y);
+}
+
+double Piecewise_linear::at(double x) const
+{
+    expects(!xs_.empty(), "Piecewise_linear::at on empty waveform");
+    if (x <= xs_.front()) return ys_.front();
+    if (x >= xs_.back()) return ys_.back();
+    const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+    const auto hi = static_cast<std::size_t>(it - xs_.begin());
+    const auto lo = hi - 1;
+    return lerp(xs_[lo], ys_[lo], xs_[hi], ys_[hi], x);
+}
+
+double Piecewise_linear::first_crossing(double level, double from) const
+{
+    for (std::size_t i = 1; i < xs_.size(); ++i) {
+        if (xs_[i] < from) continue;
+        const double y0 = ys_[i - 1] - level;
+        const double y1 = ys_[i] - level;
+        if (y0 == 0.0 && xs_[i - 1] >= from) return xs_[i - 1];
+        if ((y0 < 0.0 && y1 >= 0.0) || (y0 > 0.0 && y1 <= 0.0)) {
+            // Interpolate the crossing inside this segment.
+            const double t = y0 / (y0 - y1);
+            const double x = xs_[i - 1] + t * (xs_[i] - xs_[i - 1]);
+            if (x >= from) return x;
+        }
+    }
+    return -1.0;
+}
+
+double polyval(const std::vector<double>& coeffs, double x)
+{
+    double acc = 0.0;
+    for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) {
+        acc = acc * x + *it;
+    }
+    return acc;
+}
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol, int max_iter)
+{
+    expects(hi > lo, "bisect needs a non-empty interval");
+    double flo = f(lo);
+    double fhi = f(hi);
+    if (flo == 0.0) return lo;
+    if (fhi == 0.0) return hi;
+    expects(std::signbit(flo) != std::signbit(fhi),
+            "bisect requires a sign change on the interval");
+
+    for (int i = 0; i < max_iter && (hi - lo) > tol; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double fmid = f(mid);
+        if (fmid == 0.0) return mid;
+        if (std::signbit(fmid) == std::signbit(flo)) {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+double rel_diff(double a, double b, double floor)
+{
+    const double scale = std::max({std::fabs(a), std::fabs(b), floor});
+    return std::fabs(a - b) / scale;
+}
+
+double normal_cdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double normal_quantile(double p)
+{
+    expects(p > 0.0 && p < 1.0, "normal_quantile needs p in (0,1)");
+
+    // Acklam's rational approximation.
+    static constexpr double a[] = {-3.969683028665376e+01,
+                                   2.209460984245205e+02,
+                                   -2.759285104469687e+02,
+                                   1.383577518672690e+02,
+                                   -3.066479806614716e+01,
+                                   2.506628277459239e+00};
+    static constexpr double b[] = {-5.447609879822406e+01,
+                                   1.615858368580409e+02,
+                                   -1.556989798598866e+02,
+                                   6.680131188771972e+01,
+                                   -1.328068155288572e+01};
+    static constexpr double c[] = {-7.784894002430293e-03,
+                                   -3.223964580411365e-01,
+                                   -2.400758277161838e+00,
+                                   -2.549732539343734e+00,
+                                   4.374664141464968e+00,
+                                   2.938163982698783e+00};
+    static constexpr double d[] = {7.784695709041462e-03,
+                                   3.224671290700398e-01,
+                                   2.445134137142996e+00,
+                                   3.754408661907416e+00};
+    constexpr double p_low = 0.02425;
+
+    double z = 0.0;
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        z = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - p_low) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        z = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+             a[5]) *
+            q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+             1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        z = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+              c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+
+    // One Newton refinement against the exact CDF.
+    const double e = normal_cdf(z) - p;
+    const double pdf =
+        std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.14159265358979323846);
+    z -= e / pdf;
+    return z;
+}
+
+} // namespace mpsram::util

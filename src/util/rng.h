@@ -1,0 +1,52 @@
+// Deterministic random number generation for Monte-Carlo studies.
+//
+// Reproducibility rule: every stochastic experiment takes an explicit seed,
+// and named child streams derived from one master seed stay independent of
+// the order in which modules draw from them.
+#ifndef MPSRAM_UTIL_RNG_H
+#define MPSRAM_UTIL_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace mpsram::util {
+
+/// Seedable random stream wrapping std::mt19937_64 with the distribution
+/// helpers the variability models need.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+    /// Derive an independent child stream from this stream's seed and a
+    /// name.  Uses splitmix64-style mixing of the hashed name so children
+    /// with different names are decorrelated.
+    Rng child(std::string_view name) const;
+
+    /// Standard normal draw (mean 0, sigma 1).
+    double normal();
+
+    /// Normal draw with given mean and sigma (sigma >= 0).
+    double normal(double mean, double sigma);
+
+    /// Normal draw truncated to [mean - k*sigma, mean + k*sigma] by
+    /// rejection; models bounded process variation (a fab screens outliers).
+    double truncated_normal(double mean, double sigma, double k);
+
+    /// Uniform draw in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [0, n).
+    std::uint64_t index(std::uint64_t n);
+
+    std::uint64_t seed() const { return seed_; }
+
+private:
+    std::mt19937_64 engine_;
+    std::uint64_t seed_ = 0;
+    std::normal_distribution<double> std_normal_{0.0, 1.0};
+};
+
+} // namespace mpsram::util
+
+#endif // MPSRAM_UTIL_RNG_H

@@ -1,0 +1,124 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace mpsram::util {
+
+void Running_stats::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void Running_stats::merge(const Running_stats& other)
+{
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double Running_stats::mean() const
+{
+    expects(n_ > 0, "Running_stats::mean requires at least one sample");
+    return mean_;
+}
+
+double Running_stats::variance() const
+{
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Running_stats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double Running_stats::min() const
+{
+    expects(n_ > 0, "Running_stats::min requires at least one sample");
+    return min_;
+}
+
+double Running_stats::max() const
+{
+    expects(n_ > 0, "Running_stats::max requires at least one sample");
+    return max_;
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q)
+{
+    expects(!sorted.empty(), "quantile of empty sample set");
+    expects(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+    if (sorted.size() == 1) return sorted.front();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Sample_summary summarize(const std::vector<double>& samples)
+{
+    Sample_summary s;
+    if (samples.empty()) return s;
+
+    Running_stats acc;
+    for (double x : samples) acc.add(x);
+
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+
+    s.count = acc.count();
+    s.mean = acc.mean();
+    s.stddev = acc.stddev();
+    s.min = acc.min();
+    s.max = acc.max();
+    s.median = quantile_sorted(sorted, 0.5);
+    s.p01 = quantile_sorted(sorted, 0.01);
+    s.p99 = quantile_sorted(sorted, 0.99);
+    return s;
+}
+
+double correlation(const std::vector<double>& a, const std::vector<double>& b)
+{
+    expects(a.size() == b.size(), "correlation requires equal sizes");
+    expects(a.size() >= 2, "correlation requires at least two samples");
+
+    Running_stats sa;
+    Running_stats sb;
+    for (double x : a) sa.add(x);
+    for (double x : b) sb.add(x);
+
+    const double ma = sa.mean();
+    const double mb = sb.mean();
+    double cov = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        cov += (a[i] - ma) * (b[i] - mb);
+    }
+    cov /= static_cast<double>(a.size() - 1);
+
+    const double denom = sa.stddev() * sb.stddev();
+    expects(denom > 0.0, "correlation undefined for constant series");
+    return cov / denom;
+}
+
+} // namespace mpsram::util

@@ -1,0 +1,62 @@
+// Streaming and batch statistics used by the Monte-Carlo engine and the
+// benchmark harnesses (Table IV reports standard deviations of tdp).
+#ifndef MPSRAM_UTIL_STATS_H
+#define MPSRAM_UTIL_STATS_H
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace mpsram::util {
+
+/// Numerically stable streaming accumulator (Welford's algorithm).
+///
+/// Tracks count, mean, variance, min and max of a stream of samples without
+/// storing them.  Suitable for millions of Monte-Carlo samples.
+class Running_stats {
+public:
+    void add(double x);
+
+    /// Merge another accumulator into this one (parallel reduction).
+    void merge(const Running_stats& other);
+
+    std::size_t count() const { return n_; }
+    double mean() const;
+    /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch summary of a stored sample vector, including quantiles.
+struct Sample_summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+    double p01 = 0.0;   ///< 1st percentile
+    double p99 = 0.0;   ///< 99th percentile
+};
+
+/// Compute a full summary of `samples`.  Empty input yields a zero summary.
+Sample_summary summarize(const std::vector<double>& samples);
+
+/// Linear-interpolated quantile (q in [0,1]) of `sorted` ascending samples.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Pearson correlation coefficient of two equally sized vectors.
+double correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+} // namespace mpsram::util
+
+#endif // MPSRAM_UTIL_STATS_H

@@ -1,0 +1,97 @@
+#include "util/table.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace mpsram::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    expects(!headers_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells)
+{
+    expects(cells.size() == headers_.size(),
+            "Table row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+            if (c + 1 < row.size()) out << "  ";
+        }
+        out << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    }
+    out << std::string(rule, '-') << '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return out.str();
+}
+
+std::string fmt_fixed(double value, int precision)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return out.str();
+}
+
+std::string fmt_sci(double value, int precision)
+{
+    std::ostringstream out;
+    out << std::scientific << std::setprecision(precision) << std::uppercase
+        << value;
+    return out.str();
+}
+
+std::string fmt_percent(double fraction, int precision)
+{
+    std::ostringstream out;
+    out << std::showpos << std::fixed << std::setprecision(precision)
+        << fraction * 100.0 << '%';
+    return out.str();
+}
+
+std::string fmt_time(double seconds, int precision)
+{
+    struct Scale {
+        double factor;
+        const char* suffix;
+    };
+    static constexpr Scale scales[] = {
+        {1.0, "s"}, {1e-3, "ms"}, {1e-6, "us"}, {1e-9, "ns"},
+        {1e-12, "ps"}, {1e-15, "fs"},
+    };
+    const double mag = std::fabs(seconds);
+    for (const auto& s : scales) {
+        if (mag >= s.factor) {
+            return fmt_fixed(seconds / s.factor, precision) + " " + s.suffix;
+        }
+    }
+    return fmt_fixed(seconds / 1e-15, precision) + " fs";
+}
+
+} // namespace mpsram::util

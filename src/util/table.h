@@ -1,0 +1,47 @@
+// Console table formatting for the benchmark harnesses.
+//
+// Every bench binary prints the same rows the paper's tables report; this
+// helper keeps those tables aligned and consistent across binaries.
+#ifndef MPSRAM_UTIL_TABLE_H
+#define MPSRAM_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace mpsram::util {
+
+/// Column-aligned text table.  Cells are strings; numeric helpers format
+/// with fixed or scientific precision.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Append a full row; must match the header width.
+    void add_row(std::vector<std::string> cells);
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+
+    /// Render with a header rule and 2-space column gutters.
+    std::string render() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-point formatting, e.g. fmt_fixed(20.601, 2) == "20.60".
+std::string fmt_fixed(double value, int precision);
+
+/// Scientific formatting in the paper's style, e.g. "5.59E-12".
+std::string fmt_sci(double value, int precision);
+
+/// Percentage with sign, e.g. "+61.56%".
+std::string fmt_percent(double fraction, int precision);
+
+/// Engineering time formatting, e.g. "5.59 ps".
+std::string fmt_time(double seconds, int precision);
+
+} // namespace mpsram::util
+
+#endif // MPSRAM_UTIL_TABLE_H

@@ -1,0 +1,57 @@
+// SI unit multipliers and physical constants.
+//
+// The whole library computes in SI base units (meters, seconds, ohms,
+// farads, volts).  These constexpr multipliers make call sites read like the
+// paper: `26 * units::nm`, `0.7 * units::volt`, `5.59 * units::ps`.
+#ifndef MPSRAM_UTIL_UNITS_H
+#define MPSRAM_UTIL_UNITS_H
+
+namespace mpsram::units {
+
+// --- length ---------------------------------------------------------------
+inline constexpr double m  = 1.0;
+inline constexpr double cm = 1e-2;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+// --- time -----------------------------------------------------------------
+inline constexpr double s  = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+inline constexpr double fs = 1e-15;
+
+// --- electrical -----------------------------------------------------------
+inline constexpr double volt  = 1.0;
+inline constexpr double mV    = 1e-3;
+inline constexpr double amp   = 1.0;
+inline constexpr double mA    = 1e-3;
+inline constexpr double uA    = 1e-6;
+inline constexpr double nA    = 1e-9;
+inline constexpr double ohm   = 1.0;
+inline constexpr double kohm  = 1e3;
+inline constexpr double farad = 1.0;
+inline constexpr double pF    = 1e-12;
+inline constexpr double fF    = 1e-15;
+inline constexpr double aF    = 1e-18;
+
+// --- resistivity ----------------------------------------------------------
+inline constexpr double ohm_m  = 1.0;
+/// micro-ohm centimeter, the customary unit for metal resistivity.
+inline constexpr double uohm_cm = 1e-8;
+
+// --- physical constants ----------------------------------------------------
+/// Vacuum permittivity [F/m].
+inline constexpr double eps0 = 8.8541878128e-12;
+/// Boltzmann constant [J/K].
+inline constexpr double kb = 1.380649e-23;
+/// Elementary charge [C].
+inline constexpr double q_e = 1.602176634e-19;
+/// Thermal voltage kT/q at 300 K [V].
+inline constexpr double vt_300k = kb * 300.0 / q_e;
+
+} // namespace mpsram::units
+
+#endif // MPSRAM_UTIL_UNITS_H

@@ -1,0 +1,182 @@
+#include "analytic/td_formula.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analytic/params.h"
+#include "extract/extractor.h"
+#include "sram/bitline_model.h"
+#include "tech/technology.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace mpsram;
+
+analytic::Td_params simple_params()
+{
+    analytic::Td_params p;
+    p.a = 0.105;
+    p.r_bl_cell = 10.0;
+    p.c_bl_cell = 0.02e-15;
+    p.r_fe = 10e3;
+    p.c_fe = 0.045e-15;
+    p.c_pre = [](int) { return 0.15e-15; };
+    return p;
+}
+
+TEST(Formula, DischargeConstantMatchesEq3)
+{
+    // Paper eq. (3): 10% discharge -> a ~ 0.105.
+    EXPECT_NEAR(analytic::discharge_constant(0.10), 0.10536, 1e-4);
+    // 63.2% charge level -> a = 1 (the classic RC time constant).
+    EXPECT_NEAR(analytic::discharge_constant(1.0 - std::exp(-1.0)), 1.0,
+                1e-12);
+    EXPECT_THROW(analytic::discharge_constant(0.0),
+                 util::Precondition_error);
+    EXPECT_THROW(analytic::discharge_constant(1.0),
+                 util::Precondition_error);
+}
+
+TEST(Formula, HandComputedTd)
+{
+    const analytic::Td_params p = simple_params();
+    const int n = 64;
+    const double r = 64.0 * 10.0 + 10e3;
+    const double c = 64.0 * (0.02e-15 + 0.045e-15) + 0.15e-15;
+    EXPECT_NEAR(analytic::td_lumped(p, n), 0.105 * r * c, 1e-25);
+}
+
+TEST(Formula, VariationMultipliersApplyToWireOnly)
+{
+    const analytic::Td_params p = simple_params();
+    const int n = 64;
+    const double base = analytic::td_lumped(p, n);
+
+    // cvar applies to Cbl only, not CFE/Cpre.
+    const double c_varied = analytic::td_lumped(p, n, 1.0, 1.5);
+    const double expected_c =
+        0.105 * (64.0 * 10.0 + 10e3) *
+        (64.0 * (0.03e-15 + 0.045e-15) + 0.15e-15);
+    EXPECT_NEAR(c_varied, expected_c, 1e-25);
+    EXPECT_GT(c_varied, base);
+
+    // rvar applies to Rbl only, not RFE.
+    const double r_varied = analytic::td_lumped(p, n, 0.5, 1.0);
+    const double expected_r =
+        0.105 * (64.0 * 5.0 + 10e3) *
+        (64.0 * (0.02e-15 + 0.045e-15) + 0.15e-15);
+    EXPECT_NEAR(r_varied, expected_r, 1e-25);
+    EXPECT_LT(r_varied, base);
+}
+
+TEST(Formula, TdpZeroAtNominal)
+{
+    const analytic::Td_params p = simple_params();
+    EXPECT_DOUBLE_EQ(analytic::tdp_percent(p, 64, 1.0, 1.0), 0.0);
+}
+
+TEST(Formula, PolynomialFormMatchesDirectEvaluation)
+{
+    // Eq. (5) is eq. (4) expanded: with Cpre frozen at its value for a
+    // given n, the polynomial evaluated at n must equal td_lumped.
+    const analytic::Td_params p = simple_params();
+    for (int n : {16, 64, 256, 1024}) {
+        const auto poly =
+            analytic::td_polynomial(p, p.c_pre(n), 1.1, 1.2);
+        const double nn = static_cast<double>(n);
+        const double via_poly = poly.quadratic * nn * nn +
+                                poly.linear * nn + poly.constant;
+        EXPECT_NEAR(via_poly, analytic::td_lumped(p, n, 1.1, 1.2),
+                    1e-22);
+    }
+}
+
+TEST(Formula, QuadraticTermTakesOverForLongArrays)
+{
+    const analytic::Td_params p = simple_params();
+    const auto poly = analytic::td_polynomial(p, p.c_pre(1024));
+    const double n = 1024.0;
+    const double quad = poly.quadratic * n * n;
+    const double lin = poly.linear * n;
+    EXPECT_GT(quad, 0.2 * lin);  // no longer negligible
+    const double n16 = 16.0;
+    EXPECT_LT(poly.quadratic * n16 * n16, 0.05 * poly.linear * n16);
+}
+
+class TdpMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TdpMonotoneTest, TdpIncreasesWithCvarDecreasesWithSmallerRvar)
+{
+    // Property: tdp is strictly increasing in cvar and in rvar at any n.
+    const int n = GetParam();
+    const analytic::Td_params p = simple_params();
+    double prev = -1e9;
+    for (double cvar = 0.9; cvar <= 1.6; cvar += 0.1) {
+        const double tdp = analytic::tdp_percent(p, n, 1.0, cvar);
+        EXPECT_GT(tdp, prev);
+        prev = tdp;
+    }
+    prev = -1e9;
+    for (double rvar = 0.8; rvar <= 1.2; rvar += 0.05) {
+        const double tdp = analytic::tdp_percent(p, n, rvar, 1.0);
+        EXPECT_GT(tdp, prev);
+        prev = tdp;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TdpMonotoneTest,
+                         ::testing::Values(16, 64, 256, 1024));
+
+TEST(Formula, RvarMattersMoreForLongArrays)
+{
+    // The n*Rbl term grows with n, so an Rbl drop helps more at n=1024
+    // than at n=16 — the mechanism behind the EUV sign flip in Table III.
+    const analytic::Td_params p = simple_params();
+    const double tdp16 = analytic::tdp_percent(p, 16, 0.9, 1.0);
+    const double tdp1024 = analytic::tdp_percent(p, 1024, 0.9, 1.0);
+    EXPECT_LT(tdp1024, tdp16);
+    EXPECT_LT(tdp1024, 0.0);
+}
+
+TEST(Formula, Validation)
+{
+    analytic::Td_params p = simple_params();
+    EXPECT_THROW(analytic::td_lumped(p, 0), util::Precondition_error);
+    EXPECT_THROW(analytic::td_lumped(p, 64, -1.0, 1.0),
+                 util::Precondition_error);
+    p.c_pre = nullptr;
+    EXPECT_THROW(analytic::td_lumped(p, 64), util::Precondition_error);
+}
+
+TEST(Params, EffectiveSwitchResistance)
+{
+    EXPECT_NEAR(analytic::effective_switch_resistance(0.7, 40e-6),
+                0.7 / 80e-6, 1e-9);
+    EXPECT_THROW(analytic::effective_switch_resistance(0.0, 1.0),
+                 util::Precondition_error);
+}
+
+TEST(Params, DerivedFromModelsAreConsistent)
+{
+    const tech::Technology t = tech::n10();
+    const sram::Cell_electrical cell = sram::Cell_electrical::n10(t.feol);
+    const extract::Extractor ex(t.metal1);
+    sram::Array_config cfg;
+    cfg.word_lines = 64;
+    cfg.victim_pair = 6;
+    const geom::Wire_array arr = sram::build_metal1_array(t, cfg);
+    const auto wires = sram::roll_up_nominal(ex, arr, t, cfg);
+
+    const analytic::Td_params p = analytic::derive_params(t, cell, wires);
+    EXPECT_NEAR(p.a, 0.10536, 1e-4);  // 70 mV of 0.7 V = 10%
+    EXPECT_DOUBLE_EQ(p.r_bl_cell, wires.r_bl_cell);
+    EXPECT_DOUBLE_EQ(p.c_bl_cell, wires.c_bl_cell);
+    EXPECT_DOUBLE_EQ(p.c_fe, cell.bitline_junction_cap());
+    EXPECT_GT(p.r_fe, 5e3);
+    EXPECT_LT(p.r_fe, 50e3);
+    EXPECT_DOUBLE_EQ(p.c_pre(64), sram::precharge_cap(64, cell));
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+#include "extract/capacitance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tech/technology.h"
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace mpsram;
+namespace units = mpsram::units;
+
+tech::Beol_layer m1() { return tech::n10().metal1; }
+
+TEST(Coupling, ParallelPlateLimitWithoutTaper)
+{
+    // With zero taper and no fringe constant the Simpson integral must
+    // reduce to the textbook eps * t / s plate formula.
+    tech::Beol_layer layer = m1();
+    layer.taper_angle = 0.0;
+    extract::Extraction_options opts;
+    opts.k_fringe_coupling = 0.0;
+
+    const double s = 20.0 * units::nm;
+    const double c = extract::coupling_per_length(layer, s, opts);
+    const double expected =
+        layer.ild.permittivity() * layer.thickness / s;
+    EXPECT_NEAR(c, expected, 1e-6 * expected);
+}
+
+class CouplingMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CouplingMonotoneTest, DecreasesWithSpacing)
+{
+    tech::Beol_layer layer = m1();
+    layer.taper_angle = GetParam();
+    const extract::Extraction_options opts;
+
+    double prev = 1e18;
+    for (double s = 8.0; s <= 40.0; s += 1.0) {
+        const double c =
+            extract::coupling_per_length(layer, s * units::nm, opts);
+        EXPECT_LT(c, prev) << "spacing " << s;
+        prev = c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tapers, CouplingMonotoneTest,
+                         ::testing::Values(0.0, 0.05, 0.0869));
+
+TEST(Coupling, SuperlinearGrowthAtSmallGaps)
+{
+    // The trench flare makes coupling grow faster than 1/s: compare the
+    // relative gains of two equal spacing cuts.
+    const tech::Beol_layer layer = m1();
+    const extract::Extraction_options opts;
+
+    const double c19 = extract::coupling_per_length(layer, 19e-9, opts);
+    const double c14 = extract::coupling_per_length(layer, 14e-9, opts);
+    const double c9 = extract::coupling_per_length(layer, 9e-9, opts);
+    const double first_gain = c14 / c19;
+    const double second_gain = c9 / c14;
+    EXPECT_GT(second_gain, first_gain);
+}
+
+TEST(Coupling, MinGapClampKeepsItFinite)
+{
+    const tech::Beol_layer layer = m1();
+    const extract::Extraction_options opts;
+    const double c = extract::coupling_per_length(layer, 0.1e-9, opts);
+    EXPECT_TRUE(std::isfinite(c));
+    EXPECT_GT(c, 0.0);
+    // Negative drawn spacing (overlap corner) also stays finite.
+    const double c_neg = extract::coupling_per_length(layer, -2e-9, opts);
+    EXPECT_TRUE(std::isfinite(c_neg));
+    EXPECT_GE(c_neg, c);
+}
+
+TEST(Coupling, SimpsonPointsValidated)
+{
+    extract::Extraction_options opts;
+    opts.integration_points = 4;  // must be odd
+    EXPECT_THROW(extract::coupling_per_length(m1(), 20e-9, opts),
+                 util::Precondition_error);
+}
+
+TEST(Plate, GrowsWithWidth)
+{
+    const tech::Beol_layer layer = m1();
+    const extract::Extraction_options opts;
+    const double narrow = extract::plate_per_length(layer, 20e-9, opts);
+    const double wide = extract::plate_per_length(layer, 30e-9, opts);
+    EXPECT_GT(wide, narrow);
+    // Approximately linear in width.
+    const double mid = extract::plate_per_length(layer, 25e-9, opts);
+    EXPECT_NEAR(mid, 0.5 * (narrow + wide), 0.01 * mid);
+}
+
+TEST(Plate, CloserPlanesMoreCapacitance)
+{
+    tech::Beol_layer near = m1();
+    near.below_plane_dist = 30e-9;
+    near.above_plane_dist = 30e-9;
+    tech::Beol_layer far = m1();
+    far.below_plane_dist = 90e-9;
+    far.above_plane_dist = 90e-9;
+    const extract::Extraction_options opts;
+    EXPECT_GT(extract::plate_per_length(near, 26e-9, opts),
+              extract::plate_per_length(far, 26e-9, opts));
+}
+
+TEST(Fringe, ShieldedByCloseNeighbors)
+{
+    const tech::Beol_layer layer = m1();
+    const extract::Extraction_options opts;
+    const double open =
+        extract::fringe_per_length(layer, std::nullopt, opts);
+    const double far = extract::fringe_per_length(layer, 40e-9, opts);
+    const double close = extract::fringe_per_length(layer, 10e-9, opts);
+    EXPECT_GT(open, far);
+    EXPECT_GT(far, close);
+    EXPECT_GT(close, 0.0);
+}
+
+TEST(Fringe, UnshieldedEqualsCoefficientTimesTwoPlanes)
+{
+    const tech::Beol_layer layer = m1();
+    extract::Extraction_options opts;
+    const double open =
+        extract::fringe_per_length(layer, std::nullopt, opts);
+    EXPECT_NEAR(open,
+                layer.ild.permittivity() * opts.k_fringe_ground * 2.0,
+                1e-6 * open);
+}
+
+TEST(Fringe, MonotoneInSpacing)
+{
+    const tech::Beol_layer layer = m1();
+    const extract::Extraction_options opts;
+    double prev = 0.0;
+    for (double s = 5.0; s <= 60.0; s += 5.0) {
+        const double f =
+            extract::fringe_per_length(layer, s * units::nm, opts);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+#include "extract/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/engine.h"
+#include "sram/layout.h"
+#include "tech/technology.h"
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace mpsram;
+namespace units = mpsram::units;
+
+geom::Wire_array uniform_array(int wires, double pitch_nm = 45.0,
+                               double width_nm = 26.0)
+{
+    geom::Wire_array arr;
+    for (int i = 0; i < wires; ++i) {
+        geom::Wire w;
+        w.net = "n" + std::to_string(i);
+        w.y_center = i * pitch_nm * units::nm;
+        w.width = width_nm * units::nm;
+        w.length = 1.0 * units::um;
+        arr.add(std::move(w));
+    }
+    return arr;
+}
+
+TEST(Extractor, InteriorWiresOfUniformArrayAreIdentical)
+{
+    const extract::Extractor ex(tech::n10().metal1);
+    const geom::Wire_array arr = uniform_array(7);
+    const auto rc2 = ex.wire_rc(arr, 2);
+    const auto rc4 = ex.wire_rc(arr, 4);
+    EXPECT_DOUBLE_EQ(rc2.r, rc4.r);
+    EXPECT_DOUBLE_EQ(rc2.c_total(), rc4.c_total());
+    // Symmetric neighbors -> symmetric coupling.
+    EXPECT_DOUBLE_EQ(rc2.c_couple_below, rc2.c_couple_above);
+}
+
+TEST(Extractor, EdgeWiresHaveLessCouplingMoreFringe)
+{
+    const extract::Extractor ex(tech::n10().metal1);
+    const geom::Wire_array arr = uniform_array(5);
+    const auto edge = ex.wire_rc(arr, 0);
+    const auto mid = ex.wire_rc(arr, 2);
+    EXPECT_EQ(edge.c_couple_below, 0.0);
+    EXPECT_GT(edge.c_couple_above, 0.0);
+    EXPECT_GT(edge.c_fringe, mid.c_fringe);   // unshielded open side
+    EXPECT_LT(edge.c_total(), mid.c_total()); // coupling dominates
+}
+
+TEST(Extractor, ComponentsSumToTotal)
+{
+    const extract::Extractor ex(tech::n10().metal1);
+    const geom::Wire_array arr = uniform_array(5);
+    const auto rc = ex.wire_rc(arr, 2);
+    EXPECT_DOUBLE_EQ(rc.c_total(), rc.c_plate + rc.c_fringe +
+                                       rc.c_couple_below +
+                                       rc.c_couple_above);
+    EXPECT_DOUBLE_EQ(rc.c_ground(), rc.c_plate + rc.c_fringe);
+}
+
+TEST(Extractor, NetRcScalesWithLength)
+{
+    const extract::Extractor ex(tech::n10().metal1);
+    geom::Wire_array arr = uniform_array(3);
+    const auto net1 = ex.net_rc(arr, 1);
+
+    // Double every wire's length: absolute RC doubles.
+    geom::Wire_array arr2;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        geom::Wire w = arr[i];
+        w.length *= 2.0;
+        arr2.add(std::move(w));
+    }
+    const auto net2 = ex.net_rc(arr2, 1);
+    EXPECT_NEAR(net2.resistance, 2.0 * net1.resistance, 1e-9);
+    EXPECT_NEAR(net2.capacitance, 2.0 * net1.capacitance, 1e-24);
+}
+
+TEST(Extractor, VariationIsUnityAtNominal)
+{
+    const extract::Extractor ex(tech::n10().metal1);
+    const geom::Wire_array arr = uniform_array(5);
+    const auto v = ex.variation(arr, arr, 2);
+    EXPECT_DOUBLE_EQ(v.r_factor, 1.0);
+    EXPECT_DOUBLE_EQ(v.c_factor, 1.0);
+    EXPECT_DOUBLE_EQ(v.r_percent(), 0.0);
+    EXPECT_DOUBLE_EQ(v.c_percent(), 0.0);
+}
+
+TEST(Extractor, VariationSeesNeighborMovement)
+{
+    // Moving a neighbor closer must raise the victim's C but not its R.
+    const extract::Extractor ex(tech::n10().metal1);
+    const geom::Wire_array nominal = uniform_array(5);
+
+    geom::Wire_array shifted;
+    for (std::size_t i = 0; i < nominal.size(); ++i) {
+        geom::Wire w = nominal[i];
+        if (i == 1) w.y_center += 6.0 * units::nm;  // toward wire 2
+        shifted.add(std::move(w));
+    }
+    const auto v = ex.variation(nominal, shifted, 2);
+    EXPECT_GT(v.c_factor, 1.0);
+    EXPECT_DOUBLE_EQ(v.r_factor, 1.0);
+}
+
+TEST(Extractor, VariationSeesOwnWidthChange)
+{
+    const extract::Extractor ex(tech::n10().metal1);
+    const geom::Wire_array nominal = uniform_array(5);
+
+    geom::Wire_array wider;
+    for (std::size_t i = 0; i < nominal.size(); ++i) {
+        geom::Wire w = nominal[i];
+        if (i == 2) w.width += 3.0 * units::nm;
+        wider.add(std::move(w));
+    }
+    const auto v = ex.variation(nominal, wider, 2);
+    EXPECT_LT(v.r_factor, 1.0);  // wider -> less resistive
+    EXPECT_GT(v.c_factor, 1.0);  // wider + closer edges -> more capacitive
+}
+
+TEST(Extractor, VariationValidatesInputs)
+{
+    const extract::Extractor ex(tech::n10().metal1);
+    const geom::Wire_array a = uniform_array(5);
+    const geom::Wire_array b = uniform_array(4);
+    EXPECT_THROW(ex.variation(a, b, 1), util::Precondition_error);
+    EXPECT_THROW(ex.variation(a, a, 9), util::Precondition_error);
+}
+
+TEST(Extractor, WireRcValidatesIndex)
+{
+    const extract::Extractor ex(tech::n10().metal1);
+    const geom::Wire_array arr = uniform_array(3);
+    EXPECT_THROW(ex.wire_rc(arr, 3), util::Precondition_error);
+}
+
+TEST(Extractor, BitlineShieldedByRailsFromOtherBitlines)
+{
+    // In the SRAM track plan, BL and BLB never neighbor each other: their
+    // coupling partners are always rails.  (This is what lets the read
+    // netlist fold all bit-line coupling to ground.)
+    sram::Array_config cfg;
+    cfg.word_lines = 8;
+    cfg.bl_pairs = 10;
+    const geom::Wire_array arr =
+        sram::build_metal1_array(tech::n10(), cfg);
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (arr[i].net.rfind("BL", 0) != 0) continue;  // BLx and BLBx
+        if (i > 0) {
+            EXPECT_TRUE(arr[i - 1].net.rfind("VSS", 0) == 0 ||
+                        arr[i - 1].net.rfind("VDD", 0) == 0);
+        }
+        if (i + 1 < arr.size()) {
+            EXPECT_TRUE(arr[i + 1].net.rfind("VSS", 0) == 0 ||
+                        arr[i + 1].net.rfind("VDD", 0) == 0);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+#include "extract/resistance.h"
+
+#include <gtest/gtest.h>
+
+#include "tech/technology.h"
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace mpsram;
+namespace units = mpsram::units;
+
+tech::Beol_layer m1() { return tech::n10().metal1; }
+
+TEST(Resistance, HandComputedRectangularWire)
+{
+    // Strip the refinements: no taper, no barrier, no size effect.
+    tech::Beol_layer layer = m1();
+    layer.taper_angle = 0.0;
+    layer.thickness = 20.0 * units::nm;
+    layer.conductor.size_coeff = 0.0;
+    layer.conductor.rho_bulk = 2.0 * units::uohm_cm;
+
+    extract::Extraction_options opts;
+    opts.include_barrier = false;
+
+    const double w = 25.0 * units::nm;
+    const double r = extract::resistance_per_length(layer, w, opts);
+    const double expected =
+        layer.conductor.rho_bulk / (w * layer.thickness);
+    EXPECT_NEAR(r, expected, 1e-9 * expected);
+}
+
+TEST(Resistance, BarrierRaisesResistance)
+{
+    const tech::Beol_layer layer = m1();
+    extract::Extraction_options with;
+    with.include_barrier = true;
+    extract::Extraction_options without;
+    without.include_barrier = false;
+
+    const double w = 26.0 * units::nm;
+    EXPECT_GT(extract::resistance_per_length(layer, w, with),
+              extract::resistance_per_length(layer, w, without));
+}
+
+TEST(Resistance, SizeEffectRaisesNarrowWireResistance)
+{
+    tech::Beol_layer with = m1();
+    tech::Beol_layer bulk = m1();
+    bulk.conductor.size_coeff = 0.0;
+
+    const extract::Extraction_options opts;
+    const double w = 20.0 * units::nm;
+    EXPECT_GT(extract::resistance_per_length(with, w, opts),
+              extract::resistance_per_length(bulk, w, opts));
+}
+
+class ResistanceMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResistanceMonotoneTest, StrictlyDecreasingInWidth)
+{
+    // Property: wider wires always conduct better, at any taper.
+    tech::Beol_layer layer = m1();
+    layer.taper_angle = GetParam();
+    const extract::Extraction_options opts;
+
+    double prev = 1e18;
+    for (double w = 18.0; w <= 40.0; w += 1.0) {
+        const double r =
+            extract::resistance_per_length(layer, w * units::nm, opts);
+        EXPECT_LT(r, prev) << "width " << w;
+        prev = r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tapers, ResistanceMonotoneTest,
+                         ::testing::Values(0.0, 0.05, 0.0869));
+
+TEST(Resistance, PaperRblSensitivity)
+{
+    // Table I: +3 nm CD on the 26 nm bit line -> Rbl ~ -10.4%.
+    const tech::Beol_layer layer = m1();
+    const extract::Extraction_options opts;
+    const double r_nom =
+        extract::resistance_per_length(layer, layer.nominal_width, opts);
+    const double r_plus3 = extract::resistance_per_length(
+        layer, layer.nominal_width + 3.0 * units::nm, opts);
+    const double change = (r_plus3 / r_nom - 1.0) * 100.0;
+    EXPECT_NEAR(change, -10.36, 1.0);
+}
+
+TEST(Resistance, PaperSadpRblSensitivity)
+{
+    // Table I SADP: +6 nm on the gap-defined bit line -> Rbl ~ -18.2%.
+    const tech::Beol_layer layer = m1();
+    const extract::Extraction_options opts;
+    const double r_nom =
+        extract::resistance_per_length(layer, layer.nominal_width, opts);
+    const double r_plus6 = extract::resistance_per_length(
+        layer, layer.nominal_width + 6.0 * units::nm, opts);
+    const double change = (r_plus6 / r_nom - 1.0) * 100.0;
+    EXPECT_NEAR(change, -18.19, 1.5);
+}
+
+TEST(Resistance, ConductingCoreReflectsBarrierInset)
+{
+    const tech::Beol_layer layer = m1();
+    extract::Extraction_options opts;
+    const auto core =
+        extract::conducting_core(layer, layer.nominal_width, opts);
+    EXPECT_NEAR(core.height(),
+                layer.thickness - layer.conductor.barrier_thickness, 1e-18);
+    EXPECT_NEAR(core.bottom_width(),
+                layer.nominal_width - 2.0 * layer.conductor.barrier_thickness,
+                1e-18);
+}
+
+TEST(Resistance, RejectsNonPositiveWidth)
+{
+    EXPECT_THROW(extract::resistance_per_length(m1(), 0.0, {}),
+                 util::Precondition_error);
+}
+
+} // namespace

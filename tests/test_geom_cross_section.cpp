@@ -1,0 +1,112 @@
+#include "geom/cross_section.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace {
+
+using mpsram::geom::Cross_section;
+namespace units = mpsram::units;
+
+TEST(CrossSection, RectangleWhenNoTaper)
+{
+    const auto xs = Cross_section::from_taper(26 * units::nm, 30 * units::nm,
+                                              0.0);
+    EXPECT_DOUBLE_EQ(xs.top_width(), xs.bottom_width());
+    EXPECT_DOUBLE_EQ(xs.area(), 26 * units::nm * 30 * units::nm);
+    EXPECT_DOUBLE_EQ(xs.sidewall_length(), 30 * units::nm);
+}
+
+TEST(CrossSection, TrenchFlaresTowardTop)
+{
+    const double h = 30 * units::nm;
+    const double taper = 0.1;
+    const auto xs = Cross_section::from_taper(26 * units::nm, h, taper);
+    EXPECT_DOUBLE_EQ(xs.bottom_width(), 26 * units::nm);
+    EXPECT_NEAR(xs.top_width(),
+                26 * units::nm + 2.0 * h * std::tan(taper), 1e-18);
+    EXPECT_GT(xs.top_width(), xs.bottom_width());
+}
+
+TEST(CrossSection, WidthAtInterpolatesLinearly)
+{
+    const Cross_section xs(30 * units::nm, 20 * units::nm, 10 * units::nm);
+    EXPECT_DOUBLE_EQ(xs.width_at(0.0), 20 * units::nm);
+    EXPECT_DOUBLE_EQ(xs.width_at(1.0), 30 * units::nm);
+    EXPECT_DOUBLE_EQ(xs.width_at(0.5), 25 * units::nm);
+    EXPECT_DOUBLE_EQ(xs.mean_width(), 25 * units::nm);
+    EXPECT_THROW(xs.width_at(1.5), mpsram::util::Precondition_error);
+}
+
+TEST(CrossSection, AreaIsTrapezoidFormula)
+{
+    const Cross_section xs(30.0, 20.0, 10.0);
+    EXPECT_DOUBLE_EQ(xs.area(), 0.5 * (30.0 + 20.0) * 10.0);
+}
+
+TEST(CrossSection, SidewallLongerThanHeightWhenTapered)
+{
+    const Cross_section xs(30.0, 20.0, 10.0);
+    // run = 5, height = 10 -> length = sqrt(125)
+    EXPECT_NEAR(xs.sidewall_length(), std::sqrt(125.0), 1e-12);
+}
+
+TEST(CrossSection, InsetRemovesLinerFromSidesAndBottom)
+{
+    const Cross_section xs(30.0, 24.0, 10.0);
+    const Cross_section core = xs.inset(2.0);
+    EXPECT_DOUBLE_EQ(core.top_width(), 26.0);
+    EXPECT_DOUBLE_EQ(core.bottom_width(), 20.0);
+    EXPECT_DOUBLE_EQ(core.height(), 8.0);
+    EXPECT_LT(core.area(), xs.area());
+}
+
+TEST(CrossSection, InsetZeroIsIdentity)
+{
+    const Cross_section xs(30.0, 24.0, 10.0);
+    const Cross_section same = xs.inset(0.0);
+    EXPECT_DOUBLE_EQ(same.area(), xs.area());
+}
+
+TEST(CrossSection, InsetConsumingConductorThrows)
+{
+    const Cross_section xs(10.0, 8.0, 5.0);
+    EXPECT_THROW(xs.inset(4.5), mpsram::util::Precondition_error);
+}
+
+TEST(CrossSection, RejectsDegenerateShapes)
+{
+    EXPECT_THROW(Cross_section(0.0, 1.0, 1.0),
+                 mpsram::util::Precondition_error);
+    EXPECT_THROW(Cross_section(1.0, -1.0, 1.0),
+                 mpsram::util::Precondition_error);
+    EXPECT_THROW(Cross_section(1.0, 1.0, 0.0),
+                 mpsram::util::Precondition_error);
+    EXPECT_THROW(Cross_section::from_taper(1.0, 1.0, 0.6),
+                 mpsram::util::Precondition_error);
+}
+
+class TaperAreaMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TaperAreaMonotoneTest, AreaGrowsWithDrawnWidth)
+{
+    // Property: at any taper, area is strictly monotone in drawn width.
+    const double taper = GetParam();
+    double prev = 0.0;
+    for (double w = 10.0; w <= 40.0; w += 2.0) {
+        const double area =
+            Cross_section::from_taper(w * units::nm, 25 * units::nm, taper)
+                .area();
+        EXPECT_GT(area, prev);
+        prev = area;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tapers, TaperAreaMonotoneTest,
+                         ::testing::Values(0.0, 0.03, 0.0869, 0.15));
+
+} // namespace

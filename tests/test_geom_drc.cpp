@@ -1,0 +1,94 @@
+#include "geom/drc.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace {
+
+using namespace mpsram::geom;
+namespace units = mpsram::units;
+
+Wire make_wire(double y_nm, double w_nm)
+{
+    Wire w;
+    w.net = "n";
+    w.y_center = y_nm * units::nm;
+    w.width = w_nm * units::nm;
+    w.length = 1.0 * units::um;
+    return w;
+}
+
+Drc_rules rules()
+{
+    Drc_rules r;
+    r.min_width = 18.0 * units::nm;
+    r.min_space = 12.0 * units::nm;
+    return r;
+}
+
+TEST(Drc, CleanArrayHasNoViolations)
+{
+    const Wire_array arr({make_wire(0.0, 26.0), make_wire(45.0, 26.0),
+                          make_wire(90.0, 26.0)});
+    EXPECT_TRUE(check_drc(arr, rules()).empty());
+}
+
+TEST(Drc, DetectsNarrowWire)
+{
+    const Wire_array arr({make_wire(0.0, 26.0), make_wire(45.0, 15.0)});
+    const auto v = check_drc(arr, rules());
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, Drc_violation_kind::min_width);
+    EXPECT_EQ(v[0].wire_index, 1u);
+    EXPECT_NEAR(v[0].actual, 15.0 * units::nm, 1e-18);
+}
+
+TEST(Drc, DetectsTightSpacing)
+{
+    // Centers 45 apart, widths 35 -> spacing 10 < 12.
+    const Wire_array arr({make_wire(0.0, 35.0), make_wire(45.0, 35.0)});
+    const auto v = check_drc(arr, rules());
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, Drc_violation_kind::min_space);
+    EXPECT_EQ(v[0].wire_index, 0u);
+}
+
+TEST(Drc, DetectsShort)
+{
+    // Centers 20 apart, widths 26 -> spacing -6: merged wires.
+    const Wire_array arr({make_wire(0.0, 26.0), make_wire(20.0, 26.0)});
+    const auto v = check_drc(arr, rules());
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, Drc_violation_kind::short_circuit);
+    EXPECT_LT(v[0].actual, 0.0);
+}
+
+TEST(Drc, ReportsMultipleViolations)
+{
+    const Wire_array arr({make_wire(0.0, 10.0), make_wire(45.0, 40.0),
+                          make_wire(85.0, 40.0)});
+    const auto v = check_drc(arr, rules());
+    // wire0 narrow + spacing(0,1) = 45-25 = 20 ok... spacing(1,2) = 40-40 = 0
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0].kind, Drc_violation_kind::min_width);
+    EXPECT_EQ(v[1].kind, Drc_violation_kind::short_circuit);
+}
+
+TEST(Drc, DescribeMentionsKindAndNanometers)
+{
+    const Wire_array arr({make_wire(0.0, 10.0)});
+    const auto v = check_drc(arr, rules());
+    ASSERT_EQ(v.size(), 1u);
+    const std::string text = v[0].describe();
+    EXPECT_NE(text.find("min-width"), std::string::npos);
+    EXPECT_NE(text.find("10"), std::string::npos);
+    EXPECT_NE(text.find("nm"), std::string::npos);
+}
+
+TEST(Drc, EmptyArrayIsClean)
+{
+    EXPECT_TRUE(check_drc(Wire_array{}, rules()).empty());
+}
+
+} // namespace

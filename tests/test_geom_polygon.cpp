@@ -1,0 +1,105 @@
+#include "geom/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace {
+
+using mpsram::geom::Point;
+using mpsram::geom::Polygon;
+using mpsram::geom::Rect;
+
+TEST(Polygon, RectangleArea)
+{
+    const Polygon p = Polygon::from_rect({0.0, 0.0, 4.0, 3.0});
+    EXPECT_DOUBLE_EQ(p.area(), 12.0);
+    EXPECT_DOUBLE_EQ(p.signed_area(), 12.0);  // CCW construction
+}
+
+TEST(Polygon, TriangleSignedArea)
+{
+    const Polygon ccw({{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}});
+    EXPECT_DOUBLE_EQ(ccw.signed_area(), 2.0);
+    const Polygon cw({{0.0, 0.0}, {0.0, 2.0}, {2.0, 0.0}});
+    EXPECT_DOUBLE_EQ(cw.signed_area(), -2.0);
+    EXPECT_DOUBLE_EQ(cw.area(), 2.0);
+}
+
+TEST(Polygon, BoundingBox)
+{
+    const Polygon p({{1.0, -2.0}, {5.0, 0.0}, {3.0, 4.0}});
+    const Rect bb = p.bounding_box();
+    EXPECT_DOUBLE_EQ(bb.x0, 1.0);
+    EXPECT_DOUBLE_EQ(bb.y0, -2.0);
+    EXPECT_DOUBLE_EQ(bb.x1, 5.0);
+    EXPECT_DOUBLE_EQ(bb.y1, 4.0);
+}
+
+TEST(Polygon, ContainsInteriorAndExterior)
+{
+    const Polygon p = Polygon::from_rect({0.0, 0.0, 2.0, 2.0});
+    EXPECT_TRUE(p.contains({1.0, 1.0}));
+    EXPECT_FALSE(p.contains({3.0, 1.0}));
+    EXPECT_FALSE(p.contains({-0.1, 1.0}));
+}
+
+TEST(Polygon, ContainsBoundary)
+{
+    const Polygon p = Polygon::from_rect({0.0, 0.0, 2.0, 2.0});
+    EXPECT_TRUE(p.contains({0.0, 1.0}));
+    EXPECT_TRUE(p.contains({2.0, 2.0}));
+    EXPECT_TRUE(p.contains({1.0, 0.0}));
+}
+
+TEST(Polygon, ContainsConcaveShape)
+{
+    // L-shape: the notch at (2.5, 2.5) is outside.
+    const Polygon l({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+    EXPECT_TRUE(l.contains({1.0, 3.0}));
+    EXPECT_TRUE(l.contains({3.0, 1.0}));
+    EXPECT_FALSE(l.contains({3.0, 3.0}));
+    EXPECT_DOUBLE_EQ(l.area(), 12.0);
+}
+
+TEST(Polygon, TranslatedPreservesAreaAndShiftsBox)
+{
+    const Polygon p = Polygon::from_rect({0.0, 0.0, 2.0, 1.0});
+    const Polygon moved = p.translated(10.0, -5.0);
+    EXPECT_DOUBLE_EQ(moved.area(), p.area());
+    EXPECT_DOUBLE_EQ(moved.bounding_box().x0, 10.0);
+    EXPECT_DOUBLE_EQ(moved.bounding_box().y1, -4.0);
+}
+
+TEST(Polygon, RejectsDegenerate)
+{
+    EXPECT_THROW(Polygon({{0.0, 0.0}, {1.0, 1.0}}),
+                 mpsram::util::Precondition_error);
+    EXPECT_THROW(Polygon::from_rect({2.0, 0.0, 1.0, 1.0}),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(Rect, BasicGeometry)
+{
+    const Rect r{0.0, 0.0, 4.0, 2.0};
+    EXPECT_DOUBLE_EQ(r.width(), 4.0);
+    EXPECT_DOUBLE_EQ(r.height(), 2.0);
+    EXPECT_DOUBLE_EQ(r.area(), 8.0);
+    EXPECT_EQ(r.center(), (Point{2.0, 1.0}));
+    EXPECT_TRUE(r.contains({4.0, 2.0}));
+    EXPECT_FALSE(r.contains({4.1, 2.0}));
+}
+
+TEST(Rect, OverlapAndIntersection)
+{
+    const Rect a{0.0, 0.0, 2.0, 2.0};
+    const Rect b{1.0, 1.0, 3.0, 3.0};
+    const Rect c{5.0, 5.0, 6.0, 6.0};
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(a.overlaps(c));
+    const Rect i = a.intersect(b);
+    EXPECT_DOUBLE_EQ(i.area(), 1.0);
+    EXPECT_FALSE(a.intersect(c).valid());
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+#include "geom/wire_array.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace {
+
+using mpsram::geom::Wire;
+using mpsram::geom::Wire_array;
+namespace units = mpsram::units;
+
+Wire make_wire(const std::string& net, double y_nm, double w_nm = 26.0)
+{
+    Wire w;
+    w.net = net;
+    w.y_center = y_nm * units::nm;
+    w.width = w_nm * units::nm;
+    w.length = 1.0 * units::um;
+    return w;
+}
+
+TEST(WireArray, ConstructorSortsByY)
+{
+    const Wire_array arr({make_wire("b", 45.0), make_wire("a", 0.0)});
+    EXPECT_EQ(arr[0].net, "a");
+    EXPECT_EQ(arr[1].net, "b");
+}
+
+TEST(WireArray, AddRequiresAscendingY)
+{
+    Wire_array arr;
+    arr.add(make_wire("a", 0.0));
+    arr.add(make_wire("b", 45.0));
+    EXPECT_THROW(arr.add(make_wire("c", 10.0)),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(WireArray, DuplicateTrackPositionRejected)
+{
+    EXPECT_THROW(Wire_array({make_wire("a", 0.0), make_wire("b", 0.0)}),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(WireArray, SpacingIsEdgeToEdge)
+{
+    // Centers 45 nm apart, widths 26 nm -> spacing = 45 - 26 = 19 nm.
+    const Wire_array arr({make_wire("a", 0.0), make_wire("b", 45.0)});
+    EXPECT_NEAR(arr.spacing_above(0), 19.0 * units::nm, 1e-18);
+    EXPECT_NEAR(arr.spacing_below(1), 19.0 * units::nm, 1e-18);
+}
+
+TEST(WireArray, SpacingCanBeNegativeForOverlaps)
+{
+    const Wire_array arr({make_wire("a", 0.0, 30.0), make_wire("b", 25.0, 30.0)});
+    EXPECT_LT(arr.spacing_above(0), 0.0);
+}
+
+TEST(WireArray, SpacingQueriesValidateIndices)
+{
+    const Wire_array arr({make_wire("a", 0.0), make_wire("b", 45.0)});
+    EXPECT_THROW(arr.spacing_above(1), mpsram::util::Precondition_error);
+    EXPECT_THROW(arr.spacing_below(0), mpsram::util::Precondition_error);
+}
+
+TEST(WireArray, FindNetAndAllWithNet)
+{
+    const Wire_array arr({make_wire("BL0", 0.0), make_wire("VSS", 45.0),
+                          make_wire("BL1", 90.0), make_wire("VSS", 135.0)});
+    EXPECT_EQ(arr.find_net("BL1").value(), 2u);
+    EXPECT_FALSE(arr.find_net("BLX").has_value());
+    EXPECT_EQ(arr.find_net("VSS", 2).value(), 3u);
+    EXPECT_EQ(arr.all_with_net("VSS").size(), 2u);
+}
+
+TEST(WireArray, CenterWireOfNetPicksClosestToMiddle)
+{
+    std::vector<Wire> wires;
+    for (int i = 0; i < 9; ++i) {
+        wires.push_back(make_wire(i % 2 == 0 ? "BL" : "VSS",
+                                  45.0 * static_cast<double>(i)));
+    }
+    const Wire_array arr(std::move(wires));
+    // Middle is track 4 (y=180); BL wires sit on even tracks, so track 4.
+    EXPECT_EQ(arr.center_wire_of_net("BL"), 4u);
+    // VSS on odd tracks: 3 or 5 both 45 nm away; the first found wins.
+    const std::size_t vss = arr.center_wire_of_net("VSS");
+    EXPECT_TRUE(vss == 3u || vss == 5u);
+    EXPECT_THROW(arr.center_wire_of_net("nope"),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(WireArray, InteriorExcludesEdges)
+{
+    const Wire_array arr({make_wire("a", 0.0), make_wire("b", 45.0),
+                          make_wire("c", 90.0)});
+    EXPECT_FALSE(arr.interior(0));
+    EXPECT_TRUE(arr.interior(1));
+    EXPECT_FALSE(arr.interior(2));
+}
+
+TEST(WireArray, RejectsInvalidWires)
+{
+    Wire bad = make_wire("x", 0.0);
+    bad.width = 0.0;
+    EXPECT_THROW(Wire_array({bad}), mpsram::util::Precondition_error);
+
+    bad = make_wire("x", 0.0);
+    bad.length = -1.0;
+    EXPECT_THROW(Wire_array({bad}), mpsram::util::Precondition_error);
+
+    bad = make_wire("", 0.0);
+    EXPECT_THROW(Wire_array({bad}), mpsram::util::Precondition_error);
+}
+
+TEST(WireArray, IndexingValidates)
+{
+    const Wire_array arr({make_wire("a", 0.0)});
+    EXPECT_EQ(arr[0].net, "a");
+    EXPECT_THROW(arr[1], mpsram::util::Precondition_error);
+}
+
+} // namespace

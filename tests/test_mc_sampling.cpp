@@ -1,0 +1,137 @@
+// Tests for the sampling schemes of the Monte-Carlo engine (pseudo-random
+// vs Latin hypercube) and the normal-quantile utility they rest on.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analytic/params.h"
+#include "mc/distribution.h"
+#include "pattern/engine.h"
+#include "sram/bitline_model.h"
+#include "tech/technology.h"
+#include "util/contracts.h"
+#include "util/numeric.h"
+
+namespace {
+
+using namespace mpsram;
+
+TEST(NormalQuantile, InvertsTheCdf)
+{
+    for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+        const double z = util::normal_quantile(p);
+        EXPECT_NEAR(util::normal_cdf(z), p, 1e-12) << "p = " << p;
+    }
+}
+
+TEST(NormalQuantile, KnownValues)
+{
+    EXPECT_NEAR(util::normal_quantile(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(util::normal_quantile(0.975), 1.959963985, 1e-7);
+    EXPECT_NEAR(util::normal_quantile(0.8413447461), 1.0, 1e-7);
+    EXPECT_NEAR(util::normal_quantile(0.0013498980), -3.0, 1e-6);
+}
+
+TEST(NormalQuantile, ValidatesDomain)
+{
+    EXPECT_THROW(util::normal_quantile(0.0), util::Precondition_error);
+    EXPECT_THROW(util::normal_quantile(1.0), util::Precondition_error);
+}
+
+struct Fixture {
+    tech::Technology t = tech::n10();
+    extract::Extractor ex{t.metal1};
+    sram::Array_config cfg;
+    std::unique_ptr<pattern::Patterning_engine> engine;
+    geom::Wire_array nominal;
+    std::size_t victim = 0;
+    analytic::Td_params params;
+
+    Fixture()
+    {
+        cfg.word_lines = 64;
+        cfg.victim_pair = 6;
+        engine = pattern::make_engine(tech::Patterning_option::le3, t);
+        nominal = engine->decompose(sram::build_metal1_array(t, cfg));
+        victim = sram::find_victim_wires(nominal, cfg).bl;
+        const auto cell = sram::Cell_electrical::n10(t.feol);
+        const auto wires = sram::roll_up_nominal(ex, nominal, t, cfg);
+        params = analytic::derive_params(t, cell, wires);
+    }
+
+    mc::Tdp_distribution run(mc::Sampling sampling, int samples,
+                             std::uint64_t seed = 11)
+    {
+        mc::Distribution_options mo;
+        mo.samples = samples;
+        mo.seed = seed;
+        mo.sampling = sampling;
+        return mc::tdp_distribution(*engine, ex, nominal, victim, params,
+                                    64, mo);
+    }
+};
+
+TEST(Lhs, DeterministicPerSeed)
+{
+    Fixture f;
+    const auto a = f.run(mc::Sampling::latin_hypercube, 300);
+    const auto b = f.run(mc::Sampling::latin_hypercube, 300);
+    ASSERT_EQ(a.tdp.size(), b.tdp.size());
+    for (std::size_t i = 0; i < a.tdp.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.tdp[i], b.tdp[i]);
+    }
+}
+
+TEST(Lhs, AgreesWithRandomSamplingOnSigma)
+{
+    // Both estimators target the same distribution.
+    Fixture f;
+    const auto lhs = f.run(mc::Sampling::latin_hypercube, 4000);
+    const auto rnd = f.run(mc::Sampling::pseudo_random, 4000);
+    EXPECT_NEAR(lhs.summary.stddev, rnd.summary.stddev,
+                0.12 * rnd.summary.stddev);
+    EXPECT_NEAR(lhs.summary.mean, rnd.summary.mean, 0.15);
+}
+
+TEST(Lhs, LowerSigmaEstimatorVarianceThanRandom)
+{
+    // The point of LHS: across seeds, the sigma estimate scatters less.
+    Fixture f;
+    constexpr int samples = 250;
+    constexpr int repeats = 12;
+
+    auto spread = [&](mc::Sampling sampling) {
+        std::vector<double> sigmas;
+        for (int s = 0; s < repeats; ++s) {
+            sigmas.push_back(
+                f.run(sampling, samples, 1000 + static_cast<unsigned>(s))
+                    .summary.stddev);
+        }
+        const auto [lo, hi] =
+            std::minmax_element(sigmas.begin(), sigmas.end());
+        return *hi - *lo;
+    };
+
+    EXPECT_LT(spread(mc::Sampling::latin_hypercube),
+              spread(mc::Sampling::pseudo_random));
+}
+
+TEST(Lhs, SamplesRespectTruncation)
+{
+    Fixture f;
+    mc::Distribution_options mo;
+    mo.samples = 500;
+    mo.sampling = mc::Sampling::latin_hypercube;
+    mo.truncate_k = 3.0;
+    const auto d = mc::tdp_distribution(*f.engine, f.ex, f.nominal,
+                                        f.victim, f.params, 64, mo);
+    // Indirect check: rvar of every sample stays within what a 3-sigma CD
+    // excursion can produce (the +/-3 nm bound on the victim width).
+    for (double r : d.rvar) {
+        EXPECT_GT(r, 0.85);
+        EXPECT_LT(r, 1.20);
+    }
+}
+
+} // namespace

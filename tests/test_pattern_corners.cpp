@@ -1,0 +1,99 @@
+#include "pattern/corners.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pattern/euv.h"
+#include "pattern/le3.h"
+#include "pattern/sadp.h"
+#include "tech/technology.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace mpsram;
+
+TEST(Corners, EnumeratesThreeLevelsPerAxis)
+{
+    const tech::Technology t = tech::n10();
+    const pattern::Sadp_engine engine(t);  // 2 axes
+    const auto search = pattern::enumerate_corners(
+        engine, [](const pattern::Process_sample&) { return 0.0; }, 3.0, 3);
+    EXPECT_EQ(search.all.size(), 9u);  // 3^2
+}
+
+TEST(Corners, EnumeratesTwoLevelsPerAxis)
+{
+    const tech::Technology t = tech::n10();
+    const pattern::Le3_engine engine(t);  // 5 axes
+    const auto search = pattern::enumerate_corners(
+        engine, [](const pattern::Process_sample&) { return 0.0; }, 3.0, 2);
+    EXPECT_EQ(search.all.size(), 32u);  // 2^5
+}
+
+TEST(Corners, FindsTheMaximizerOfAKnownMetric)
+{
+    const tech::Technology t = tech::n10();
+    const pattern::Sadp_engine engine(t);
+    // Metric maximized at cd = +3s, spacer = -3s.
+    const auto metric = [](const pattern::Process_sample& s) {
+        return s[0] - 2.0 * s[1];
+    };
+    const auto search = pattern::enumerate_corners(engine, metric, 3.0, 3);
+    const auto& axes = engine.axes();
+    EXPECT_NEAR(search.worst.sample[0], 3.0 * axes[0].sigma, 1e-18);
+    EXPECT_NEAR(search.worst.sample[1], -3.0 * axes[1].sigma, 1e-18);
+    // Every enumerated corner scores <= the winner.
+    for (const auto& c : search.all) {
+        EXPECT_LE(c.metric, search.worst.metric + 1e-18);
+    }
+}
+
+TEST(Corners, ZeroLevelsIncludedWithThreeLevels)
+{
+    const tech::Technology t = tech::n10();
+    const pattern::Euv_engine engine(t);
+    const auto search = pattern::enumerate_corners(
+        engine, [](const pattern::Process_sample& s) { return -std::fabs(s[0]); },
+        3.0, 3);
+    // Best metric is the all-zeros corner.
+    EXPECT_NEAR(search.worst.sample[0], 0.0, 1e-18);
+    EXPECT_EQ(search.all.size(), 3u);
+}
+
+TEST(Corners, DescribeRendersSignedSigmas)
+{
+    const tech::Technology t = tech::n10();
+    const pattern::Sadp_engine engine(t);
+    pattern::Corner c;
+    c.sample = {3.0 * engine.axes()[0].sigma, -3.0 * engine.axes()[1].sigma};
+    const std::string text = c.describe(engine);
+    EXPECT_NE(text.find("cd_core=+3s"), std::string::npos);
+    EXPECT_NE(text.find("spacer=-3s"), std::string::npos);
+}
+
+TEST(Corners, DescribeNominal)
+{
+    const tech::Technology t = tech::n10();
+    const pattern::Euv_engine engine(t);
+    pattern::Corner c;
+    c.sample = {0.0};
+    EXPECT_EQ(c.describe(engine), "nominal");
+}
+
+TEST(Corners, ValidatesArguments)
+{
+    const tech::Technology t = tech::n10();
+    const pattern::Euv_engine engine(t);
+    const auto metric = [](const pattern::Process_sample&) { return 0.0; };
+    EXPECT_THROW(pattern::enumerate_corners(engine, metric, 3.0, 4),
+                 util::Precondition_error);
+    EXPECT_THROW(pattern::enumerate_corners(engine, metric, -1.0, 3),
+                 util::Precondition_error);
+    pattern::Corner bad;
+    bad.sample = {0.0, 0.0};
+    EXPECT_THROW(bad.describe(engine), util::Precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+#include "pattern/le3.h"
+
+#include <gtest/gtest.h>
+
+#include "sram/layout.h"
+#include "tech/technology.h"
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace mpsram;
+namespace units = mpsram::units;
+
+geom::Wire_array nominal_array(int pairs = 4)
+{
+    sram::Array_config cfg;
+    cfg.word_lines = 8;
+    cfg.bl_pairs = pairs;
+    return sram::build_metal1_array(tech::n10(), cfg);
+}
+
+TEST(Le3, FiveVariationAxes)
+{
+    const pattern::Le3_engine engine(tech::n10());
+    const auto& axes = engine.axes();
+    ASSERT_EQ(axes.size(), 5u);
+    EXPECT_EQ(axes[pattern::Le3_engine::cd_a].name, "cd_mask_a");
+    EXPECT_EQ(axes[pattern::Le3_engine::ol_c].name, "overlay_c");
+    // CD sigma = 3sigma/3 = 1 nm; OL sigma = 8/3 nm.
+    EXPECT_NEAR(axes[0].sigma, 1.0 * units::nm, 1e-15);
+    EXPECT_NEAR(axes[3].sigma, 8.0 / 3.0 * units::nm, 1e-15);
+}
+
+TEST(Le3, DecomposeAssignsCyclicColors)
+{
+    const pattern::Le3_engine engine(tech::n10());
+    const geom::Wire_array arr = engine.decompose(nominal_array());
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        const auto expected = static_cast<geom::Mask_color>(
+            static_cast<int>(geom::Mask_color::mask_a) + i % 3);
+        EXPECT_EQ(arr[i].color, expected) << "wire " << i;
+    }
+}
+
+TEST(Le3, AdjacentWiresNeverShareAMask)
+{
+    const pattern::Le3_engine engine(tech::n10());
+    const geom::Wire_array arr = engine.decompose(nominal_array());
+    for (std::size_t i = 0; i + 1 < arr.size(); ++i) {
+        EXPECT_NE(arr[i].color, arr[i + 1].color);
+    }
+}
+
+TEST(Le3, NominalSampleIsIdentity)
+{
+    const pattern::Le3_engine engine(tech::n10());
+    const geom::Wire_array arr = engine.decompose(nominal_array());
+    const geom::Wire_array realized =
+        engine.realize(arr, engine.nominal_sample());
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        EXPECT_DOUBLE_EQ(realized[i].width, arr[i].width);
+        EXPECT_DOUBLE_EQ(realized[i].y_center, arr[i].y_center);
+    }
+}
+
+TEST(Le3, CdBiasAppliesPerMask)
+{
+    const pattern::Le3_engine engine(tech::n10());
+    const geom::Wire_array arr = engine.decompose(nominal_array());
+
+    pattern::Process_sample s = engine.nominal_sample();
+    s[pattern::Le3_engine::cd_b] = 2.0 * units::nm;
+    const geom::Wire_array realized = engine.realize(arr, s);
+
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        const double dw = realized[i].width - arr[i].width;
+        if (arr[i].color == geom::Mask_color::mask_b) {
+            EXPECT_NEAR(dw, 2.0 * units::nm, 1e-18);
+        } else {
+            EXPECT_NEAR(dw, 0.0, 1e-18);
+        }
+    }
+}
+
+TEST(Le3, OverlayShiftsOnlyMaskBAndC)
+{
+    const pattern::Le3_engine engine(tech::n10());
+    const geom::Wire_array arr = engine.decompose(nominal_array());
+
+    pattern::Process_sample s = engine.nominal_sample();
+    s[pattern::Le3_engine::ol_b] = 3.0 * units::nm;
+    s[pattern::Le3_engine::ol_c] = -2.0 * units::nm;
+    const geom::Wire_array realized = engine.realize(arr, s);
+
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        const double dy = realized[i].y_center - arr[i].y_center;
+        switch (arr[i].color) {
+        case geom::Mask_color::mask_a:
+            EXPECT_NEAR(dy, 0.0, 1e-18);  // alignment reference
+            break;
+        case geom::Mask_color::mask_b:
+            EXPECT_NEAR(dy, 3.0 * units::nm, 1e-18);
+            break;
+        case geom::Mask_color::mask_c:
+            EXPECT_NEAR(dy, -2.0 * units::nm, 1e-18);
+            break;
+        default:
+            FAIL() << "undecomposed wire";
+        }
+    }
+}
+
+TEST(Le3, WorstCornerCrunchesBothSidesOfMaskAVictim)
+{
+    // CD +3s on all masks and opposing overlay shifts must reduce both
+    // spacings of a mask-A wire by CD + OL.
+    const tech::Technology t = tech::n10();
+    const pattern::Le3_engine engine(t);
+    const geom::Wire_array arr = engine.decompose(nominal_array());
+
+    pattern::Process_sample s = engine.nominal_sample();
+    const double cd = 3.0 * units::nm;
+    const double ol = 8.0 * units::nm;
+    s[pattern::Le3_engine::cd_a] = cd;
+    s[pattern::Le3_engine::cd_b] = cd;
+    s[pattern::Le3_engine::cd_c] = cd;
+    // Wire 6 is mask_a (6 % 3 == 0); below neighbor 5 is mask_c, above
+    // neighbor 7 is mask_b.  Shift C up and B down.
+    s[pattern::Le3_engine::ol_c] = ol;
+    s[pattern::Le3_engine::ol_b] = -ol;
+    const geom::Wire_array realized = engine.realize(arr, s);
+
+    const double nominal_space = t.metal1.nominal_space();
+    EXPECT_NEAR(realized.spacing_below(6), nominal_space - cd - ol, 1e-17);
+    EXPECT_NEAR(realized.spacing_above(6), nominal_space - cd - ol, 1e-17);
+}
+
+TEST(Le3, RealizeValidatesSampleSizeAndDecomposition)
+{
+    const pattern::Le3_engine engine(tech::n10());
+    const geom::Wire_array undecomposed = nominal_array();
+    const geom::Wire_array arr = engine.decompose(undecomposed);
+
+    EXPECT_THROW(engine.realize(arr, std::vector<double>(3, 0.0)),
+                 util::Precondition_error);
+    EXPECT_THROW(engine.realize(undecomposed, engine.nominal_sample()),
+                 util::Precondition_error);
+}
+
+TEST(Le3, PinchOffThrows)
+{
+    const pattern::Le3_engine engine(tech::n10());
+    const geom::Wire_array arr = engine.decompose(nominal_array());
+    pattern::Process_sample s = engine.nominal_sample();
+    s[pattern::Le3_engine::cd_a] = -30.0 * units::nm;
+    EXPECT_THROW(engine.realize(arr, s), util::Postcondition_error);
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+#include "pattern/sadp.h"
+
+#include <gtest/gtest.h>
+
+#include "sram/layout.h"
+#include "tech/technology.h"
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace mpsram;
+namespace units = mpsram::units;
+
+geom::Wire_array nominal_array()
+{
+    sram::Array_config cfg;
+    cfg.word_lines = 8;
+    cfg.bl_pairs = 4;
+    return sram::build_metal1_array(tech::n10(), cfg);
+}
+
+TEST(Sadp, TwoVariationAxes)
+{
+    const pattern::Sadp_engine engine(tech::n10());
+    const auto& axes = engine.axes();
+    ASSERT_EQ(axes.size(), 2u);
+    EXPECT_EQ(axes[pattern::Sadp_engine::cd_core].name, "cd_core");
+    EXPECT_EQ(axes[pattern::Sadp_engine::spacer].name, "spacer");
+    EXPECT_NEAR(axes[0].sigma, 1.0 * units::nm, 1e-15);
+    EXPECT_NEAR(axes[1].sigma, 0.5 * units::nm, 1e-15);
+}
+
+TEST(Sadp, PowerRailsAreMandrelsBitLinesAreGaps)
+{
+    const pattern::Sadp_engine engine(tech::n10());
+    const geom::Wire_array arr = engine.decompose(nominal_array());
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        const bool is_rail = arr[i].net.rfind("VSS", 0) == 0 ||
+                             arr[i].net.rfind("VDD", 0) == 0;
+        const auto expected =
+            is_rail ? geom::Sadp_class::mandrel : geom::Sadp_class::gap;
+        EXPECT_EQ(arr[i].sadp, expected)
+            << "wire " << i << " net " << arr[i].net;
+    }
+}
+
+TEST(Sadp, GapWidthAntiCorrelatesWithCoreCd)
+{
+    const pattern::Sadp_engine engine(tech::n10());
+    const geom::Wire_array arr = engine.decompose(nominal_array());
+
+    pattern::Process_sample s = engine.nominal_sample();
+    s[pattern::Sadp_engine::cd_core] = -3.0 * units::nm;
+    const geom::Wire_array realized = engine.realize(arr, s);
+
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        const double dw = realized[i].width - arr[i].width;
+        if (arr[i].sadp == geom::Sadp_class::mandrel) {
+            EXPECT_NEAR(dw, -3.0 * units::nm, 1e-18);
+        } else {
+            EXPECT_NEAR(dw, +3.0 * units::nm, 1e-18);  // anti-correlated
+        }
+    }
+}
+
+TEST(Sadp, SpacerBiasNarrowsGapsOnly)
+{
+    const pattern::Sadp_engine engine(tech::n10());
+    const geom::Wire_array arr = engine.decompose(nominal_array());
+
+    pattern::Process_sample s = engine.nominal_sample();
+    s[pattern::Sadp_engine::spacer] = 1.0 * units::nm;
+    const geom::Wire_array realized = engine.realize(arr, s);
+
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        const double dw = realized[i].width - arr[i].width;
+        if (arr[i].sadp == geom::Sadp_class::mandrel) {
+            EXPECT_NEAR(dw, 0.0, 1e-18);
+        } else {
+            EXPECT_NEAR(dw, -2.0 * units::nm, 1e-18);  // one spacer per side
+        }
+    }
+}
+
+TEST(Sadp, PitchIsConservedUnderAnyVariation)
+{
+    // Self-aligned property: centers never move, so the center-to-center
+    // pitch of the whole array is invariant under any process sample.
+    const pattern::Sadp_engine engine(tech::n10());
+    const geom::Wire_array arr = engine.decompose(nominal_array());
+
+    pattern::Process_sample s = {2.0 * units::nm, -1.0 * units::nm};
+    const geom::Wire_array realized = engine.realize(arr, s);
+
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        EXPECT_DOUBLE_EQ(realized[i].y_center, arr[i].y_center);
+    }
+}
+
+class SadpSelfAlignmentTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(SadpSelfAlignmentTest, MandrelGapSpacingIsSpacerDefined)
+{
+    // Property (the heart of SADP): every mandrel->gap spacing equals
+    // nominal spacer thickness + bias, independent of the core CD.
+    const auto [cd_nm, sp_nm] = GetParam();
+    const tech::Technology t = tech::n10();
+    const pattern::Sadp_engine engine(t);
+    const geom::Wire_array arr = engine.decompose(nominal_array());
+
+    pattern::Process_sample s = {cd_nm * units::nm, sp_nm * units::nm};
+    const geom::Wire_array realized = engine.realize(arr, s);
+
+    // Interior spacings between a mandrel and a gap wire: the mandrel edge
+    // moves by cd/2, the gap edge by -(cd/2 + sp)... total spacing change
+    // is sp relative to nominal spacer.
+    const double expected =
+        engine.nominal_spacer() -
+        (t.metal1.nominal_space() - engine.nominal_spacer()) +
+        sp_nm * units::nm;
+    // With uniform nominal track widths, nominal spacing == spacer.
+    EXPECT_NEAR(engine.nominal_spacer(), t.metal1.nominal_space(), 1e-18);
+
+    for (std::size_t i = 0; i + 1 < realized.size(); ++i) {
+        EXPECT_NEAR(realized.spacing_above(i),
+                    t.metal1.nominal_space() + sp_nm * units::nm, 1e-17)
+            << "spacing " << i << " should not depend on core CD "
+            << cd_nm;
+    }
+    (void)expected;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CdSpacerGrid, SadpSelfAlignmentTest,
+    ::testing::Values(std::pair{0.0, 0.0}, std::pair{3.0, 0.0},
+                      std::pair{-3.0, 0.0}, std::pair{0.0, 1.5},
+                      std::pair{3.0, -1.5}, std::pair{-3.0, 1.5}));
+
+TEST(Sadp, RealizeValidates)
+{
+    const pattern::Sadp_engine engine(tech::n10());
+    const geom::Wire_array undecomposed = nominal_array();
+    EXPECT_THROW(engine.realize(undecomposed, engine.nominal_sample()),
+                 util::Precondition_error);
+    const geom::Wire_array arr = engine.decompose(undecomposed);
+    EXPECT_THROW(engine.realize(arr, std::vector<double>{0.0}),
+                 util::Precondition_error);
+}
+
+TEST(Sadp, PinchOffThrows)
+{
+    const pattern::Sadp_engine engine(tech::n10());
+    const geom::Wire_array arr = engine.decompose(nominal_array());
+    pattern::Process_sample s = {30.0 * units::nm, 0.0};
+    EXPECT_THROW(engine.realize(arr, s), util::Postcondition_error);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+// Tests for the LTE-based adaptive time-step control.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "spice/analysis.h"
+#include "spice/mosfet_model.h"
+
+namespace {
+
+using namespace mpsram::spice;
+
+struct Rc_fixture {
+    Circuit circuit;
+    Node in = 0;
+    Node out = 0;
+    double r = 1000.0;
+    double c = 1e-12;  // tau = 1 ns
+
+    Rc_fixture()
+    {
+        in = circuit.node("in");
+        out = circuit.node("out");
+        circuit.add_voltage_source(
+            "Vin", in, ground_node,
+            Waveform::pulse(0.0, 1.0, 0.2e-9, 1e-12));
+        circuit.add_resistor("R1", in, out, r);
+        circuit.add_capacitor("C1", out, ground_node, c);
+    }
+};
+
+double max_rc_error(const Transient_result& res, double tau)
+{
+    const auto wave = res.waveform("out");
+    double worst = 0.0;
+    for (double t = 0.3e-9; t < 5e-9; t += 0.05e-9) {
+        const double expected = 1.0 - std::exp(-(t - 0.2e-9) / tau);
+        worst = std::max(worst, std::fabs(wave.at(t) - expected));
+    }
+    return worst;
+}
+
+TEST(Adaptive, MeetsAccuracyWithCoarseNominalStep)
+{
+    // With only 50 nominal steps over 5 tau, fixed stepping is visibly
+    // wrong early in the exponential; adaptive stepping must refine
+    // itself there and beat it.
+    Rc_fixture fixed_f;
+    Transient_options fixed;
+    fixed.tstop = 5e-9;
+    fixed.nominal_steps = 50;
+    const double err_fixed =
+        max_rc_error(run_transient(fixed_f.circuit, {fixed_f.out}, fixed),
+                     1e-9);
+
+    Rc_fixture adapt_f;
+    Transient_options adapt = fixed;
+    adapt.adaptive = true;
+    adapt.lte_rel = 1e-4;
+    adapt.lte_abs = 1e-5;
+    const double err_adapt =
+        max_rc_error(run_transient(adapt_f.circuit, {adapt_f.out}, adapt),
+                     1e-9);
+
+    EXPECT_LT(err_adapt, err_fixed);
+    EXPECT_LT(err_adapt, 2e-3);
+}
+
+TEST(Adaptive, GrowsStepsOnFlatWaveforms)
+{
+    // Long flat tail: the controller should take fewer steps than the
+    // fixed grid while staying accurate.
+    Rc_fixture f;
+    Transient_options opts;
+    opts.tstop = 20e-9;  // mostly settled after ~5 ns
+    opts.nominal_steps = 2000;
+    opts.adaptive = true;
+    const auto res = run_transient(f.circuit, {f.out}, opts);
+    EXPECT_LT(res.sample_count(), 1600u);
+    EXPECT_NEAR(res.final_value("out"), 1.0, 1e-4);
+}
+
+TEST(Adaptive, StillLandsOnBreakpoints)
+{
+    Rc_fixture f;
+    Transient_options opts;
+    opts.tstop = 2e-9;
+    opts.adaptive = true;
+    const auto res = run_transient(f.circuit, {f.out}, opts);
+    bool found = false;
+    for (double t : res.time()) {
+        if (std::fabs(t - 0.2e-9) < 1e-18) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Adaptive, ImprovesChargeConservationOnStiffHandoff)
+{
+    // A full-drive pass gate snapping on transfers charge in ~10 fs —
+    // far below the fixed step — and the one-step linearized current
+    // overshoots, manufacturing charge from nothing.  Conservation is
+    // checked as a before/after delta so DC leak equilibria don't enter.
+    Mosfet_params nm;
+    nm.type = Mosfet_type::nmos;
+    nm.vth = 0.4;  // cold device: negligible off-state leakage
+    nm = calibrate_beta(nm, 0.7, 40e-6);
+
+    auto build = [&](Circuit& c) {
+        const Node a = c.node("a");
+        const Node b = c.node("b");
+        const Node g = c.node("g");
+        const Node supply = c.node("supply");
+        c.add_voltage_source("Vg", g, ground_node,
+                             Waveform::pulse(0.0, 0.7, 10e-12, 4e-12));
+        c.add_voltage_source("Vs", supply, ground_node,
+                             Waveform::pulse(0.7, 0.0, 5e-12, 2e-12));
+        c.add_resistor("Riso", supply, a, 1e7);
+        c.add_resistor("Rb", b, ground_node, 1e9);  // pins b low at DC
+        c.add_capacitor("Ca", a, ground_node, 2e-15);
+        c.add_capacitor("Cb", b, ground_node, 1e-15);
+        c.add_mosfet("Mpass", a, g, b, nm);
+        return std::pair{a, b};
+    };
+
+    // |q(end) - q(0)| beyond the known resistive drain budget.
+    auto charge_delta = [&](bool adaptive) {
+        Circuit c;
+        const auto [a, b] = build(c);
+        Transient_options opts;
+        opts.tstop = 200e-12;
+        opts.nominal_steps = 200;
+        opts.adaptive = adaptive;
+        opts.lte_rel = 1e-3;
+        const auto res = run_transient(c, {a, b}, opts);
+        const auto wa = res.waveform("a");
+        const auto wb = res.waveform("b");
+        const double q0 = 2e-15 * wa.at(0.0) + 1e-15 * wb.at(0.0);
+        const double q1 =
+            2e-15 * res.final_value("a") + 1e-15 * res.final_value("b");
+        return std::fabs(q1 - q0);
+    };
+
+    const double err_adaptive = charge_delta(true);
+    const double err_fixed = charge_delta(false);
+    // Resistive drain budget over the window: ~0.02 fF*V.
+    EXPECT_LT(err_adaptive, 0.03e-15);
+    EXPECT_LE(err_adaptive, err_fixed + 1e-18);
+}
+
+TEST(Adaptive, MatchesFixedResultOnSmoothProblem)
+{
+    // Same physical answer from both stepping modes.
+    Rc_fixture f1;
+    Transient_options fixed;
+    fixed.tstop = 3e-9;
+    fixed.nominal_steps = 3000;
+    const auto r1 = run_transient(f1.circuit, {f1.out}, fixed);
+
+    Rc_fixture f2;
+    Transient_options adapt = fixed;
+    adapt.nominal_steps = 300;
+    adapt.adaptive = true;
+    adapt.lte_rel = 1e-4;
+    const auto r2 = run_transient(f2.circuit, {f2.out}, adapt);
+
+    for (double t = 0.3e-9; t < 3e-9; t += 0.3e-9) {
+        EXPECT_NEAR(r2.waveform("out").at(t), r1.waveform("out").at(t),
+                    1e-3);
+    }
+}
+
+} // namespace

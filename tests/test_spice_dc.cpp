@@ -1,0 +1,191 @@
+#include "spice/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "spice/exceptions.h"
+#include "spice/mosfet_model.h"
+
+namespace {
+
+using namespace mpsram::spice;
+
+Mosfet_params nmos()
+{
+    Mosfet_params p;
+    p.type = Mosfet_type::nmos;
+    return calibrate_beta(p, 0.7, 40e-6);
+}
+
+Mosfet_params pmos()
+{
+    Mosfet_params p;
+    p.type = Mosfet_type::pmos;
+    return calibrate_beta(p, 0.7, 30e-6);
+}
+
+TEST(Dc, VoltageDivider)
+{
+    Circuit c;
+    const Node vin = c.node("in");
+    const Node mid = c.node("mid");
+    c.add_voltage_source("V1", vin, ground_node, Waveform::dc(1.0));
+    c.add_resistor("R1", vin, mid, 1000.0);
+    c.add_resistor("R2", mid, ground_node, 3000.0);
+
+    const Dc_result r = dc_operating_point(c);
+    EXPECT_NEAR(r.v(mid), 0.75, 1e-9);
+    EXPECT_DOUBLE_EQ(r.v(vin), 1.0);
+}
+
+TEST(Dc, CurrentSourceIntoResistor)
+{
+    Circuit c;
+    const Node n1 = c.node("n1");
+    c.add_current_source("I1", ground_node, n1, Waveform::dc(1e-3));
+    c.add_resistor("R1", n1, ground_node, 2000.0);
+    const Dc_result r = dc_operating_point(c);
+    // gmin (1e-12 S) to ground shaves a few nV off the ideal 2 V.
+    EXPECT_NEAR(r.v(n1), 2.0, 1e-7);
+}
+
+TEST(Dc, FloatingVoltageSourceBranch)
+{
+    // 1V grounded source, then a floating 0.3V source stacked on top.
+    Circuit c;
+    const Node a = c.node("a");
+    const Node b = c.node("b");
+    c.add_voltage_source("V1", a, ground_node, Waveform::dc(1.0));
+    c.add_voltage_source("V2", b, a, Waveform::dc(0.3));
+    c.add_resistor("RL", b, ground_node, 1000.0);
+    const Dc_result r = dc_operating_point(c);
+    EXPECT_NEAR(r.v(b), 1.3, 1e-9);
+}
+
+TEST(Dc, SeriesFloatingSourcesAndLoads)
+{
+    Circuit c;
+    const Node a = c.node("a");
+    const Node b = c.node("b");
+    const Node m = c.node("m");
+    c.add_voltage_source("V1", a, ground_node, Waveform::dc(2.0));
+    c.add_resistor("R1", a, m, 1000.0);
+    c.add_voltage_source("V2", m, b, Waveform::dc(0.5));
+    c.add_resistor("R2", b, ground_node, 1000.0);
+    const Dc_result r = dc_operating_point(c);
+    // Current: (2 - 0.5) / 2k = 0.75 mA; v(b) = 0.75, v(m) = 1.25
+    // (to within the gmin leakage).
+    EXPECT_NEAR(r.v(b), 0.75, 1e-7);
+    EXPECT_NEAR(r.v(m), 1.25, 1e-7);
+}
+
+TEST(Dc, DiodeConnectedMosfetSettlesNearThreshold)
+{
+    Circuit c;
+    const Node vdd = c.node("vdd");
+    const Node d = c.node("d");
+    c.add_voltage_source("V1", vdd, ground_node, Waveform::dc(0.7));
+    c.add_resistor("R1", vdd, d, 50e3);
+    c.add_mosfet("M1", d, d, ground_node, nmos());
+
+    const Dc_result r = dc_operating_point(c);
+    // Diode-connected: v(d) a bit above vth, well below vdd.
+    EXPECT_GT(r.v(d), 0.2);
+    EXPECT_LT(r.v(d), 0.55);
+}
+
+TEST(Dc, CmosInverterTransfersLogicLevels)
+{
+    Circuit c;
+    const Node vdd = c.node("vdd");
+    const Node in = c.node("in");
+    const Node out = c.node("out");
+    c.add_voltage_source("Vdd", vdd, ground_node, Waveform::dc(0.7));
+    c.add_voltage_source("Vin", in, ground_node, Waveform::dc(0.0));
+    c.add_mosfet("Mp", out, in, vdd, pmos());
+    c.add_mosfet("Mn", out, in, ground_node, nmos());
+    const Dc_result low_in = dc_operating_point(c);
+    EXPECT_GT(low_in.v(out), 0.65);  // output high
+}
+
+TEST(Dc, SramLatchHoldsForcedState)
+{
+    // Cross-coupled inverters with forces picking the (q=0, qb=1) state.
+    Circuit c;
+    const Node vdd = c.node("vdd");
+    const Node q = c.node("q");
+    const Node qb = c.node("qb");
+    c.add_voltage_source("Vdd", vdd, ground_node, Waveform::dc(0.7));
+    c.add_mosfet("Mpu_q", q, qb, vdd, pmos());
+    c.add_mosfet("Mpd_q", q, qb, ground_node, nmos());
+    c.add_mosfet("Mpu_qb", qb, q, vdd, pmos());
+    c.add_mosfet("Mpd_qb", qb, q, ground_node, nmos());
+
+    Dc_options opts;
+    opts.forces = {{q, 0.0, 1.0}, {qb, 0.7, 1.0}};
+    const Dc_result r = dc_operating_point(c, opts);
+    EXPECT_LT(r.v(q), 0.05);
+    EXPECT_GT(r.v(qb), 0.65);
+
+    // And the mirrored forcing picks the other stable state.
+    Dc_options flipped;
+    flipped.forces = {{q, 0.7, 1.0}, {qb, 0.0, 1.0}};
+    const Dc_result r2 = dc_operating_point(c, flipped);
+    EXPECT_GT(r2.v(q), 0.65);
+    EXPECT_LT(r2.v(qb), 0.05);
+}
+
+TEST(Dc, MultipleSourcesOnOneNodeRejected)
+{
+    Circuit c;
+    const Node a = c.node("a");
+    c.add_voltage_source("V1", a, ground_node, Waveform::dc(1.0));
+    c.add_voltage_source("V2", a, ground_node, Waveform::dc(2.0));
+    EXPECT_THROW(dc_operating_point(c), Netlist_error);
+}
+
+TEST(Dc, FloatingNodeHeldByGmin)
+{
+    // A node connected only through a capacitor is floating in DC; gmin
+    // must keep the matrix solvable and park it at ground.
+    Circuit c;
+    const Node a = c.node("a");
+    const Node f = c.node("float");
+    c.add_voltage_source("V1", a, ground_node, Waveform::dc(1.0));
+    c.add_capacitor("C1", a, f, 1e-15);
+    const Dc_result r = dc_operating_point(c);
+    EXPECT_NEAR(r.v(f), 0.0, 1e-6);
+}
+
+TEST(Circuit, NodeNamesAndLookup)
+{
+    Circuit c;
+    EXPECT_EQ(c.node("0"), ground_node);
+    EXPECT_EQ(c.node("gnd"), ground_node);
+    const Node a = c.node("a");
+    EXPECT_EQ(c.node("a"), a);  // idempotent
+    EXPECT_EQ(c.find_node("a"), a);
+    EXPECT_THROW(c.find_node("missing"), Netlist_error);
+    EXPECT_EQ(c.node_name(a), "a");
+}
+
+TEST(Circuit, DuplicateDeviceNamesRejected)
+{
+    Circuit c;
+    const Node a = c.node("a");
+    c.add_resistor("R1", a, ground_node, 1.0);
+    EXPECT_THROW(c.add_resistor("R1", a, ground_node, 2.0), Netlist_error);
+}
+
+TEST(Circuit, NodeCapacitanceSums)
+{
+    Circuit c;
+    const Node a = c.node("a");
+    const Node b = c.node("b");
+    c.add_capacitor("C1", a, ground_node, 1e-15);
+    c.add_capacitor("C2", a, b, 2e-15);
+    c.add_capacitor("C3", b, ground_node, 4e-15);
+    EXPECT_DOUBLE_EQ(c.node_capacitance(a), 3e-15);
+    EXPECT_DOUBLE_EQ(c.node_capacitance(b), 6e-15);
+}
+
+} // namespace

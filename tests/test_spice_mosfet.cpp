@@ -1,0 +1,164 @@
+#include "spice/mosfet_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace {
+
+using namespace mpsram::spice;
+
+Mosfet_params nmos()
+{
+    Mosfet_params p;
+    p.type = Mosfet_type::nmos;
+    return calibrate_beta(p, 0.7, 40e-6);
+}
+
+Mosfet_params pmos()
+{
+    Mosfet_params p;
+    p.type = Mosfet_type::pmos;
+    return calibrate_beta(p, 0.7, 30e-6);
+}
+
+TEST(MosfetModel, CalibrationHitsDriveTarget)
+{
+    const Mosfet_params n = nmos();
+    EXPECT_NEAR(drive_current(n, 0.7), 40e-6, 1e-12);
+    const Mosfet_params p = pmos();
+    EXPECT_NEAR(drive_current(p, 0.7), 30e-6, 1e-12);
+}
+
+TEST(MosfetModel, OffDeviceLeaksOrdersOfMagnitudeBelowOn)
+{
+    const Mosfet_params p = nmos();
+    const double on = evaluate_mosfet(p, 0.7, 0.7, 0.0).ids;
+    const double off = evaluate_mosfet(p, 0.7, 0.0, 0.0).ids;
+    EXPECT_GT(on / off, 1e3);
+    EXPECT_GT(off, 0.0);  // still finite subthreshold leakage
+}
+
+TEST(MosfetModel, SubthresholdSlopeMatchesN)
+{
+    // In weak inversion Ids ~ exp(vgs / (n Vt)): one decade per
+    // n * Vt * ln(10) volts of gate drive.
+    const Mosfet_params p = nmos();
+    const double v1 = 0.05;
+    const double v2 = 0.10;
+    const double i1 = evaluate_mosfet(p, 0.7, v1, 0.0).ids;
+    const double i2 = evaluate_mosfet(p, 0.7, v2, 0.0).ids;
+    const double slope_mv_per_dec =
+        (v2 - v1) / std::log10(i2 / i1) * 1e3;
+    const double expected = p.n * p.v_t * std::log(10.0) * 1e3;  // ~77 mV
+    EXPECT_NEAR(slope_mv_per_dec, expected, 0.1 * expected);
+}
+
+TEST(MosfetModel, SourceDrainSymmetry)
+{
+    // EKV is symmetric: swapping D and S negates the current.
+    const Mosfet_params p = nmos();
+    const double fwd = evaluate_mosfet(p, 0.5, 0.7, 0.1).ids;
+    const double rev = evaluate_mosfet(p, 0.1, 0.7, 0.5).ids;
+    EXPECT_NEAR(fwd, -rev, 1e-9 * std::fabs(fwd));
+}
+
+TEST(MosfetModel, ZeroVdsZeroCurrent)
+{
+    const Mosfet_params p = nmos();
+    EXPECT_NEAR(evaluate_mosfet(p, 0.3, 0.7, 0.3).ids, 0.0, 1e-15);
+}
+
+TEST(MosfetModel, PmosMirrorsNmos)
+{
+    Mosfet_params n;
+    n.type = Mosfet_type::nmos;
+    Mosfet_params p = n;
+    p.type = Mosfet_type::pmos;
+
+    // PMOS at mirrored bias must carry the negated NMOS current.
+    const Mosfet_eval en = evaluate_mosfet(n, 0.7, 0.7, 0.0);
+    const Mosfet_eval ep = evaluate_mosfet(p, -0.7, -0.7, 0.0);
+    EXPECT_NEAR(ep.ids, -en.ids, 1e-12);
+    EXPECT_NEAR(ep.gm, en.gm, 1e-9);
+    EXPECT_NEAR(ep.gds, en.gds, 1e-9);
+}
+
+TEST(MosfetModel, MultiplicityScalesCurrentLinearly)
+{
+    const Mosfet_params p = nmos();
+    const double i1 = evaluate_mosfet(p, 0.7, 0.7, 0.0, 1.0).ids;
+    const double i3 = evaluate_mosfet(p, 0.7, 0.7, 0.0, 3.0).ids;
+    EXPECT_NEAR(i3, 3.0 * i1, 1e-12);
+}
+
+TEST(MosfetModel, SaturationCurrentNearlyFlatInVds)
+{
+    const Mosfet_params p = nmos();
+    const double i1 = evaluate_mosfet(p, 0.5, 0.7, 0.0).ids;
+    const double i2 = evaluate_mosfet(p, 0.7, 0.7, 0.0).ids;
+    // Only CLM separates them: a few percent.
+    EXPECT_NEAR(i2 / i1, 1.0 + p.lambda * 0.2, 0.02);
+}
+
+struct Bias {
+    double vd;
+    double vg;
+    double vs;
+};
+
+class MosfetDerivativeTest : public ::testing::TestWithParam<Bias> {};
+
+TEST_P(MosfetDerivativeTest, AnalyticMatchesFiniteDifference)
+{
+    // Property: gm, gds, gms agree with central finite differences at
+    // every bias corner (this is what Newton convergence rests on).
+    const Bias b = GetParam();
+    const Mosfet_params p = nmos();
+    const double h = 1e-6;
+
+    const Mosfet_eval e = evaluate_mosfet(p, b.vd, b.vg, b.vs);
+
+    const double gm_fd = (evaluate_mosfet(p, b.vd, b.vg + h, b.vs).ids -
+                          evaluate_mosfet(p, b.vd, b.vg - h, b.vs).ids) /
+                         (2.0 * h);
+    const double gds_fd = (evaluate_mosfet(p, b.vd + h, b.vg, b.vs).ids -
+                           evaluate_mosfet(p, b.vd - h, b.vg, b.vs).ids) /
+                          (2.0 * h);
+    const double gms_fd = (evaluate_mosfet(p, b.vd, b.vg, b.vs + h).ids -
+                           evaluate_mosfet(p, b.vd, b.vg, b.vs - h).ids) /
+                          (2.0 * h);
+
+    const double scale = std::max(
+        {std::fabs(gm_fd), std::fabs(gds_fd), std::fabs(gms_fd), 1e-9});
+    EXPECT_NEAR(e.gm, gm_fd, 1e-4 * scale);
+    EXPECT_NEAR(e.gds, gds_fd, 1e-4 * scale);
+    EXPECT_NEAR(e.gms, gms_fd, 1e-4 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, MosfetDerivativeTest,
+    ::testing::Values(Bias{0.7, 0.7, 0.0},   // strong on
+                      Bias{0.1, 0.7, 0.0},   // triode
+                      Bias{0.7, 0.2, 0.0},   // subthreshold
+                      Bias{0.7, 0.0, 0.0},   // off
+                      Bias{0.0, 0.7, 0.7},   // source-follower style
+                      Bias{0.35, 0.5, 0.2},  // mid-bias
+                      Bias{0.2, 0.7, 0.5},   // reverse-ish
+                      Bias{0.7, 0.35, 0.35}));
+
+TEST(MosfetModel, ValidatesParameters)
+{
+    Mosfet_params p = nmos();
+    EXPECT_THROW(evaluate_mosfet(p, 0.0, 0.0, 0.0, -1.0),
+                 mpsram::util::Precondition_error);
+    p.n = 0.5;
+    EXPECT_THROW(evaluate_mosfet(p, 0.0, 0.0, 0.0),
+                 mpsram::util::Precondition_error);
+    EXPECT_THROW(calibrate_beta(nmos(), 0.7, -1.0),
+                 mpsram::util::Precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+#include "spice/netlist_io.h"
+
+#include <gtest/gtest.h>
+
+#include "extract/extractor.h"
+#include "spice/mosfet_model.h"
+#include "sram/netlist_builder.h"
+
+namespace {
+
+using namespace mpsram;
+using namespace mpsram::spice;
+
+TEST(NetlistIo, EmitsAllDeviceCards)
+{
+    Mosfet_params nm;
+    nm.type = Mosfet_type::nmos;
+
+    Circuit c;
+    const Node vdd = c.node("vdd");
+    const Node out = c.node("out");
+    c.add_voltage_source("Vdd", vdd, ground_node, Waveform::dc(0.7));
+    c.add_resistor("R1", vdd, out, 1234.5);
+    c.add_capacitor("C1", out, ground_node, 2e-15);
+    c.add_current_source("I1", ground_node, out, Waveform::dc(1e-6));
+    c.add_mosfet("Mn", out, vdd, ground_node, nm, 2.0);
+
+    const std::string text = to_spice(c, "unit test");
+    EXPECT_NE(text.find("* unit test"), std::string::npos);
+    EXPECT_NE(text.find("R1 vdd out 1234.5"), std::string::npos);
+    EXPECT_NE(text.find("C1 out 0 2e-15"), std::string::npos);
+    EXPECT_NE(text.find("Vdd vdd 0 DC 0.7"), std::string::npos);
+    EXPECT_NE(text.find("I1 0 out DC 1e-06"), std::string::npos);
+    EXPECT_NE(text.find("Mn out vdd 0 0 nmos_ekv m=2"), std::string::npos);
+    EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+TEST(NetlistIo, PulseSourcesSerializeAsPwl)
+{
+    Circuit c;
+    const Node a = c.node("a");
+    c.add_voltage_source("Vp", a, ground_node,
+                         Waveform::pulse(0.0, 0.7, 1e-11, 4e-12));
+    const std::string text = to_spice(c);
+    EXPECT_NE(text.find("Vp a 0 PWL(0 0 1e-11 0 1.4e-11 0.7)"),
+              std::string::npos);
+}
+
+TEST(NetlistIo, SramReadNetlistRoundTripsAllDevices)
+{
+    const tech::Technology t = tech::n10();
+    const auto cell = sram::Cell_electrical::n10(t.feol);
+    const extract::Extractor ex(t.metal1);
+    sram::Array_config cfg;
+    cfg.word_lines = 4;
+    cfg.victim_pair = 6;
+    const auto arr = sram::build_metal1_array(t, cfg);
+    const auto wires = sram::roll_up_nominal(ex, arr, t, cfg);
+    const sram::Read_netlist net =
+        sram::build_read_netlist(t, cell, wires, cfg);
+
+    const std::string text = to_spice(net.circuit, "sram read path");
+    // One line per device plus title, count comment and .end.
+    std::size_t lines = 0;
+    for (char ch : text) {
+        if (ch == '\n') ++lines;
+    }
+    EXPECT_EQ(lines, net.circuit.device_count() + 3);
+    // Spot checks.
+    EXPECT_NE(text.find("Mpg_bl3"), std::string::npos);
+    EXPECT_NE(text.find("Rvss0"), std::string::npos);
+    EXPECT_NE(text.find("pmos_ekv"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,283 @@
+#include "spice/analysis.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "spice/exceptions.h"
+#include "spice/measure.h"
+#include "spice/mosfet_model.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace mpsram::spice;
+
+/// Build the canonical RC low-pass driven by a step.
+struct Rc_fixture {
+    Circuit circuit;
+    Node in = 0;
+    Node out = 0;
+    double r = 1000.0;
+    double c = 1e-12;  // tau = 1 ns
+
+    explicit Rc_fixture(double step_delay = 1e-9)
+    {
+        in = circuit.node("in");
+        out = circuit.node("out");
+        circuit.add_voltage_source(
+            "Vin", in, ground_node,
+            Waveform::pulse(0.0, 1.0, step_delay, 1e-12));
+        circuit.add_resistor("R1", in, out, r);
+        circuit.add_capacitor("C1", out, ground_node, c);
+    }
+};
+
+class RcChargeTest : public ::testing::TestWithParam<Integration_method> {};
+
+TEST_P(RcChargeTest, MatchesAnalyticExponential)
+{
+    Rc_fixture f;
+    Transient_options opts;
+    opts.tstop = 6e-9;
+    opts.nominal_steps = 3000;
+    opts.method = GetParam();
+
+    const Transient_result res =
+        run_transient(f.circuit, {f.out}, opts);
+    const auto wave = res.waveform("out");
+
+    const double tau = f.r * f.c;
+    for (double t_ns : {1.5, 2.0, 3.0, 4.0, 5.5}) {
+        const double t = t_ns * 1e-9;
+        const double expected = 1.0 - std::exp(-(t - 1e-9 - 0.5e-12) / tau);
+        EXPECT_NEAR(wave.at(t), expected, 5e-3)
+            << "t = " << t_ns << " ns";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Integrators, RcChargeTest,
+                         ::testing::Values(
+                             Integration_method::backward_euler,
+                             Integration_method::trapezoidal));
+
+TEST(Transient, TrapezoidalMoreAccurateThanBackwardEuler)
+{
+    const double tau = 1e-9;
+    auto max_error = [&](Integration_method m) {
+        Rc_fixture f;
+        Transient_options opts;
+        opts.tstop = 5e-9;
+        opts.nominal_steps = 200;  // deliberately coarse
+        opts.method = m;
+        const auto res = run_transient(f.circuit, {f.out}, opts);
+        const auto wave = res.waveform("out");
+        double worst = 0.0;
+        for (double t = 1.2e-9; t < 5e-9; t += 0.1e-9) {
+            const double expected = 1.0 - std::exp(-(t - 1e-9) / tau);
+            worst = std::max(worst, std::fabs(wave.at(t) - expected));
+        }
+        return worst;
+    };
+    EXPECT_LT(max_error(Integration_method::trapezoidal),
+              max_error(Integration_method::backward_euler));
+}
+
+TEST(Transient, TenPercentDischargeConstant)
+{
+    // Discharge an initially charged cap and verify t = 0.105 RC at the
+    // 10% discharge level — eq. (3) of the paper.
+    Circuit c;
+    const Node in = c.node("in");
+    const Node out = c.node("out");
+    c.add_voltage_source("Vin", in, ground_node,
+                         Waveform::pulse(1.0, 0.0, 1e-9, 1e-12));
+    c.add_resistor("R1", in, out, 1000.0);
+    c.add_capacitor("C1", out, ground_node, 1e-12);
+
+    Transient_options opts;
+    opts.tstop = 3e-9;
+    opts.nominal_steps = 6000;
+    const auto res = run_transient(c, {out}, opts);
+    const double t_cross = crossing_time(res, "out", 0.9, 1e-9);
+    ASSERT_GT(t_cross, 0.0);
+    EXPECT_NEAR(t_cross - 1e-9 - 0.5e-12, 0.10536e-9, 3e-12);
+}
+
+TEST(Transient, StartsFromDcOperatingPoint)
+{
+    // The cap starts at the DC solution (1 V), so nothing moves until the
+    // source steps down.
+    Circuit c;
+    const Node in = c.node("in");
+    const Node out = c.node("out");
+    c.add_voltage_source("Vin", in, ground_node,
+                         Waveform::pulse(1.0, 0.0, 2e-9, 1e-12));
+    c.add_resistor("R1", in, out, 1000.0);
+    c.add_capacitor("C1", out, ground_node, 1e-12);
+
+    Transient_options opts;
+    opts.tstop = 3e-9;
+    const auto res = run_transient(c, {out}, opts);
+    const auto wave = res.waveform("out");
+    EXPECT_NEAR(wave.at(0.0), 1.0, 1e-6);
+    EXPECT_NEAR(wave.at(1.9e-9), 1.0, 1e-4);
+    EXPECT_LT(wave.at(3e-9), 0.7);
+}
+
+TEST(Transient, LandsExactlyOnBreakpoints)
+{
+    Rc_fixture f(1.234567e-9);
+    Transient_options opts;
+    opts.tstop = 2e-9;
+    opts.nominal_steps = 37;  // deliberately incommensurate
+    const auto res = run_transient(f.circuit, {f.out}, opts);
+    // One recorded sample must sit exactly on the source corner.
+    bool found = false;
+    for (double t : res.time()) {
+        if (std::fabs(t - 1.234567e-9) < 1e-18) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Transient, CapacitorDividerStep)
+{
+    // Two series caps divide a fast step by the capacitance ratio.
+    Circuit c;
+    const Node in = c.node("in");
+    const Node mid = c.node("mid");
+    c.add_voltage_source("Vin", in, ground_node,
+                         Waveform::pulse(0.0, 1.0, 0.5e-9, 1e-12));
+    c.add_capacitor("C1", in, mid, 3e-15);
+    c.add_capacitor("C2", mid, ground_node, 1e-15);
+
+    Transient_options opts;
+    opts.tstop = 1e-9;
+    opts.newton.gmin = 1e-15;  // keep the divider from drooping
+    const auto res = run_transient(c, {mid}, opts);
+    EXPECT_NEAR(res.final_value("mid"), 0.75, 1e-3);
+}
+
+TEST(Transient, InverterSwitchesAndIsMeasurable)
+{
+    Mosfet_params nm;
+    nm.type = Mosfet_type::nmos;
+    nm = calibrate_beta(nm, 0.7, 40e-6);
+    Mosfet_params pm;
+    pm.type = Mosfet_type::pmos;
+    pm = calibrate_beta(pm, 0.7, 30e-6);
+
+    Circuit c;
+    const Node vdd = c.node("vdd");
+    const Node in = c.node("in");
+    const Node out = c.node("out");
+    c.add_voltage_source("Vdd", vdd, ground_node, Waveform::dc(0.7));
+    c.add_voltage_source("Vin", in, ground_node,
+                         Waveform::pulse(0.0, 0.7, 50e-12, 10e-12));
+    c.add_mosfet("Mp", out, in, vdd, pm);
+    c.add_mosfet("Mn", out, in, ground_node, nm);
+    c.add_capacitor("CL", out, ground_node, 1e-15);
+
+    Transient_options opts;
+    opts.tstop = 300e-12;
+    const auto res = run_transient(c, {in, out}, opts);
+
+    EXPECT_NEAR(res.waveform("out").at(10e-12), 0.7, 1e-3);
+    EXPECT_LT(res.final_value("out"), 0.05);
+    const double t50 = crossing_time(res, "out", 0.35, 40e-12);
+    EXPECT_GT(t50, 50e-12);
+    EXPECT_LT(t50, 120e-12);
+}
+
+TEST(Transient, DifferentialMeasurement)
+{
+    // Two RC branches with different taus develop a measurable
+    // differential.
+    Circuit c;
+    const Node in = c.node("in");
+    const Node a = c.node("a");
+    const Node b = c.node("b");
+    c.add_voltage_source("Vin", in, ground_node,
+                         Waveform::pulse(0.0, 1.0, 0.1e-9, 1e-12));
+    c.add_resistor("Ra", in, a, 1000.0);
+    c.add_capacitor("Ca", a, ground_node, 1e-12);
+    c.add_resistor("Rb", in, b, 3000.0);
+    c.add_capacitor("Cb", b, ground_node, 1e-12);
+
+    Transient_options opts;
+    opts.tstop = 3e-9;
+    const auto res = run_transient(c, {a, b}, opts);
+    const double t = differential_time(res, "a", "b", 0.1, 0.1e-9);
+    EXPECT_GT(t, 0.1e-9);
+    EXPECT_LT(t, 1.5e-9);
+    // At the reported time the differential equals the level.
+    EXPECT_NEAR(res.differential("a", "b").at(t), 0.1, 1e-6);
+}
+
+TEST(Transient, ValidatesOptions)
+{
+    Rc_fixture f;
+    Transient_options opts;
+    opts.tstop = 0.0;
+    EXPECT_THROW(run_transient(f.circuit, {f.out}, opts),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(Transient, UnknownProbeNameThrows)
+{
+    Rc_fixture f;
+    Transient_options opts;
+    opts.tstop = 1e-9;
+    const auto res = run_transient(f.circuit, {f.out}, opts);
+    EXPECT_THROW(res.waveform("nope"), mpsram::spice::Netlist_error);
+}
+
+TEST(Mosfet, PassGateChargeSharingConserved)
+{
+    // Charge redistribution across a pass gate: 2 fF at 0.7 V into 1 fF at
+    // 0 V -> both settle near 0.7 * 2/3 = 0.467 V (NMOS can pass this
+    // level since vgs stays above vth).
+    Mosfet_params nm;
+    nm.type = Mosfet_type::nmos;
+    nm = calibrate_beta(nm, 0.7, 40e-6);
+
+    Circuit c;
+    const Node a = c.node("a");
+    const Node b = c.node("b");
+    const Node g = c.node("g");
+    c.add_voltage_source("Vg", g, ground_node,
+                         Waveform::pulse(0.0, 0.7, 10e-12, 4e-12));
+    // Pre-charge node a via a source that steps away... simpler: use a
+    // big source resistor so node a starts at 0.7 and is then isolated.
+    const Node supply = c.node("supply");
+    c.add_voltage_source("Vs", supply, ground_node,
+                         Waveform::pulse(0.7, 0.0, 5e-12, 2e-12));
+    c.add_resistor("Riso", supply, a, 1e7);
+    c.add_capacitor("Ca", a, ground_node, 2e-15);
+    c.add_capacitor("Cb", b, ground_node, 1e-15);
+    // Multiplicity 0.01 slows the transfer to ~1 ps so the fixed-step
+    // integrator resolves it; at full drive the hand-off happens in ~10 fs
+    // and the one-step linearized current overshoots.
+    c.add_mosfet("Mpass", a, g, b, nm, 0.01);
+
+    Transient_options opts;
+    opts.tstop = 2000e-12;
+    opts.nominal_steps = 4000;
+    const auto res = run_transient(c, {a, b}, opts);
+    // The full equilibrium (0.7 * 2/3 ~ 0.467 V) is never reached inside
+    // the window: as b rises, the pass gate's vgs collapses into
+    // subthreshold.  What must hold exactly:
+    const double va = res.final_value("a");
+    const double vb = res.final_value("b");
+    // 1. substantial transfer happened, with no overshoot (a stays above b);
+    EXPECT_GT(vb, 0.2);
+    EXPECT_GT(va, vb);
+    EXPECT_LT(va, 0.7);
+    // 2. charge conservation: 2 fF * va + 1 fF * vb == 2 fF * 0.7 minus
+    //    the small drain through the 10 Mohm isolation resistor.
+    const double q_total = 2e-15 * va + 1e-15 * vb;
+    EXPECT_LT(q_total, 2e-15 * 0.7);
+    EXPECT_NEAR(q_total, 2e-15 * 0.7, 0.05e-15);
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+#include "spice/waveform.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace {
+
+using mpsram::spice::Waveform;
+
+TEST(Waveform, DcIsConstant)
+{
+    const Waveform w = Waveform::dc(0.7);
+    EXPECT_DOUBLE_EQ(w.value(0.0), 0.7);
+    EXPECT_DOUBLE_EQ(w.value(1e-9), 0.7);
+    std::vector<double> bp;
+    w.breakpoints(1e-9, bp);
+    EXPECT_TRUE(bp.empty());
+}
+
+TEST(Waveform, PulseRampsLinearly)
+{
+    const Waveform w = Waveform::pulse(0.0, 0.7, 10e-12, 4e-12);
+    EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.value(10e-12), 0.0);
+    EXPECT_NEAR(w.value(12e-12), 0.35, 1e-12);
+    EXPECT_DOUBLE_EQ(w.value(14e-12), 0.7);
+    EXPECT_DOUBLE_EQ(w.value(1e-9), 0.7);  // holds forever
+}
+
+TEST(Waveform, FinitePulseFallsBack)
+{
+    const Waveform w =
+        Waveform::pulse(0.1, 0.9, 10e-12, 2e-12, 20e-12, 4e-12);
+    EXPECT_DOUBLE_EQ(w.value(0.0), 0.1);
+    EXPECT_DOUBLE_EQ(w.value(20e-12), 0.9);           // inside the flat top
+    EXPECT_NEAR(w.value(34e-12), 0.5, 1e-9);           // mid-fall
+    EXPECT_DOUBLE_EQ(w.value(50e-12), 0.1);            // back to v0
+}
+
+TEST(Waveform, PulseBreakpointsAtAllCorners)
+{
+    const Waveform w =
+        Waveform::pulse(0.0, 1.0, 10e-12, 2e-12, 20e-12, 4e-12);
+    std::vector<double> bp;
+    w.breakpoints(100e-12, bp);
+    // delay, delay+rise, delay+rise+width, delay+rise+width+fall.
+    ASSERT_EQ(bp.size(), 4u);
+    EXPECT_DOUBLE_EQ(bp[0], 10e-12);
+    EXPECT_DOUBLE_EQ(bp[1], 12e-12);
+    EXPECT_DOUBLE_EQ(bp[2], 32e-12);
+    EXPECT_DOUBLE_EQ(bp[3], 36e-12);
+}
+
+TEST(Waveform, BreakpointsClippedToWindow)
+{
+    const Waveform w = Waveform::pulse(0.0, 1.0, 10e-12, 2e-12);
+    std::vector<double> bp;
+    w.breakpoints(11e-12, bp);
+    ASSERT_EQ(bp.size(), 1u);
+    EXPECT_DOUBLE_EQ(bp[0], 10e-12);
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps)
+{
+    const Waveform w = Waveform::pwl({0.0, 1.0, 3.0}, {0.0, 2.0, -2.0});
+    EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(w.value(2.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.value(5.0), -2.0);
+}
+
+TEST(Waveform, PwlValidation)
+{
+    EXPECT_THROW(Waveform::pwl({}, {}), mpsram::util::Precondition_error);
+    EXPECT_THROW(Waveform::pwl({0.0, 0.0}, {1.0, 2.0}),
+                 mpsram::util::Precondition_error);
+    EXPECT_THROW(Waveform::pwl({0.0}, {1.0, 2.0}),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(Waveform, PulseValidation)
+{
+    EXPECT_THROW(Waveform::pulse(0.0, 1.0, -1.0, 1.0),
+                 mpsram::util::Precondition_error);
+    EXPECT_THROW(Waveform::pulse(0.0, 1.0, 0.0, 0.0),
+                 mpsram::util::Precondition_error);
+    // Finite width needs a fall time.
+    EXPECT_THROW(Waveform::pulse(0.0, 1.0, 0.0, 1.0, 5.0, 0.0),
+                 mpsram::util::Precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+#include "sram/cell.h"
+
+#include <gtest/gtest.h>
+
+#include "spice/mosfet_model.h"
+#include "tech/technology.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace mpsram;
+
+TEST(Cell, DrivesCalibratedToFeolTargets)
+{
+    const tech::Feol_params feol = tech::n10().feol;
+    const sram::Cell_electrical cell = sram::Cell_electrical::n10(feol);
+
+    EXPECT_NEAR(spice::drive_current(cell.pull_down, feol.vdd),
+                feol.nmos_ion, 1e-12);
+    EXPECT_NEAR(spice::drive_current(cell.pull_up, feol.vdd), feol.pmos_ion,
+                1e-12);
+    // Pass gate weaker than pull-down for read stability.
+    EXPECT_LT(spice::drive_current(cell.pass_gate, feol.vdd),
+              spice::drive_current(cell.pull_down, feol.vdd));
+}
+
+TEST(Cell, DeviceTypesAreCorrect)
+{
+    const sram::Cell_electrical cell =
+        sram::Cell_electrical::n10(tech::n10().feol);
+    EXPECT_EQ(cell.pull_down.type, spice::Mosfet_type::nmos);
+    EXPECT_EQ(cell.pass_gate.type, spice::Mosfet_type::nmos);
+    EXPECT_EQ(cell.pull_up.type, spice::Mosfet_type::pmos);
+}
+
+TEST(Cell, CapacitanceRollups)
+{
+    const tech::Feol_params feol = tech::n10().feol;
+    const sram::Cell_electrical cell = sram::Cell_electrical::n10(feol);
+    EXPECT_DOUBLE_EQ(cell.bitline_junction_cap(),
+                     feol.c_junction * cell.m_pass_gate);
+    EXPECT_GT(cell.storage_node_cap(), cell.bitline_junction_cap());
+}
+
+TEST(Precharge, MultiplicityScalesInBanks)
+{
+    EXPECT_DOUBLE_EQ(sram::precharge_multiplicity(16), 1.0);
+    EXPECT_DOUBLE_EQ(sram::precharge_multiplicity(64), 1.0);
+    EXPECT_DOUBLE_EQ(sram::precharge_multiplicity(65), 2.0);
+    EXPECT_DOUBLE_EQ(sram::precharge_multiplicity(256), 4.0);
+    EXPECT_DOUBLE_EQ(sram::precharge_multiplicity(1024), 16.0);
+    EXPECT_THROW(sram::precharge_multiplicity(0),
+                 util::Precondition_error);
+}
+
+TEST(Precharge, CapHasConstantFloorAndGrowsWithN)
+{
+    const sram::Cell_electrical cell =
+        sram::Cell_electrical::n10(tech::n10().feol);
+    const double c16 = sram::precharge_cap(16, cell);
+    const double c64 = sram::precharge_cap(64, cell);
+    const double c1024 = sram::precharge_cap(1024, cell);
+    EXPECT_DOUBLE_EQ(c16, c64);  // same bank count
+    EXPECT_GT(c1024, c64);
+    // Constant periphery share: 2 junctions.
+    EXPECT_GT(c16, 2.0 * cell.c_junction);
+}
+
+TEST(Precharge, PerCellShareVanishesForLongArrays)
+{
+    // Cpre(n)/n must shrink with n: the trend-bending property the paper's
+    // eq. (5) relies on.
+    const sram::Cell_electrical cell =
+        sram::Cell_electrical::n10(tech::n10().feol);
+    const double share16 = sram::precharge_cap(16, cell) / 16.0;
+    const double share1024 = sram::precharge_cap(1024, cell) / 1024.0;
+    EXPECT_GT(share16, 4.0 * share1024);
+}
+
+} // namespace

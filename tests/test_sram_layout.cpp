@@ -1,0 +1,129 @@
+#include "sram/layout.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/engine.h"
+#include "tech/technology.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace mpsram;
+
+sram::Array_config paper_config(int n = 64)
+{
+    sram::Array_config cfg;
+    cfg.word_lines = n;
+    cfg.bl_pairs = 10;
+    return cfg;
+}
+
+TEST(Layout, TrackCountAndOrder)
+{
+    const tech::Technology t = tech::n10();
+    const geom::Wire_array arr =
+        sram::build_metal1_array(t, paper_config());
+    ASSERT_EQ(arr.size(), 40u);  // 10 pairs x 4 tracks
+    EXPECT_EQ(arr[0].net, "BL0");
+    EXPECT_EQ(arr[1].net, "VSS0");
+    EXPECT_EQ(arr[2].net, "BLB0");
+    EXPECT_EQ(arr[3].net, "VDD0");
+    EXPECT_EQ(arr[36].net, "BL9");
+}
+
+TEST(Layout, UniformPitchAndWidth)
+{
+    const tech::Technology t = tech::n10();
+    const geom::Wire_array arr =
+        sram::build_metal1_array(t, paper_config());
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        EXPECT_DOUBLE_EQ(arr[i].width, t.metal1.nominal_width);
+        EXPECT_DOUBLE_EQ(arr[i].y_center,
+                         static_cast<double>(i) * t.metal1.pitch);
+    }
+}
+
+TEST(Layout, WireLengthTracksWordLines)
+{
+    const tech::Technology t = tech::n10();
+    const geom::Wire_array a16 =
+        sram::build_metal1_array(t, paper_config(16));
+    const geom::Wire_array a1024 =
+        sram::build_metal1_array(t, paper_config(1024));
+    EXPECT_DOUBLE_EQ(a16[0].length, 16.0 * t.cell.cell_length);
+    EXPECT_DOUBLE_EQ(a1024[0].length, 1024.0 * t.cell.cell_length);
+}
+
+TEST(Layout, VictimPairDefaultsToCenter)
+{
+    EXPECT_EQ(sram::victim_pair_index(paper_config()), 5);
+    sram::Array_config cfg = paper_config();
+    cfg.victim_pair = 6;
+    EXPECT_EQ(sram::victim_pair_index(cfg), 6);
+    cfg.victim_pair = 10;
+    EXPECT_THROW(sram::victim_pair_index(cfg), util::Precondition_error);
+}
+
+TEST(Layout, FindVictimWires)
+{
+    const tech::Technology t = tech::n10();
+    sram::Array_config cfg = paper_config();
+    cfg.victim_pair = 6;
+    const geom::Wire_array arr = sram::build_metal1_array(t, cfg);
+    const sram::Victim_wires v = sram::find_victim_wires(arr, cfg);
+    EXPECT_EQ(arr[v.bl].net, "BL6");
+    EXPECT_EQ(arr[v.vss].net, "VSS6");
+    EXPECT_EQ(arr[v.blb].net, "BLB6");
+    EXPECT_EQ(v.vss, v.bl + 1);
+    EXPECT_TRUE(arr.interior(v.bl));
+}
+
+TEST(Layout, MaskAVictimPairHasLe3ColorA)
+{
+    // Pair 6's BL track (index 24) is on mask A after LE3 decomposition —
+    // the paper's Table I victim (only OL(B)/OL(C) perturb its corner).
+    const tech::Technology t = tech::n10();
+    sram::Array_config cfg = paper_config();
+    cfg.victim_pair = 6;
+    const auto engine = pattern::make_engine(tech::Patterning_option::le3, t);
+    const geom::Wire_array arr =
+        engine->decompose(sram::build_metal1_array(t, cfg));
+    const sram::Victim_wires v = sram::find_victim_wires(arr, cfg);
+    EXPECT_EQ(arr[v.bl].color, geom::Mask_color::mask_a);
+}
+
+TEST(Layout, SadpMandrelsLandOnPowerRails)
+{
+    const tech::Technology t = tech::n10();
+    const auto engine =
+        pattern::make_engine(tech::Patterning_option::sadp, t);
+    const geom::Wire_array arr =
+        engine->decompose(sram::build_metal1_array(t, paper_config()));
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        const bool rail = arr[i].net.rfind("VSS", 0) == 0 ||
+                          arr[i].net.rfind("VDD", 0) == 0;
+        EXPECT_EQ(arr[i].sadp == geom::Sadp_class::mandrel, rail)
+            << arr[i].net;
+    }
+}
+
+TEST(Layout, NetNameHelpers)
+{
+    EXPECT_EQ(sram::bl_net(3), "BL3");
+    EXPECT_EQ(sram::blb_net(3), "BLB3");
+}
+
+TEST(Layout, ValidatesConfig)
+{
+    const tech::Technology t = tech::n10();
+    sram::Array_config cfg = paper_config();
+    cfg.word_lines = 0;
+    EXPECT_THROW(sram::build_metal1_array(t, cfg),
+                 util::Precondition_error);
+    cfg = paper_config();
+    cfg.bl_pairs = 0;
+    EXPECT_THROW(sram::build_metal1_array(t, cfg),
+                 util::Precondition_error);
+}
+
+} // namespace

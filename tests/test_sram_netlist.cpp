@@ -1,0 +1,129 @@
+#include "sram/netlist_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "extract/extractor.h"
+#include "spice/analysis.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace mpsram;
+
+struct Fixture {
+    tech::Technology t = tech::n10();
+    sram::Cell_electrical cell = sram::Cell_electrical::n10(t.feol);
+    extract::Extractor ex{t.metal1};
+    sram::Array_config cfg;
+    sram::Bitline_electrical wires;
+
+    explicit Fixture(int n)
+    {
+        cfg.word_lines = n;
+        cfg.victim_pair = 6;
+        const geom::Wire_array arr = sram::build_metal1_array(t, cfg);
+        wires = sram::roll_up_nominal(ex, arr, t, cfg);
+    }
+};
+
+TEST(Netlist, DeviceAndNodeCountsScaleWithN)
+{
+    for (int n : {4, 16}) {
+        Fixture f(n);
+        const sram::Read_netlist net =
+            sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg);
+        // Nodes: ground + vdd + prechb + wl + 2 heads + 5 per cell.
+        EXPECT_EQ(net.circuit.node_count(),
+                  static_cast<std::size_t>(6 + 5 * n));
+        // Devices: 3 sources + 3 precharge FETs + 2 Cpre + per cell
+        // (3 R + 7 C + 6 FET = 16).
+        EXPECT_EQ(net.circuit.device_count(),
+                  static_cast<std::size_t>(8 + 16 * n));
+    }
+}
+
+TEST(Netlist, RollupMatchesExtraction)
+{
+    Fixture f(8);
+    EXPECT_GT(f.wires.r_bl_cell, 0.0);
+    EXPECT_GT(f.wires.c_bl_cell, 0.0);
+    // Uniform nominal track plan: BL and BLB see identical surroundings.
+    EXPECT_DOUBLE_EQ(f.wires.r_bl_cell, f.wires.r_blb_cell);
+    EXPECT_NEAR(f.wires.c_bl_cell, f.wires.c_blb_cell,
+                1e-3 * f.wires.c_bl_cell);
+    EXPECT_DOUBLE_EQ(f.wires.bl_variation.r_factor, 1.0);
+    EXPECT_DOUBLE_EQ(f.wires.bl_variation.c_factor, 1.0);
+}
+
+TEST(Netlist, DcOperatingPointPrechargesBitlines)
+{
+    Fixture f(8);
+    sram::Read_netlist net =
+        sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg);
+    const spice::Dc_result dc =
+        spice::dc_operating_point(net.circuit, net.dc);
+
+    // Precharge is on at t=0: bit lines within a few mV of vdd.
+    EXPECT_NEAR(dc.v(net.bl_sense), f.t.feol.vdd, 5e-3);
+    EXPECT_NEAR(dc.v(net.blb_sense), f.t.feol.vdd, 5e-3);
+    EXPECT_NEAR(dc.v(net.bl_far), f.t.feol.vdd, 5e-3);
+    // The accessed cell stores 0 on the BL side.
+    EXPECT_LT(dc.v(net.q), 0.05);
+    EXPECT_GT(dc.v(net.qb), f.t.feol.vdd - 0.05);
+}
+
+TEST(Netlist, AllCellsInitializedToSameData)
+{
+    Fixture f(6);
+    sram::Read_netlist net =
+        sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg);
+    const spice::Dc_result dc =
+        spice::dc_operating_point(net.circuit, net.dc);
+    for (int i = 0; i < 6; ++i) {
+        const spice::Node q =
+            net.circuit.find_node("q" + std::to_string(i));
+        const spice::Node qb =
+            net.circuit.find_node("qb" + std::to_string(i));
+        EXPECT_LT(dc.v(q), 0.05) << "cell " << i;
+        EXPECT_GT(dc.v(qb), 0.65) << "cell " << i;
+    }
+}
+
+TEST(Netlist, StrapsAppearAtRequestedInterval)
+{
+    Fixture f(8);
+    sram::Netlist_options nopts;
+    nopts.vss_strap_interval = 4;
+    const sram::Read_netlist net = sram::build_read_netlist(
+        f.t, f.cell, f.wires, f.cfg, sram::Read_timing{}, nopts);
+    // Straps at i=3 and i=7: two extra resistors vs the default build.
+    const sram::Read_netlist plain =
+        sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg);
+    EXPECT_EQ(net.circuit.device_count(),
+              plain.circuit.device_count() + 2);
+}
+
+TEST(Netlist, TimingDefaultsAreOrdered)
+{
+    const sram::Read_timing timing;
+    EXPECT_GT(timing.t_wl_on, timing.t_precharge_off);
+    EXPECT_GT(timing.wl_mid(), timing.t_wl_on);
+}
+
+TEST(Netlist, ValidatesInputs)
+{
+    Fixture f(4);
+    sram::Bitline_electrical bad = f.wires;
+    bad.c_bl_cell = 0.0;
+    EXPECT_THROW(
+        sram::build_read_netlist(f.t, f.cell, bad, f.cfg),
+        util::Precondition_error);
+
+    sram::Netlist_options nopts;
+    nopts.vss_rail_sharing = 0.5;
+    EXPECT_THROW(sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg,
+                                          sram::Read_timing{}, nopts),
+                 util::Precondition_error);
+}
+
+} // namespace

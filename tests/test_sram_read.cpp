@@ -1,0 +1,127 @@
+#include "sram/read_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "extract/extractor.h"
+#include "util/contracts.h"
+#include "spice/analysis.h"
+
+namespace {
+
+using namespace mpsram;
+
+struct Fixture {
+    tech::Technology t = tech::n10();
+    sram::Cell_electrical cell = sram::Cell_electrical::n10(t.feol);
+    extract::Extractor ex{t.metal1};
+    sram::Array_config cfg;
+    sram::Bitline_electrical wires;
+
+    explicit Fixture(int n)
+    {
+        cfg.word_lines = n;
+        cfg.victim_pair = 6;
+        const geom::Wire_array arr = sram::build_metal1_array(t, cfg);
+        wires = sram::roll_up_nominal(ex, arr, t, cfg);
+    }
+};
+
+TEST(ReadSim, SmallArrayReadCompletes)
+{
+    Fixture f(8);
+    sram::Read_netlist net =
+        sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg);
+    const sram::Read_result r = sram::simulate_read(net);
+    ASSERT_TRUE(r.crossed);
+    EXPECT_GT(r.td, 0.0);
+    EXPECT_LT(r.td, 50e-12);
+    EXPECT_GT(r.t_cross, net.timing.wl_mid());
+}
+
+TEST(ReadSim, BitLineDischargesBelowComplement)
+{
+    Fixture f(8);
+    sram::Read_netlist net =
+        sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg);
+    const sram::Read_result r = sram::simulate_read(net);
+    ASSERT_TRUE(r.crossed);
+    // BL (storing 0) discharges; BLB stays near vdd.
+    EXPECT_LT(r.bl_final, r.blb_final);
+    EXPECT_GT(r.blb_final, f.t.feol.vdd - 0.1);
+}
+
+TEST(ReadSim, ReadTimeGrowsWithArrayLength)
+{
+    Fixture f8(8);
+    sram::Read_netlist n8 =
+        sram::build_read_netlist(f8.t, f8.cell, f8.wires, f8.cfg);
+    Fixture f32(32);
+    sram::Read_netlist n32 =
+        sram::build_read_netlist(f32.t, f32.cell, f32.wires, f32.cfg);
+
+    const double td8 = sram::simulate_read(n8).td;
+    const double td32 = sram::simulate_read(n32).td;
+    EXPECT_GT(td32, 2.0 * td8);
+}
+
+TEST(ReadSim, ReadIsNonDestructive)
+{
+    // After the read window the accessed cell must still store its data:
+    // the canonical read-stability requirement.
+    Fixture f(8);
+    sram::Read_netlist net =
+        sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg);
+
+    spice::Transient_options topts;
+    topts.tstop = net.timing.wl_mid() + 200e-12;
+    topts.dc = net.dc;
+    const auto waves = spice::run_transient(
+        net.circuit, {net.q, net.qb}, topts);
+    EXPECT_LT(waves.final_value(net.circuit.node_name(net.q)), 0.25);
+    EXPECT_GT(waves.final_value(net.circuit.node_name(net.qb)), 0.5);
+}
+
+TEST(ReadSim, HigherBitlineCapacitanceSlowsRead)
+{
+    Fixture f(8);
+    sram::Read_netlist nominal =
+        sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg);
+    const double td_nom = sram::simulate_read(nominal).td;
+
+    sram::Bitline_electrical heavier = f.wires;
+    heavier.c_bl_cell *= 1.6;
+    heavier.c_blb_cell *= 1.6;
+    sram::Read_netlist loaded =
+        sram::build_read_netlist(f.t, f.cell, heavier, f.cfg);
+    const double td_loaded = sram::simulate_read(loaded).td;
+
+    EXPECT_GT(td_loaded, 1.1 * td_nom);
+}
+
+TEST(ReadSim, HigherVssRailResistanceSlowsRead)
+{
+    // The Section III-A mechanism in isolation.
+    Fixture f(32);
+    sram::Read_netlist nominal =
+        sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg);
+    const double td_nom = sram::simulate_read(nominal).td;
+
+    sram::Bitline_electrical degraded = f.wires;
+    degraded.r_vss_cell *= 2.0;
+    sram::Read_netlist slow =
+        sram::build_read_netlist(f.t, f.cell, degraded, f.cfg);
+    const double td_slow = sram::simulate_read(slow).td;
+    EXPECT_GT(td_slow, td_nom);
+}
+
+TEST(ReadSim, ValidatesOptions)
+{
+    Fixture f(4);
+    sram::Read_netlist net =
+        sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg);
+    sram::Read_options opts;
+    opts.nominal_steps = 0;
+    EXPECT_THROW(sram::simulate_read(net, opts), util::Precondition_error);
+}
+
+} // namespace

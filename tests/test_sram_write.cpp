@@ -1,0 +1,130 @@
+#include "sram/write_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "extract/extractor.h"
+#include "pattern/engine.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace mpsram;
+
+struct Fixture {
+    tech::Technology t = tech::n10();
+    sram::Cell_electrical cell = sram::Cell_electrical::n10(t.feol);
+    extract::Extractor ex{t.metal1};
+    sram::Array_config cfg;
+    sram::Bitline_electrical wires;
+
+    explicit Fixture(int n)
+    {
+        cfg.word_lines = n;
+        cfg.victim_pair = 6;
+        const geom::Wire_array arr = sram::build_metal1_array(t, cfg);
+        wires = sram::roll_up_nominal(ex, arr, t, cfg);
+    }
+};
+
+TEST(WriteSim, CellFlipsAndWriteTimeIsPositive)
+{
+    Fixture f(8);
+    sram::Write_netlist net =
+        sram::build_write_netlist(f.t, f.cell, f.wires, f.cfg);
+    const sram::Write_result r = sram::simulate_write(net);
+    ASSERT_TRUE(r.flipped);
+    EXPECT_GT(r.tw, 0.0);
+    EXPECT_LT(r.tw, 300e-12);
+    // Post-write data: q high, qb low.
+    EXPECT_GT(r.q_final, 0.6);
+    EXPECT_LT(r.qb_final, 0.1);
+}
+
+TEST(WriteSim, OnlyTheAccessedCellFlips)
+{
+    Fixture f(6);
+    sram::Write_netlist net =
+        sram::build_write_netlist(f.t, f.cell, f.wires, f.cfg);
+    sram::simulate_write(net);
+
+    // Re-run to inspect every cell's final state.
+    spice::Transient_options topts;
+    topts.tstop = net.timing.wl_mid() + 400e-12;
+    topts.dc = net.dc;
+    std::vector<spice::Node> probes;
+    for (int i = 0; i < 6; ++i) {
+        probes.push_back(net.circuit.find_node("q" + std::to_string(i)));
+    }
+    const auto waves = spice::run_transient(net.circuit, probes, topts);
+    for (int i = 0; i < 6; ++i) {
+        const double q = waves.final_value("q" + std::to_string(i));
+        if (i == 5) {
+            EXPECT_GT(q, 0.6) << "accessed cell must flip";
+        } else {
+            EXPECT_LT(q, 0.1) << "idle cell " << i << " must hold";
+        }
+    }
+}
+
+TEST(WriteSim, WriteTimeGrowsWithArrayLength)
+{
+    Fixture f8(8);
+    sram::Write_netlist n8 =
+        sram::build_write_netlist(f8.t, f8.cell, f8.wires, f8.cfg);
+    Fixture f32(32);
+    sram::Write_netlist n32 =
+        sram::build_write_netlist(f32.t, f32.cell, f32.wires, f32.cfg);
+    const double tw8 = sram::simulate_write(n8).tw;
+    const double tw32 = sram::simulate_write(n32).tw;
+    ASSERT_GT(tw8, 0.0);
+    ASSERT_GT(tw32, 0.0);
+    EXPECT_GT(tw32, tw8);
+}
+
+TEST(WriteSim, WorstCaseBitlineVariabilitySlowsTheWrite)
+{
+    // The LE3 worst corner raises the BLB ladder's RC, which the write
+    // driver must discharge: tw degrades, same mechanism as the read.
+    const int n = 16;
+    Fixture f(n);
+
+    sram::Write_netlist nominal =
+        sram::build_write_netlist(f.t, f.cell, f.wires, f.cfg);
+    const double tw_nom = sram::simulate_write(nominal).tw;
+
+    const auto engine =
+        pattern::make_engine(tech::Patterning_option::le3, f.t);
+    const geom::Wire_array dec =
+        engine->decompose(sram::build_metal1_array(f.t, f.cfg));
+    // Worst corner from the Table I search: all CDs +3s, opposing OL.
+    pattern::Process_sample s(5, 0.0);
+    const auto& axes = engine->axes();
+    s[0] = 3.0 * axes[0].sigma;
+    s[1] = 3.0 * axes[1].sigma;
+    s[2] = 3.0 * axes[2].sigma;
+    s[3] = -3.0 * axes[3].sigma;
+    s[4] = 3.0 * axes[4].sigma;
+    const geom::Wire_array realized = engine->realize(dec, s);
+    const auto varied =
+        sram::roll_up_bitline(f.ex, dec, realized, f.t, f.cfg);
+
+    sram::Write_netlist worst =
+        sram::build_write_netlist(f.t, f.cell, varied, f.cfg);
+    const double tw_worst = sram::simulate_write(worst).tw;
+
+    ASSERT_GT(tw_nom, 0.0);
+    ASSERT_GT(tw_worst, 0.0);
+    EXPECT_GT(tw_worst, tw_nom);
+}
+
+TEST(WriteSim, ValidatesInputs)
+{
+    Fixture f(4);
+    sram::Write_netlist net =
+        sram::build_write_netlist(f.t, f.cell, f.wires, f.cfg);
+    EXPECT_THROW(sram::simulate_write(net, 0), util::Precondition_error);
+    EXPECT_THROW(sram::simulate_write(net, 100, -1.0),
+                 util::Precondition_error);
+}
+
+} // namespace

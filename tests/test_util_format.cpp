@@ -1,0 +1,83 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using mpsram::util::Csv_writer;
+using mpsram::util::Table;
+
+TEST(Formatting, FixedAndScientific)
+{
+    EXPECT_EQ(mpsram::util::fmt_fixed(20.601, 2), "20.60");
+    EXPECT_EQ(mpsram::util::fmt_fixed(-1.005, 1), "-1.0");
+    EXPECT_EQ(mpsram::util::fmt_sci(5.59e-12, 2), "5.59E-12");
+    EXPECT_EQ(mpsram::util::fmt_sci(3.4485e-10, 2), "3.45E-10");
+}
+
+TEST(Formatting, Percent)
+{
+    EXPECT_EQ(mpsram::util::fmt_percent(0.6156, 2), "+61.56%");
+    EXPECT_EQ(mpsram::util::fmt_percent(-0.1036, 2), "-10.36%");
+    EXPECT_EQ(mpsram::util::fmt_percent(0.0, 1), "+0.0%");
+}
+
+TEST(Formatting, EngineeringTime)
+{
+    EXPECT_EQ(mpsram::util::fmt_time(5.59e-12, 2), "5.59 ps");
+    EXPECT_EQ(mpsram::util::fmt_time(3.0e-9, 1), "3.0 ns");
+    EXPECT_EQ(mpsram::util::fmt_time(1.5, 1), "1.5 s");
+    EXPECT_EQ(mpsram::util::fmt_time(2.0e-16, 1), "0.2 fs");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"a", "bbbb"});
+    t.add_row({"xx", "y"});
+    const std::string out = t.render();
+    // Header, rule, one row.
+    EXPECT_NE(out.find("a   bbbb"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_NE(out.find("xx  y"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}),
+                 mpsram::util::Precondition_error);
+    EXPECT_THROW(Table({}), mpsram::util::Precondition_error);
+}
+
+TEST(Table, CountsRowsAndColumns)
+{
+    Table t({"a", "b", "c"});
+    EXPECT_EQ(t.columns(), 3u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.add_row({"1", "2", "3"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Csv, WritesPlainRows)
+{
+    std::ostringstream out;
+    Csv_writer csv(out);
+    csv.write_header({"x", "y"});
+    csv.write_row(std::vector<double>{1.5, -2.0});
+    EXPECT_EQ(out.str(), "x,y\n1.5,-2\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters)
+{
+    std::ostringstream out;
+    Csv_writer csv(out);
+    csv.write_row(std::vector<std::string>{"a,b", "he said \"hi\"", "line\nbreak"});
+    EXPECT_EQ(out.str(),
+              "\"a,b\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+} // namespace

@@ -1,0 +1,96 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace {
+
+using mpsram::util::Histogram;
+
+TEST(Histogram, BinsAndCenters)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.bin_count(), 5u);
+    EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+    EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Histogram, CountsSamplesIntoCorrectBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);   // bin 0
+    h.add(1.99);  // bin 0
+    h.add(2.0);   // bin 1
+    h.add(9.99);  // bin 4
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, TracksUnderAndOverflow)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(-0.1);
+    h.add(1.0);  // hi edge is exclusive -> overflow
+    h.add(0.5);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, TotalIsConserved)
+{
+    Histogram h(-1.0, 1.0, 7);
+    std::size_t binned = 0;
+    for (int i = -20; i <= 20; ++i) h.add(0.1 * i);
+    for (std::size_t b = 0; b < h.bin_count(); ++b) binned += h.count(b);
+    EXPECT_EQ(binned + h.underflow() + h.overflow(), h.total());
+    EXPECT_EQ(h.total(), 41u);
+}
+
+TEST(Histogram, FromSamplesCoversRange)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+    const Histogram h = Histogram::from_samples(xs, 4);
+    EXPECT_EQ(h.total(), xs.size());
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);  // top edge stretched past the max
+}
+
+TEST(Histogram, FromConstantSamples)
+{
+    const Histogram h = Histogram::from_samples({2.0, 2.0, 2.0}, 3);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.underflow() + h.overflow(), 0u);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(0.6);
+    h.add(1.5);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find('2'), std::string::npos);  // the peak count
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 3), mpsram::util::Precondition_error);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), mpsram::util::Precondition_error);
+    EXPECT_THROW(Histogram::from_samples({}, 3),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(Histogram, BinIndexOutOfRangeThrows)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_THROW(h.count(2), mpsram::util::Precondition_error);
+    EXPECT_THROW(h.bin_center(5), mpsram::util::Precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+#include "util/numeric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace {
+
+using mpsram::util::bisect;
+using mpsram::util::lerp;
+using mpsram::util::Piecewise_linear;
+using mpsram::util::polyval;
+using mpsram::util::rel_diff;
+
+TEST(Lerp, InterpolatesAndExtrapolates)
+{
+    EXPECT_DOUBLE_EQ(lerp(0.0, 0.0, 1.0, 10.0, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(lerp(0.0, 0.0, 1.0, 10.0, 2.0), 20.0);
+    EXPECT_THROW(lerp(1.0, 0.0, 1.0, 1.0, 0.5),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(PiecewiseLinear, AtClampsOutsideRange)
+{
+    const Piecewise_linear w({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+    EXPECT_DOUBLE_EQ(w.at(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.at(3.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.at(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(w.at(1.5), 5.0);
+}
+
+TEST(PiecewiseLinear, AppendEnforcesMonotoneX)
+{
+    Piecewise_linear w;
+    w.append(0.0, 1.0);
+    w.append(1.0, 2.0);
+    EXPECT_THROW(w.append(0.5, 3.0), mpsram::util::Precondition_error);
+}
+
+TEST(PiecewiseLinear, ConstructorValidates)
+{
+    EXPECT_THROW(Piecewise_linear({0.0, 0.0}, {1.0, 2.0}),
+                 mpsram::util::Precondition_error);
+    EXPECT_THROW(Piecewise_linear({0.0}, {1.0, 2.0}),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(PiecewiseLinear, FirstCrossingRising)
+{
+    const Piecewise_linear w({0.0, 1.0, 2.0}, {0.0, 1.0, 1.0});
+    EXPECT_NEAR(w.first_crossing(0.5), 0.5, 1e-12);
+    EXPECT_NEAR(w.first_crossing(1.0), 1.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, FirstCrossingFalling)
+{
+    const Piecewise_linear w({0.0, 2.0}, {1.0, 0.0});
+    EXPECT_NEAR(w.first_crossing(0.25), 1.5, 1e-12);
+}
+
+TEST(PiecewiseLinear, FirstCrossingHonorsFrom)
+{
+    // Crosses 0.5 upward at t=0.5 and downward at t=2.5.
+    const Piecewise_linear w({0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 1.0, 0.0});
+    EXPECT_NEAR(w.first_crossing(0.5, 1.2), 2.5, 1e-12);
+}
+
+TEST(PiecewiseLinear, FirstCrossingMissReturnsNegative)
+{
+    const Piecewise_linear w({0.0, 1.0}, {0.0, 0.4});
+    EXPECT_LT(w.first_crossing(0.5), 0.0);
+}
+
+TEST(Polyval, EvaluatesHornerForm)
+{
+    // 2 + 3x + 4x^2 at x=2 -> 2 + 6 + 16 = 24
+    EXPECT_DOUBLE_EQ(polyval({2.0, 3.0, 4.0}, 2.0), 24.0);
+    EXPECT_DOUBLE_EQ(polyval({}, 5.0), 0.0);
+    EXPECT_DOUBLE_EQ(polyval({7.0}, 5.0), 7.0);
+}
+
+TEST(Bisect, FindsSqrtTwo)
+{
+    const double root =
+        bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0, 1e-13);
+    EXPECT_NEAR(root, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Bisect, EndpointRoots)
+{
+    EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(bisect([](double x) { return x - 1.0; }, 0.0, 1.0),
+                     1.0);
+}
+
+TEST(Bisect, RequiresSignChange)
+{
+    EXPECT_THROW(bisect([](double) { return 1.0; }, 0.0, 1.0),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(RelDiff, BasicProperties)
+{
+    EXPECT_DOUBLE_EQ(rel_diff(1.0, 1.0), 0.0);
+    EXPECT_NEAR(rel_diff(1.0, 1.1), 0.1 / 1.1, 1e-12);
+    EXPECT_DOUBLE_EQ(rel_diff(0.0, 0.0), 0.0);
+    // Symmetric.
+    EXPECT_DOUBLE_EQ(rel_diff(2.0, 3.0), rel_diff(3.0, 2.0));
+}
+
+class CrossingConsistencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CrossingConsistencyTest, ValueAtCrossingEqualsLevel)
+{
+    // Property: at the reported crossing time, the interpolated waveform
+    // equals the level (within numerical tolerance).
+    const double level = GetParam();
+    const Piecewise_linear w({0.0, 1.0, 2.0, 3.0, 4.0},
+                             {0.0, 0.8, 0.2, 0.9, 0.1});
+    const double t = w.first_crossing(level);
+    ASSERT_GE(t, 0.0);
+    EXPECT_NEAR(w.at(t), level, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, CrossingConsistencyTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.85));
+
+} // namespace

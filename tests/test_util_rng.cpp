@@ -1,0 +1,129 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/stats.h"
+
+namespace {
+
+using mpsram::util::Rng;
+using mpsram::util::Running_stats;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.normal() == b.normal()) ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ChildStreamsAreDeterministic)
+{
+    const Rng parent(42);
+    Rng c1 = parent.child("extraction");
+    Rng c2 = parent.child("extraction");
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_DOUBLE_EQ(c1.normal(), c2.normal());
+    }
+}
+
+TEST(Rng, ChildStreamsWithDifferentNamesDecorrelate)
+{
+    const Rng parent(42);
+    Rng a = parent.child("a");
+    Rng b = parent.child("b");
+
+    std::vector<double> xs(4000);
+    std::vector<double> ys(4000);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        xs[i] = a.normal();
+        ys[i] = b.normal();
+    }
+    EXPECT_NEAR(mpsram::util::correlation(xs, ys), 0.0, 0.06);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(5);
+    Running_stats s;
+    for (int i = 0; i < 40000; ++i) s.add(rng.normal(2.0, 3.0));
+    EXPECT_NEAR(s.mean(), 2.0, 0.06);
+    EXPECT_NEAR(s.stddev(), 3.0, 0.06);
+}
+
+TEST(Rng, NormalZeroSigmaIsDeterministic)
+{
+    Rng rng(5);
+    EXPECT_DOUBLE_EQ(rng.normal(7.0, 0.0), 7.0);
+}
+
+TEST(Rng, NormalRejectsNegativeSigma)
+{
+    Rng rng(5);
+    EXPECT_THROW(rng.normal(0.0, -1.0), mpsram::util::Precondition_error);
+}
+
+class TruncatedNormalTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TruncatedNormalTest, SamplesStayWithinBounds)
+{
+    const double k = GetParam();
+    Rng rng(17);
+    const double mean = 1.0;
+    const double sigma = 0.5;
+    for (int i = 0; i < 5000; ++i) {
+        const double x = rng.truncated_normal(mean, sigma, k);
+        EXPECT_GE(x, mean - k * sigma);
+        EXPECT_LE(x, mean + k * sigma);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TruncationWidths, TruncatedNormalTest,
+                         ::testing::Values(1.0, 2.0, 3.0, 4.0));
+
+TEST(Rng, TruncatedNormalZeroSigma)
+{
+    Rng rng(17);
+    EXPECT_DOUBLE_EQ(rng.truncated_normal(3.0, 0.0, 3.0), 3.0);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-2.0, 5.0);
+        EXPECT_GE(x, -2.0);
+        EXPECT_LT(x, 5.0);
+    }
+    EXPECT_THROW(rng.uniform(1.0, 1.0), mpsram::util::Precondition_error);
+}
+
+TEST(Rng, IndexRange)
+{
+    Rng rng(11);
+    std::vector<int> seen(10, 0);
+    for (int i = 0; i < 5000; ++i) {
+        const auto idx = rng.index(10);
+        ASSERT_LT(idx, 10u);
+        ++seen[static_cast<std::size_t>(idx)];
+    }
+    for (int count : seen) EXPECT_GT(count, 300);  // roughly uniform
+    EXPECT_THROW(rng.index(0), mpsram::util::Precondition_error);
+}
+
+} // namespace

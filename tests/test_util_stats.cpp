@@ -1,0 +1,172 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace {
+
+using mpsram::util::correlation;
+using mpsram::util::quantile_sorted;
+using mpsram::util::Running_stats;
+using mpsram::util::Sample_summary;
+using mpsram::util::summarize;
+
+TEST(RunningStats, SingleSample)
+{
+    Running_stats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    Running_stats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Unbiased variance of this classic set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyThrows)
+{
+    const Running_stats s;
+    EXPECT_THROW(s.mean(), mpsram::util::Precondition_error);
+    EXPECT_THROW(s.min(), mpsram::util::Precondition_error);
+    EXPECT_THROW(s.max(), mpsram::util::Precondition_error);
+}
+
+TEST(RunningStats, VarianceOfConstantSeriesIsZero)
+{
+    Running_stats s;
+    for (int i = 0; i < 100; ++i) s.add(42.0);
+    EXPECT_NEAR(s.variance(), 0.0, 1e-18);
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset)
+{
+    // Welford must not cancel catastrophically with a large common offset.
+    Running_stats s;
+    const double offset = 1e12;
+    for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+    EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+class RunningStatsMergeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RunningStatsMergeTest, MergeMatchesCombined)
+{
+    // Property: splitting a stream at any point and merging must equal the
+    // single-stream accumulation.
+    std::mt19937_64 rng(99);
+    std::normal_distribution<double> dist(1.0, 2.0);
+    std::vector<double> xs(64);
+    for (double& x : xs) x = dist(rng);
+
+    const int split = GetParam();
+    Running_stats all;
+    Running_stats a;
+    Running_stats b;
+    for (int i = 0; i < static_cast<int>(xs.size()); ++i) {
+        all.add(xs[static_cast<std::size_t>(i)]);
+        (i < split ? a : b).add(xs[static_cast<std::size_t>(i)]);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(SplitPoints, RunningStatsMergeTest,
+                         ::testing::Values(0, 1, 7, 32, 63, 64));
+
+TEST(Quantile, InterpolatesBetweenSamples)
+{
+    const std::vector<double> sorted = {0.0, 1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 3.0);
+    EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 1.5);
+    EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0 / 3.0), 1.0);
+}
+
+TEST(Quantile, RejectsBadInput)
+{
+    EXPECT_THROW(quantile_sorted({}, 0.5), mpsram::util::Precondition_error);
+    EXPECT_THROW(quantile_sorted({1.0}, 1.5),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(Summarize, EmptyIsAllZero)
+{
+    const Sample_summary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.mean, 0.0);
+    EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, GaussianSampleMoments)
+{
+    std::mt19937_64 rng(7);
+    std::normal_distribution<double> dist(5.0, 0.5);
+    std::vector<double> xs(20000);
+    for (double& x : xs) x = dist(rng);
+
+    const Sample_summary s = summarize(xs);
+    EXPECT_EQ(s.count, xs.size());
+    EXPECT_NEAR(s.mean, 5.0, 0.02);
+    EXPECT_NEAR(s.stddev, 0.5, 0.02);
+    EXPECT_NEAR(s.median, 5.0, 0.02);
+    // ~2.33 sigma for the 1%/99% points.
+    EXPECT_NEAR(s.p01, 5.0 - 2.326 * 0.5, 0.06);
+    EXPECT_NEAR(s.p99, 5.0 + 2.326 * 0.5, 0.06);
+}
+
+TEST(Correlation, PerfectlyCorrelatedSeries)
+{
+    const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> b = {2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(Correlation, AntiCorrelatedSeries)
+{
+    const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> b = {4.0, 3.0, 2.0, 1.0};
+    EXPECT_NEAR(correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentSeriesNearZero)
+{
+    std::mt19937_64 rng(3);
+    std::normal_distribution<double> dist;
+    std::vector<double> a(5000);
+    std::vector<double> b(5000);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = dist(rng);
+        b[i] = dist(rng);
+    }
+    EXPECT_NEAR(correlation(a, b), 0.0, 0.05);
+}
+
+TEST(Correlation, RejectsDegenerateInput)
+{
+    EXPECT_THROW(correlation({1.0}, {1.0}),
+                 mpsram::util::Precondition_error);
+    EXPECT_THROW(correlation({1.0, 2.0}, {1.0}),
+                 mpsram::util::Precondition_error);
+    EXPECT_THROW(correlation({1.0, 1.0}, {1.0, 2.0}),
+                 mpsram::util::Precondition_error);
+}
+
+} // namespace
