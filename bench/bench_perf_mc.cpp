@@ -1,34 +1,123 @@
-// Engine performance benchmarks (google-benchmark): the Monte-Carlo loop.
-#include <benchmark/benchmark.h>
+// Monte-Carlo engine throughput: threads vs wall time on the Fig. 5
+// workload (LE3 @ 8 nm 3-sigma OL, 10x64 array, 10k samples).
+//
+// Prints a thread-scaling table, verifies the determinism contract (the
+// parallel runs must be bitwise identical to the serial run), and emits
+// BENCH_mc.json so the samples/sec trajectory can be tracked across
+// revisions.
+//
+//   $ ./bench_perf_mc [samples]
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/study.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace mpsram;
 
-void bm_mc_tdp(benchmark::State& state)
+double seconds_of(const std::chrono::steady_clock::duration& d)
 {
-    const core::Variability_study study;
-    const auto option =
-        static_cast<tech::Patterning_option>(state.range(0));
-
-    mc::Distribution_options mo;
-    mo.samples = static_cast<int>(state.range(1));
-
-    for (auto _ : state) {
-        const auto dist = study.mc_tdp(option, 64, mo);
-        benchmark::DoNotOptimize(dist.summary.stddev);
-    }
-    state.SetItemsProcessed(state.iterations() * mo.samples);
+    return std::chrono::duration<double>(d).count();
 }
-BENCHMARK(bm_mc_tdp)
-    ->Args({0, 1000})
-    ->Args({1, 1000})
-    ->Args({2, 1000})
-    ->Args({0, 10000})
-    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    const int samples = argc > 1 ? std::atoi(argv[1]) : 10000;
+    if (samples <= 0) {
+        std::cerr << "usage: bench_perf_mc [samples>0]\n";
+        return 2;
+    }
+    constexpr int n = 64;
+    constexpr double ol_8nm = 8e-9;
+
+    const core::Variability_study study;
+    mc::Distribution_options mo;
+    mo.samples = samples;
+
+    const int hw = util::Thread_pool::hardware_threads();
+    std::vector<int> thread_counts = {1, 2, 4};
+    if (hw > 4) thread_counts.push_back(hw);
+
+    std::cout << "MC throughput: LE3 @ 8 nm 3s OL, 10x" << n << ", "
+              << samples << " samples, " << hw << " hardware threads\n\n";
+
+    util::Table table({"threads", "wall [s]", "samples/s", "speedup",
+                       "bitwise == serial"});
+
+    struct Point {
+        int threads = 0;
+        double wall_s = 0.0;
+        double samples_per_s = 0.0;
+        bool identical = true;
+    };
+    std::vector<Point> points;
+    mc::Tdp_distribution serial_dist;
+
+    for (const int threads : thread_counts) {
+        mo.runner.threads = threads;
+
+        // One warm-up pass, then the timed pass.
+        study.mc_tdp(tech::Patterning_option::le3, n, mo, ol_8nm);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto dist =
+            study.mc_tdp(tech::Patterning_option::le3, n, mo, ol_8nm);
+        const double wall = seconds_of(std::chrono::steady_clock::now() - t0);
+
+        Point p;
+        p.threads = threads;
+        p.wall_s = wall;
+        p.samples_per_s = samples / wall;
+        if (threads == 1) {
+            serial_dist = dist;
+        } else {
+            p.identical = dist.tdp == serial_dist.tdp &&
+                          dist.rvar == serial_dist.rvar &&
+                          dist.cvar == serial_dist.cvar;
+        }
+        points.push_back(p);
+
+        table.add_row({std::to_string(threads),
+                       util::fmt_fixed(wall, 3),
+                       util::fmt_fixed(p.samples_per_s, 0),
+                       util::fmt_fixed(points.front().wall_s / wall, 2) + "x",
+                       p.identical ? "yes" : "NO"});
+    }
+
+    std::cout << table.render() << '\n';
+
+    bool all_identical = true;
+    for (const Point& p : points) all_identical = all_identical && p.identical;
+    if (!all_identical) {
+        std::cout << "ERROR: parallel results diverged from serial — the\n"
+                     "determinism contract is broken.\n";
+    }
+
+    std::ofstream json("BENCH_mc.json");
+    json << "{\n"
+         << "  \"bench\": \"bench_perf_mc\",\n"
+         << "  \"workload\": \"le3_8nm_ol_10x64_fig5\",\n"
+         << "  \"samples\": " << samples << ",\n"
+         << "  \"hardware_threads\": " << hw << ",\n"
+         << "  \"deterministic_across_threads\": "
+         << (all_identical ? "true" : "false") << ",\n"
+         << "  \"results\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        json << "    {\"threads\": " << points[i].threads
+             << ", \"wall_s\": " << points[i].wall_s
+             << ", \"samples_per_s\": " << points[i].samples_per_s << "}"
+             << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "Wrote BENCH_mc.json\n";
+
+    return all_identical ? 0 : 1;
+}

@@ -7,12 +7,16 @@
 // fallout rate (corners that break the layout outright).
 //
 //   $ ./yield_screen [guard_band_percent]
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
+#include "core/runner.h"
 #include "core/study.h"
 #include "geom/drc.h"
 #include "pattern/engine.h"
+#include "util/rng.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -44,28 +48,42 @@ int main(int argc, char** argv)
         {tech::Patterning_option::euv, -1.0},
     };
 
-    for (const auto& c : cases) {
-        const auto dist = study.mc_tdp(c.option, n, mo, c.ol);
+    // All five cases as one batch on the execution engine; bitwise
+    // identical at any thread count.
+    const auto runner = core::Runner_options::parallel();
+    mo.runner = runner;
+    std::vector<core::Variability_study::Mc_case> batch;
+    for (const auto& c : cases) batch.push_back({c.option, n, c.ol});
+    const auto dists = study.mc_tdp_batch(batch, mo);
+
+    for (std::size_t ci = 0; ci < std::size(cases); ++ci) {
+        const auto& c = cases[ci];
+        const auto& dist = dists[ci];
         int slow = 0;
         for (double tdp : dist.tdp) {
             if (tdp > guard) ++slow;
         }
 
         // DRC fallout: re-sample geometry and count rule violations.
+        // Sample i draws from substream (2015, i), so this loop too is
+        // order- and thread-count-independent.
         tech::Technology t = study.technology();
         if (c.ol >= 0.0) t.variability.le3_ol_3sigma = c.ol;
         const auto engine = pattern::make_engine(c.option, t);
         const auto nominal = study.decomposed_array(c.option, n, c.ol);
-        util::Rng rng(2015);
-        int fallout = 0;
+        std::atomic<int> fallout{0};
         constexpr int geo_samples = 2000;
-        for (int i = 0; i < geo_samples; ++i) {
-            const auto realized =
-                engine->realize(nominal, engine->sample_gaussian(rng));
-            if (!geom::check_drc(realized, t.metal1.drc).empty()) {
-                ++fallout;
-            }
-        }
+        core::run_indexed(
+            geo_samples,
+            [&](std::size_t i, const core::Run_context&) {
+                util::Rng rng = util::Rng::stream(2015, i);
+                const auto realized =
+                    engine->realize(nominal, engine->sample_gaussian(rng));
+                if (!geom::check_drc(realized, t.metal1.drc).empty()) {
+                    fallout.fetch_add(1, std::memory_order_relaxed);
+                }
+            },
+            runner);
 
         table.add_row(
             {std::string(tech::to_string(c.option)),
@@ -73,7 +91,8 @@ int main(int argc, char** argv)
                          : std::string("-"),
              util::fmt_fixed(dist.summary.stddev, 3),
              util::fmt_percent(static_cast<double>(slow) / mo.samples, 2),
-             util::fmt_percent(static_cast<double>(fallout) / geo_samples,
+             util::fmt_percent(static_cast<double>(fallout.load()) /
+                                   geo_samples,
                                2)});
     }
 

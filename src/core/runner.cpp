@@ -1,0 +1,78 @@
+#include "core/runner.h"
+
+#include <memory>
+#include <utility>
+
+#include "util/contracts.h"
+#include "util/thread_pool.h"
+
+namespace mpsram::core {
+
+int Runner_options::resolved_threads() const
+{
+    return threads <= 0 ? util::Thread_pool::hardware_threads() : threads;
+}
+
+void Run_plan::add(Job job)
+{
+    util::expects(static_cast<bool>(job), "Run_plan jobs must be callable");
+    jobs_.push_back(std::move(job));
+}
+
+void Run_plan::add_indexed(
+    std::size_t count,
+    std::function<void(std::size_t, const Run_context&)> body)
+{
+    util::expects(static_cast<bool>(body), "Run_plan jobs must be callable");
+    const auto shared =
+        std::make_shared<std::function<void(std::size_t, const Run_context&)>>(
+            std::move(body));
+    for (std::size_t i = 0; i < count; ++i) {
+        jobs_.push_back([shared, i](const Run_context& ctx) {
+            (*shared)(i, ctx);
+        });
+    }
+}
+
+void run_indexed(
+    std::size_t count,
+    const std::function<void(std::size_t, const Run_context&)>& body,
+    const Runner_options& opts)
+{
+    if (count == 0) return;
+    const int threads = opts.resolved_threads();
+
+    if (threads == 1) {
+        Run_context ctx;
+        for (std::size_t i = 0; i < count; ++i) {
+            ctx.job_index = i;
+            body(i, ctx);
+        }
+        return;
+    }
+
+    // One cached pool per calling thread, rebuilt only when the requested
+    // width changes: repeated runner calls (a sweep of batch cases, one
+    // corner search per option) reuse the same OS threads instead of
+    // spawning and joining a fresh pool each time.  thread_local keeps
+    // the non-reentrant pool off workers of an enclosing parallel loop.
+    thread_local std::unique_ptr<util::Thread_pool> pool;
+    if (!pool || pool->thread_count() != threads) {
+        pool = std::make_unique<util::Thread_pool>(threads);
+    }
+    pool->parallel_for(count, opts.chunk,
+                       [&body](std::size_t i, int worker) {
+                           body(i, Run_context{i, worker});
+                       });
+}
+
+void run(const Run_plan& plan, const Runner_options& opts)
+{
+    const auto& jobs = plan.jobs();
+    run_indexed(
+        jobs.size(),
+        [&jobs](std::size_t i, const Run_context& ctx) { jobs[i](ctx); },
+        opts);
+}
+
+} // namespace mpsram::core

@@ -1,0 +1,85 @@
+// Execution engine: a Run_plan of independent jobs, executed serially or
+// in parallel under one API.
+//
+// The analysis layers (mc::, pattern::, core::) describe work as plans —
+// Monte-Carlo samples, corner evaluations, study rows — and stay ignorant
+// of threading.  The backend is selected per call by Runner_options:
+//
+//     core::run(plan, {});                       // serial (default)
+//     core::run(plan, core::Runner_options::parallel());  // all cores
+//     core::run_indexed(n, body, {.threads = 4});
+//
+// Determinism contract: a job receives its own index and writes only to
+// its own output slot, so results are bitwise identical at any thread
+// count.  Randomized jobs must derive their stream from the job index
+// (util::Rng::stream), never from a shared engine.
+#ifndef MPSRAM_CORE_RUNNER_H
+#define MPSRAM_CORE_RUNNER_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace mpsram::core {
+
+struct Runner_options {
+    /// Worker count: 1 = serial (in the calling thread), <= 0 = one per
+    /// hardware thread, otherwise the exact count requested.
+    int threads = 1;
+    /// Consecutive jobs handed to a worker at a time; 0 = auto.
+    std::size_t chunk = 0;
+
+    /// Shorthand for "use every hardware thread".
+    static Runner_options parallel() { return Runner_options{0, 0}; }
+
+    /// `threads` with <= 0 resolved to the hardware thread count.
+    int resolved_threads() const;
+};
+
+/// Context handed to every job: where it sits in the plan and which worker
+/// runs it.  `worker` is only for per-thread scratch (never for results —
+/// worker assignment is nondeterministic).
+struct Run_context {
+    std::size_t job_index = 0;
+    int worker = 0;
+};
+
+/// An ordered list of independent jobs.  Jobs must not depend on each
+/// other's side effects; the runner may execute them in any order.
+class Run_plan {
+public:
+    using Job = std::function<void(const Run_context&)>;
+
+    Run_plan() = default;
+
+    /// Append one job.
+    void add(Job job);
+
+    /// Append `count` jobs sharing one body; the body distinguishes them
+    /// by ctx.job_index offset (0-based within this add_indexed call).
+    void add_indexed(std::size_t count,
+                     std::function<void(std::size_t, const Run_context&)> body);
+
+    std::size_t size() const { return jobs_.size(); }
+    bool empty() const { return jobs_.empty(); }
+
+    const std::vector<Job>& jobs() const { return jobs_; }
+
+private:
+    std::vector<Job> jobs_;
+};
+
+/// Execute every job in the plan.  Serial when opts.resolved_threads() is
+/// 1; otherwise chunks the plan over a fixed worker pool.  The first
+/// exception thrown by a job is rethrown here after the plan quiesces.
+void run(const Run_plan& plan, const Runner_options& opts = {});
+
+/// Chunked loop over [0, count) without materializing per-job closures:
+/// the workhorse for large sample loops.  Same semantics as run().
+void run_indexed(std::size_t count,
+                 const std::function<void(std::size_t, const Run_context&)>& body,
+                 const Runner_options& opts = {});
+
+} // namespace mpsram::core
+
+#endif // MPSRAM_CORE_RUNNER_H

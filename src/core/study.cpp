@@ -42,10 +42,11 @@ geom::Wire_array Variability_study::decomposed_array(
 }
 
 Variability_study::Worst_case_row Variability_study::worst_case(
-    tech::Patterning_option option, double ol_3sigma) const
+    tech::Patterning_option option, double ol_3sigma,
+    const Runner_options& runner) const
 {
     const mc::Worst_case_result full =
-        worst_case_full(option, opts_.array.word_lines, ol_3sigma);
+        worst_case_full(option, opts_.array.word_lines, ol_3sigma, runner);
 
     const tech::Technology t = tech_with_ol(ol_3sigma);
     const auto engine = pattern::make_engine(option, t);
@@ -60,7 +61,8 @@ Variability_study::Worst_case_row Variability_study::worst_case(
 }
 
 mc::Worst_case_result Variability_study::worst_case_full(
-    tech::Patterning_option option, int word_lines, double ol_3sigma) const
+    tech::Patterning_option option, int word_lines, double ol_3sigma,
+    const Runner_options& runner) const
 {
     sram::Array_config cfg = opts_.array;
     cfg.word_lines = word_lines;
@@ -70,7 +72,20 @@ mc::Worst_case_result Variability_study::worst_case_full(
         engine->decompose(sram::build_metal1_array(t, cfg));
     const sram::Victim_wires victims = sram::find_victim_wires(nominal, cfg);
     return mc::find_worst_case(*engine, *extractor_, nominal, victims.bl,
-                               victims.vss);
+                               victims.vss, 3, runner);
+}
+
+std::vector<Variability_study::Worst_case_row>
+Variability_study::worst_case_all_options(const Runner_options& runner,
+                                          double ol_3sigma) const
+{
+    std::vector<Worst_case_row> rows;
+    rows.reserve(std::size(tech::all_patterning_options));
+    for (const tech::Patterning_option option :
+         tech::all_patterning_options) {
+        rows.push_back(worst_case(option, ol_3sigma, runner));
+    }
+    return rows;
 }
 
 double Variability_study::simulate_td(const sram::Bitline_electrical& wires,
@@ -88,8 +103,11 @@ double Variability_study::simulate_td(const sram::Bitline_electrical& wires,
 
 double Variability_study::nominal_td_spice(int word_lines) const
 {
-    const auto it = td_nominal_cache_.find(word_lines);
-    if (it != td_nominal_cache_.end()) return it->second;
+    {
+        const std::lock_guard<std::mutex> lock(td_cache_mutex_);
+        const auto it = td_nominal_cache_.find(word_lines);
+        if (it != td_nominal_cache_.end()) return it->second;
+    }
 
     sram::Array_config cfg = opts_.array;
     cfg.word_lines = word_lines;
@@ -99,8 +117,12 @@ double Variability_study::nominal_td_spice(int word_lines) const
         decomposed_array(tech::Patterning_option::euv, word_lines);
     const sram::Bitline_electrical wires =
         sram::roll_up_nominal(*extractor_, nominal, tech_, cfg);
+    // The simulation runs outside the lock: two threads racing on the same
+    // word_lines redundantly compute the same deterministic value, which
+    // beats serializing every caller behind a SPICE transient.
     const double td = simulate_td(wires, word_lines);
-    td_nominal_cache_[word_lines] = td;
+    const std::lock_guard<std::mutex> lock(td_cache_mutex_);
+    td_nominal_cache_.emplace(word_lines, td);
     return td;
 }
 
@@ -172,6 +194,22 @@ mc::Tdp_distribution Variability_study::mc_tdp(
     return mc::tdp_distribution(*engine, *extractor_, nominal, victims.bl,
                                 formula_params(word_lines), word_lines,
                                 mc_opts);
+}
+
+std::vector<mc::Tdp_distribution> Variability_study::mc_tdp_batch(
+    std::span<const Mc_case> cases,
+    const mc::Distribution_options& mc_opts) const
+{
+    // Parallelism lives inside each case's sample loop (samples outnumber
+    // cases by orders of magnitude), so every case's distribution is the
+    // same whether it runs alone or inside a sweep.
+    std::vector<mc::Tdp_distribution> results;
+    results.reserve(cases.size());
+    for (const Mc_case& c : cases) {
+        results.push_back(
+            mc_tdp(c.option, c.word_lines, mc_opts, c.ol_3sigma));
+    }
+    return results;
 }
 
 } // namespace mpsram::core

@@ -16,8 +16,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "core/runner.h"
 #include "extract/extractor.h"
 #include "mc/distribution.h"
 #include "mc/worst_case.h"
@@ -51,9 +55,17 @@ public:
         double vss_r_percent = 0.0;
     };
     /// Worst case for one option.  `ol_3sigma` < 0 uses the technology's
-    /// assumption (LE3 only; ignored otherwise).
+    /// assumption (LE3 only; ignored otherwise).  `runner` executes the
+    /// corner enumeration.
     Worst_case_row worst_case(tech::Patterning_option option,
-                              double ol_3sigma = -1.0) const;
+                              double ol_3sigma = -1.0,
+                              const Runner_options& runner = {}) const;
+
+    /// Table I in one call: the worst case of every patterning option,
+    /// corner evaluations fanned out on `runner`.  Row order follows
+    /// tech::all_patterning_options regardless of thread count.
+    std::vector<Worst_case_row> worst_case_all_options(
+        const Runner_options& runner = {}, double ol_3sigma = -1.0) const;
 
     // --- Fig. 4 ---------------------------------------------------------------
     struct Read_row {
@@ -85,6 +97,25 @@ public:
                                 const mc::Distribution_options& mc_opts,
                                 double ol_3sigma = -1.0) const;
 
+    /// One Monte-Carlo case of a sweep: an option at an array length and
+    /// (optionally) an overlay budget.
+    struct Mc_case {
+        tech::Patterning_option option;
+        int word_lines = 64;
+        double ol_3sigma = -1.0;  ///< < 0: technology default (LE3 only)
+    };
+
+    /// Run mc_tdp for every case of a sweep (Fig. 5's three options, an
+    /// overlay-budget scan, a word-line scaling study...).  Each case's
+    /// sample loop is fanned out on `mc_opts.runner` — samples dominate
+    /// cases by orders of magnitude, so per-case parallelism saturates
+    /// the pool while keeping every case's result independent of the
+    /// sweep composition.  Results are indexed like `cases` and bitwise
+    /// identical at any thread count.
+    std::vector<mc::Tdp_distribution> mc_tdp_batch(
+        std::span<const Mc_case> cases,
+        const mc::Distribution_options& mc_opts) const;
+
     // --- building blocks (exposed for examples, benches and tests) -----------
     /// Nominal metal1 array, decomposed for the option.
     geom::Wire_array decomposed_array(tech::Patterning_option option,
@@ -104,7 +135,9 @@ public:
     /// Worst-case search result with full geometry (Fig. 2-style dumps).
     mc::Worst_case_result worst_case_full(tech::Patterning_option option,
                                           int word_lines,
-                                          double ol_3sigma = -1.0) const;
+                                          double ol_3sigma = -1.0,
+                                          const Runner_options& runner = {})
+        const;
 
 private:
     tech::Technology tech_with_ol(double ol_3sigma) const;
@@ -115,6 +148,9 @@ private:
     std::unique_ptr<extract::Extractor> extractor_;
     sram::Cell_electrical cell_;
 
+    // The nominal-td memo is shared by every const method; batch APIs hit
+    // it from pool workers, so all access goes through td_cache_mutex_.
+    mutable std::mutex td_cache_mutex_;
     mutable std::map<int, double> td_nominal_cache_;
 };
 

@@ -59,31 +59,45 @@ Tdp_distribution tdp_distribution(const pattern::Patterning_engine& engine,
     util::expects(opts.samples > 0, "sample count must be positive");
     util::expects(victim < nominal.size(), "victim index out of range");
 
-    util::Rng rng = util::Rng(opts.seed).child(engine.name());
+    // Root of this experiment's stream tree: per-sample substreams branch
+    // off (base_seed, i), so the loop body is order-independent.
+    const std::uint64_t base_seed =
+        util::Rng(opts.seed).child(engine.name()).seed();
 
+    // Latin-hypercube stratification couples samples across the whole set,
+    // so its (cheap) sample construction stays serial; only the expensive
+    // realization/extraction below is parallel.
     std::vector<pattern::Process_sample> pregen;
     if (opts.sampling == Sampling::latin_hypercube) {
+        util::Rng rng(base_seed);
         pregen = lhs_samples(engine, rng, opts);
     }
 
+    const auto count = static_cast<std::size_t>(opts.samples);
     Tdp_distribution dist;
-    dist.tdp.reserve(static_cast<std::size_t>(opts.samples));
-    dist.rvar.reserve(static_cast<std::size_t>(opts.samples));
-    dist.cvar.reserve(static_cast<std::size_t>(opts.samples));
+    dist.tdp.resize(count);
+    dist.rvar.resize(count);
+    dist.cvar.resize(count);
 
-    for (int i = 0; i < opts.samples; ++i) {
-        const pattern::Process_sample s =
-            opts.sampling == Sampling::latin_hypercube
-                ? pregen[static_cast<std::size_t>(i)]
-                : engine.sample_gaussian(rng, opts.truncate_k);
-        const geom::Wire_array realized = engine.realize(nominal, s);
-        const extract::Rc_variation v =
-            extractor.variation(nominal, realized, victim);
-        dist.rvar.push_back(v.r_factor);
-        dist.cvar.push_back(v.c_factor);
-        dist.tdp.push_back(
-            analytic::tdp_percent(params, n, v.r_factor, v.c_factor));
-    }
+    core::run_indexed(
+        count,
+        [&](std::size_t i, const core::Run_context&) {
+            pattern::Process_sample s;
+            if (opts.sampling == Sampling::latin_hypercube) {
+                s = pregen[i];
+            } else {
+                util::Rng rng = util::Rng::stream(base_seed, i);
+                s = engine.sample_gaussian(rng, opts.truncate_k);
+            }
+            const geom::Wire_array realized = engine.realize(nominal, s);
+            const extract::Rc_variation v =
+                extractor.variation(nominal, realized, victim);
+            dist.rvar[i] = v.r_factor;
+            dist.cvar[i] = v.c_factor;
+            dist.tdp[i] =
+                analytic::tdp_percent(params, n, v.r_factor, v.c_factor);
+        },
+        opts.runner);
 
     dist.summary = util::summarize(dist.tdp);
     return dist;

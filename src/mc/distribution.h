@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analytic/td_formula.h"
+#include "core/runner.h"
 #include "extract/extractor.h"
 #include "geom/wire_array.h"
 #include "pattern/engine.h"
@@ -31,6 +32,10 @@ struct Distribution_options {
     /// with ~10x fewer samples; pseudo-random remains the default for
     /// like-for-like comparison with the paper's Monte-Carlo method.
     Sampling sampling = Sampling::pseudo_random;
+    /// Execution backend for the sample loop.  Sample i draws from the
+    /// counter-based substream (seed, i), so the tdp/rvar/cvar vectors are
+    /// bitwise identical at any thread count.
+    core::Runner_options runner;
 };
 
 struct Tdp_distribution {

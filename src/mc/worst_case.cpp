@@ -8,7 +8,8 @@ Worst_case_result find_worst_case(const pattern::Patterning_engine& engine,
                                   const extract::Extractor& extractor,
                                   const geom::Wire_array& nominal,
                                   std::size_t victim, std::size_t vss,
-                                  int levels_per_axis)
+                                  int levels_per_axis,
+                                  const core::Runner_options& runner)
 {
     util::expects(victim < nominal.size() && vss < nominal.size(),
                   "victim/vss indices out of range");
@@ -19,7 +20,8 @@ Worst_case_result find_worst_case(const pattern::Patterning_engine& engine,
     };
 
     const pattern::Corner_search search =
-        pattern::enumerate_corners(engine, metric, 3.0, levels_per_axis);
+        pattern::enumerate_corners(engine, metric, 3.0, levels_per_axis,
+                                   runner);
 
     Worst_case_result result{search.worst,
                              extract::Rc_variation{},

@@ -4,6 +4,7 @@
 #ifndef MPSRAM_MC_WORST_CASE_H
 #define MPSRAM_MC_WORST_CASE_H
 
+#include "core/runner.h"
 #include "extract/extractor.h"
 #include "geom/wire_array.h"
 #include "pattern/corners.h"
@@ -19,12 +20,15 @@ struct Worst_case_result {
 };
 
 /// Find the Cbl-maximizing corner.  `nominal` must already be decomposed
-/// by the engine; `victim` / `vss` are wire indices in that array.
+/// by the engine; `victim` / `vss` are wire indices in that array.  The
+/// corner evaluations run on `runner`; the result is identical at any
+/// thread count.
 Worst_case_result find_worst_case(const pattern::Patterning_engine& engine,
                                   const extract::Extractor& extractor,
                                   const geom::Wire_array& nominal,
                                   std::size_t victim, std::size_t vss,
-                                  int levels_per_axis = 3);
+                                  int levels_per_axis = 3,
+                                  const core::Runner_options& runner = {});
 
 } // namespace mpsram::mc
 

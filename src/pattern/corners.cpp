@@ -28,10 +28,9 @@ std::string Corner::describe(const Patterning_engine& engine) const
     return out.str();
 }
 
-Corner_search enumerate_corners(const Patterning_engine& engine,
-                                const Corner_metric& metric,
-                                double k_sigma,
-                                int levels_per_axis)
+std::vector<Process_sample> corner_samples(const Patterning_engine& engine,
+                                           double k_sigma,
+                                           int levels_per_axis)
 {
     util::expects(levels_per_axis == 2 || levels_per_axis == 3,
                   "levels_per_axis must be 2 or 3");
@@ -45,8 +44,8 @@ Corner_search enumerate_corners(const Patterning_engine& engine,
         total *= static_cast<std::size_t>(levels_per_axis);
     }
 
-    Corner_search result;
-    result.all.reserve(total);
+    std::vector<Process_sample> samples;
+    samples.reserve(total);
 
     // Mixed-radix counter over the per-axis levels.
     std::vector<int> digits(dims, 0);
@@ -61,9 +60,7 @@ Corner_search enumerate_corners(const Patterning_engine& engine,
             }
             s[d] = level * axes[d].sigma;
         }
-        Corner c{std::move(s), 0.0};
-        c.metric = metric(c.sample);
-        result.all.push_back(std::move(c));
+        samples.push_back(std::move(s));
 
         // Increment the counter.
         for (std::size_t d = 0; d < dims; ++d) {
@@ -71,6 +68,33 @@ Corner_search enumerate_corners(const Patterning_engine& engine,
             digits[d] = 0;
         }
     }
+    return samples;
+}
+
+Corner_search enumerate_corners(const Patterning_engine& engine,
+                                const Corner_metric& metric,
+                                double k_sigma,
+                                int levels_per_axis,
+                                const core::Runner_options& runner)
+{
+    std::vector<Process_sample> samples =
+        corner_samples(engine, k_sigma, levels_per_axis);
+
+    Corner_search result;
+    result.all.resize(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        result.all[i].sample = std::move(samples[i]);
+    }
+
+    // Each corner scores into its own slot; the argmax scan below stays
+    // serial and in enumeration order, so ties break identically at any
+    // thread count.
+    core::run_indexed(
+        result.all.size(),
+        [&](std::size_t i, const core::Run_context&) {
+            result.all[i].metric = metric(result.all[i].sample);
+        },
+        runner);
 
     util::ensures(!result.all.empty(), "corner enumeration produced nothing");
     result.worst = result.all.front();

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/runner.h"
 #include "pattern/engine.h"
 
 namespace mpsram::pattern {
@@ -31,15 +32,26 @@ struct Corner_search {
 };
 
 /// Metric: maps a realized process sample to a score (e.g. extracted Cbl).
+/// Must be safe to call concurrently from several threads.
 using Corner_metric = std::function<double(const Process_sample&)>;
 
+/// All +/-k-sigma level combinations of the engine's axes, in mixed-radix
+/// order (axis 0 fastest).  `levels_per_axis` is 2 ({-k, +k}) or 3
+/// ({-k, 0, +k}).
+std::vector<Process_sample> corner_samples(const Patterning_engine& engine,
+                                           double k_sigma = 3.0,
+                                           int levels_per_axis = 3);
+
 /// Enumerate all +/-k-sigma (and optionally zero) combinations of the
-/// engine's axes and return the metric-maximizing corner.
-/// `levels_per_axis` is 2 ({-k, +k}) or 3 ({-k, 0, +k}).
+/// engine's axes and return the metric-maximizing corner.  The metric
+/// evaluations are independent jobs on `runner`; the reported worst
+/// corner (first maximum in enumeration order) is identical at any
+/// thread count.
 Corner_search enumerate_corners(const Patterning_engine& engine,
                                 const Corner_metric& metric,
                                 double k_sigma = 3.0,
-                                int levels_per_axis = 3);
+                                int levels_per_axis = 3,
+                                const core::Runner_options& runner = {});
 
 } // namespace mpsram::pattern
 

@@ -25,6 +25,13 @@ Rng Rng::child(std::string_view name) const
     return Rng(mix64(seed_ ^ mix64(name_hash)));
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t index)
+{
+    // Two rounds of the finalizer decorrelate consecutive indices; the
+    // constant offsets index 0 away from the plain `Rng(seed)` stream.
+    return Rng(mix64(mix64(seed) ^ mix64(index + 0x6a09e667f3bcc909ULL)));
+}
+
 double Rng::normal()
 {
     return std_normal_(engine_);

@@ -23,6 +23,13 @@ public:
     /// with different names are decorrelated.
     Rng child(std::string_view name) const;
 
+    /// Counter-based substream: the stream for element `index` of the
+    /// experiment rooted at `seed`.  Depends only on (seed, index) — not
+    /// on how many draws any other substream made — so a loop that gives
+    /// sample i the stream `Rng::stream(seed, i)` produces bitwise
+    /// identical results at any thread count and in any execution order.
+    static Rng stream(std::uint64_t seed, std::uint64_t index);
+
     /// Standard normal draw (mean 0, sigma 1).
     double normal();
 

@@ -1,0 +1,116 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace mpsram::util {
+
+int Thread_pool::hardware_threads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+Thread_pool::Thread_pool(int threads)
+{
+    if (threads <= 0) threads = hardware_threads();
+    workers_.reserve(static_cast<std::size_t>(threads - 1));
+    for (int w = 1; w < threads; ++w) {
+        workers_.emplace_back([this, w] { worker_main(w); });
+    }
+}
+
+Thread_pool::~Thread_pool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+}
+
+void Thread_pool::parallel_for(std::size_t count, std::size_t chunk,
+                               const Loop_body& body)
+{
+    if (count == 0) return;
+
+    if (chunk == 0) {
+        // Aim for ~4 chunks per worker so stragglers can be rebalanced,
+        // without paying one atomic fetch per index.
+        const auto workers = static_cast<std::size_t>(thread_count());
+        chunk = std::max<std::size_t>(1, count / (4 * workers));
+    }
+
+    // Inline fast path: no spawned workers, or too little work to share.
+    if (workers_.empty() || count <= chunk) {
+        for (std::size_t i = 0; i < count; ++i) body(i, 0);
+        return;
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        util::invariant(busy_workers_ == 0,
+                        "parallel_for is not reentrant on one pool");
+        body_ = &body;
+        count_ = count;
+        chunk_ = chunk;
+        next_.store(0, std::memory_order_relaxed);
+        aborted_.store(false, std::memory_order_relaxed);
+        error_ = nullptr;
+        busy_workers_ = workers_.size();
+        ++epoch_;
+    }
+    wake_.notify_all();
+
+    drain(0);  // the calling thread is worker 0
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return busy_workers_ == 0; });
+    body_ = nullptr;
+    if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+}
+
+void Thread_pool::worker_main(int worker)
+{
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return stopping_ || epoch_ != seen_epoch; });
+        if (stopping_) return;
+        seen_epoch = epoch_;
+        lock.unlock();
+
+        drain(worker);
+
+        lock.lock();
+        if (--busy_workers_ == 0) {
+            lock.unlock();
+            done_.notify_one();
+        }
+    }
+}
+
+void Thread_pool::drain(int worker)
+{
+    const Loop_body& body = *body_;
+    for (;;) {
+        if (aborted_.load(std::memory_order_relaxed)) return;
+        const std::size_t begin =
+            next_.fetch_add(chunk_, std::memory_order_relaxed);
+        if (begin >= count_) return;
+        const std::size_t end = std::min(begin + chunk_, count_);
+        try {
+            for (std::size_t i = begin; i < end; ++i) body(i, worker);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_) error_ = std::current_exception();
+            aborted_.store(true, std::memory_order_relaxed);
+            return;
+        }
+    }
+}
+
+} // namespace mpsram::util

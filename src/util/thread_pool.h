@@ -1,0 +1,88 @@
+// Fixed-size worker pool with a chunked parallel_for.
+//
+// The pool is the low-level execution primitive under core::Runner: callers
+// describe *what* is independent (a range of job indices), the pool decides
+// *who* runs it.  Design rules that keep results deterministic:
+//
+//   - parallel_for(count, ...) always invokes the body exactly once per
+//     index in [0, count); each invocation must write only to its own
+//     output slot.  Under that contract results are bitwise independent of
+//     the thread count and of chunk scheduling.
+//   - The calling thread participates as worker 0, so a pool constructed
+//     with `threads == 1` runs everything inline with zero synchronization.
+//   - The first exception thrown by any body is captured and rethrown on
+//     the calling thread after the loop quiesces; remaining chunks are
+//     abandoned.
+#ifndef MPSRAM_UTIL_THREAD_POOL_H
+#define MPSRAM_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpsram::util {
+
+class Thread_pool {
+public:
+    /// Body of a parallel loop: (job index, worker id in [0, threads)).
+    using Loop_body = std::function<void(std::size_t, int)>;
+
+    /// A pool of `threads` workers (the constructing thread counts as one,
+    /// so `threads - 1` OS threads are spawned).  `threads <= 0` resolves
+    /// to hardware_threads().
+    explicit Thread_pool(int threads = 0);
+
+    /// Joins the workers.  Must not be called while a parallel_for is in
+    /// flight on another thread.
+    ~Thread_pool();
+
+    Thread_pool(const Thread_pool&) = delete;
+    Thread_pool& operator=(const Thread_pool&) = delete;
+
+    /// Total worker count including the calling thread.
+    int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /// Run body(i, worker) exactly once for every i in [0, count), split
+    /// into chunks of `chunk` consecutive indices (0 picks a chunk size
+    /// that gives each worker several chunks for load balancing).  Blocks
+    /// until every index is done or an exception aborts the loop; the
+    /// first exception is rethrown here.  Not reentrant: the body must not
+    /// call parallel_for on the same pool.
+    void parallel_for(std::size_t count, std::size_t chunk,
+                      const Loop_body& body);
+
+    /// std::thread::hardware_concurrency with a floor of 1.
+    static int hardware_threads();
+
+private:
+    void worker_main(int worker);
+    void drain(int worker);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::uint64_t epoch_ = 0;         ///< bumped per parallel_for call
+    std::size_t busy_workers_ = 0;    ///< spawned workers still in drain()
+    bool stopping_ = false;
+
+    // State of the in-flight loop (written under mutex_ before the epoch
+    // bump, read by workers after they observe the new epoch).
+    const Loop_body* body_ = nullptr;
+    std::size_t count_ = 0;
+    std::size_t chunk_ = 1;
+    std::atomic<std::size_t> next_{0};
+    std::atomic<bool> aborted_{false};
+    std::exception_ptr error_;
+};
+
+} // namespace mpsram::util
+
+#endif // MPSRAM_UTIL_THREAD_POOL_H

@@ -1,0 +1,132 @@
+#include "core/runner.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace mpsram;
+using core::Run_context;
+using core::Run_plan;
+using core::Runner_options;
+
+TEST(RunnerOptions, ResolvesThreadCounts)
+{
+    EXPECT_EQ(Runner_options{1}.resolved_threads(), 1);
+    EXPECT_EQ(Runner_options{5}.resolved_threads(), 5);
+    EXPECT_EQ(Runner_options{0}.resolved_threads(),
+              util::Thread_pool::hardware_threads());
+    EXPECT_EQ(Runner_options{-2}.resolved_threads(),
+              util::Thread_pool::hardware_threads());
+    EXPECT_EQ(Runner_options::parallel().resolved_threads(),
+              util::Thread_pool::hardware_threads());
+}
+
+TEST(RunPlan, EmptyPlanIsANoop)
+{
+    const Run_plan plan;
+    EXPECT_TRUE(plan.empty());
+    EXPECT_NO_THROW(core::run(plan, Runner_options{1}));
+    EXPECT_NO_THROW(core::run(plan, Runner_options{4}));
+}
+
+TEST(RunPlan, RejectsNullJobs)
+{
+    Run_plan plan;
+    EXPECT_THROW(plan.add(Run_plan::Job{}), util::Precondition_error);
+}
+
+TEST(RunPlan, ExecutesEveryJobOnceSerialAndParallel)
+{
+    for (const int threads : {1, 4}) {
+        constexpr std::size_t count = 200;
+        std::vector<std::atomic<int>> hits(count);
+
+        Run_plan plan;
+        for (std::size_t i = 0; i < count; ++i) {
+            plan.add([&hits, i](const Run_context& ctx) {
+                EXPECT_EQ(ctx.job_index, i);
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        EXPECT_EQ(plan.size(), count);
+
+        core::run(plan, Runner_options{threads});
+        for (std::size_t i = 0; i < count; ++i) {
+            ASSERT_EQ(hits[i].load(), 1)
+                << "threads=" << threads << " job " << i;
+        }
+    }
+}
+
+TEST(RunPlan, AddIndexedOffsetsAreLocalAndContextIsGlobal)
+{
+    Run_plan plan;
+    plan.add([](const Run_context& ctx) { EXPECT_EQ(ctx.job_index, 0u); });
+
+    std::vector<std::atomic<int>> hits(5);
+    plan.add_indexed(5, [&](std::size_t i, const Run_context& ctx) {
+        EXPECT_EQ(ctx.job_index, i + 1);  // one job precedes this batch
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(plan.size(), 6u);
+
+    core::run(plan, Runner_options{2});
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        ASSERT_EQ(hits[i].load(), 1);
+    }
+}
+
+TEST(Runner, RunIndexedMatchesSerialBitwise)
+{
+    constexpr std::size_t count = 3000;
+    const auto f = [](std::size_t i) {
+        return 1.0 / (static_cast<double>(i) + 0.25);
+    };
+
+    std::vector<double> serial(count);
+    core::run_indexed(
+        count,
+        [&](std::size_t i, const Run_context&) { serial[i] = f(i); },
+        Runner_options{1});
+
+    std::vector<double> parallel(count);
+    core::run_indexed(
+        count,
+        [&](std::size_t i, const Run_context&) { parallel[i] = f(i); },
+        Runner_options{4});
+
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(Runner, ExceptionFromAJobPropagates)
+{
+    Run_plan plan;
+    plan.add_indexed(100, [](std::size_t i, const Run_context&) {
+        if (i == 42) throw std::runtime_error("job failed");
+    });
+    EXPECT_THROW(core::run(plan, Runner_options{1}), std::runtime_error);
+    EXPECT_THROW(core::run(plan, Runner_options{4}), std::runtime_error);
+}
+
+TEST(Runner, MoreThreadsThanJobs)
+{
+    std::vector<std::atomic<int>> hits(3);
+    core::run_indexed(
+        3,
+        [&](std::size_t i, const Run_context&) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        Runner_options{8});
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        ASSERT_EQ(hits[i].load(), 1);
+    }
+}
+
+} // namespace

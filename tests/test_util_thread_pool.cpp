@@ -1,0 +1,161 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using mpsram::util::Thread_pool;
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne)
+{
+    EXPECT_GE(Thread_pool::hardware_threads(), 1);
+}
+
+TEST(ThreadPool, ThreadCountIncludesCaller)
+{
+    EXPECT_EQ(Thread_pool(1).thread_count(), 1);
+    EXPECT_EQ(Thread_pool(4).thread_count(), 4);
+    EXPECT_GE(Thread_pool(0).thread_count(), 1);  // hardware default
+}
+
+TEST(ThreadPool, EmptyLoopIsANoop)
+{
+    Thread_pool pool(4);
+    int calls = 0;
+    pool.parallel_for(0, 0, [&](std::size_t, int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ExecutesEveryIndexExactlyOnce)
+{
+    // Far more jobs than workers, tiny chunks: maximal scheduling churn.
+    Thread_pool pool(4);
+    constexpr std::size_t count = 10000;
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for(count, 1, [&](std::size_t i, int) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, AutoChunkCoversEveryIndex)
+{
+    Thread_pool pool(3);
+    constexpr std::size_t count = 1001;  // not divisible by any chunk guess
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for(count, 0, [&](std::size_t i, int) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline)
+{
+    Thread_pool pool(1);
+    const auto caller = std::this_thread::get_id();
+    std::size_t calls = 0;
+    pool.parallel_for(100, 7, [&](std::size_t, int worker) {
+        EXPECT_EQ(worker, 0);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++calls;  // safe: single thread
+    });
+    EXPECT_EQ(calls, 100u);
+}
+
+TEST(ThreadPool, WorkerIdsStayInRange)
+{
+    Thread_pool pool(4);
+    std::mutex mutex;
+    std::set<int> seen;
+    pool.parallel_for(2000, 1, [&](std::size_t, int worker) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        seen.insert(worker);
+    });
+    for (int w : seen) {
+        EXPECT_GE(w, 0);
+        EXPECT_LT(w, pool.thread_count());
+    }
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    Thread_pool pool(4);
+    const auto boom = [](std::size_t i, int) {
+        if (i == 137) throw std::runtime_error("boom");
+    };
+    EXPECT_THROW(pool.parallel_for(1000, 1, boom), std::runtime_error);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterAnException)
+{
+    Thread_pool pool(4);
+    EXPECT_THROW(pool.parallel_for(100, 1,
+                                   [](std::size_t, int) {
+                                       throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+
+    std::vector<std::atomic<int>> hits(500);
+    pool.parallel_for(500, 1, [&](std::size_t i, int) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        ASSERT_EQ(hits[i].load(), 1);
+    }
+}
+
+TEST(ThreadPool, ExceptionAbortsRemainingChunks)
+{
+    // With the abort flag, far fewer than `count` bodies run after the
+    // throw.  Only the precise "every index before the throw was not
+    // silently skipped on the throwing chunk" matters for correctness;
+    // here we just assert the loop both throws and stops early enough to
+    // terminate (no hang).
+    Thread_pool pool(2);
+    std::atomic<std::size_t> calls{0};
+    EXPECT_THROW(pool.parallel_for(1 << 20, 1,
+                                   [&](std::size_t, int) {
+                                       calls.fetch_add(1);
+                                       throw std::runtime_error("first");
+                                   }),
+                 std::runtime_error);
+    EXPECT_LT(calls.load(), std::size_t{1} << 20);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial)
+{
+    constexpr std::size_t count = 4096;
+    std::vector<double> out_serial(count);
+    std::vector<double> out_parallel(count);
+
+    const auto body = [](std::size_t i) {
+        return static_cast<double>(i) * 0.5 + 1.0;
+    };
+
+    Thread_pool serial(1);
+    serial.parallel_for(count, 0, [&](std::size_t i, int) {
+        out_serial[i] = body(i);
+    });
+    Thread_pool parallel(4);
+    parallel.parallel_for(count, 3, [&](std::size_t i, int) {
+        out_parallel[i] = body(i);
+    });
+
+    EXPECT_EQ(out_serial, out_parallel);
+    EXPECT_DOUBLE_EQ(
+        std::accumulate(out_serial.begin(), out_serial.end(), 0.0),
+        std::accumulate(out_parallel.begin(), out_parallel.end(), 0.0));
+}
+
+} // namespace
