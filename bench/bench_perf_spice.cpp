@@ -1,107 +1,145 @@
-// Engine performance benchmarks (google-benchmark): the SPICE core.
+// SPICE sweep throughput: threads vs wall time on the Fig. 4 workload
+// (LE3 worst-case read, one corner search + two transients per word-line
+// count).
 //
-// Tracks the cost of the pieces the study leans on — sparse LU
-// factorization on ladder-structured MNA matrices, full read transients at
-// several array sizes, and the BE-vs-TRAP integrator trade — so regressions
-// in the solver show up before they poison the experiment wall-times.
-#include <benchmark/benchmark.h>
+// Prints a thread-scaling table, verifies the determinism contract (the
+// parallel sweeps must be bitwise identical to the serial sweep), and
+// emits BENCH_spice.json alongside BENCH_mc.json so the sweep wall-time
+// trajectory can be tracked across revisions.
+//
+// Each measured run constructs a fresh Variability_study so the worst-case
+// and nominal-td memos cannot leak work between thread counts — every run
+// pays the full corner searches and transients.
+//
+//   $ ./bench_perf_spice [max_word_lines]
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/study.h"
-#include "spice/analysis.h"
-#include "spice/circuit.h"
-#include "sram/netlist_builder.h"
-#include "sram/read_sim.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace mpsram;
 
-/// RC ladder transient: the distilled numerical core of a bit line.
-void bm_rc_ladder_transient(benchmark::State& state)
+double seconds_of(const std::chrono::steady_clock::duration& d)
 {
-    const int n = static_cast<int>(state.range(0));
-    for (auto _ : state) {
-        state.PauseTiming();
-        spice::Circuit c;
-        const spice::Node in = c.node("in");
-        c.add_voltage_source("Vin", in, spice::ground_node,
-                             spice::Waveform::pulse(0.0, 0.7, 10e-12, 5e-12));
-        spice::Node prev = in;
-        for (int i = 0; i < n; ++i) {
-            const spice::Node ni = c.node("n" + std::to_string(i));
-            c.add_resistor("R" + std::to_string(i), prev, ni, 10.0);
-            c.add_capacitor("C" + std::to_string(i), ni, spice::ground_node,
-                            0.05e-15);
-            prev = ni;
+    return std::chrono::duration<double>(d).count();
+}
+
+bool bitwise_equal(const std::vector<core::Variability_study::Read_row>& a,
+                   const std::vector<core::Variability_study::Read_row>& b)
+{
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].td_nominal != b[i].td_nominal ||
+            a[i].td_varied != b[i].td_varied ||
+            a[i].tdp_percent != b[i].tdp_percent) {
+            return false;
         }
-        spice::Transient_options topts;
-        topts.tstop = 200e-12;
-        topts.nominal_steps = 400;
-        state.ResumeTiming();
-
-        auto result = spice::run_transient(c, {prev}, topts);
-        benchmark::DoNotOptimize(result.sample_count());
     }
-    state.SetItemsProcessed(state.iterations() * n);
+    return true;
 }
-BENCHMARK(bm_rc_ladder_transient)->Arg(64)->Arg(256)->Arg(1024);
-
-/// Full SRAM read simulation at several array sizes.
-void bm_sram_read(benchmark::State& state)
-{
-    const int n = static_cast<int>(state.range(0));
-    const core::Variability_study study;
-    const tech::Technology& t = study.technology();
-    const auto cell = sram::Cell_electrical::n10(t.feol);
-
-    sram::Array_config cfg;
-    cfg.word_lines = n;
-    cfg.victim_pair = 6;
-    const geom::Wire_array nominal =
-        study.decomposed_array(tech::Patterning_option::euv, n);
-    const auto wires =
-        sram::roll_up_nominal(study.extractor(), nominal, t, cfg);
-
-    for (auto _ : state) {
-        sram::Read_netlist net =
-            sram::build_read_netlist(t, cell, wires, cfg);
-        sram::Read_options ro;
-        ro.nominal_steps = 800;
-        const auto r = sram::simulate_read(net, ro);
-        benchmark::DoNotOptimize(r.td);
-    }
-}
-BENCHMARK(bm_sram_read)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
-
-/// Integrator comparison on the same read problem.
-void bm_integrator(benchmark::State& state)
-{
-    const bool use_be = state.range(0) == 0;
-    const core::Variability_study study;
-    const tech::Technology& t = study.technology();
-    const auto cell = sram::Cell_electrical::n10(t.feol);
-
-    sram::Array_config cfg;
-    cfg.word_lines = 64;
-    cfg.victim_pair = 6;
-    const geom::Wire_array nominal =
-        study.decomposed_array(tech::Patterning_option::euv, 64);
-    const auto wires =
-        sram::roll_up_nominal(study.extractor(), nominal, t, cfg);
-
-    for (auto _ : state) {
-        sram::Read_netlist net =
-            sram::build_read_netlist(t, cell, wires, cfg);
-        sram::Read_options ro;
-        ro.nominal_steps = 800;
-        ro.method = use_be ? spice::Integration_method::backward_euler
-                           : spice::Integration_method::trapezoidal;
-        const auto r = sram::simulate_read(net, ro);
-        benchmark::DoNotOptimize(r.td);
-    }
-}
-BENCHMARK(bm_integrator)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    const int max_n = argc > 1 ? std::atoi(argv[1]) : 128;
+    if (max_n < 16) {
+        std::cerr << "usage: bench_perf_spice [max_word_lines>=16]\n";
+        return 2;
+    }
+
+    // Fig. 4's geometric size progression, densified so the plan has more
+    // jobs than typical core counts, capped at max_n.
+    std::vector<int> sizes;
+    for (const int n : {16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512,
+                        768, 1024}) {
+        if (n <= max_n) sizes.push_back(n);
+    }
+
+    const int hw = util::Thread_pool::hardware_threads();
+    std::vector<int> thread_counts = {1, 2, 4};
+    if (hw > 4) thread_counts.push_back(hw);
+
+    std::cout << "SPICE sweep throughput: LE3 worst-case read (Fig. 4), "
+              << sizes.size() << " array sizes up to 10x" << max_n << ", "
+              << hw << " hardware threads\n\n";
+
+    util::Table table({"threads", "wall [s]", "sims/s", "speedup",
+                       "bitwise == serial"});
+
+    struct Point {
+        int threads = 0;
+        double wall_s = 0.0;
+        double sims_per_s = 0.0;
+        bool identical = true;
+    };
+    std::vector<Point> points;
+    std::vector<core::Variability_study::Read_row> serial_rows;
+
+    for (const int threads : thread_counts) {
+        // Fresh study per run: no memo crosstalk between thread counts.
+        const core::Variability_study study;
+        const core::Runner_options runner{threads};
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto rows =
+            study.read_sweep(tech::Patterning_option::le3, sizes, runner);
+        const double wall = seconds_of(std::chrono::steady_clock::now() - t0);
+
+        Point p;
+        p.threads = threads;
+        p.wall_s = wall;
+        // Two transients (nominal + worst corner) per word-line count.
+        p.sims_per_s = 2.0 * static_cast<double>(sizes.size()) / wall;
+        if (threads == 1) {
+            serial_rows = rows;
+        } else {
+            p.identical = bitwise_equal(rows, serial_rows);
+        }
+        points.push_back(p);
+
+        table.add_row({std::to_string(threads),
+                       util::fmt_fixed(wall, 3),
+                       util::fmt_fixed(p.sims_per_s, 2),
+                       util::fmt_fixed(points.front().wall_s / wall, 2) + "x",
+                       p.identical ? "yes" : "NO"});
+    }
+
+    std::cout << table.render() << '\n';
+
+    bool all_identical = true;
+    for (const Point& p : points) all_identical = all_identical && p.identical;
+    if (!all_identical) {
+        std::cout << "ERROR: parallel results diverged from serial — the\n"
+                     "determinism contract is broken.\n";
+    }
+
+    std::ofstream json("BENCH_spice.json");
+    json << "{\n"
+         << "  \"bench\": \"bench_perf_spice\",\n"
+         << "  \"workload\": \"le3_worst_case_read_fig4_sweep\",\n"
+         << "  \"array_sizes\": " << sizes.size() << ",\n"
+         << "  \"max_word_lines\": " << sizes.back() << ",\n"
+         << "  \"hardware_threads\": " << hw << ",\n"
+         << "  \"deterministic_across_threads\": "
+         << (all_identical ? "true" : "false") << ",\n"
+         << "  \"results\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        json << "    {\"threads\": " << points[i].threads
+             << ", \"wall_s\": " << points[i].wall_s
+             << ", \"sims_per_s\": " << points[i].sims_per_s << "}"
+             << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "Wrote BENCH_spice.json\n";
+
+    return all_identical ? 0 : 1;
+}

@@ -16,6 +16,7 @@
 // resistance increase (anti-correlated with Rbl under SADP) keeps the
 // simulated penalty positive while the formula goes negative.
 #include <iostream>
+#include <vector>
 
 #include "core/study.h"
 #include "util/table.h"
@@ -40,15 +41,24 @@ int main()
     util::Table table({"Method", "Array size", "LELELE", "SADP", "EUV",
                        "paper LELELE", "paper SADP", "paper EUV"});
 
-    // Gather both methods for every size first (each option's worst case
-    // is independent of n).
+    // Every (option, size) cell on one parallel plan; the memoized corner
+    // search means each option's worst case is enumerated exactly once.
+    std::vector<core::Variability_study::Tdp_case> cases;
+    for (int si = 0; si < 4; ++si) {
+        for (int oi = 0; oi < 3; ++oi) {
+            cases.push_back({tech::all_patterning_options[oi], sizes[si]});
+        }
+    }
+    const auto rows =
+        study.worst_case_tdp_batch(cases, core::Runner_options::parallel());
+
     for (int method = 0; method < 2; ++method) {
         for (int si = 0; si < 4; ++si) {
             const int n = sizes[si];
             double ours[3];
             for (int oi = 0; oi < 3; ++oi) {
-                const auto row =
-                    study.worst_case_tdp(tech::all_patterning_options[oi], n);
+                const auto& row =
+                    rows[static_cast<std::size_t>(si * 3 + oi)];
                 ours[oi] =
                     method == 0 ? row.tdp_simulation : row.tdp_formula;
             }

@@ -45,18 +45,18 @@ Variability_study::Worst_case_row Variability_study::worst_case(
     tech::Patterning_option option, double ol_3sigma,
     const Runner_options& runner) const
 {
-    const mc::Worst_case_result full =
-        worst_case_full(option, opts_.array.word_lines, ol_3sigma, runner);
+    const auto full = worst_case_cached(option, opts_.array.word_lines,
+                                        ol_3sigma, runner);
 
     const tech::Technology t = tech_with_ol(ol_3sigma);
     const auto engine = pattern::make_engine(option, t);
 
     Worst_case_row row;
     row.option = option;
-    row.corner = full.corner.describe(*engine);
-    row.cbl_percent = full.variation.c_percent();
-    row.rbl_percent = full.variation.r_percent();
-    row.vss_r_percent = (full.vss_r_factor - 1.0) * 100.0;
+    row.corner = full->corner.describe(*engine);
+    row.cbl_percent = full->variation.c_percent();
+    row.rbl_percent = full->variation.r_percent();
+    row.vss_r_percent = (full->vss_r_factor - 1.0) * 100.0;
     return row;
 }
 
@@ -64,15 +64,60 @@ mc::Worst_case_result Variability_study::worst_case_full(
     tech::Patterning_option option, int word_lines, double ol_3sigma,
     const Runner_options& runner) const
 {
-    sram::Array_config cfg = opts_.array;
-    cfg.word_lines = word_lines;
-    const tech::Technology t = tech_with_ol(ol_3sigma);
-    const auto engine = pattern::make_engine(option, t);
-    const geom::Wire_array nominal =
-        engine->decompose(sram::build_metal1_array(t, cfg));
-    const sram::Victim_wires victims = sram::find_victim_wires(nominal, cfg);
-    return mc::find_worst_case(*engine, *extractor_, nominal, victims.bl,
-                               victims.vss, 3, runner);
+    return *worst_case_cached(option, word_lines, ol_3sigma, runner);
+}
+
+std::shared_ptr<const mc::Worst_case_result>
+Variability_study::worst_case_cached(tech::Patterning_option option,
+                                     int word_lines, double ol_3sigma,
+                                     const Runner_options& runner) const
+{
+    // Every "use the technology default" request shares one memo slot.
+    const Wc_key key{option, word_lines, ol_3sigma < 0.0 ? -1.0 : ol_3sigma};
+
+    std::promise<std::shared_ptr<const mc::Worst_case_result>> promise;
+    Wc_entry entry;
+    bool owner = false;
+    {
+        const std::lock_guard<std::mutex> lock(wc_cache_mutex_);
+        const auto it = wc_cache_.find(key);
+        if (it != wc_cache_.end()) {
+            entry = it->second;
+        } else {
+            entry = promise.get_future().share();
+            wc_cache_.emplace(key, entry);
+            owner = true;
+        }
+    }
+
+    if (owner) {
+        // The enumeration runs outside the lock; concurrent callers of the
+        // same key block on the shared future instead of duplicating it.
+        try {
+            corner_searches_.fetch_add(1, std::memory_order_relaxed);
+
+            sram::Array_config cfg = opts_.array;
+            cfg.word_lines = word_lines;
+            const tech::Technology t = tech_with_ol(ol_3sigma);
+            const auto engine = pattern::make_engine(option, t);
+            const geom::Wire_array nominal =
+                engine->decompose(sram::build_metal1_array(t, cfg));
+            const sram::Victim_wires victims =
+                sram::find_victim_wires(nominal, cfg);
+            promise.set_value(std::make_shared<const mc::Worst_case_result>(
+                mc::find_worst_case(*engine, *extractor_, nominal,
+                                    victims.bl, victims.vss, 3, runner)));
+        } catch (...) {
+            // Un-publish the failed slot so a later call can retry, then
+            // propagate to every waiter (and to this caller via get()).
+            {
+                const std::lock_guard<std::mutex> lock(wc_cache_mutex_);
+                wc_cache_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return entry.get();
 }
 
 std::vector<Variability_study::Worst_case_row>
@@ -91,17 +136,25 @@ Variability_study::worst_case_all_options(const Runner_options& runner,
 double Variability_study::simulate_td(const sram::Bitline_electrical& wires,
                                       int word_lines) const
 {
+    sram::Read_sim_context sim;
+    return simulate_td_on(wires, word_lines, sim);
+}
+
+double Variability_study::simulate_td_on(
+    const sram::Bitline_electrical& wires, int word_lines,
+    sram::Read_sim_context& sim) const
+{
     sram::Array_config cfg = opts_.array;
     cfg.word_lines = word_lines;
-    sram::Read_netlist net = sram::build_read_netlist(
-        tech_, cell_, wires, cfg, opts_.timing, opts_.netlist);
-    const sram::Read_result r = sram::simulate_read(net, opts_.read);
+    const sram::Read_result r = sim.simulate(
+        tech_, cell_, wires, cfg, opts_.timing, opts_.netlist, opts_.read);
     util::ensures(r.crossed,
                   "read simulation never reached the sense margin");
     return r.td;
 }
 
-double Variability_study::nominal_td_spice(int word_lines) const
+double Variability_study::nominal_td_spice(int word_lines,
+                                           sram::Read_sim_context* sim) const
 {
     {
         const std::lock_guard<std::mutex> lock(td_cache_mutex_);
@@ -120,7 +173,8 @@ double Variability_study::nominal_td_spice(int word_lines) const
     // The simulation runs outside the lock: two threads racing on the same
     // word_lines redundantly compute the same deterministic value, which
     // beats serializing every caller behind a SPICE transient.
-    const double td = simulate_td(wires, word_lines);
+    const double td = sim ? simulate_td_on(wires, word_lines, *sim)
+                          : simulate_td(wires, word_lines);
     const std::lock_guard<std::mutex> lock(td_cache_mutex_);
     td_nominal_cache_.emplace(word_lines, td);
     return td;
@@ -129,19 +183,58 @@ double Variability_study::nominal_td_spice(int word_lines) const
 Variability_study::Read_row Variability_study::worst_case_read(
     tech::Patterning_option option, int word_lines) const
 {
+    sram::Read_sim_context sim;
+    return worst_case_read_on(option, word_lines, -1.0, sim);
+}
+
+Variability_study::Read_row Variability_study::worst_case_read_on(
+    tech::Patterning_option option, int word_lines, double ol_3sigma,
+    sram::Read_sim_context& sim) const
+{
     sram::Array_config cfg = opts_.array;
     cfg.word_lines = word_lines;
 
-    const mc::Worst_case_result wc = worst_case_full(option, word_lines);
-    const geom::Wire_array nominal = decomposed_array(option, word_lines);
+    const auto wc = worst_case_cached(option, word_lines, ol_3sigma, {});
+    const geom::Wire_array nominal =
+        decomposed_array(option, word_lines, ol_3sigma);
     const sram::Bitline_electrical wires = sram::roll_up_bitline(
-        *extractor_, nominal, wc.realized, tech_, cfg);
+        *extractor_, nominal, wc->realized, tech_, cfg);
 
     Read_row row;
-    row.td_nominal = nominal_td_spice(word_lines);
-    row.td_varied = simulate_td(wires, word_lines);
+    row.td_nominal = nominal_td_spice(word_lines, &sim);
+    row.td_varied = simulate_td_on(wires, word_lines, sim);
     row.tdp_percent = (row.td_varied / row.td_nominal - 1.0) * 100.0;
     return row;
+}
+
+void Variability_study::run_with_sim_contexts(
+    std::size_t count, const Runner_options& runner,
+    const std::function<void(std::size_t, sram::Read_sim_context&)>& job)
+    const
+{
+    // One simulation context per worker: the netlist and solver workspace
+    // are rebuilt only when a worker moves to a different array length.
+    std::vector<sram::Read_sim_context> sims(
+        static_cast<std::size_t>(runner.resolved_threads()));
+
+    Run_plan plan;
+    plan.add_indexed(count, [&](std::size_t i, const Run_context& ctx) {
+        job(i, sims[static_cast<std::size_t>(ctx.worker)]);
+    });
+    run(plan, runner);
+}
+
+std::vector<Variability_study::Read_row> Variability_study::read_sweep(
+    tech::Patterning_option option, std::span<const int> word_lines,
+    const Runner_options& runner) const
+{
+    std::vector<Read_row> rows(word_lines.size());
+    run_with_sim_contexts(
+        word_lines.size(), runner,
+        [&](std::size_t i, sram::Read_sim_context& sim) {
+            rows[i] = worst_case_read_on(option, word_lines[i], -1.0, sim);
+        });
+    return rows;
 }
 
 analytic::Td_params Variability_study::formula_params(int word_lines) const
@@ -165,18 +258,62 @@ Variability_study::Nominal_td_row Variability_study::nominal_td(
     return row;
 }
 
+std::vector<Variability_study::Nominal_td_row>
+Variability_study::nominal_td_batch(std::span<const int> word_lines,
+                                    const Runner_options& runner) const
+{
+    std::vector<Nominal_td_row> rows(word_lines.size());
+    run_with_sim_contexts(
+        word_lines.size(), runner,
+        [&](std::size_t i, sram::Read_sim_context& sim) {
+            Nominal_td_row row;
+            row.td_simulation = nominal_td_spice(word_lines[i], &sim);
+            row.td_formula = analytic::td_lumped(
+                formula_params(word_lines[i]), word_lines[i]);
+            rows[i] = row;
+        });
+    return rows;
+}
+
 Variability_study::Tdp_row Variability_study::worst_case_tdp(
     tech::Patterning_option option, int word_lines) const
 {
-    const Read_row read = worst_case_read(option, word_lines);
-    const mc::Worst_case_result wc = worst_case_full(option, word_lines);
+    sram::Read_sim_context sim;
+    return worst_case_tdp_on(option, word_lines, -1.0, sim);
+}
+
+Variability_study::Tdp_row Variability_study::worst_case_tdp_on(
+    tech::Patterning_option option, int word_lines, double ol_3sigma,
+    sram::Read_sim_context& sim) const
+{
+    // One memoized search serves both the simulated read (worst-corner
+    // geometry) and the formula (R/C factors) — the seed enumerated the
+    // same corners twice per Table III cell.
+    const auto wc = worst_case_cached(option, word_lines, ol_3sigma, {});
+    const Read_row read =
+        worst_case_read_on(option, word_lines, ol_3sigma, sim);
 
     Tdp_row row;
     row.tdp_simulation = read.tdp_percent;
     row.tdp_formula = analytic::tdp_percent(
-        formula_params(word_lines), word_lines, wc.variation.r_factor,
-        wc.variation.c_factor);
+        formula_params(word_lines), word_lines, wc->variation.r_factor,
+        wc->variation.c_factor);
     return row;
+}
+
+std::vector<Variability_study::Tdp_row>
+Variability_study::worst_case_tdp_batch(std::span<const Tdp_case> cases,
+                                        const Runner_options& runner) const
+{
+    std::vector<Tdp_row> rows(cases.size());
+    run_with_sim_contexts(
+        cases.size(), runner,
+        [&](std::size_t i, sram::Read_sim_context& sim) {
+            rows[i] = worst_case_tdp_on(cases[i].option,
+                                        cases[i].word_lines,
+                                        cases[i].ol_3sigma, sim);
+        });
+    return rows;
 }
 
 mc::Tdp_distribution Variability_study::mc_tdp(

@@ -13,12 +13,16 @@
 #ifndef MPSRAM_CORE_STUDY_H
 #define MPSRAM_CORE_STUDY_H
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/runner.h"
@@ -76,12 +80,28 @@ public:
     Read_row worst_case_read(tech::Patterning_option option,
                              int word_lines) const;
 
+    /// Fig. 4 in one call: worst_case_read for every array length of the
+    /// sweep, one SPICE job per word-line count on `runner`.  Each worker
+    /// owns a Read_sim_context (netlist + solver workspace), so repeated
+    /// transients reuse allocations; results are indexed like `word_lines`
+    /// and bitwise identical at any thread count.
+    std::vector<Read_row> read_sweep(tech::Patterning_option option,
+                                     std::span<const int> word_lines,
+                                     const Runner_options& runner = {}) const;
+
     // --- Table II ---------------------------------------------------------------
     struct Nominal_td_row {
         double td_simulation = 0.0;  ///< [s]
         double td_formula = 0.0;     ///< [s]
     };
     Nominal_td_row nominal_td(int word_lines) const;
+
+    /// Table II in one call: one nominal transient + formula evaluation
+    /// per word-line count, fanned out on `runner` with per-worker
+    /// simulation contexts.  Bitwise identical at any thread count.
+    std::vector<Nominal_td_row> nominal_td_batch(
+        std::span<const int> word_lines,
+        const Runner_options& runner = {}) const;
 
     // --- Table III ----------------------------------------------------------------
     struct Tdp_row {
@@ -90,6 +110,22 @@ public:
     };
     Tdp_row worst_case_tdp(tech::Patterning_option option,
                            int word_lines) const;
+
+    /// One Table III cell: an option at an array length (and optionally an
+    /// overlay budget, LE3 only).
+    struct Tdp_case {
+        tech::Patterning_option option;
+        int word_lines = 64;
+        double ol_3sigma = -1.0;  ///< < 0: technology default
+    };
+
+    /// Table III in one call: worst_case_tdp for every case on `runner`.
+    /// Each case runs its corner search (memoized, see below) plus two
+    /// transients in one job; results are indexed like `cases` and bitwise
+    /// identical at any thread count.
+    std::vector<Tdp_row> worst_case_tdp_batch(
+        std::span<const Tdp_case> cases,
+        const Runner_options& runner = {}) const;
 
     // --- Fig. 5 / Table IV ----------------------------------------------------------
     mc::Tdp_distribution mc_tdp(tech::Patterning_option option,
@@ -133,15 +169,49 @@ public:
     analytic::Td_params formula_params(int word_lines) const;
 
     /// Worst-case search result with full geometry (Fig. 2-style dumps).
+    /// Memoized on (option, word_lines, ol_3sigma): the corner enumeration
+    /// runs exactly once per key no matter how many callers — concurrent
+    /// ones included — ask for it; worst_case(), worst_case_read() and
+    /// worst_case_tdp() all share the same memo.  `runner` only matters
+    /// for the caller that performs the enumeration.
     mc::Worst_case_result worst_case_full(tech::Patterning_option option,
                                           int word_lines,
                                           double ol_3sigma = -1.0,
                                           const Runner_options& runner = {})
         const;
 
+    /// Corner enumerations actually performed (not memo hits) since
+    /// construction — the observable for the one-search-per-key contract.
+    std::size_t corner_search_count() const
+    {
+        return corner_searches_.load(std::memory_order_relaxed);
+    }
+
 private:
     tech::Technology tech_with_ol(double ol_3sigma) const;
-    double nominal_td_spice(int word_lines) const;
+    double nominal_td_spice(int word_lines,
+                            sram::Read_sim_context* sim = nullptr) const;
+    double simulate_td_on(const sram::Bitline_electrical& wires,
+                          int word_lines, sram::Read_sim_context& sim) const;
+    Read_row worst_case_read_on(tech::Patterning_option option,
+                                int word_lines, double ol_3sigma,
+                                sram::Read_sim_context& sim) const;
+    Tdp_row worst_case_tdp_on(tech::Patterning_option option, int word_lines,
+                              double ol_3sigma,
+                              sram::Read_sim_context& sim) const;
+
+    /// The worst-case memo entry for a key, computing it (exactly once,
+    /// promise-backed) on a miss.
+    std::shared_ptr<const mc::Worst_case_result> worst_case_cached(
+        tech::Patterning_option option, int word_lines, double ol_3sigma,
+        const Runner_options& runner) const;
+
+    /// Shared skeleton of the batch APIs: `count` jobs on a Run_plan,
+    /// each handed the Read_sim_context of the worker running it.
+    void run_with_sim_contexts(
+        std::size_t count, const Runner_options& runner,
+        const std::function<void(std::size_t, sram::Read_sim_context&)>& job)
+        const;
 
     tech::Technology tech_;
     Study_options opts_;
@@ -152,6 +222,18 @@ private:
     // it from pool workers, so all access goes through td_cache_mutex_.
     mutable std::mutex td_cache_mutex_;
     mutable std::map<int, double> td_nominal_cache_;
+
+    // Worst-case memo: option/word_lines/ol_3sigma (negative budgets
+    // normalized to -1) -> shared future of the search result.  The first
+    // caller of a key inserts the future and runs the enumeration outside
+    // the lock; concurrent callers of the same key wait on the future
+    // instead of duplicating the search.
+    using Wc_key = std::tuple<tech::Patterning_option, int, double>;
+    using Wc_entry =
+        std::shared_future<std::shared_ptr<const mc::Worst_case_result>>;
+    mutable std::mutex wc_cache_mutex_;
+    mutable std::map<Wc_key, Wc_entry> wc_cache_;
+    mutable std::atomic<std::size_t> corner_searches_{0};
 };
 
 } // namespace mpsram::core

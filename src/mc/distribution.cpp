@@ -79,9 +79,16 @@ Tdp_distribution tdp_distribution(const pattern::Patterning_engine& engine,
     dist.rvar.resize(count);
     dist.cvar.resize(count);
 
+    // Per-worker geometry scratch: realize_into overwrites one buffer per
+    // worker instead of allocating a Wire_array (nets, colors, strings)
+    // for every sample.  Worker assignment never reaches the results, so
+    // the determinism contract is untouched.
+    std::vector<geom::Wire_array> scratch(
+        static_cast<std::size_t>(opts.runner.resolved_threads()));
+
     core::run_indexed(
         count,
-        [&](std::size_t i, const core::Run_context&) {
+        [&](std::size_t i, const core::Run_context& ctx) {
             pattern::Process_sample s;
             if (opts.sampling == Sampling::latin_hypercube) {
                 s = pregen[i];
@@ -89,7 +96,9 @@ Tdp_distribution tdp_distribution(const pattern::Patterning_engine& engine,
                 util::Rng rng = util::Rng::stream(base_seed, i);
                 s = engine.sample_gaussian(rng, opts.truncate_k);
             }
-            const geom::Wire_array realized = engine.realize(nominal, s);
+            geom::Wire_array& realized =
+                scratch[static_cast<std::size_t>(ctx.worker)];
+            engine.realize_into(nominal, s, realized);
             const extract::Rc_variation v =
                 extractor.variation(nominal, realized, victim);
             dist.rvar[i] = v.r_factor;

@@ -14,14 +14,21 @@ Worst_case_result find_worst_case(const pattern::Patterning_engine& engine,
     util::expects(victim < nominal.size() && vss < nominal.size(),
                   "victim/vss indices out of range");
 
-    const auto metric = [&](const pattern::Process_sample& s) {
-        const geom::Wire_array realized = engine.realize(nominal, s);
+    // One geometry buffer per worker: corner evaluations on the same
+    // worker overwrite it in place instead of allocating a fresh array.
+    std::vector<geom::Wire_array> scratch(
+        static_cast<std::size_t>(runner.resolved_threads()));
+    const auto metric = [&](const pattern::Process_sample& s,
+                            const core::Run_context& ctx) {
+        geom::Wire_array& realized =
+            scratch[static_cast<std::size_t>(ctx.worker)];
+        engine.realize_into(nominal, s, realized);
         return extractor.wire_rc(realized, victim).c_total();
     };
 
-    const pattern::Corner_search search =
-        pattern::enumerate_corners(engine, metric, 3.0, levels_per_axis,
-                                   runner);
+    const pattern::Corner_search search = pattern::enumerate_corners(
+        engine, pattern::Corner_metric_ctx(metric), 3.0, levels_per_axis,
+        runner);
 
     Worst_case_result result{search.worst,
                              extract::Rc_variation{},

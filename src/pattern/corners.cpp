@@ -77,6 +77,21 @@ Corner_search enumerate_corners(const Patterning_engine& engine,
                                 int levels_per_axis,
                                 const core::Runner_options& runner)
 {
+    return enumerate_corners(
+        engine,
+        Corner_metric_ctx([&metric](const Process_sample& s,
+                                    const core::Run_context&) {
+            return metric(s);
+        }),
+        k_sigma, levels_per_axis, runner);
+}
+
+Corner_search enumerate_corners(const Patterning_engine& engine,
+                                const Corner_metric_ctx& metric,
+                                double k_sigma,
+                                int levels_per_axis,
+                                const core::Runner_options& runner)
+{
     std::vector<Process_sample> samples =
         corner_samples(engine, k_sigma, levels_per_axis);
 
@@ -91,8 +106,8 @@ Corner_search enumerate_corners(const Patterning_engine& engine,
     // thread count.
     core::run_indexed(
         result.all.size(),
-        [&](std::size_t i, const core::Run_context&) {
-            result.all[i].metric = metric(result.all[i].sample);
+        [&](std::size_t i, const core::Run_context& ctx) {
+            result.all[i].metric = metric(result.all[i].sample, ctx);
         },
         runner);
 

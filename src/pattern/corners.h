@@ -35,6 +35,13 @@ struct Corner_search {
 /// Must be safe to call concurrently from several threads.
 using Corner_metric = std::function<double(const Process_sample&)>;
 
+/// Metric that also receives the runner context, so implementations can
+/// key per-worker scratch (geometry buffers, extractor caches) on
+/// Run_context::worker.  The context must never influence the returned
+/// value — worker assignment is nondeterministic.
+using Corner_metric_ctx =
+    std::function<double(const Process_sample&, const core::Run_context&)>;
+
 /// All +/-k-sigma level combinations of the engine's axes, in mixed-radix
 /// order (axis 0 fastest).  `levels_per_axis` is 2 ({-k, +k}) or 3
 /// ({-k, 0, +k}).
@@ -49,6 +56,11 @@ std::vector<Process_sample> corner_samples(const Patterning_engine& engine,
 /// thread count.
 Corner_search enumerate_corners(const Patterning_engine& engine,
                                 const Corner_metric& metric,
+                                double k_sigma = 3.0,
+                                int levels_per_axis = 3,
+                                const core::Runner_options& runner = {});
+Corner_search enumerate_corners(const Patterning_engine& engine,
+                                const Corner_metric_ctx& metric,
                                 double k_sigma = 3.0,
                                 int levels_per_axis = 3,
                                 const core::Runner_options& runner = {});

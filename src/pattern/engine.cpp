@@ -28,6 +28,13 @@ Process_sample Patterning_engine::sample_gaussian(util::Rng& rng,
     return s;
 }
 
+void Patterning_engine::realize_into(const geom::Wire_array& decomposed,
+                                     std::span<const double> sample,
+                                     geom::Wire_array& out) const
+{
+    out = realize(decomposed, sample);
+}
+
 void Patterning_engine::check_sample(std::span<const double> sample) const
 {
     util::expects(sample.size() == axes().size(),

@@ -53,6 +53,18 @@ public:
     virtual geom::Wire_array realize(const geom::Wire_array& decomposed,
                                      std::span<const double> sample) const = 0;
 
+    /// realize() into caller-owned storage.  Precondition: `out` is either
+    /// empty/size-mismatched (it is then reset to a copy of `decomposed`)
+    /// or a previous realize_into target for the *same* decomposed array —
+    /// the per-worker scratch pattern of the Monte-Carlo and corner-search
+    /// hot loops.  A same-sized buffer from a *different* array is not
+    /// detected and yields garbage (stale nets/lengths).  In the reuse
+    /// case wires are updated in place — no allocation, no net-label
+    /// copies.  Results are bitwise identical to realize().
+    virtual void realize_into(const geom::Wire_array& decomposed,
+                              std::span<const double> sample,
+                              geom::Wire_array& out) const;
+
     /// The all-zeros (nominal) sample.
     Process_sample nominal_sample() const;
 

@@ -37,4 +37,20 @@ geom::Wire_array Euv_engine::realize(const geom::Wire_array& decomposed,
     return geom::Wire_array(std::move(out));
 }
 
+void Euv_engine::realize_into(const geom::Wire_array& decomposed,
+                              std::span<const double> sample,
+                              geom::Wire_array& out) const
+{
+    check_sample(sample);
+    if (out.size() != decomposed.size()) out = decomposed;
+    const double dcd = sample[cd];
+
+    for (std::size_t i = 0; i < decomposed.size(); ++i) {
+        const double width = decomposed[i].width + dcd;
+        util::ensures(width > 0.0, "EUV CD bias pinched a wire off");
+        out[i].width = width;
+        out[i].y_center = decomposed[i].y_center;
+    }
+}
+
 } // namespace mpsram::pattern

@@ -27,6 +27,10 @@ public:
     geom::Wire_array realize(const geom::Wire_array& decomposed,
                              std::span<const double> sample) const override;
 
+    void realize_into(const geom::Wire_array& decomposed,
+                      std::span<const double> sample,
+                      geom::Wire_array& out) const override;
+
     enum Axis : std::size_t {
         cd = 0,
         axis_count = 1,

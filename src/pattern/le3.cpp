@@ -76,4 +76,25 @@ geom::Wire_array Le3_engine::realize(const geom::Wire_array& decomposed,
     return geom::Wire_array(std::move(out));
 }
 
+void Le3_engine::realize_into(const geom::Wire_array& decomposed,
+                              std::span<const double> sample,
+                              geom::Wire_array& out) const
+{
+    check_sample(sample);
+    if (out.size() != decomposed.size()) out = decomposed;
+
+    const double cd[3] = {sample[cd_a], sample[cd_b], sample[cd_c]};
+    const double ol[3] = {0.0, sample[ol_b], sample[ol_c]};
+
+    for (std::size_t i = 0; i < decomposed.size(); ++i) {
+        const std::size_t m = mask_index(decomposed[i].color);
+        const double width = decomposed[i].width + cd[m];
+        util::ensures(width > 0.0, "LE3 CD bias pinched a wire off");
+        out[i].width = width;
+        // Same track-order-preserving argument as realize(): overlay stays
+        // below a pitch, so in-place y updates keep the array sorted.
+        out[i].y_center = decomposed[i].y_center + ol[m];
+    }
+}
+
 } // namespace mpsram::pattern

@@ -29,6 +29,10 @@ public:
     geom::Wire_array realize(const geom::Wire_array& decomposed,
                              std::span<const double> sample) const override;
 
+    void realize_into(const geom::Wire_array& decomposed,
+                      std::span<const double> sample,
+                      geom::Wire_array& out) const override;
+
     /// Axis indices within a Process_sample.
     enum Axis : std::size_t {
         cd_a = 0,

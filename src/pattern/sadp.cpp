@@ -62,4 +62,32 @@ geom::Wire_array Sadp_engine::realize(const geom::Wire_array& decomposed,
     return geom::Wire_array(std::move(out));
 }
 
+void Sadp_engine::realize_into(const geom::Wire_array& decomposed,
+                               std::span<const double> sample,
+                               geom::Wire_array& out) const
+{
+    check_sample(sample);
+    if (out.size() != decomposed.size()) out = decomposed;
+    const double dcd = sample[cd_core];
+    const double dsp = sample[spacer];
+
+    for (std::size_t i = 0; i < decomposed.size(); ++i) {
+        double width = decomposed[i].width;
+        switch (decomposed[i].sadp) {
+        case geom::Sadp_class::mandrel:
+            width += dcd;
+            break;
+        case geom::Sadp_class::gap:
+            width -= dcd + 2.0 * dsp;
+            break;
+        case geom::Sadp_class::none:
+            throw util::Precondition_error(
+                "SADP realize on undecomposed wire array");
+        }
+        util::ensures(width > 0.0, "SADP variation pinched a wire off");
+        out[i].width = width;
+        out[i].y_center = decomposed[i].y_center;
+    }
+}
+
 } // namespace mpsram::pattern

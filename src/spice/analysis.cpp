@@ -44,32 +44,49 @@ int dc_solve(Mna_system& system, std::vector<double>& voltages,
                                 forces);
 }
 
-} // namespace
-
-Dc_result dc_operating_point(Circuit& circuit, const Dc_options& opts)
+/// Full DC flow on an already-compiled system, writing into `voltages`
+/// (resized and re-initialized here).  Returns the free-solve iterations.
+int dc_into(Mna_system& system, std::size_t node_count,
+            const Dc_options& opts, std::vector<double>& voltages)
 {
-    Mna_system system(circuit);
-
-    Dc_result result;
-    result.voltages.assign(circuit.node_count(), 0.0);
-    system.apply_driven(0.0, result.voltages);
+    voltages.assign(node_count, 0.0);
+    system.apply_driven(0.0, voltages);
     for (const auto& [node, v] : opts.initial_guesses) {
-        result.voltages[static_cast<std::size_t>(node)] = v;
+        voltages[static_cast<std::size_t>(node)] = v;
     }
     for (const Forced_node& f : opts.forces) {
-        result.voltages[static_cast<std::size_t>(f.node)] = f.voltage;
+        voltages[static_cast<std::size_t>(f.node)] = f.voltage;
     }
 
     if (!opts.forces.empty()) {
         // Phase 1: pinned solve selects the basin of attraction.
-        dc_solve(system, result.voltages, opts, opts.forces);
+        dc_solve(system, voltages, opts, opts.forces);
     }
     // Phase 2 (or only phase): free solve.
-    result.iterations = dc_solve(system, result.voltages, opts, {});
+    const int iterations = dc_solve(system, voltages, opts, {});
 
     // Let dynamic devices latch their DC state.
-    system.accept(dc_context(result.voltages));
+    system.accept(dc_context(voltages));
+    return iterations;
+}
+
+} // namespace
+
+Dc_result dc_operating_point(Circuit& circuit, const Dc_options& opts,
+                             Transient_workspace& workspace)
+{
+    Mna_system& system = workspace.bind(circuit);
+
+    Dc_result result;
+    result.iterations =
+        dc_into(system, circuit.node_count(), opts, result.voltages);
     return result;
+}
+
+Dc_result dc_operating_point(Circuit& circuit, const Dc_options& opts)
+{
+    Transient_workspace workspace;
+    return dc_operating_point(circuit, opts, workspace);
 }
 
 // --- Transient_result ---------------------------------------------------------
@@ -131,16 +148,18 @@ double Transient_result::final_value(const std::string& name) const
 
 Transient_result run_transient(Circuit& circuit,
                                const std::vector<Node>& probes,
-                               const Transient_options& opts)
+                               const Transient_options& opts,
+                               Transient_workspace& workspace)
 {
     util::expects(opts.tstop > 0.0, "tstop must be positive");
     util::expects(opts.nominal_steps > 0, "nominal_steps must be positive");
 
-    // Operating point (also latches capacitor DC state).
-    Dc_result dc = dc_operating_point(circuit, opts.dc);
-    std::vector<double> voltages = std::move(dc.voltages);
+    Mna_system& system = workspace.bind(circuit);
 
-    Mna_system system(circuit);
+    // Operating point (also latches capacitor DC state).  Shares the
+    // compiled system with the time loop below.
+    std::vector<double>& voltages = workspace.voltages();
+    dc_into(system, circuit.node_count(), opts.dc, voltages);
 
     std::vector<std::string> names;
     names.reserve(probes.size());
@@ -158,7 +177,9 @@ Transient_result run_transient(Circuit& circuit,
     const double dt_min = dt_nominal * opts.lte_min_shrink;
 
     // Slope history for the LTE predictor.
-    std::vector<double> prev_voltages = voltages;
+    std::vector<double>& prev_voltages = workspace.prev_voltages();
+    prev_voltages = voltages;
+    std::vector<double>& attempt = workspace.attempt();
     double prev_dt = 0.0;
 
     double t = 0.0;
@@ -190,7 +211,6 @@ Transient_result run_transient(Circuit& circuit,
 
         // Try the step; shrink on Newton failure or excessive LTE.
         double dt = t_target - t;
-        std::vector<double> attempt;
         int halvings = 0;
         double lte = 0.0;
         for (;;) {
@@ -234,7 +254,10 @@ Transient_result run_transient(Circuit& circuit,
 
         prev_voltages = voltages;
         prev_dt = dt;
-        voltages = std::move(attempt);
+        // Swap instead of move: `attempt` keeps a full-sized buffer for the
+        // next step's copy-assign, and the workspace vectors stay usable
+        // across runs.
+        std::swap(voltages, attempt);
         ctx.voltages = voltages.data();
         system.accept(ctx);
         t += dt;
@@ -258,6 +281,14 @@ Transient_result run_transient(Circuit& circuit,
     }
 
     return result;
+}
+
+Transient_result run_transient(Circuit& circuit,
+                               const std::vector<Node>& probes,
+                               const Transient_options& opts)
+{
+    Transient_workspace workspace;
+    return run_transient(circuit, probes, opts, workspace);
 }
 
 } // namespace mpsram::spice

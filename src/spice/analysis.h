@@ -7,6 +7,7 @@
 
 #include "spice/circuit.h"
 #include "spice/system.h"
+#include "spice/workspace.h"
 #include "util/numeric.h"
 
 namespace mpsram::spice {
@@ -29,8 +30,12 @@ struct Dc_result {
 };
 
 /// Solve the DC operating point (caps open).  Applies gmin stepping if the
-/// direct solve fails to converge.
+/// direct solve fails to converge.  The one-shot form compiles the circuit
+/// into a throwaway workspace; pass a Transient_workspace to reuse the
+/// compiled system across repeated solves.
 Dc_result dc_operating_point(Circuit& circuit, const Dc_options& opts = {});
+Dc_result dc_operating_point(Circuit& circuit, const Dc_options& opts,
+                             Transient_workspace& workspace);
 
 struct Transient_options {
     double tstop = 0.0;
@@ -94,10 +99,16 @@ private:
 
 /// Run a transient from the DC operating point.  `probes` are circuit
 /// nodes whose waveforms are recorded (keep the list small: memory is
-/// samples x probes).
+/// samples x probes).  The workspace form reuses the compiled MNA system
+/// and the solver vectors across runs (bitwise-identical results); the
+/// one-shot form forwards through a local workspace.
 Transient_result run_transient(Circuit& circuit,
                                const std::vector<Node>& probes,
                                const Transient_options& opts);
+Transient_result run_transient(Circuit& circuit,
+                               const std::vector<Node>& probes,
+                               const Transient_options& opts,
+                               Transient_workspace& workspace);
 
 } // namespace mpsram::spice
 

@@ -12,6 +12,12 @@ Resistor::Resistor(std::string name, Node a, Node b, double ohms)
     util::expects(ohms > 0.0, "resistance must be positive");
 }
 
+void Resistor::set_resistance(double ohms)
+{
+    util::expects(ohms > 0.0, "resistance must be positive");
+    ohms_ = ohms;
+}
+
 void Resistor::stamp(Stamper& s, const Eval_context&) const
 {
     s.conductance(nodes()[0], nodes()[1], 1.0 / ohms_);
@@ -23,6 +29,14 @@ Capacitor::Capacitor(std::string name, Node a, Node b, double farads)
     : Device(std::move(name), {a, b}), farads_(farads)
 {
     util::expects(farads > 0.0, "capacitance must be positive");
+}
+
+void Capacitor::set_capacitance(double farads)
+{
+    util::expects(farads > 0.0, "capacitance must be positive");
+    farads_ = farads;
+    v_prev_ = 0.0;
+    i_prev_ = 0.0;
 }
 
 double Capacitor::companion_g(const Eval_context& ctx) const

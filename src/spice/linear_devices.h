@@ -13,6 +13,10 @@ public:
 
     double resistance() const { return ohms_; }
 
+    /// Re-point the element at a new value (sweep reuse).  Values do not
+    /// affect the MNA sparsity pattern, so a compiled system stays valid.
+    void set_resistance(double ohms);
+
     void stamp(Stamper& s, const Eval_context& ctx) const override;
 
 private:
@@ -26,6 +30,10 @@ public:
     Capacitor(std::string name, Node a, Node b, double farads);
 
     double capacitance() const { return farads_; }
+
+    /// Re-point the element at a new value (sweep reuse).  Clears the
+    /// companion-model history; the next DC operating point re-latches it.
+    void set_capacitance(double farads);
 
     void stamp(Stamper& s, const Eval_context& ctx) const override;
     void accept_step(const Eval_context& ctx) override;

@@ -88,12 +88,14 @@ Read_netlist build_read_netlist(const tech::Technology& tech,
         const spice::Node q_i = c.node(idx_name("q", i));
         const spice::Node qb_i = c.node(idx_name("qb", i));
 
-        // Wire ladder segments.
-        c.add_resistor(idx_name("Rbl", i), bl_prev, bl_i, wires.r_bl_cell);
-        c.add_resistor(idx_name("Rblb", i), blb_prev, blb_i,
-                       wires.r_blb_cell);
-        c.add_resistor(idx_name("Rvss", i), vss_prev, vss_i,
-                       wires.r_vss_cell / nopts.vss_rail_sharing);
+        // Wire ladder segments (handles retained for wire-value updates).
+        net.ladder.r_bl.push_back(&c.add_resistor(idx_name("Rbl", i), bl_prev,
+                                                  bl_i, wires.r_bl_cell));
+        net.ladder.r_blb.push_back(&c.add_resistor(
+            idx_name("Rblb", i), blb_prev, blb_i, wires.r_blb_cell));
+        net.ladder.r_vss.push_back(
+            &c.add_resistor(idx_name("Rvss", i), vss_prev, vss_i,
+                            wires.r_vss_cell / nopts.vss_rail_sharing));
 
         // Optional periodic VSS strap into the vertical power grid.
         if (nopts.vss_strap_interval > 0 &&
@@ -103,12 +105,14 @@ Read_netlist build_read_netlist(const tech::Technology& tech,
         }
 
         // Wire capacitance (coupling to static rails folded to ground).
-        c.add_capacitor(idx_name("Cbl", i), bl_i, spice::ground_node,
-                        wires.c_bl_cell);
-        c.add_capacitor(idx_name("Cblb", i), blb_i, spice::ground_node,
-                        wires.c_blb_cell);
-        c.add_capacitor(idx_name("Cvss", i), vss_i, spice::ground_node,
-                        wires.c_vss_cell);
+        net.ladder.c_bl.push_back(&c.add_capacitor(
+            idx_name("Cbl", i), bl_i, spice::ground_node, wires.c_bl_cell));
+        net.ladder.c_blb.push_back(
+            &c.add_capacitor(idx_name("Cblb", i), blb_i, spice::ground_node,
+                             wires.c_blb_cell));
+        net.ladder.c_vss.push_back(
+            &c.add_capacitor(idx_name("Cvss", i), vss_i, spice::ground_node,
+                             wires.c_vss_cell));
 
         // Pass-gate junction load on the bit lines (the per-cell CFE).
         c.add_capacitor(idx_name("Cfe_bl", i), bl_i, spice::ground_node,
@@ -164,6 +168,30 @@ Read_netlist build_read_netlist(const tech::Technology& tech,
     net.dc.initial_guesses.emplace_back(net.blb_sense, vdd);
 
     return net;
+}
+
+void update_read_netlist_wires(Read_netlist& net,
+                               const Bitline_electrical& wires,
+                               const Netlist_options& nopts)
+{
+    util::expects(nopts.vss_rail_sharing >= 1.0,
+                  "rail sharing factor must be >= 1");
+    util::expects(wires.r_bl_cell > 0.0 && wires.c_bl_cell > 0.0,
+                  "bit-line parasitics must be extracted first");
+    const auto n = static_cast<std::size_t>(net.word_lines);
+    util::expects(net.ladder.r_bl.size() == n &&
+                      net.ladder.c_vss.size() == n,
+                  "netlist ladder handles out of sync with word lines");
+
+    for (std::size_t i = 0; i < n; ++i) {
+        net.ladder.r_bl[i]->set_resistance(wires.r_bl_cell);
+        net.ladder.r_blb[i]->set_resistance(wires.r_blb_cell);
+        net.ladder.r_vss[i]->set_resistance(wires.r_vss_cell /
+                                            nopts.vss_rail_sharing);
+        net.ladder.c_bl[i]->set_capacitance(wires.c_bl_cell);
+        net.ladder.c_blb[i]->set_capacitance(wires.c_blb_cell);
+        net.ladder.c_vss[i]->set_capacitance(wires.c_vss_cell);
+    }
 }
 
 } // namespace mpsram::sram

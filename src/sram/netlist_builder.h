@@ -34,6 +34,10 @@ struct Read_timing {
 
     /// Reference instant for td: word line at 50%.
     double wl_mid() const { return t_wl_on + 0.5 * edge_time; }
+
+    /// Netlist-reuse checks compare whole schedules (Read_sim_context);
+    /// keep this defaulted so new fields are picked up automatically.
+    bool operator==(const Read_timing&) const = default;
 };
 
 /// Structural knobs of the generated netlist.
@@ -52,6 +56,22 @@ struct Netlist_options {
     /// rail resistance still scales with n, as the paper's simulations
     /// show.  The default reproduces the paper's Table III SADP row.
     double vss_rail_sharing = 8.0;
+
+    /// See Read_timing::operator==.
+    bool operator==(const Netlist_options&) const = default;
+};
+
+/// Per-cell wire-ladder devices of a built read netlist, retained so a
+/// sweep can re-point the circuit at newly extracted parasitics without
+/// rebuilding it (the MNA sparsity pattern only depends on topology).
+/// Index = cell row, sense end first.
+struct Read_ladder {
+    std::vector<spice::Resistor*> r_bl;
+    std::vector<spice::Resistor*> r_blb;
+    std::vector<spice::Resistor*> r_vss;
+    std::vector<spice::Capacitor*> c_bl;
+    std::vector<spice::Capacitor*> c_blb;
+    std::vector<spice::Capacitor*> c_vss;
 };
 
 /// A built read-path circuit plus the handles the measurement needs.
@@ -69,6 +89,7 @@ struct Read_netlist {
     double vdd = 0.0;
     double sense_margin = 0.0;
     int word_lines = 0;
+    Read_ladder ladder;         ///< wire devices, for update_read_netlist_wires
 };
 
 /// Build the read netlist for the given electrical parameters.
@@ -78,6 +99,16 @@ Read_netlist build_read_netlist(const tech::Technology& tech,
                                 const Array_config& cfg,
                                 const Read_timing& timing = Read_timing{},
                                 const Netlist_options& nopts = Netlist_options{});
+
+/// Re-point an existing netlist's wire ladder at newly extracted
+/// parasitics.  Only the per-cell R/C values change — cell devices, the
+/// precharge circuit, and the control waveforms stay as built — so the
+/// updated netlist is device-for-device identical to a fresh
+/// build_read_netlist with the same configuration and the new wires.
+/// `nopts` must match the options the netlist was built with.
+void update_read_netlist_wires(Read_netlist& net,
+                               const Bitline_electrical& wires,
+                               const Netlist_options& nopts = Netlist_options{});
 
 } // namespace mpsram::sram
 

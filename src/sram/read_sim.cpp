@@ -9,6 +9,13 @@ namespace mpsram::sram {
 
 Read_result simulate_read(Read_netlist& net, const Read_options& opts)
 {
+    spice::Transient_workspace workspace;
+    return simulate_read(net, opts, workspace);
+}
+
+Read_result simulate_read(Read_netlist& net, const Read_options& opts,
+                          spice::Transient_workspace& workspace)
+{
     util::expects(opts.nominal_steps > 0, "steps must be positive");
 
     const double t_ref = net.timing.wl_mid();
@@ -28,7 +35,7 @@ Read_result simulate_read(Read_netlist& net, const Read_options& opts)
             net.bl_sense, net.blb_sense, net.bl_far, net.blb_far, net.wl,
             net.q, net.qb};
         spice::Transient_result waves =
-            spice::run_transient(net.circuit, probes, topts);
+            spice::run_transient(net.circuit, probes, topts, workspace);
 
         const std::string bl_name = net.circuit.node_name(net.bl_sense);
         const std::string blb_name = net.circuit.node_name(net.blb_sense);
@@ -47,6 +54,38 @@ Read_result simulate_read(Read_netlist& net, const Read_options& opts)
         window *= 2.0;
     }
     return result;  // never crossed: td = -1
+}
+
+// --- Read_sim_context ---------------------------------------------------------
+
+bool Read_sim_context::reusable(const Array_config& cfg,
+                                const Read_timing& timing,
+                                const Netlist_options& nopts) const
+{
+    return net_ && word_lines_ == cfg.word_lines && timing_ == timing &&
+           nopts_ == nopts;
+}
+
+Read_result Read_sim_context::simulate(const tech::Technology& tech,
+                                       const Cell_electrical& cell,
+                                       const Bitline_electrical& wires,
+                                       const Array_config& cfg,
+                                       const Read_timing& timing,
+                                       const Netlist_options& nopts,
+                                       const Read_options& opts)
+{
+    if (reusable(cfg, timing, nopts)) {
+        update_read_netlist_wires(*net_, wires, nopts);
+    } else {
+        net_ = std::make_unique<Read_netlist>(
+            build_read_netlist(tech, cell, wires, cfg, timing, nopts));
+        workspace_.invalidate();
+        word_lines_ = cfg.word_lines;
+        timing_ = timing;
+        nopts_ = nopts;
+        ++builds_;
+    }
+    return simulate_read(*net_, opts, workspace_);
 }
 
 } // namespace mpsram::sram

@@ -4,7 +4,10 @@
 #ifndef MPSRAM_SRAM_READ_SIM_H
 #define MPSRAM_SRAM_READ_SIM_H
 
+#include <memory>
+
 #include "spice/analysis.h"
+#include "spice/workspace.h"
 #include "sram/netlist_builder.h"
 
 namespace mpsram::sram {
@@ -32,9 +35,49 @@ struct Read_result {
 };
 
 /// Simulate the read and measure td.  The netlist is reusable: capacitor
-/// history is re-initialized by the DC operating point of each run.
+/// history is re-initialized by the DC operating point of each run.  The
+/// workspace form keeps the compiled MNA system across calls (and across
+/// the window-doubling retries of one call); results are bitwise identical
+/// either way.
 Read_result simulate_read(Read_netlist& net,
                           const Read_options& opts = Read_options{});
+Read_result simulate_read(Read_netlist& net, const Read_options& opts,
+                          spice::Transient_workspace& workspace);
+
+/// Re-entrant read-simulation context: one netlist plus one solver
+/// workspace, owned by a single worker of a sweep.  The netlist is rebuilt
+/// only when the array configuration (word lines, timing, netlist options)
+/// changes; runs that differ only in extracted wire values re-point the
+/// existing ladder and keep the symbolic factorization.
+///
+/// The technology and cell handed to simulate() must stay the same objects
+/// (or at least the same values) across calls — the context caches device
+/// parameters derived from them.  One context must not be shared between
+/// threads; sweeps allocate one per Run_context::worker.
+class Read_sim_context {
+public:
+    Read_result simulate(const tech::Technology& tech,
+                         const Cell_electrical& cell,
+                         const Bitline_electrical& wires,
+                         const Array_config& cfg,
+                         const Read_timing& timing = Read_timing{},
+                         const Netlist_options& nopts = Netlist_options{},
+                         const Read_options& opts = Read_options{});
+
+    /// Netlist (re)builds performed so far — the reuse observable.
+    std::size_t netlist_builds() const { return builds_; }
+
+private:
+    bool reusable(const Array_config& cfg, const Read_timing& timing,
+                  const Netlist_options& nopts) const;
+
+    std::unique_ptr<Read_netlist> net_;
+    spice::Transient_workspace workspace_;
+    int word_lines_ = -1;
+    Read_timing timing_{};
+    Netlist_options nopts_{};
+    std::size_t builds_ = 0;
+};
 
 } // namespace mpsram::sram
 

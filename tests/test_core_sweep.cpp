@@ -1,0 +1,291 @@
+// The parallel SPICE sweep layer: determinism of the batch Fig. 4 /
+// Table II / Table III APIs at any thread count, the one-enumeration
+// contract of the worst-case memo, and bitwise-identical results under
+// netlist/workspace reuse.
+#include "core/study.h"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "pattern/engine.h"
+#include "sram/bitline_model.h"
+#include "sram/read_sim.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mpsram;
+
+// Cheap-but-real sweep: EUV (3 corners) and SADP (9 corners) keep the
+// corner searches small while the transients still exercise the full
+// netlist/workspace reuse path.
+constexpr int kSizes[] = {8, 16, 24};
+
+TEST(ReadSweep, IdenticalAtAnyThreadCount)
+{
+    // Fresh study per thread count: no memo crosstalk between runs.
+    const core::Variability_study serial_study;
+    const auto serial = serial_study.read_sweep(
+        tech::Patterning_option::sadp, kSizes, core::Runner_options{1});
+    ASSERT_EQ(serial.size(), std::size(kSizes));
+
+    for (const int threads : {2, 4}) {
+        const core::Variability_study study;
+        const auto parallel = study.read_sweep(
+            tech::Patterning_option::sadp, kSizes,
+            core::Runner_options{threads});
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].td_nominal, parallel[i].td_nominal)
+                << "threads=" << threads << " size=" << kSizes[i];
+            EXPECT_EQ(serial[i].td_varied, parallel[i].td_varied);
+            EXPECT_EQ(serial[i].tdp_percent, parallel[i].tdp_percent);
+        }
+    }
+}
+
+TEST(ReadSweep, MatchesSingleCalls)
+{
+    const core::Variability_study batch_study;
+    const auto rows = batch_study.read_sweep(tech::Patterning_option::euv,
+                                             kSizes,
+                                             core::Runner_options{4});
+
+    const core::Variability_study single_study;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto single = single_study.worst_case_read(
+            tech::Patterning_option::euv, kSizes[i]);
+        EXPECT_EQ(rows[i].td_nominal, single.td_nominal);
+        EXPECT_EQ(rows[i].td_varied, single.td_varied);
+        EXPECT_EQ(rows[i].tdp_percent, single.tdp_percent);
+    }
+}
+
+TEST(NominalTdBatch, IdenticalAtAnyThreadCountAndMatchesSingles)
+{
+    const core::Variability_study serial_study;
+    const auto serial =
+        serial_study.nominal_td_batch(kSizes, core::Runner_options{1});
+    ASSERT_EQ(serial.size(), std::size(kSizes));
+
+    for (const int threads : {2, 4}) {
+        const core::Variability_study study;
+        const auto parallel =
+            study.nominal_td_batch(kSizes, core::Runner_options{threads});
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].td_simulation, parallel[i].td_simulation)
+                << "threads=" << threads << " size=" << kSizes[i];
+            EXPECT_EQ(serial[i].td_formula, parallel[i].td_formula);
+        }
+    }
+
+    const core::Variability_study single_study;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const auto single = single_study.nominal_td(kSizes[i]);
+        EXPECT_EQ(serial[i].td_simulation, single.td_simulation);
+        EXPECT_EQ(serial[i].td_formula, single.td_formula);
+    }
+}
+
+TEST(WorstCaseTdpBatch, IdenticalAtAnyThreadCount)
+{
+    const std::vector<core::Variability_study::Tdp_case> cases = {
+        {tech::Patterning_option::euv, 8},
+        {tech::Patterning_option::sadp, 8},
+        {tech::Patterning_option::euv, 16},
+        {tech::Patterning_option::sadp, 16},
+    };
+
+    const core::Variability_study serial_study;
+    const auto serial =
+        serial_study.worst_case_tdp_batch(cases, core::Runner_options{1});
+    ASSERT_EQ(serial.size(), cases.size());
+
+    for (const int threads : {2, 4}) {
+        const core::Variability_study study;
+        const auto parallel =
+            study.worst_case_tdp_batch(cases,
+                                       core::Runner_options{threads});
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].tdp_simulation, parallel[i].tdp_simulation)
+                << "threads=" << threads << " case=" << i;
+            EXPECT_EQ(serial[i].tdp_formula, parallel[i].tdp_formula);
+        }
+    }
+}
+
+TEST(WorstCaseMemo, OneEnumerationPerKey)
+{
+    const core::Variability_study study;
+    EXPECT_EQ(study.corner_search_count(), 0u);
+
+    // worst_case_tdp needs the corner result twice (simulated read at the
+    // worst geometry + formula factors): one enumeration, not two.
+    study.worst_case_tdp(tech::Patterning_option::euv, 8);
+    EXPECT_EQ(study.corner_search_count(), 1u);
+
+    // Repeats and same-key sibling APIs hit the memo.
+    study.worst_case_tdp(tech::Patterning_option::euv, 8);
+    study.worst_case_read(tech::Patterning_option::euv, 8);
+    study.worst_case_full(tech::Patterning_option::euv, 8);
+    EXPECT_EQ(study.corner_search_count(), 1u);
+
+    // A new word-line count is a new key.
+    study.worst_case_full(tech::Patterning_option::euv, 16);
+    EXPECT_EQ(study.corner_search_count(), 2u);
+
+    // All "technology default" overlay spellings share one slot; a real
+    // budget is its own key.
+    study.worst_case_full(tech::Patterning_option::euv, 16, -7.0);
+    EXPECT_EQ(study.corner_search_count(), 2u);
+    study.worst_case_full(tech::Patterning_option::euv, 16, 3e-9);
+    EXPECT_EQ(study.corner_search_count(), 3u);
+}
+
+TEST(WorstCaseMemo, ConcurrentCallersShareOneEnumeration)
+{
+    const core::Variability_study study;
+
+    constexpr std::size_t jobs = 8;
+    std::vector<mc::Worst_case_result> results(jobs);
+    core::run_indexed(
+        jobs,
+        [&](std::size_t i, const core::Run_context&) {
+            results[i] =
+                study.worst_case_full(tech::Patterning_option::sadp, 8);
+        },
+        core::Runner_options{4});
+
+    EXPECT_EQ(study.corner_search_count(), 1u);
+    for (std::size_t i = 1; i < jobs; ++i) {
+        EXPECT_EQ(results[i].corner.sample, results[0].corner.sample);
+        EXPECT_EQ(results[i].corner.metric, results[0].corner.metric);
+        EXPECT_EQ(results[i].variation.r_factor,
+                  results[0].variation.r_factor);
+        EXPECT_EQ(results[i].variation.c_factor,
+                  results[0].variation.c_factor);
+        EXPECT_EQ(results[i].vss_r_factor, results[0].vss_r_factor);
+    }
+}
+
+// --- netlist/workspace reuse -------------------------------------------------
+
+struct Sim_fixture {
+    tech::Technology t = tech::n10();
+    sram::Cell_electrical cell = sram::Cell_electrical::n10(t.feol);
+    extract::Extractor ex{t.metal1};
+    sram::Array_config cfg;
+    sram::Bitline_electrical wires;
+
+    explicit Sim_fixture(int n)
+    {
+        cfg.word_lines = n;
+        cfg.victim_pair = 6;
+        const geom::Wire_array arr = sram::build_metal1_array(t, cfg);
+        wires = sram::roll_up_nominal(ex, arr, t, cfg);
+    }
+};
+
+TEST(ReadSimContext, ReuseMatchesFreshBuilds)
+{
+    Sim_fixture f(8);
+    sram::Bitline_electrical heavier = f.wires;
+    heavier.c_bl_cell *= 1.4;
+    heavier.c_blb_cell *= 1.4;
+
+    sram::Read_sim_context ctx;
+    const auto r_nom = ctx.simulate(f.t, f.cell, f.wires, f.cfg);
+    const auto r_heavy = ctx.simulate(f.t, f.cell, heavier, f.cfg);
+    // Same array config: the second run re-points the ladder in place.
+    EXPECT_EQ(ctx.netlist_builds(), 1u);
+
+    // Back to the first wires on the reused netlist: bitwise repeatable.
+    const auto r_nom_again = ctx.simulate(f.t, f.cell, f.wires, f.cfg);
+    EXPECT_EQ(ctx.netlist_builds(), 1u);
+    EXPECT_EQ(r_nom.td, r_nom_again.td);
+
+    // Fresh single-shot builds must agree bitwise with the reused context.
+    sram::Read_netlist fresh_nom =
+        sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg);
+    EXPECT_EQ(sram::simulate_read(fresh_nom).td, r_nom.td);
+    sram::Read_netlist fresh_heavy =
+        sram::build_read_netlist(f.t, f.cell, heavier, f.cfg);
+    EXPECT_EQ(sram::simulate_read(fresh_heavy).td, r_heavy.td);
+    EXPECT_GT(r_heavy.td, r_nom.td);
+
+    // A different word-line count rebuilds netlist and workspace.
+    Sim_fixture f16(16);
+    const auto r16 = ctx.simulate(f16.t, f16.cell, f16.wires, f16.cfg);
+    EXPECT_EQ(ctx.netlist_builds(), 2u);
+    sram::Read_netlist fresh16 =
+        sram::build_read_netlist(f16.t, f16.cell, f16.wires, f16.cfg);
+    EXPECT_EQ(sram::simulate_read(fresh16).td, r16.td);
+}
+
+TEST(ReadSimContext, WindowDoublingRetryUnderWorkspaceReuse)
+{
+    Sim_fixture f(8);
+
+    // Force the window-doubling path: the first window is far too small to
+    // reach the sense margin, so simulate_read retries with 2x, 4x, ...
+    // windows on the *same* netlist and workspace.
+    sram::Read_options tight;
+    tight.min_window = 8e-12;
+    tight.window_per_cell = 0.0;
+    tight.max_retries = 5;
+
+    sram::Read_sim_context ctx;
+    const auto retried =
+        ctx.simulate(f.t, f.cell, f.wires, f.cfg, sram::Read_timing{},
+                     sram::Netlist_options{}, tight);
+    ASSERT_TRUE(retried.crossed);
+
+    // Same answer as a fresh one-shot run with the same options...
+    sram::Read_netlist fresh =
+        sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg);
+    const auto fresh_result = sram::simulate_read(fresh, tight);
+    EXPECT_EQ(retried.td, fresh_result.td);
+    EXPECT_EQ(retried.t_cross, fresh_result.t_cross);
+
+    // ... and the retry path leaves no state behind: an immediate re-run
+    // on the reused context reproduces it bitwise.
+    const auto again =
+        ctx.simulate(f.t, f.cell, f.wires, f.cfg, sram::Read_timing{},
+                     sram::Netlist_options{}, tight);
+    EXPECT_EQ(retried.td, again.td);
+    EXPECT_EQ(ctx.netlist_builds(), 1u);
+}
+
+TEST(RealizeInto, BitwiseMatchesRealizeForEveryEngine)
+{
+    const tech::Technology t = tech::n10();
+    sram::Array_config cfg;
+    cfg.word_lines = 16;
+    cfg.victim_pair = 6;
+
+    for (const auto option : tech::all_patterning_options) {
+        const auto engine = pattern::make_engine(option, t);
+        const geom::Wire_array nominal =
+            engine->decompose(sram::build_metal1_array(t, cfg));
+
+        util::Rng rng(7);
+        geom::Wire_array scratch;  // reused across samples, like the loops
+        for (int s = 0; s < 8; ++s) {
+            const auto sample = engine->sample_gaussian(rng);
+            const geom::Wire_array fresh = engine->realize(nominal, sample);
+            engine->realize_into(nominal, sample, scratch);
+
+            ASSERT_EQ(scratch.size(), fresh.size());
+            for (std::size_t i = 0; i < fresh.size(); ++i) {
+                EXPECT_EQ(scratch[i].width, fresh[i].width)
+                    << tech::to_string(option) << " sample " << s;
+                EXPECT_EQ(scratch[i].y_center, fresh[i].y_center);
+                EXPECT_EQ(scratch[i].net, fresh[i].net);
+                EXPECT_EQ(scratch[i].color, fresh[i].color);
+                EXPECT_EQ(scratch[i].sadp, fresh[i].sadp);
+            }
+        }
+    }
+}
+
+} // namespace
