@@ -9,6 +9,11 @@
 //
 // Output: one console table plus a CSV (fig4_worst_case_td.csv) with the
 // series for external plotting.
+//
+// Runs on the calibrated adaptive-LTE engine (the production default,
+// within 0.5% of fixed stepping on every row); pass --reference to pin the
+// fixed-step oracle.
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <vector>
@@ -17,14 +22,23 @@
 #include "util/csv.h"
 #include "util/table.h"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace mpsram;
 
-    core::Variability_study study;
+    core::Study_options opts;
+    if (argc > 1) {
+        if (std::strcmp(argv[1], "--reference") != 0) {
+            std::cerr << "usage: bench_fig4_worst_case_td [--reference]\n";
+            return 2;
+        }
+        opts.read.accuracy = sram::Sim_accuracy::reference;
+    }
+    core::Variability_study study(tech::n10(), opts);
     constexpr int sizes[] = {16, 64, 256, 1024};
 
-    std::cout << "Fig. 4: worst case wire variability impact on td\n\n";
+    std::cout << "Fig. 4: worst case wire variability impact on td ("
+              << sram::to_string(opts.read.accuracy) << " engine)\n\n";
 
     util::Table table({"Array size", "td nominal", "tdp LELELE", "tdp SADP",
                        "tdp EUV"});

@@ -1,18 +1,27 @@
-// SPICE sweep throughput: threads vs wall time on the Fig. 4 workload
-// (LE3 worst-case read, one corner search + two transients per word-line
-// count).
+// SPICE sweep throughput: adaptive-vs-fixed stepping and thread scaling on
+// the Fig. 4 workload (LE3 worst-case read, one corner search + two
+// transients per word-line count).
 //
-// Prints a thread-scaling table, verifies the determinism contract (the
-// parallel sweeps must be bitwise identical to the serial sweep), and
-// emits BENCH_spice.json alongside BENCH_mc.json so the sweep wall-time
-// trajectory can be tracked across revisions.
+// For every thread count the sweep runs twice — once under the production
+// adaptive-LTE policy (Sim_accuracy::fast) and once under the fixed-step
+// reference (Sim_accuracy::reference) — so the wall-time table shows the
+// thread speedup and the adaptive speedup side by side.  The parallel rows
+// are compared against the serial rows of the same policy (the determinism
+// contract: bitwise identical); the two policies are compared against each
+// other on the complete Fig. 4 set — every option, n up to 1024,
+// regardless of max_word_lines — enforcing the calibration contract (td
+// and tdp within 0.5%); and one nominal read at the largest size reports
+// the step counters of each engine.  Everything lands in BENCH_spice.json next to BENCH_mc.json
+// so the sweep trajectory can be tracked across revisions.
 //
 // Each measured run constructs a fresh Variability_study so the worst-case
-// and nominal-td memos cannot leak work between thread counts — every run
-// pays the full corner searches and transients.
+// and nominal-td memos cannot leak work between runs — every run pays the
+// full corner searches and transients.
 //
 //   $ ./bench_perf_spice [max_word_lines]
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -20,6 +29,9 @@
 #include <vector>
 
 #include "core/study.h"
+#include "sram/bitline_model.h"
+#include "sram/sim_accuracy.h"
+#include "util/numeric.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -46,6 +58,13 @@ bool bitwise_equal(const std::vector<core::Variability_study::Read_row>& a,
     return true;
 }
 
+core::Study_options study_opts(sram::Sim_accuracy accuracy)
+{
+    core::Study_options opts;
+    opts.read.accuracy = accuracy;
+    return opts;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -68,58 +87,156 @@ int main(int argc, char** argv)
     std::vector<int> thread_counts = {1, 2, 4};
     if (hw > 4) thread_counts.push_back(hw);
 
+    constexpr sram::Sim_accuracy policies[] = {sram::Sim_accuracy::fast,
+                                               sram::Sim_accuracy::reference};
+
     std::cout << "SPICE sweep throughput: LE3 worst-case read (Fig. 4), "
               << sizes.size() << " array sizes up to 10x" << max_n << ", "
-              << hw << " hardware threads\n\n";
+              << hw << " hardware threads\n"
+              << "Policies: fast = calibrated adaptive-LTE stepping "
+                 "(production default), reference = fixed-step oracle\n\n";
 
-    util::Table table({"threads", "wall [s]", "sims/s", "speedup",
+    util::Table table({"threads", "policy", "wall [s]", "sims/s",
+                       "thread speedup", "adaptive speedup",
                        "bitwise == serial"});
 
     struct Point {
         int threads = 0;
-        double wall_s = 0.0;
-        double sims_per_s = 0.0;
-        bool identical = true;
+        double wall_s[2] = {0.0, 0.0};  // indexed like `policies`
+        double sims_per_s[2] = {0.0, 0.0};
+        bool identical[2] = {true, true};
     };
     std::vector<Point> points;
-    std::vector<core::Variability_study::Read_row> serial_rows;
+    std::vector<core::Variability_study::Read_row> serial_rows[2];
 
     for (const int threads : thread_counts) {
-        // Fresh study per run: no memo crosstalk between thread counts.
-        const core::Variability_study study;
-        const core::Runner_options runner{threads};
-
-        const auto t0 = std::chrono::steady_clock::now();
-        const auto rows =
-            study.read_sweep(tech::Patterning_option::le3, sizes, runner);
-        const double wall = seconds_of(std::chrono::steady_clock::now() - t0);
-
         Point p;
         p.threads = threads;
-        p.wall_s = wall;
-        // Two transients (nominal + worst corner) per word-line count.
-        p.sims_per_s = 2.0 * static_cast<double>(sizes.size()) / wall;
-        if (threads == 1) {
-            serial_rows = rows;
-        } else {
-            p.identical = bitwise_equal(rows, serial_rows);
+        for (int pi = 0; pi < 2; ++pi) {
+            // Fresh study per run: no memo crosstalk between runs.
+            const core::Variability_study study(tech::n10(),
+                                                study_opts(policies[pi]));
+            const core::Runner_options runner{threads};
+
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto rows = study.read_sweep(tech::Patterning_option::le3,
+                                               sizes, runner);
+            const double wall =
+                seconds_of(std::chrono::steady_clock::now() - t0);
+
+            p.wall_s[pi] = wall;
+            // Two transients (nominal + worst corner) per word-line count.
+            p.sims_per_s[pi] =
+                2.0 * static_cast<double>(sizes.size()) / wall;
+            if (threads == 1) {
+                serial_rows[pi] = rows;
+            } else {
+                p.identical[pi] = bitwise_equal(rows, serial_rows[pi]);
+            }
         }
         points.push_back(p);
 
-        table.add_row({std::to_string(threads),
-                       util::fmt_fixed(wall, 3),
-                       util::fmt_fixed(p.sims_per_s, 2),
-                       util::fmt_fixed(points.front().wall_s / wall, 2) + "x",
-                       p.identical ? "yes" : "NO"});
+        for (int pi = 0; pi < 2; ++pi) {
+            table.add_row(
+                {std::to_string(threads), sram::to_string(policies[pi]),
+                 util::fmt_fixed(p.wall_s[pi], 3),
+                 util::fmt_fixed(p.sims_per_s[pi], 2),
+                 util::fmt_fixed(points.front().wall_s[pi] / p.wall_s[pi],
+                                 2) +
+                     "x",
+                 util::fmt_fixed(p.wall_s[1] / p.wall_s[0], 2) + "x",
+                 p.identical[pi] ? "yes" : "NO"});
+        }
     }
 
     std::cout << table.render() << '\n';
 
+    // --- calibration agreement: fast vs reference ----------------------------
+    // Always checked on the complete canonical Fig. 4 set {16, 64, 256,
+    // 1024} for every patterning option, independent of max_word_lines:
+    // the 10x1024 rows are exactly where the adaptive engine removes the
+    // most steps, so the 0.5% budget must be enforced there even when the
+    // thread-scaling table above was capped smaller.
+    constexpr int fig4_sizes[] = {16, 64, 256, 1024};
+    // Determinism makes thread count a free choice here: run the heavy
+    // reference sweeps on every core.
+    const core::Runner_options agreement_runner{hw};
+    double max_td_rel = 0.0;
+    double max_tdp_pts = 0.0;
+    for (const auto option : tech::all_patterning_options) {
+        const core::Variability_study ref_study(
+            tech::n10(), study_opts(sram::Sim_accuracy::reference));
+        const core::Variability_study fast_study(
+            tech::n10(), study_opts(sram::Sim_accuracy::fast));
+        const auto ref_rows =
+            ref_study.read_sweep(option, fig4_sizes, agreement_runner);
+        const auto fast_rows =
+            fast_study.read_sweep(option, fig4_sizes, agreement_runner);
+        for (std::size_t i = 0; i < std::size(fig4_sizes); ++i) {
+            max_td_rel =
+                std::max({max_td_rel,
+                          util::rel_diff(ref_rows[i].td_nominal,
+                                         fast_rows[i].td_nominal),
+                          util::rel_diff(ref_rows[i].td_varied,
+                                         fast_rows[i].td_varied)});
+            max_tdp_pts =
+                std::max(max_tdp_pts, std::fabs(ref_rows[i].tdp_percent -
+                                                fast_rows[i].tdp_percent));
+        }
+    }
+    const bool agreement_ok = max_td_rel <= 5e-3 && max_tdp_pts <= 0.5;
+    std::cout << "Adaptive-vs-reference agreement over the full Fig. 4 set "
+                 "(all options, n up to 1024):\n  max |td| deviation "
+              << util::fmt_fixed(100.0 * max_td_rel, 4) << "% , max |tdp| "
+              << util::fmt_fixed(max_tdp_pts, 4) << " points ("
+              << (agreement_ok ? "within" : "OUTSIDE")
+              << " the 0.5% calibration budget)\n";
+
+    // --- step counters of one nominal read at the largest size ---------------
+    spice::Step_stats steps[2];
+    {
+        const tech::Technology t = tech::n10();
+        const sram::Cell_electrical cell = sram::Cell_electrical::n10(t.feol);
+        const extract::Extractor ex(t.metal1);
+        sram::Array_config cfg;
+        cfg.word_lines = sizes.back();
+        cfg.victim_pair = 6;
+        const geom::Wire_array arr = sram::build_metal1_array(t, cfg);
+        const sram::Bitline_electrical wires =
+            sram::roll_up_nominal(ex, arr, t, cfg);
+        for (int pi = 0; pi < 2; ++pi) {
+            sram::Read_options ropts;
+            ropts.accuracy = policies[pi];
+            sram::Read_sim_context sim;
+            steps[pi] = sim.simulate(t, cell, wires, cfg, sram::Read_timing{},
+                                     sram::Netlist_options{}, ropts)
+                            .steps;
+        }
+        std::cout << "\nStep counts, nominal read at 10x" << sizes.back()
+                  << ":\n";
+        util::Table step_table({"policy", "accepted", "lte rejected",
+                                "newton rejected", "total solves"});
+        for (int pi = 0; pi < 2; ++pi) {
+            step_table.add_row({sram::to_string(policies[pi]),
+                                std::to_string(steps[pi].accepted),
+                                std::to_string(steps[pi].lte_rejected),
+                                std::to_string(steps[pi].newton_rejected),
+                                std::to_string(steps[pi].total_attempts())});
+        }
+        std::cout << step_table.render() << '\n';
+    }
+
     bool all_identical = true;
-    for (const Point& p : points) all_identical = all_identical && p.identical;
+    for (const Point& p : points) {
+        all_identical = all_identical && p.identical[0] && p.identical[1];
+    }
     if (!all_identical) {
         std::cout << "ERROR: parallel results diverged from serial — the\n"
                      "determinism contract is broken.\n";
+    }
+    if (!agreement_ok) {
+        std::cout << "ERROR: the adaptive engine left the 0.5% calibration\n"
+                     "budget — retune sram::fast_lte_* (see sim_accuracy.h).\n";
     }
 
     std::ofstream json("BENCH_spice.json");
@@ -131,15 +248,32 @@ int main(int argc, char** argv)
          << "  \"hardware_threads\": " << hw << ",\n"
          << "  \"deterministic_across_threads\": "
          << (all_identical ? "true" : "false") << ",\n"
+         << "  \"agreement\": {\"max_td_rel\": " << max_td_rel
+         << ", \"max_tdp_points\": " << max_tdp_pts
+         << ", \"within_budget\": " << (agreement_ok ? "true" : "false")
+         << "},\n"
+         << "  \"step_counts_nominal_read\": {\n"
+         << "    \"word_lines\": " << sizes.back() << ",\n"
+         << "    \"fast\": {\"accepted\": " << steps[0].accepted
+         << ", \"lte_rejected\": " << steps[0].lte_rejected
+         << ", \"newton_rejected\": " << steps[0].newton_rejected << "},\n"
+         << "    \"reference\": {\"accepted\": " << steps[1].accepted
+         << ", \"lte_rejected\": " << steps[1].lte_rejected
+         << ", \"newton_rejected\": " << steps[1].newton_rejected << "}\n"
+         << "  },\n"
          << "  \"results\": [\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
         json << "    {\"threads\": " << points[i].threads
-             << ", \"wall_s\": " << points[i].wall_s
-             << ", \"sims_per_s\": " << points[i].sims_per_s << "}"
+             << ", \"wall_s_fast\": " << points[i].wall_s[0]
+             << ", \"wall_s_reference\": " << points[i].wall_s[1]
+             << ", \"sims_per_s_fast\": " << points[i].sims_per_s[0]
+             << ", \"sims_per_s_reference\": " << points[i].sims_per_s[1]
+             << ", \"adaptive_speedup\": "
+             << points[i].wall_s[1] / points[i].wall_s[0] << "}"
              << (i + 1 < points.size() ? "," : "") << "\n";
     }
     json << "  ]\n}\n";
     std::cout << "Wrote BENCH_spice.json\n";
 
-    return all_identical ? 0 : 1;
+    return all_identical && agreement_ok ? 0 : 1;
 }

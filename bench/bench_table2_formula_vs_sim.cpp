@@ -11,17 +11,28 @@
 // The deviation is expected and explained by the paper: the formula is a
 // lumped-RC model of a distributed line driven by a nonlinear device.  The
 // reproduction must show the same systematic underestimate.
+// Runs on the calibrated adaptive-LTE engine (the production default);
+// pass --reference to pin the fixed-step oracle.
+#include <cstring>
 #include <iostream>
 #include <vector>
 
 #include "core/study.h"
 #include "util/table.h"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace mpsram;
 
-    core::Variability_study study;
+    core::Study_options opts;
+    if (argc > 1) {
+        if (std::strcmp(argv[1], "--reference") != 0) {
+            std::cerr << "usage: bench_table2_formula_vs_sim [--reference]\n";
+            return 2;
+        }
+        opts.read.accuracy = sram::Sim_accuracy::reference;
+    }
+    core::Variability_study study(tech::n10(), opts);
 
     struct Paper_row {
         int n;

@@ -15,17 +15,29 @@
 // diverges from the simulation for SADP at n > 64, where the VSS-rail
 // resistance increase (anti-correlated with Rbl under SADP) keeps the
 // simulated penalty positive while the formula goes negative.
+// Runs on the calibrated adaptive-LTE engine (the production default);
+// pass --reference to pin the fixed-step oracle.
+#include <cstring>
 #include <iostream>
 #include <vector>
 
 #include "core/study.h"
 #include "util/table.h"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace mpsram;
 
-    core::Variability_study study;
+    core::Study_options opts;
+    if (argc > 1) {
+        if (std::strcmp(argv[1], "--reference") != 0) {
+            std::cerr
+                << "usage: bench_table3_tdp_formula_vs_sim [--reference]\n";
+            return 2;
+        }
+        opts.read.accuracy = sram::Sim_accuracy::reference;
+    }
+    core::Variability_study study(tech::n10(), opts);
 
     constexpr int sizes[] = {16, 64, 256, 1024};
     const double paper_sim[3][4] = {{17.33, 20.01, 20.60, 18.29},

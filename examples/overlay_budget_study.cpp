@@ -6,7 +6,12 @@
 // sigma(tdp) (the EUV value), what overlay budget must the LE3 scanner
 // hold?  Answered by bisection over the Monte-Carlo study.
 //
-//   $ ./overlay_budget_study
+// The td reference of every Monte-Carlo case comes from the calibrated
+// adaptive-LTE engine (the production default); pass --reference to pin
+// the fixed-step oracle.
+//
+//   $ ./overlay_budget_study [--reference]
+#include <cstring>
 #include <iostream>
 #include <vector>
 
@@ -15,11 +20,19 @@
 #include "util/table.h"
 #include "util/units.h"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace mpsram;
 
-    core::Variability_study study;
+    core::Study_options sopts;
+    if (argc > 1) {
+        if (std::strcmp(argv[1], "--reference") != 0) {
+            std::cerr << "usage: overlay_budget_study [--reference]\n";
+            return 2;
+        }
+        sopts.read.accuracy = sram::Sim_accuracy::reference;
+    }
+    core::Variability_study study(tech::n10(), sopts);
     constexpr int n = 64;
     mc::Distribution_options mo;
     mo.samples = 8000;

@@ -38,6 +38,14 @@ struct Study_options {
     sram::Array_config array;  ///< bl_pairs defaults to the paper's 10
     extract::Extraction_options extraction;
     sram::Read_timing timing;
+    /// Read-measurement options, including the integration-engine policy:
+    /// `read.accuracy` defaults to the calibrated adaptive-LTE engine
+    /// (sram::Sim_accuracy::fast) and governs every SPICE transient the
+    /// study runs — single calls, read_sweep / nominal_td_batch /
+    /// worst_case_tdp_batch, and the td references of the MC and
+    /// corner-search flows.  Pin sram::Sim_accuracy::reference for the
+    /// fixed-step oracle (tests, calibration).  Either way results are
+    /// bitwise identical at any thread count.
     sram::Read_options read;
     sram::Netlist_options netlist;
 };

@@ -184,6 +184,7 @@ Transient_result run_transient(Circuit& circuit,
 
     double t = 0.0;
     double dt_next = dt_nominal;
+    Step_stats stats;
     bool after_breakpoint = true;  // t=0 counts as a corner
     while (t < opts.tstop - 1e-18) {
         // Advance the breakpoint cursor past times we already passed.
@@ -209,9 +210,13 @@ Transient_result run_transient(Circuit& circuit,
                          ? Integration_method::backward_euler
                          : opts.method;
 
-        // Try the step; shrink on Newton failure or excessive LTE.
+        // Try the step; shrink on Newton failure or excessive LTE.  The two
+        // causes are tracked separately: only a Newton failure marks the
+        // step as a waveform corner (below), because an LTE rejection just
+        // means the step was too ambitious for a perfectly smooth solution.
         double dt = t_target - t;
         int halvings = 0;
+        int newton_failures = 0;
         double lte = 0.0;
         for (;;) {
             attempt = voltages;
@@ -222,6 +227,8 @@ Transient_result run_transient(Circuit& circuit,
                 system.solve(ctx, attempt, opts.newton);
             } catch (const Convergence_error&) {
                 converged = false;
+                ++newton_failures;
+                ++stats.newton_rejected;
             }
 
             if (converged && opts.adaptive && prev_dt > 0.0 &&
@@ -240,6 +247,7 @@ Transient_result run_transient(Circuit& circuit,
                 }
                 if (lte > 1.0 && dt > dt_min) {
                     converged = false;  // reject: retry smaller
+                    ++stats.lte_rejected;
                 }
             }
 
@@ -261,6 +269,7 @@ Transient_result run_transient(Circuit& circuit,
         ctx.voltages = voltages.data();
         system.accept(ctx);
         t += dt;
+        ++stats.accepted;
         result.append(t, voltages);
 
         if (opts.adaptive) {
@@ -274,12 +283,19 @@ Transient_result run_transient(Circuit& circuit,
             dt_next = std::clamp(dt * factor, dt_min, dt_max);
         }
 
+        // Only true waveform corners restart the controller: source
+        // breakpoints and Newton failures (a stiff hand-off the
+        // linearization could not follow).  An LTE rejection must NOT land
+        // here — it is ordinary error control, and flagging it as a corner
+        // would force a backward-Euler step, a tiny restart step, and a
+        // predictor-history reset after every rejected step.
         const bool hit_breakpoint =
             next_bp < breakpoints.size() &&
             std::fabs(t - breakpoints[next_bp]) < 1e-18;
-        after_breakpoint = hit_breakpoint || halvings > 0;
+        after_breakpoint = hit_breakpoint || newton_failures > 0;
     }
 
+    result.set_steps(stats);
     return result;
 }
 

@@ -68,6 +68,29 @@ struct Transient_options {
     double lte_min_shrink = 1e-4;
 };
 
+/// Per-run step-control counters (filled by run_transient).  `accepted` is
+/// the number of committed time steps; the reject counters distinguish the
+/// two retry causes so adaptive-vs-fixed cost comparisons and step-control
+/// regressions have an observable.
+struct Step_stats {
+    int accepted = 0;
+    int lte_rejected = 0;     ///< predictor error exceeded tolerance
+    int newton_rejected = 0;  ///< Newton failed to converge at the step
+
+    int total_attempts() const
+    {
+        return accepted + lte_rejected + newton_rejected;
+    }
+
+    Step_stats& operator+=(const Step_stats& other)
+    {
+        accepted += other.accepted;
+        lte_rejected += other.lte_rejected;
+        newton_rejected += other.newton_rejected;
+        return *this;
+    }
+};
+
 /// Recorded transient waveforms at the probed nodes.
 class Transient_result {
 public:
@@ -78,6 +101,10 @@ public:
 
     std::size_t sample_count() const { return time_.size(); }
     const std::vector<double>& time() const { return time_; }
+
+    /// Step-control counters of the run that produced this result.
+    const Step_stats& steps() const { return steps_; }
+    void set_steps(const Step_stats& s) { steps_ = s; }
 
     /// Waveform of a probed node (by name used at probe registration).
     util::Piecewise_linear waveform(const std::string& name) const;
@@ -95,6 +122,7 @@ private:
     std::vector<std::string> names_;
     std::vector<double> time_;
     std::vector<std::vector<double>> samples_;  ///< per probe
+    Step_stats steps_;
 };
 
 /// Run a transient from the DC operating point.  `probes` are circuit

@@ -30,12 +30,14 @@ Read_result simulate_read(Read_netlist& net, const Read_options& opts,
         topts.nominal_steps = opts.nominal_steps;
         topts.method = opts.method;
         topts.dc = net.dc;
+        apply_sim_accuracy(topts, opts.accuracy);
 
         const std::vector<spice::Node> probes = {
             net.bl_sense, net.blb_sense, net.bl_far, net.blb_far, net.wl,
             net.q, net.qb};
         spice::Transient_result waves =
             spice::run_transient(net.circuit, probes, topts, workspace);
+        result.steps += waves.steps();
 
         const std::string bl_name = net.circuit.node_name(net.bl_sense);
         const std::string blb_name = net.circuit.node_name(net.blb_sense);

@@ -9,11 +9,14 @@
 #include "spice/analysis.h"
 #include "spice/workspace.h"
 #include "sram/netlist_builder.h"
+#include "sram/sim_accuracy.h"
 
 namespace mpsram::sram {
 
 struct Read_options {
-    /// Transient resolution (steps across the whole window).
+    /// Transient resolution (steps across the whole window).  Under the
+    /// fast policy this is the nominal reference size of the adaptive
+    /// controller, not the actual solve count.
     int nominal_steps = 1500;
     /// Initial guess of the measurement window after word-line mid [s];
     /// grows with the array automatically and doubles on a miss.
@@ -24,6 +27,9 @@ struct Read_options {
     int max_retries = 3;
     spice::Integration_method method =
         spice::Integration_method::trapezoidal;
+    /// Integration engine (see sim_accuracy.h): calibrated adaptive-LTE
+    /// stepping by default, fixed-step reference when pinned.
+    Sim_accuracy accuracy = default_sim_accuracy();
 };
 
 struct Read_result {
@@ -32,6 +38,9 @@ struct Read_result {
     bool crossed = false;
     double bl_final = 0.0;  ///< sense-node BL voltage at window end [V]
     double blb_final = 0.0;
+    /// Step-control counters summed over the window-doubling attempts of
+    /// this measurement (adaptive-vs-fixed cost observable).
+    spice::Step_stats steps;
 };
 
 /// Simulate the read and measure td.  The netlist is reusable: capacitor

@@ -1,0 +1,44 @@
+#include "sram/sim_accuracy.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/contracts.h"
+
+namespace mpsram::sram {
+
+Sim_accuracy default_sim_accuracy()
+{
+    static const Sim_accuracy value = [] {
+        const char* env = std::getenv("MPSRAM_SIM_ACCURACY");
+        if (env == nullptr || std::strcmp(env, "fast") == 0) {
+            return Sim_accuracy::fast;
+        }
+        // A typo must not silently run the wrong engine: someone pinning
+        // the oracle for a validation run needs the pin to fail loudly.
+        util::expects(std::strcmp(env, "reference") == 0,
+                      "MPSRAM_SIM_ACCURACY must be 'reference' or 'fast'");
+        return Sim_accuracy::reference;
+    }();
+    return value;
+}
+
+void apply_sim_accuracy(spice::Transient_options& topts,
+                        Sim_accuracy accuracy)
+{
+    if (accuracy == Sim_accuracy::reference) {
+        topts.adaptive = false;
+        return;
+    }
+    topts.adaptive = true;
+    topts.lte_rel = fast_lte_rel;
+    topts.lte_abs = fast_lte_abs;
+    topts.lte_max_growth = fast_lte_max_growth;
+}
+
+const char* to_string(Sim_accuracy accuracy)
+{
+    return accuracy == Sim_accuracy::reference ? "reference" : "fast";
+}
+
+} // namespace mpsram::sram

@@ -160,16 +160,16 @@ Write_netlist build_write_netlist(const tech::Technology& tech,
     return net;
 }
 
-Write_result simulate_write(Write_netlist& net, int nominal_steps,
-                            double window)
+Write_result simulate_write(Write_netlist& net, const Write_options& opts)
 {
-    util::expects(nominal_steps > 0, "steps must be positive");
-    util::expects(window > 0.0, "window must be positive");
+    util::expects(opts.nominal_steps > 0, "steps must be positive");
+    util::expects(opts.window > 0.0, "window must be positive");
 
     spice::Transient_options topts;
-    topts.tstop = net.timing.wl_mid() + window;
-    topts.nominal_steps = nominal_steps;
+    topts.tstop = net.timing.wl_mid() + opts.window;
+    topts.nominal_steps = opts.nominal_steps;
     topts.dc = net.dc;
+    apply_sim_accuracy(topts, opts.accuracy);
 
     const std::vector<spice::Node> probes = {net.q, net.qb, net.bl,
                                              net.blb};
@@ -177,6 +177,7 @@ Write_result simulate_write(Write_netlist& net, int nominal_steps,
         spice::run_transient(net.circuit, probes, topts);
 
     Write_result r;
+    r.steps = waves.steps();
     const std::string q_name = net.circuit.node_name(net.q);
     r.q_final = waves.final_value(q_name);
     r.qb_final = waves.final_value(net.circuit.node_name(net.qb));

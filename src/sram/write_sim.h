@@ -11,6 +11,7 @@
 #define MPSRAM_SRAM_WRITE_SIM_H
 
 #include "sram/netlist_builder.h"
+#include "sram/sim_accuracy.h"
 
 namespace mpsram::sram {
 
@@ -47,16 +48,27 @@ Write_netlist build_write_netlist(const tech::Technology& tech,
                                   const Write_timing& timing = Write_timing{},
                                   const Netlist_options& nopts = Netlist_options{});
 
+struct Write_options {
+    /// Transient resolution (nominal reference size under the fast policy).
+    int nominal_steps = 1500;
+    /// Measurement window after the drive edge [s].
+    double window = 400e-12;
+    /// Integration engine (see sim_accuracy.h), same policy as the read
+    /// path: calibrated adaptive-LTE by default, fixed-step when pinned.
+    Sim_accuracy accuracy = default_sim_accuracy();
+};
+
 struct Write_result {
     double tw = -1.0;      ///< [s] word-line mid to q = vdd/2; <0 if no flip
     bool flipped = false;
     double q_final = 0.0;
     double qb_final = 0.0;
+    spice::Step_stats steps;  ///< step-control counters of the run
 };
 
 /// Simulate the write and measure tw.
-Write_result simulate_write(Write_netlist& net, int nominal_steps = 1500,
-                            double window = 400e-12);
+Write_result simulate_write(Write_netlist& net,
+                            const Write_options& opts = Write_options{});
 
 } // namespace mpsram::sram
 

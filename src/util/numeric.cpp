@@ -47,11 +47,23 @@ double Piecewise_linear::at(double x) const
 
 double Piecewise_linear::first_crossing(double level, double from) const
 {
+    if (xs_.size() == 1) {
+        return (ys_[0] == level && xs_[0] >= from) ? xs_[0] : -1.0;
+    }
     for (std::size_t i = 1; i < xs_.size(); ++i) {
         if (xs_[i] < from) continue;
         const double y0 = ys_[i - 1] - level;
         const double y1 = ys_[i] - level;
-        if (y0 == 0.0 && xs_[i - 1] >= from) return xs_[i - 1];
+        if (y0 == 0.0) {
+            if (xs_[i - 1] >= from) return xs_[i - 1];
+            // Segment starts exactly at the level but before `from`.  A
+            // flat-at-level segment is at the level everywhere, so the
+            // first qualifying point is `from` itself; a non-flat segment
+            // leaves the level immediately and cannot cross again before
+            // xs_[i] (linear), so fall through to the next segment.
+            if (y1 == 0.0) return from;
+            continue;
+        }
         if ((y0 < 0.0 && y1 >= 0.0) || (y0 > 0.0 && y1 <= 0.0)) {
             // Interpolate the crossing inside this segment.
             const double t = y0 / (y0 - y1);
@@ -156,11 +168,16 @@ double normal_quantile(double p)
             ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
     }
 
-    // One Newton refinement against the exact CDF.
-    const double e = normal_cdf(z) - p;
+    // One Newton refinement against the exact CDF.  In the extreme tails
+    // (|z| beyond ~38) the pdf underflows to 0 and the correction would be
+    // NaN/Inf; the rational approximation is already the best available
+    // there, so skip the refinement when the pdf underflows.
     const double pdf =
         std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.14159265358979323846);
-    z -= e / pdf;
+    if (pdf > 0.0) {
+        const double e = normal_cdf(z) - p;
+        z -= e / pdf;
+    }
     return z;
 }
 

@@ -29,8 +29,10 @@ public:
     double at(double x) const;
 
     /// First x >= from where y crosses `level` (any direction), linearly
-    /// interpolated inside the bracketing segment.  Returns negative if the
-    /// waveform never crosses.
+    /// interpolated inside the bracketing segment.  A sample sitting exactly
+    /// at the level counts as a crossing; a flat-at-level segment spanning
+    /// `from` reports `from` itself.  Returns negative if the waveform never
+    /// crosses.
     double first_crossing(double level, double from = 0.0) const;
 
 private:
@@ -53,7 +55,10 @@ double rel_diff(double a, double b, double floor = 1e-30);
 double normal_cdf(double z);
 
 /// Inverse standard normal CDF (Acklam's rational approximation, refined
-/// with one Newton step; |error| < 1e-13 over (0, 1)).
+/// with one Newton step; |error| < 1e-13 where the refinement applies).
+/// In the extreme tails (|z| beyond ~38, e.g. p ~ 1e-300) the normal pdf
+/// underflows and the Newton step is skipped, leaving the ~1e-9-relative
+/// rational approximation.
 double normal_quantile(double p);
 
 } // namespace mpsram::util

@@ -147,6 +147,72 @@ TEST(Adaptive, ImprovesChargeConservationOnStiffHandoff)
     EXPECT_LE(err_adaptive, err_fixed + 1e-18);
 }
 
+TEST(Adaptive, StepStatsCountAcceptsAndRejects)
+{
+    Rc_fixture f;
+    Transient_options opts;
+    opts.tstop = 5e-9;
+    opts.nominal_steps = 100;
+    opts.adaptive = true;
+    opts.lte_rel = 1e-5;  // tight: force LTE rejections
+    opts.lte_abs = 1e-6;
+    const auto res = run_transient(f.circuit, {f.out}, opts);
+
+    const Step_stats& s = res.steps();
+    // Every recorded sample after t=0 is one accepted step.
+    EXPECT_EQ(static_cast<std::size_t>(s.accepted) + 1, res.sample_count());
+    // The tight tolerance must actually reject steps, and an RC circuit
+    // never fails Newton (it is linear).
+    EXPECT_GT(s.lte_rejected, 0);
+    EXPECT_EQ(s.newton_rejected, 0);
+    EXPECT_EQ(s.total_attempts(),
+              s.accepted + s.lte_rejected + s.newton_rejected);
+}
+
+TEST(Adaptive, FixedModeStatsMatchNominalGrid)
+{
+    // Fixed stepping on a smooth circuit: no rejections, and the accepted
+    // count is the nominal grid plus the extra breakpoint landings.
+    Rc_fixture f;
+    Transient_options opts;
+    opts.tstop = 1e-9;
+    opts.nominal_steps = 100;
+    const auto res = run_transient(f.circuit, {f.out}, opts);
+    EXPECT_EQ(res.steps().lte_rejected, 0);
+    EXPECT_EQ(res.steps().newton_rejected, 0);
+    EXPECT_GE(res.steps().accepted, opts.nominal_steps);
+    EXPECT_LE(res.steps().accepted, opts.nominal_steps + 4);
+}
+
+TEST(Adaptive, LteRejectionDoesNotRestartTheController)
+{
+    // Regression for the corner/LTE conflation: an LTE-rejected step used
+    // to be treated like a waveform corner, which forced a backward-Euler
+    // step, a dt_nominal/100 restart, and a predictor-history reset after
+    // every rejection.  The reset skips the next step's LTE check and the
+    // controller then regrows blindly (2x per step), so it overshoots the
+    // tolerance again and again — a rejection cascade.  With the fix a
+    // rejection just halves the step and the controller converges onto the
+    // error target: on this smooth RC problem it rejects a handful of
+    // times (6 when this was calibrated), where the conflating controller
+    // rejected ~4x more (23).
+    Rc_fixture f;
+    Transient_options opts;
+    opts.tstop = 10e-9;
+    opts.nominal_steps = 200;
+    opts.adaptive = true;
+    opts.lte_rel = 1e-5;
+    opts.lte_abs = 1e-6;
+    const auto res = run_transient(f.circuit, {f.out}, opts);
+
+    EXPECT_GT(res.steps().lte_rejected, 0);
+    EXPECT_LE(res.steps().lte_rejected, 12);
+    // A linear circuit never fails Newton, so nothing here may take the
+    // true corner path.
+    EXPECT_EQ(res.steps().newton_rejected, 0);
+    EXPECT_LT(max_rc_error(res, 1e-9), 1e-3);
+}
+
 TEST(Adaptive, MatchesFixedResultOnSmoothProblem)
 {
     // Same physical answer from both stepping modes.

@@ -117,13 +117,44 @@ TEST(WriteSim, WorstCaseBitlineVariabilitySlowsTheWrite)
     EXPECT_GT(tw_worst, tw_nom);
 }
 
+TEST(WriteSim, AdaptivePolicyAgreesWithReference)
+{
+    Fixture f(8);
+    sram::Write_netlist ref_net =
+        sram::build_write_netlist(f.t, f.cell, f.wires, f.cfg);
+    sram::Write_options ref_opts;
+    ref_opts.accuracy = sram::Sim_accuracy::reference;
+    const auto ref = sram::simulate_write(ref_net, ref_opts);
+
+    sram::Write_netlist fast_net =
+        sram::build_write_netlist(f.t, f.cell, f.wires, f.cfg);
+    sram::Write_options fast_opts;
+    fast_opts.accuracy = sram::Sim_accuracy::fast;
+    const auto fast = sram::simulate_write(fast_net, fast_opts);
+
+    ASSERT_TRUE(ref.flipped);
+    ASSERT_TRUE(fast.flipped);
+    EXPECT_NEAR(fast.tw, ref.tw, 0.005 * ref.tw);
+    EXPECT_NEAR(fast.q_final, ref.q_final, 2e-3);
+    EXPECT_NEAR(fast.qb_final, ref.qb_final, 2e-3);
+    // The adaptive engine must be meaningfully cheaper even on this small
+    // column (the write waveform settles early in the window).
+    EXPECT_LT(fast.steps.total_attempts(), ref.steps.total_attempts());
+}
+
 TEST(WriteSim, ValidatesInputs)
 {
     Fixture f(4);
     sram::Write_netlist net =
         sram::build_write_netlist(f.t, f.cell, f.wires, f.cfg);
-    EXPECT_THROW(sram::simulate_write(net, 0), util::Precondition_error);
-    EXPECT_THROW(sram::simulate_write(net, 100, -1.0),
+    sram::Write_options no_steps;
+    no_steps.nominal_steps = 0;
+    EXPECT_THROW(sram::simulate_write(net, no_steps),
+                 util::Precondition_error);
+    sram::Write_options bad_window;
+    bad_window.nominal_steps = 100;
+    bad_window.window = -1.0;
+    EXPECT_THROW(sram::simulate_write(net, bad_window),
                  util::Precondition_error);
 }
 

@@ -73,6 +73,39 @@ TEST(PiecewiseLinear, FirstCrossingMissReturnsNegative)
     EXPECT_LT(w.first_crossing(0.5), 0.0);
 }
 
+TEST(PiecewiseLinear, FirstCrossingFlatAtLevelSpanningFrom)
+{
+    // Regression: the segment [1, 2] starts exactly at the level with its
+    // start before `from` and stays flat at the level.  The old code
+    // skipped it entirely (the y0 == 0 early-return was gated on
+    // xs_[i-1] >= from and the sign-change test excluded y0 == 0) and
+    // returned -1; the waveform is at the level at `from` itself.
+    const Piecewise_linear w({0.0, 1.0, 2.0}, {0.0, 0.5, 0.5});
+    EXPECT_DOUBLE_EQ(w.first_crossing(0.5, 1.5), 1.5);
+    // Start of the flat run at-or-after `from` keeps reporting the sample.
+    EXPECT_DOUBLE_EQ(w.first_crossing(0.5, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(w.first_crossing(0.5, 0.5), 1.0);
+}
+
+TEST(PiecewiseLinear, FirstCrossingLeavesLevelBeforeFrom)
+{
+    // Touches the level only at x=0, before `from`, then leaves: no
+    // crossing to report.
+    const Piecewise_linear w({0.0, 1.0, 2.0}, {0.5, 1.0, 2.0});
+    EXPECT_LT(w.first_crossing(0.5, 0.25), 0.0);
+    // ... but the touch itself counts when `from` is at or before it.
+    EXPECT_DOUBLE_EQ(w.first_crossing(0.5, 0.0), 0.0);
+}
+
+TEST(PiecewiseLinear, FirstCrossingSingleSample)
+{
+    const Piecewise_linear at_level({1.0}, {0.5});
+    EXPECT_DOUBLE_EQ(at_level.first_crossing(0.5), 1.0);
+    EXPECT_LT(at_level.first_crossing(0.5, 2.0), 0.0);
+    const Piecewise_linear off_level({1.0}, {0.4});
+    EXPECT_LT(off_level.first_crossing(0.5), 0.0);
+}
+
 TEST(Polyval, EvaluatesHornerForm)
 {
     // 2 + 3x + 4x^2 at x=2 -> 2 + 6 + 16 = 24
@@ -108,6 +141,44 @@ TEST(RelDiff, BasicProperties)
     EXPECT_DOUBLE_EQ(rel_diff(0.0, 0.0), 0.0);
     // Symmetric.
     EXPECT_DOUBLE_EQ(rel_diff(2.0, 3.0), rel_diff(3.0, 2.0));
+}
+
+TEST(NormalQuantile, CentralAndModerateTailsRoundTrip)
+{
+    using mpsram::util::normal_cdf;
+    using mpsram::util::normal_quantile;
+    for (const double p : {0.01, 0.1, 0.5, 0.9, 0.99, 1e-6, 1.0 - 1e-6}) {
+        EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12 + 1e-9 * p);
+    }
+}
+
+TEST(NormalQuantile, ExtremeTailsStayFinite)
+{
+    using mpsram::util::normal_quantile;
+    // Regression: at p ~ 1e-300 the z estimate sits near -37 where the
+    // normal pdf underflows to 0; the Newton refinement used to divide by
+    // it and return NaN/Inf.  The guarded version keeps the rational
+    // approximation.
+    const double z_low = normal_quantile(1e-300);
+    ASSERT_TRUE(std::isfinite(z_low));
+    EXPECT_LT(z_low, -36.0);
+    EXPECT_GT(z_low, -38.5);
+
+    // Near 1 the refinement still applies (pdf ~ 6e-16 at z ~ 8.2) and
+    // must stay finite and monotone with the tail.
+    const double z_high = normal_quantile(1.0 - 1e-16);
+    ASSERT_TRUE(std::isfinite(z_high));
+    EXPECT_GT(z_high, 7.5);
+    EXPECT_LT(z_high, 8.7);
+
+    // Symmetric spot checks deep in both tails.
+    for (const double p : {1e-200, 1e-100, 1e-50}) {
+        const double zl = normal_quantile(p);
+        const double zh = normal_quantile(1.0 - 1e-16);
+        ASSERT_TRUE(std::isfinite(zl));
+        ASSERT_TRUE(std::isfinite(zh));
+        EXPECT_LT(zl, -14.0);
+    }
 }
 
 class CrossingConsistencyTest : public ::testing::TestWithParam<double> {};
