@@ -153,29 +153,34 @@ double Variability_study::simulate_td_on(
     return r.td;
 }
 
-double Variability_study::nominal_td_spice(int word_lines,
-                                           sram::Read_sim_context* sim) const
+sram::Bitline_electrical Variability_study::nominal_wires(
+    int word_lines) const
 {
-    {
-        const std::lock_guard<std::mutex> lock(td_cache_mutex_);
-        const auto it = td_nominal_cache_.find(word_lines);
-        if (it != td_nominal_cache_.end()) return it->second;
-    }
-
     sram::Array_config cfg = opts_.array;
     cfg.word_lines = word_lines;
     // Nominal geometry needs no patterning engine: use EUV decomposition
     // (single mask) with a zero sample == drawn layout.
     const geom::Wire_array nominal =
         decomposed_array(tech::Patterning_option::euv, word_lines);
-    const sram::Bitline_electrical wires =
-        sram::roll_up_nominal(*extractor_, nominal, tech_, cfg);
+    return sram::roll_up_nominal(*extractor_, nominal, tech_, cfg);
+}
+
+double Variability_study::nominal_td_spice(int word_lines,
+                                           sram::Read_sim_context* sim) const
+{
+    {
+        const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+        const auto it = td_nominal_cache_.find(word_lines);
+        if (it != td_nominal_cache_.end()) return it->second;
+    }
+
+    const sram::Bitline_electrical wires = nominal_wires(word_lines);
     // The simulation runs outside the lock: two threads racing on the same
     // word_lines redundantly compute the same deterministic value, which
     // beats serializing every caller behind a SPICE transient.
     const double td = sim ? simulate_td_on(wires, word_lines, *sim)
                           : simulate_td(wires, word_lines);
-    const std::lock_guard<std::mutex> lock(td_cache_mutex_);
+    const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
     td_nominal_cache_.emplace(word_lines, td);
     return td;
 }
@@ -207,14 +212,14 @@ Variability_study::Read_row Variability_study::worst_case_read_on(
     return row;
 }
 
+template <class Context>
 void Variability_study::run_with_sim_contexts(
     std::size_t count, const Runner_options& runner,
-    const std::function<void(std::size_t, sram::Read_sim_context&)>& job)
-    const
+    const std::function<void(std::size_t, Context&)>& job) const
 {
     // One simulation context per worker: the netlist and solver workspace
     // are rebuilt only when a worker moves to a different array length.
-    std::vector<sram::Read_sim_context> sims(
+    std::vector<Context> sims(
         static_cast<std::size_t>(runner.resolved_threads()));
 
     Run_plan plan;
@@ -229,7 +234,7 @@ std::vector<Variability_study::Read_row> Variability_study::read_sweep(
     const Runner_options& runner) const
 {
     std::vector<Read_row> rows(word_lines.size());
-    run_with_sim_contexts(
+    run_with_sim_contexts<sram::Read_sim_context>(
         word_lines.size(), runner,
         [&](std::size_t i, sram::Read_sim_context& sim) {
             rows[i] = worst_case_read_on(option, word_lines[i], -1.0, sim);
@@ -239,13 +244,7 @@ std::vector<Variability_study::Read_row> Variability_study::read_sweep(
 
 analytic::Td_params Variability_study::formula_params(int word_lines) const
 {
-    sram::Array_config cfg = opts_.array;
-    cfg.word_lines = word_lines;
-    const geom::Wire_array nominal =
-        decomposed_array(tech::Patterning_option::euv, word_lines);
-    const sram::Bitline_electrical wires =
-        sram::roll_up_nominal(*extractor_, nominal, tech_, cfg);
-    return analytic::derive_params(tech_, cell_, wires);
+    return analytic::derive_params(tech_, cell_, nominal_wires(word_lines));
 }
 
 Variability_study::Nominal_td_row Variability_study::nominal_td(
@@ -263,7 +262,7 @@ Variability_study::nominal_td_batch(std::span<const int> word_lines,
                                     const Runner_options& runner) const
 {
     std::vector<Nominal_td_row> rows(word_lines.size());
-    run_with_sim_contexts(
+    run_with_sim_contexts<sram::Read_sim_context>(
         word_lines.size(), runner,
         [&](std::size_t i, sram::Read_sim_context& sim) {
             Nominal_td_row row;
@@ -306,7 +305,7 @@ Variability_study::worst_case_tdp_batch(std::span<const Tdp_case> cases,
                                         const Runner_options& runner) const
 {
     std::vector<Tdp_row> rows(cases.size());
-    run_with_sim_contexts(
+    run_with_sim_contexts<sram::Read_sim_context>(
         cases.size(), runner,
         [&](std::size_t i, sram::Read_sim_context& sim) {
             rows[i] = worst_case_tdp_on(cases[i].option,
@@ -345,6 +344,158 @@ std::vector<mc::Tdp_distribution> Variability_study::mc_tdp_batch(
     for (const Mc_case& c : cases) {
         results.push_back(
             mc_tdp(c.option, c.word_lines, mc_opts, c.ol_3sigma));
+    }
+    return results;
+}
+
+// --- write extension ---------------------------------------------------------
+
+double Variability_study::simulate_tw(const sram::Bitline_electrical& wires,
+                                      int word_lines) const
+{
+    sram::Write_sim_context sim;
+    return simulate_tw_on(wires, word_lines, sim);
+}
+
+double Variability_study::simulate_tw_on(
+    const sram::Bitline_electrical& wires, int word_lines,
+    sram::Write_sim_context& sim) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+    const sram::Write_result r =
+        sim.simulate(tech_, cell_, wires, cfg, opts_.write_timing,
+                     opts_.netlist, opts_.write);
+    util::ensures(r.flipped, "write simulation never flipped the cell");
+    return r.tw;
+}
+
+double Variability_study::nominal_tw_spice(int word_lines,
+                                           sram::Write_sim_context* sim) const
+{
+    {
+        const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+        const auto it = tw_nominal_cache_.find(word_lines);
+        if (it != tw_nominal_cache_.end()) return it->second;
+    }
+
+    const sram::Bitline_electrical wires = nominal_wires(word_lines);
+    // Value-racy-but-deterministic, like the td memo: racing threads
+    // redundantly compute one value instead of serializing behind a
+    // transient.
+    const double tw = sim ? simulate_tw_on(wires, word_lines, *sim)
+                          : simulate_tw(wires, word_lines);
+    const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+    tw_nominal_cache_.emplace(word_lines, tw);
+    return tw;
+}
+
+double Variability_study::nominal_tw(int word_lines) const
+{
+    return nominal_tw_spice(word_lines);
+}
+
+std::vector<double> Variability_study::nominal_tw_batch(
+    std::span<const int> word_lines, const Runner_options& runner) const
+{
+    std::vector<double> rows(word_lines.size());
+    run_with_sim_contexts<sram::Write_sim_context>(
+        word_lines.size(), runner,
+        [&](std::size_t i, sram::Write_sim_context& sim) {
+            rows[i] = nominal_tw_spice(word_lines[i], &sim);
+        });
+    return rows;
+}
+
+Variability_study::Write_row Variability_study::worst_case_tw(
+    tech::Patterning_option option, int word_lines) const
+{
+    sram::Write_sim_context sim;
+    return worst_case_tw_on(option, word_lines, -1.0, sim);
+}
+
+Variability_study::Write_row Variability_study::worst_case_tw_on(
+    tech::Patterning_option option, int word_lines, double ol_3sigma,
+    sram::Write_sim_context& sim) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+
+    // Same memoized enumeration as the read paths: the worst write corner
+    // is the RC-maximizing corner of the column the driver must discharge.
+    const auto wc = worst_case_cached(option, word_lines, ol_3sigma, {});
+    const geom::Wire_array nominal =
+        decomposed_array(option, word_lines, ol_3sigma);
+    const sram::Bitline_electrical wires = sram::roll_up_bitline(
+        *extractor_, nominal, wc->realized, tech_, cfg);
+
+    Write_row row;
+    row.tw_nominal = nominal_tw_spice(word_lines, &sim);
+    row.tw_varied = simulate_tw_on(wires, word_lines, sim);
+    row.twp_percent = (row.tw_varied / row.tw_nominal - 1.0) * 100.0;
+    return row;
+}
+
+std::vector<Variability_study::Write_row> Variability_study::write_sweep(
+    tech::Patterning_option option, std::span<const int> word_lines,
+    const Runner_options& runner) const
+{
+    std::vector<Write_row> rows(word_lines.size());
+    run_with_sim_contexts<sram::Write_sim_context>(
+        word_lines.size(), runner,
+        [&](std::size_t i, sram::Write_sim_context& sim) {
+            rows[i] = worst_case_tw_on(option, word_lines[i], -1.0, sim);
+        });
+    return rows;
+}
+
+mc::Tdp_distribution Variability_study::mc_twp(
+    tech::Patterning_option option, int word_lines,
+    const mc::Distribution_options& mc_opts, double ol_3sigma) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+    const tech::Technology t = tech_with_ol(ol_3sigma);
+    const auto engine = pattern::make_engine(option, t);
+    const geom::Wire_array nominal =
+        engine->decompose(sram::build_metal1_array(t, cfg));
+    const sram::Victim_wires victims = sram::find_victim_wires(nominal, cfg);
+
+    const double tw_nom = nominal_tw_spice(word_lines);
+
+    // SPICE-in-the-loop metric: roll up each sample's realized geometry
+    // and simulate its write on the per-worker context.  A non-flipping
+    // sample yields tw = NaN, which flows into a NaN twp instead of
+    // aborting the sweep.
+    std::vector<sram::Write_sim_context> sims(
+        static_cast<std::size_t>(mc_opts.runner.resolved_threads()));
+    const auto metric = [&](const geom::Wire_array& realized,
+                            const extract::Rc_variation&,
+                            const core::Run_context& ctx) {
+        const sram::Bitline_electrical wires = sram::roll_up_bitline(
+            *extractor_, nominal, realized, tech_, cfg);
+        const sram::Write_result r =
+            sims[static_cast<std::size_t>(ctx.worker)].simulate(
+                tech_, cell_, wires, cfg, opts_.write_timing, opts_.netlist,
+                opts_.write);
+        return (r.tw / tw_nom - 1.0) * 100.0;
+    };
+    return mc::metric_distribution(*engine, *extractor_, nominal,
+                                   victims.bl, metric, mc_opts);
+}
+
+std::vector<mc::Tdp_distribution> Variability_study::mc_twp_batch(
+    std::span<const Mc_case> cases,
+    const mc::Distribution_options& mc_opts) const
+{
+    // Same shape as mc_tdp_batch: parallelism lives inside each case's
+    // sample loop, so every case's distribution is independent of the
+    // sweep composition.
+    std::vector<mc::Tdp_distribution> results;
+    results.reserve(cases.size());
+    for (const Mc_case& c : cases) {
+        results.push_back(
+            mc_twp(c.option, c.word_lines, mc_opts, c.ol_3sigma));
     }
     return results;
 }

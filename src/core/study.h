@@ -10,6 +10,13 @@
 //   nominal_td()        -> Table II rows
 //   worst_case_tdp()    -> Table III rows
 //   mc_tdp()            -> Fig. 5 histograms / Table IV sigmas
+//
+// plus the write-operation extension on the same column substrate (the
+// figure of merit is tw, word-line mid to storage flip):
+//
+//   worst_case_tw() / write_sweep()  -> write analogue of Fig. 4
+//   nominal_tw() / nominal_tw_batch()
+//   mc_twp()/ mc_twp_batch()         -> SPICE-in-the-loop twp distribution
 #ifndef MPSRAM_CORE_STUDY_H
 #define MPSRAM_CORE_STUDY_H
 
@@ -30,6 +37,7 @@
 #include "mc/distribution.h"
 #include "mc/worst_case.h"
 #include "sram/read_sim.h"
+#include "sram/write_sim.h"
 #include "tech/technology.h"
 
 namespace mpsram::core {
@@ -48,6 +56,10 @@ struct Study_options {
     /// bitwise identical at any thread count.
     sram::Read_options read;
     sram::Netlist_options netlist;
+    sram::Write_timing write_timing;
+    /// Write-measurement options; `write.accuracy` governs the write-path
+    /// transients exactly like `read.accuracy` does the read's.
+    sram::Write_options write;
 };
 
 class Variability_study {
@@ -160,6 +172,62 @@ public:
         std::span<const Mc_case> cases,
         const mc::Distribution_options& mc_opts) const;
 
+    // --- write extension (beyond the paper) -----------------------------------
+    /// The write analogue of a Fig. 4 point: tw nominal vs tw at the
+    /// worst-case corner of the option.  The corner enumeration is shared
+    /// with the read paths through the worst-case memo — worst_case_tw and
+    /// worst_case_tdp on the same (option, word_lines, ol_3sigma) key
+    /// trigger exactly one search between them.
+    struct Write_row {
+        double tw_nominal = 0.0;  ///< [s] SPICE, no variability
+        double tw_varied = 0.0;   ///< [s] SPICE at the worst corner
+        double twp_percent = 0.0;
+    };
+    Write_row worst_case_tw(tech::Patterning_option option,
+                            int word_lines) const;
+
+    /// Write sweep in one call: worst_case_tw for every array length, one
+    /// job per word-line count on `runner` with per-worker
+    /// Write_sim_contexts (netlist + solver workspace).  Results are
+    /// indexed like `word_lines` and bitwise identical at any thread
+    /// count.
+    std::vector<Write_row> write_sweep(tech::Patterning_option option,
+                                       std::span<const int> word_lines,
+                                       const Runner_options& runner = {}) const;
+
+    /// Nominal write time [s] (memoized like nominal_td).
+    double nominal_tw(int word_lines) const;
+
+    /// One nominal write transient per word-line count, fanned out on
+    /// `runner` with per-worker contexts.  Bitwise identical at any thread
+    /// count.
+    std::vector<double> nominal_tw_batch(std::span<const int> word_lines,
+                                         const Runner_options& runner = {})
+        const;
+
+    /// Monte-Carlo twp distribution: the generalized sampler with a
+    /// SPICE-in-the-loop metric — every sample's realized geometry is
+    /// rolled up and its write simulated on the per-worker context, so
+    /// sample counts should be orders of magnitude below the read MC's
+    /// (each sample costs a transient, not a formula evaluation).  A
+    /// sample whose write fails to flip records NaN (NaN-safe summary)
+    /// instead of aborting the sweep.  `dist.tdp` holds twp [%].
+    mc::Tdp_distribution mc_twp(tech::Patterning_option option,
+                                int word_lines,
+                                const mc::Distribution_options& mc_opts,
+                                double ol_3sigma = -1.0) const;
+
+    /// mc_twp for every case of a sweep; same execution contract as
+    /// mc_tdp_batch (per-case sample loops on `mc_opts.runner`).
+    std::vector<mc::Tdp_distribution> mc_twp_batch(
+        std::span<const Mc_case> cases,
+        const mc::Distribution_options& mc_opts) const;
+
+    /// SPICE tw with explicit wire electricals (write analogue of
+    /// simulate_td; throws if the write never flips the cell).
+    double simulate_tw(const sram::Bitline_electrical& wires,
+                       int word_lines) const;
+
     // --- building blocks (exposed for examples, benches and tests) -----------
     /// Nominal metal1 array, decomposed for the option.
     geom::Wire_array decomposed_array(tech::Patterning_option option,
@@ -197,6 +265,8 @@ public:
 
 private:
     tech::Technology tech_with_ol(double ol_3sigma) const;
+    /// Extracted per-cell electricals of the nominal (drawn) array.
+    sram::Bitline_electrical nominal_wires(int word_lines) const;
     double nominal_td_spice(int word_lines,
                             sram::Read_sim_context* sim = nullptr) const;
     double simulate_td_on(const sram::Bitline_electrical& wires,
@@ -207,6 +277,13 @@ private:
     Tdp_row worst_case_tdp_on(tech::Patterning_option option, int word_lines,
                               double ol_3sigma,
                               sram::Read_sim_context& sim) const;
+    double nominal_tw_spice(int word_lines,
+                            sram::Write_sim_context* sim = nullptr) const;
+    double simulate_tw_on(const sram::Bitline_electrical& wires,
+                          int word_lines, sram::Write_sim_context& sim) const;
+    Write_row worst_case_tw_on(tech::Patterning_option option,
+                               int word_lines, double ol_3sigma,
+                               sram::Write_sim_context& sim) const;
 
     /// The worst-case memo entry for a key, computing it (exactly once,
     /// promise-backed) on a miss.
@@ -215,21 +292,25 @@ private:
         const Runner_options& runner) const;
 
     /// Shared skeleton of the batch APIs: `count` jobs on a Run_plan,
-    /// each handed the Read_sim_context of the worker running it.
+    /// each handed the per-worker simulation context (read or write) of
+    /// the worker running it.
+    template <class Context>
     void run_with_sim_contexts(
         std::size_t count, const Runner_options& runner,
-        const std::function<void(std::size_t, sram::Read_sim_context&)>& job)
-        const;
+        const std::function<void(std::size_t, Context&)>& job) const;
 
     tech::Technology tech_;
     Study_options opts_;
     std::unique_ptr<extract::Extractor> extractor_;
     sram::Cell_electrical cell_;
 
-    // The nominal-td memo is shared by every const method; batch APIs hit
-    // it from pool workers, so all access goes through td_cache_mutex_.
-    mutable std::mutex td_cache_mutex_;
+    // The nominal-metric memos (one per metric: td for the read path, tw
+    // for the write path) are shared by every const method; batch APIs hit
+    // them from pool workers, so all access goes through
+    // nominal_cache_mutex_.
+    mutable std::mutex nominal_cache_mutex_;
     mutable std::map<int, double> td_nominal_cache_;
+    mutable std::map<int, double> tw_nominal_cache_;
 
     // Worst-case memo: option/word_lines/ol_3sigma (negative budgets
     // normalized to -1) -> shared future of the search result.  The first

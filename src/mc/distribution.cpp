@@ -1,6 +1,8 @@
 #include "mc/distribution.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "util/contracts.h"
@@ -49,15 +51,16 @@ std::vector<pattern::Process_sample> lhs_samples(
 
 } // namespace
 
-Tdp_distribution tdp_distribution(const pattern::Patterning_engine& engine,
-                                  const extract::Extractor& extractor,
-                                  const geom::Wire_array& nominal,
-                                  std::size_t victim,
-                                  const analytic::Td_params& params, int n,
-                                  const Distribution_options& opts)
+Tdp_distribution metric_distribution(const pattern::Patterning_engine& engine,
+                                     const extract::Extractor& extractor,
+                                     const geom::Wire_array& nominal,
+                                     std::size_t victim,
+                                     const Sample_metric& metric,
+                                     const Distribution_options& opts)
 {
     util::expects(opts.samples > 0, "sample count must be positive");
     util::expects(victim < nominal.size(), "victim index out of range");
+    util::expects(static_cast<bool>(metric), "sample metric must be set");
 
     // Root of this experiment's stream tree: per-sample substreams branch
     // off (base_seed, i), so the loop body is order-independent.
@@ -103,13 +106,41 @@ Tdp_distribution tdp_distribution(const pattern::Patterning_engine& engine,
                 extractor.variation(nominal, realized, victim);
             dist.rvar[i] = v.r_factor;
             dist.cvar[i] = v.c_factor;
-            dist.tdp[i] =
-                analytic::tdp_percent(params, n, v.r_factor, v.c_factor);
+            dist.tdp[i] = metric(realized, v, ctx);
         },
         opts.runner);
 
-    dist.summary = util::summarize(dist.tdp);
+    // A failed sample (NaN metric) must poison the whole summary, not just
+    // the moments: sorting a NaN-containing vector for the quantiles is
+    // undefined and min/max would silently drop the failure, so the NaN
+    // path never reaches util::summarize.
+    const bool any_nan =
+        std::any_of(dist.tdp.begin(), dist.tdp.end(),
+                    [](double x) { return std::isnan(x); });
+    if (any_nan) {
+        constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+        dist.summary = util::Sample_summary{dist.tdp.size(), nan, nan,
+                                            nan,  nan, nan, nan, nan};
+    } else {
+        dist.summary = util::summarize(dist.tdp);
+    }
     return dist;
+}
+
+Tdp_distribution tdp_distribution(const pattern::Patterning_engine& engine,
+                                  const extract::Extractor& extractor,
+                                  const geom::Wire_array& nominal,
+                                  std::size_t victim,
+                                  const analytic::Td_params& params, int n,
+                                  const Distribution_options& opts)
+{
+    return metric_distribution(
+        engine, extractor, nominal, victim,
+        [&](const geom::Wire_array&, const extract::Rc_variation& v,
+            const core::Run_context&) {
+            return analytic::tdp_percent(params, n, v.r_factor, v.c_factor);
+        },
+        opts);
 }
 
 } // namespace mpsram::mc

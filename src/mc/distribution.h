@@ -5,6 +5,7 @@
 #define MPSRAM_MC_DISTRIBUTION_H
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "analytic/td_formula.h"
@@ -39,14 +40,42 @@ struct Distribution_options {
 };
 
 struct Tdp_distribution {
-    std::vector<double> tdp;   ///< [%] per sample
+    /// Metric value per sample.  For the read study this is tdp [%]; the
+    /// generalized sampler records whatever the metric returns (the write
+    /// study records twp), keeping the field name of the original
+    /// workload.
+    std::vector<double> tdp;
     std::vector<double> rvar;  ///< R factor per sample
     std::vector<double> cvar;  ///< C factor per sample
     util::Sample_summary summary;  ///< of tdp
 };
 
-/// Run the Monte-Carlo study for one option at array length n.
-/// `nominal` must be decomposed by the engine.
+/// Per-sample metric of the generalized sampler: maps a realized process
+/// sample (geometry plus the victim's extracted R/C variation) to the
+/// recorded value.  The read path evaluates the analytic tdp formula; the
+/// write path runs a SPICE transient on a per-worker context.  Receives
+/// the run context to key per-worker scratch on Run_context::worker; the
+/// context must never influence the returned value.  May return NaN (a
+/// failed sample poisons the summary instead of aborting the sweep).
+using Sample_metric = std::function<double(
+    const geom::Wire_array& realized, const extract::Rc_variation& v,
+    const core::Run_context& ctx)>;
+
+/// Generalized Monte-Carlo sampler: one metric value per process sample,
+/// sharing the pseudo-random / Latin-hypercube sampling machinery and the
+/// per-worker geometry scratch across every workload.  `nominal` must be
+/// decomposed by the engine.  Sample i draws from the counter-based
+/// substream (seed, i), so the result is bitwise identical at any thread
+/// count.
+Tdp_distribution metric_distribution(const pattern::Patterning_engine& engine,
+                                     const extract::Extractor& extractor,
+                                     const geom::Wire_array& nominal,
+                                     std::size_t victim,
+                                     const Sample_metric& metric,
+                                     const Distribution_options& opts);
+
+/// Run the Monte-Carlo read study for one option at array length n: the
+/// generalized sampler with the analytic tdp formula as the metric.
 Tdp_distribution tdp_distribution(const pattern::Patterning_engine& engine,
                                   const extract::Extractor& extractor,
                                   const geom::Wire_array& nominal,

@@ -8,27 +8,29 @@ Worst_case_result find_worst_case(const pattern::Patterning_engine& engine,
                                   const extract::Extractor& extractor,
                                   const geom::Wire_array& nominal,
                                   std::size_t victim, std::size_t vss,
+                                  const Worst_case_metric& metric,
                                   int levels_per_axis,
                                   const core::Runner_options& runner)
 {
     util::expects(victim < nominal.size() && vss < nominal.size(),
                   "victim/vss indices out of range");
+    util::expects(static_cast<bool>(metric), "corner metric must be set");
 
     // One geometry buffer per worker: corner evaluations on the same
     // worker overwrite it in place instead of allocating a fresh array.
     std::vector<geom::Wire_array> scratch(
         static_cast<std::size_t>(runner.resolved_threads()));
-    const auto metric = [&](const pattern::Process_sample& s,
-                            const core::Run_context& ctx) {
+    const auto corner_metric = [&](const pattern::Process_sample& s,
+                                   const core::Run_context& ctx) {
         geom::Wire_array& realized =
             scratch[static_cast<std::size_t>(ctx.worker)];
         engine.realize_into(nominal, s, realized);
-        return extractor.wire_rc(realized, victim).c_total();
+        return metric(realized, ctx);
     };
 
     const pattern::Corner_search search = pattern::enumerate_corners(
-        engine, pattern::Corner_metric_ctx(metric), 3.0, levels_per_axis,
-        runner);
+        engine, pattern::Corner_metric_ctx(corner_metric), 3.0,
+        levels_per_axis, runner);
 
     Worst_case_result result{search.worst,
                              extract::Rc_variation{},
@@ -41,6 +43,21 @@ Worst_case_result find_worst_case(const pattern::Patterning_engine& engine,
     const double r_vss_real = extractor.wire_rc(result.realized, vss).r;
     result.vss_r_factor = r_vss_real / r_vss_nom;
     return result;
+}
+
+Worst_case_result find_worst_case(const pattern::Patterning_engine& engine,
+                                  const extract::Extractor& extractor,
+                                  const geom::Wire_array& nominal,
+                                  std::size_t victim, std::size_t vss,
+                                  int levels_per_axis,
+                                  const core::Runner_options& runner)
+{
+    return find_worst_case(
+        engine, extractor, nominal, victim, vss,
+        [&](const geom::Wire_array& realized, const core::Run_context&) {
+            return extractor.wire_rc(realized, victim).c_total();
+        },
+        levels_per_axis, runner);
 }
 
 } // namespace mpsram::mc

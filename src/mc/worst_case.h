@@ -1,8 +1,12 @@
 // Worst-case variability search (Section II-B): enumerate the +/-3-sigma
-// corners of a patterning option and report the corner that maximizes the
-// victim bit line's capacitance, with its R/C impact (Table I).
+// corners of a patterning option and report the corner that maximizes a
+// caller-chosen metric of the realized geometry, with its R/C impact
+// (Table I).  The default metric is the victim bit line's extracted
+// capacitance, the paper's criterion.
 #ifndef MPSRAM_MC_WORST_CASE_H
 #define MPSRAM_MC_WORST_CASE_H
+
+#include <functional>
 
 #include "core/runner.h"
 #include "extract/extractor.h"
@@ -19,10 +23,28 @@ struct Worst_case_result {
     geom::Wire_array realized;         ///< geometry at the worst corner
 };
 
-/// Find the Cbl-maximizing corner.  `nominal` must already be decomposed
-/// by the engine; `victim` / `vss` are wire indices in that array.  The
-/// corner evaluations run on `runner`; the result is identical at any
-/// thread count.
+/// Corner metric over the realized geometry.  Receives the runner context
+/// so implementations can key per-worker scratch (extractor caches, SPICE
+/// sim contexts) on Run_context::worker; the context must never influence
+/// the returned value — worker assignment is nondeterministic.  Must be
+/// safe to call concurrently from several threads.
+using Worst_case_metric = std::function<double(
+    const geom::Wire_array& realized, const core::Run_context& ctx)>;
+
+/// Find the metric-maximizing corner.  `nominal` must already be
+/// decomposed by the engine; `victim` / `vss` are wire indices in that
+/// array (they feed the reported R/C and rail factors regardless of the
+/// metric).  The corner evaluations run on `runner`; the result is
+/// identical at any thread count.
+Worst_case_result find_worst_case(const pattern::Patterning_engine& engine,
+                                  const extract::Extractor& extractor,
+                                  const geom::Wire_array& nominal,
+                                  std::size_t victim, std::size_t vss,
+                                  const Worst_case_metric& metric,
+                                  int levels_per_axis = 3,
+                                  const core::Runner_options& runner = {});
+
+/// The paper's criterion: maximize the victim wire's extracted Cbl.
 Worst_case_result find_worst_case(const pattern::Patterning_engine& engine,
                                   const extract::Extractor& extractor,
                                   const geom::Wire_array& nominal,

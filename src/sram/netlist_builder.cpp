@@ -13,6 +13,157 @@ std::string idx_name(const char* base, int i)
     return std::string(base) + std::to_string(i);
 }
 
+void validate_column_inputs(const Array_config& cfg,
+                            const Bitline_electrical& wires,
+                            const Netlist_options& nopts)
+{
+    util::expects(cfg.word_lines > 0, "array needs word lines");
+    util::expects(wires.r_bl_cell > 0.0 && wires.c_bl_cell > 0.0,
+                  "bit-line parasitics must be extracted first");
+    util::expects(nopts.vss_strap_interval >= 0,
+                  "strap interval must be non-negative");
+    util::expects(nopts.vss_rail_sharing >= 1.0,
+                  "rail sharing factor must be >= 1");
+}
+
+/// Handles of the accessed (far-end) cell of a built substrate.
+struct Accessed_cell {
+    spice::Node q = 0;
+    spice::Node qb = 0;
+    spice::Node bl_far = 0;
+    spice::Node blb_far = 0;
+};
+
+/// The column substrate shared by the read and write netlists: n per-cell
+/// wire-ladder segments (handles retained in `ladder`) and n 6T cells,
+/// chained from the near-end heads.  Only the last row's word line is
+/// driven (`wl`); all other pass gates are held off by grounding their
+/// gates.  Every cell is initialized storing 0 on the BL side.
+Accessed_cell build_column_substrate(spice::Circuit& c,
+                                     const Cell_electrical& cell,
+                                     const Bitline_electrical& wires,
+                                     int n, double vdd,
+                                     const Netlist_options& nopts,
+                                     spice::Node bl_head,
+                                     spice::Node blb_head, spice::Node wl,
+                                     spice::Node vdd_n, spice::Dc_options& dc,
+                                     Column_ladder& ladder)
+{
+    Accessed_cell accessed_cell;
+    spice::Node bl_prev = bl_head;
+    spice::Node blb_prev = blb_head;
+    spice::Node vss_prev = spice::ground_node;  // rail tap at the near end
+
+    for (int i = 0; i < n; ++i) {
+        const spice::Node bl_i = c.node(idx_name("bl", i));
+        const spice::Node blb_i = c.node(idx_name("blb", i));
+        const spice::Node vss_i = c.node(idx_name("vss", i));
+        const spice::Node q_i = c.node(idx_name("q", i));
+        const spice::Node qb_i = c.node(idx_name("qb", i));
+
+        // Wire ladder segments (handles retained for wire-value updates).
+        ladder.r_bl.push_back(&c.add_resistor(idx_name("Rbl", i), bl_prev,
+                                              bl_i, wires.r_bl_cell));
+        ladder.r_blb.push_back(&c.add_resistor(idx_name("Rblb", i), blb_prev,
+                                               blb_i, wires.r_blb_cell));
+        ladder.r_vss.push_back(
+            &c.add_resistor(idx_name("Rvss", i), vss_prev, vss_i,
+                            wires.r_vss_cell / nopts.vss_rail_sharing));
+
+        // Optional periodic VSS strap into the vertical power grid.
+        if (nopts.vss_strap_interval > 0 &&
+            (i + 1) % nopts.vss_strap_interval == 0) {
+            c.add_resistor(idx_name("Rstrap", i), vss_i, spice::ground_node,
+                           nopts.vss_strap_resistance);
+        }
+
+        // Wire capacitance (coupling to static rails folded to ground).
+        ladder.c_bl.push_back(&c.add_capacitor(
+            idx_name("Cbl", i), bl_i, spice::ground_node, wires.c_bl_cell));
+        ladder.c_blb.push_back(
+            &c.add_capacitor(idx_name("Cblb", i), blb_i, spice::ground_node,
+                             wires.c_blb_cell));
+        ladder.c_vss.push_back(
+            &c.add_capacitor(idx_name("Cvss", i), vss_i, spice::ground_node,
+                             wires.c_vss_cell));
+
+        // Pass-gate junction load on the bit lines (the per-cell CFE).
+        c.add_capacitor(idx_name("Cfe_bl", i), bl_i, spice::ground_node,
+                        cell.bitline_junction_cap());
+        c.add_capacitor(idx_name("Cfe_blb", i), blb_i, spice::ground_node,
+                        cell.bitline_junction_cap());
+
+        // The 6T cell.
+        const bool accessed = (i == n - 1);
+        const spice::Node wl_i = accessed ? wl : spice::ground_node;
+
+        c.add_mosfet(idx_name("Mpu_q", i), q_i, qb_i, vdd_n, cell.pull_up,
+                     cell.m_pull_up);
+        c.add_mosfet(idx_name("Mpd_q", i), q_i, qb_i, vss_i, cell.pull_down,
+                     cell.m_pull_down);
+        c.add_mosfet(idx_name("Mpu_qb", i), qb_i, q_i, vdd_n, cell.pull_up,
+                     cell.m_pull_up);
+        c.add_mosfet(idx_name("Mpd_qb", i), qb_i, q_i, vss_i, cell.pull_down,
+                     cell.m_pull_down);
+        c.add_mosfet(idx_name("Mpg_bl", i), bl_i, wl_i, q_i, cell.pass_gate,
+                     cell.m_pass_gate);
+        c.add_mosfet(idx_name("Mpg_blb", i), blb_i, wl_i, qb_i,
+                     cell.pass_gate, cell.m_pass_gate);
+
+        // Storage-node capacitance.
+        c.add_capacitor(idx_name("Cq", i), q_i, spice::ground_node,
+                        cell.storage_node_cap());
+        c.add_capacitor(idx_name("Cqb", i), qb_i, spice::ground_node,
+                        cell.storage_node_cap());
+
+        // Latch initialization: every cell stores 0 on the BL side, so the
+        // accessed read discharges BL and the accessed write flips q up.
+        dc.forces.push_back({q_i, 0.0, 1.0});
+        dc.forces.push_back({qb_i, vdd, 1.0});
+        dc.initial_guesses.emplace_back(bl_i, vdd);
+        dc.initial_guesses.emplace_back(blb_i, vdd);
+        dc.initial_guesses.emplace_back(vss_i, 0.0);
+
+        if (accessed) {
+            accessed_cell.q = q_i;
+            accessed_cell.qb = qb_i;
+            accessed_cell.bl_far = bl_i;
+            accessed_cell.blb_far = blb_i;
+        }
+
+        bl_prev = bl_i;
+        blb_prev = blb_i;
+        vss_prev = vss_i;
+    }
+
+    dc.initial_guesses.emplace_back(bl_head, vdd);
+    dc.initial_guesses.emplace_back(blb_head, vdd);
+    return accessed_cell;
+}
+
+void update_column_ladder_wires(Column_ladder& ladder, int word_lines,
+                                const Bitline_electrical& wires,
+                                const Netlist_options& nopts)
+{
+    util::expects(nopts.vss_rail_sharing >= 1.0,
+                  "rail sharing factor must be >= 1");
+    util::expects(wires.r_bl_cell > 0.0 && wires.c_bl_cell > 0.0,
+                  "bit-line parasitics must be extracted first");
+    const auto n = static_cast<std::size_t>(word_lines);
+    util::expects(ladder.r_bl.size() == n && ladder.c_vss.size() == n,
+                  "netlist ladder handles out of sync with word lines");
+
+    for (std::size_t i = 0; i < n; ++i) {
+        ladder.r_bl[i]->set_resistance(wires.r_bl_cell);
+        ladder.r_blb[i]->set_resistance(wires.r_blb_cell);
+        ladder.r_vss[i]->set_resistance(wires.r_vss_cell /
+                                        nopts.vss_rail_sharing);
+        ladder.c_bl[i]->set_capacitance(wires.c_bl_cell);
+        ladder.c_blb[i]->set_capacitance(wires.c_blb_cell);
+        ladder.c_vss[i]->set_capacitance(wires.c_vss_cell);
+    }
+}
+
 } // namespace
 
 Read_netlist build_read_netlist(const tech::Technology& tech,
@@ -22,13 +173,7 @@ Read_netlist build_read_netlist(const tech::Technology& tech,
                                 const Read_timing& timing,
                                 const Netlist_options& nopts)
 {
-    util::expects(nopts.vss_strap_interval >= 0,
-                  "strap interval must be non-negative");
-    util::expects(nopts.vss_rail_sharing >= 1.0,
-                  "rail sharing factor must be >= 1");
-    util::expects(cfg.word_lines > 0, "array needs word lines");
-    util::expects(wires.r_bl_cell > 0.0 && wires.c_bl_cell > 0.0,
-                  "bit-line parasitics must be extracted first");
+    validate_column_inputs(cfg, wires, nopts);
 
     const int n = cfg.word_lines;
     const double vdd = tech.feol.vdd;
@@ -74,98 +219,94 @@ Read_netlist build_read_netlist(const tech::Technology& tech,
     c.add_capacitor("Cpre_bl", net.bl_sense, spice::ground_node, c_pre);
     c.add_capacitor("Cpre_blb", net.blb_sense, spice::ground_node, c_pre);
 
-    // --- per-cell ladders and cells ------------------------------------------
-    spice::Node bl_prev = net.bl_sense;
-    spice::Node blb_prev = net.blb_sense;
-    spice::Node vss_prev = spice::ground_node;  // rail tap at the near end
-
+    // --- the shared column substrate ----------------------------------------
     net.dc.newton = spice::Newton_options{};
+    const Accessed_cell accessed = build_column_substrate(
+        c, cell, wires, n, vdd, nopts, net.bl_sense, net.blb_sense, net.wl,
+        vdd_n, net.dc, net.ladder);
+    net.q = accessed.q;
+    net.qb = accessed.qb;
+    net.bl_far = accessed.bl_far;
+    net.blb_far = accessed.blb_far;
 
-    for (int i = 0; i < n; ++i) {
-        const spice::Node bl_i = c.node(idx_name("bl", i));
-        const spice::Node blb_i = c.node(idx_name("blb", i));
-        const spice::Node vss_i = c.node(idx_name("vss", i));
-        const spice::Node q_i = c.node(idx_name("q", i));
-        const spice::Node qb_i = c.node(idx_name("qb", i));
+    return net;
+}
 
-        // Wire ladder segments (handles retained for wire-value updates).
-        net.ladder.r_bl.push_back(&c.add_resistor(idx_name("Rbl", i), bl_prev,
-                                                  bl_i, wires.r_bl_cell));
-        net.ladder.r_blb.push_back(&c.add_resistor(
-            idx_name("Rblb", i), blb_prev, blb_i, wires.r_blb_cell));
-        net.ladder.r_vss.push_back(
-            &c.add_resistor(idx_name("Rvss", i), vss_prev, vss_i,
-                            wires.r_vss_cell / nopts.vss_rail_sharing));
+Write_netlist build_write_netlist(const tech::Technology& tech,
+                                  const Cell_electrical& cell,
+                                  const Bitline_electrical& wires,
+                                  const Array_config& cfg,
+                                  const Write_timing& timing,
+                                  const Netlist_options& nopts)
+{
+    validate_column_inputs(cfg, wires, nopts);
+    util::expects(timing.edge_time > 0.0, "control edge time must be positive");
+    util::expects(timing.t_drive_on > timing.t_precharge_off,
+                  "write drive must fire after the precharge releases");
 
-        // Optional periodic VSS strap into the vertical power grid.
-        if (nopts.vss_strap_interval > 0 &&
-            (i + 1) % nopts.vss_strap_interval == 0) {
-            c.add_resistor(idx_name("Rstrap", i), vss_i, spice::ground_node,
-                           nopts.vss_strap_resistance);
-        }
+    const int n = cfg.word_lines;
+    const double vdd = tech.feol.vdd;
 
-        // Wire capacitance (coupling to static rails folded to ground).
-        net.ladder.c_bl.push_back(&c.add_capacitor(
-            idx_name("Cbl", i), bl_i, spice::ground_node, wires.c_bl_cell));
-        net.ladder.c_blb.push_back(
-            &c.add_capacitor(idx_name("Cblb", i), blb_i, spice::ground_node,
-                             wires.c_blb_cell));
-        net.ladder.c_vss.push_back(
-            &c.add_capacitor(idx_name("Cvss", i), vss_i, spice::ground_node,
-                             wires.c_vss_cell));
+    Write_netlist net;
+    net.timing = timing;
+    net.vdd = vdd;
+    net.word_lines = n;
 
-        // Pass-gate junction load on the bit lines (the per-cell CFE).
-        c.add_capacitor(idx_name("Cfe_bl", i), bl_i, spice::ground_node,
-                        cell.bitline_junction_cap());
-        c.add_capacitor(idx_name("Cfe_blb", i), blb_i, spice::ground_node,
-                        cell.bitline_junction_cap());
+    spice::Circuit& c = net.circuit;
 
-        // The 6T cell.  Only the last row's word line is driven; all other
-        // pass gates are held off by grounding their gates.
-        const bool accessed = (i == n - 1);
-        const spice::Node wl_i = accessed ? net.wl : spice::ground_node;
+    // --- rails and controls -------------------------------------------------
+    const spice::Node vdd_n = c.node("vdd");
+    c.add_voltage_source("Vdd", vdd_n, spice::ground_node,
+                         spice::Waveform::dc(vdd));
 
-        c.add_mosfet(idx_name("Mpu_q", i), q_i, qb_i, vdd_n, cell.pull_up,
-                     cell.m_pull_up);
-        c.add_mosfet(idx_name("Mpd_q", i), q_i, qb_i, vss_i, cell.pull_down,
-                     cell.m_pull_down);
-        c.add_mosfet(idx_name("Mpu_qb", i), qb_i, q_i, vdd_n, cell.pull_up,
-                     cell.m_pull_up);
-        c.add_mosfet(idx_name("Mpd_qb", i), qb_i, q_i, vss_i, cell.pull_down,
-                     cell.m_pull_down);
-        c.add_mosfet(idx_name("Mpg_bl", i), bl_i, wl_i, q_i, cell.pass_gate,
-                     cell.m_pass_gate);
-        c.add_mosfet(idx_name("Mpg_blb", i), blb_i, wl_i, qb_i,
-                     cell.pass_gate, cell.m_pass_gate);
+    const spice::Node prechb = c.node("prechb");
+    c.add_voltage_source(
+        "Vprechb", prechb, spice::ground_node,
+        spice::Waveform::pulse(0.0, vdd, timing.t_precharge_off,
+                               timing.edge_time));
 
-        // Storage-node capacitance.
-        c.add_capacitor(idx_name("Cq", i), q_i, spice::ground_node,
-                        cell.storage_node_cap());
-        c.add_capacitor(idx_name("Cqb", i), qb_i, spice::ground_node,
-                        cell.storage_node_cap());
+    // Write enable (NMOS pull-down gate) and its complement (PMOS keeper).
+    const spice::Node we = c.node("we");
+    c.add_voltage_source(
+        "Vwe", we, spice::ground_node,
+        spice::Waveform::pulse(0.0, vdd, timing.t_drive_on,
+                               timing.edge_time));
+    const spice::Node web = c.node("web");
+    c.add_voltage_source(
+        "Vweb", web, spice::ground_node,
+        spice::Waveform::pulse(vdd, 0.0, timing.t_drive_on,
+                               timing.edge_time));
 
-        // Latch initialization: every cell stores 0 on the BL side, so the
-        // accessed read discharges BL.
-        net.dc.forces.push_back({q_i, 0.0, 1.0});
-        net.dc.forces.push_back({qb_i, vdd, 1.0});
-        net.dc.initial_guesses.emplace_back(bl_i, vdd);
-        net.dc.initial_guesses.emplace_back(blb_i, vdd);
-        net.dc.initial_guesses.emplace_back(vss_i, 0.0);
+    const spice::Node wl = c.node("wl");
+    c.add_voltage_source(
+        "Vwl", wl, spice::ground_node,
+        spice::Waveform::pulse(0.0, vdd, timing.t_drive_on,
+                               timing.edge_time));
 
-        if (accessed) {
-            net.q = q_i;
-            net.qb = qb_i;
-            net.bl_far = bl_i;
-            net.blb_far = blb_i;
-        }
+    // --- bit-line heads (drive side) ----------------------------------------
+    net.bl = c.node("bl_h");
+    net.blb = c.node("blb_h");
 
-        bl_prev = bl_i;
-        blb_prev = blb_i;
-        vss_prev = vss_i;
-    }
+    // Precharge pair (released before the write).
+    const double m_pre = precharge_multiplicity(n);
+    c.add_mosfet("Mpre_bl", net.bl, prechb, vdd_n, cell.pull_up, m_pre);
+    c.add_mosfet("Mpre_blb", net.blb, prechb, vdd_n, cell.pull_up, m_pre);
+    const double c_pre = precharge_cap(n, cell);
+    c.add_capacitor("Cpre_bl", net.bl, spice::ground_node, c_pre);
+    c.add_capacitor("Cpre_blb", net.blb, spice::ground_node, c_pre);
 
-    net.dc.initial_guesses.emplace_back(net.bl_sense, vdd);
-    net.dc.initial_guesses.emplace_back(net.blb_sense, vdd);
+    // Write driver, sized with the array like the precharge: NMOS yanks
+    // BLB low, PMOS keeper holds BL high.
+    c.add_mosfet("Mwr_pd", net.blb, we, spice::ground_node, cell.pull_down,
+                 2.0 * m_pre);
+    c.add_mosfet("Mwr_keep", net.bl, web, vdd_n, cell.pull_up, m_pre);
+
+    // --- the shared column substrate ----------------------------------------
+    const Accessed_cell accessed = build_column_substrate(
+        c, cell, wires, n, vdd, nopts, net.bl, net.blb, wl, vdd_n, net.dc,
+        net.ladder);
+    net.q = accessed.q;
+    net.qb = accessed.qb;
 
     return net;
 }
@@ -174,24 +315,14 @@ void update_read_netlist_wires(Read_netlist& net,
                                const Bitline_electrical& wires,
                                const Netlist_options& nopts)
 {
-    util::expects(nopts.vss_rail_sharing >= 1.0,
-                  "rail sharing factor must be >= 1");
-    util::expects(wires.r_bl_cell > 0.0 && wires.c_bl_cell > 0.0,
-                  "bit-line parasitics must be extracted first");
-    const auto n = static_cast<std::size_t>(net.word_lines);
-    util::expects(net.ladder.r_bl.size() == n &&
-                      net.ladder.c_vss.size() == n,
-                  "netlist ladder handles out of sync with word lines");
+    update_column_ladder_wires(net.ladder, net.word_lines, wires, nopts);
+}
 
-    for (std::size_t i = 0; i < n; ++i) {
-        net.ladder.r_bl[i]->set_resistance(wires.r_bl_cell);
-        net.ladder.r_blb[i]->set_resistance(wires.r_blb_cell);
-        net.ladder.r_vss[i]->set_resistance(wires.r_vss_cell /
-                                            nopts.vss_rail_sharing);
-        net.ladder.c_bl[i]->set_capacitance(wires.c_bl_cell);
-        net.ladder.c_blb[i]->set_capacitance(wires.c_blb_cell);
-        net.ladder.c_vss[i]->set_capacitance(wires.c_vss_cell);
-    }
+void update_write_netlist_wires(Write_netlist& net,
+                                const Bitline_electrical& wires,
+                                const Netlist_options& nopts)
+{
+    update_column_ladder_wires(net.ladder, net.word_lines, wires, nopts);
 }
 
 } // namespace mpsram::sram

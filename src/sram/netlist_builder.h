@@ -1,18 +1,21 @@
-// Read-path netlist generator.
+// Column netlist generators (read and write paths).
 //
-// Builds the transistor-level circuit of one column pair of the array for
-// a read operation: every cell on the column as a full 6T latch (off cells
-// load the bit lines with their pass-gate junctions and leakage), the bit
-// lines and the VSS rail as distributed per-cell RC ladders, the precharge
-// and equalize devices (sized with the array, Section II-C), and the
-// word-line / precharge control waveforms.
+// Builds the transistor-level circuit of one column pair of the array:
+// every cell on the column as a full 6T latch (off cells load the bit
+// lines with their pass-gate junctions and leakage), the bit lines and the
+// VSS rail as distributed per-cell RC ladders, and the per-operation
+// periphery — precharge/equalize devices for the read (sized with the
+// array, Section II-C), an n-scaled write driver for the write — plus the
+// control waveforms.
 //
-// The accessed cell sits at the far end of the bit line (worst case); the
-// sense point is the near end, next to the precharge circuit.  Quiet
-// neighbor columns couple to the victim only through static rails in this
-// track plan (BL and BLB are shielded by VSS/VDD), so a single column pair
-// is electrically equivalent to the paper's 10-pair array — the 10 pairs
-// matter for extraction, which is where they are modeled.
+// The two operations share one column substrate (the per-cell ladders and
+// cells); build_read_netlist and build_write_netlist differ only in the
+// periphery and control schedule.  The accessed cell sits at the far end
+// of the bit line (worst case); the sense/drive point is the near end.
+// Quiet neighbor columns couple to the victim only through static rails in
+// this track plan (BL and BLB are shielded by VSS/VDD), so a single column
+// pair is electrically equivalent to the paper's 10-pair array — the 10
+// pairs matter for extraction, which is where they are modeled.
 #ifndef MPSRAM_SRAM_NETLIST_BUILDER_H
 #define MPSRAM_SRAM_NETLIST_BUILDER_H
 
@@ -35,9 +38,24 @@ struct Read_timing {
     /// Reference instant for td: word line at 50%.
     double wl_mid() const { return t_wl_on + 0.5 * edge_time; }
 
-    /// Netlist-reuse checks compare whole schedules (Read_sim_context);
+    /// Netlist-reuse checks compare whole schedules (the sim contexts);
     /// keep this defaulted so new fields are picked up automatically.
     bool operator==(const Read_timing&) const = default;
+};
+
+/// Control schedule of the write: precharge releases, then the write
+/// driver and word line fire together.  build_write_netlist requires
+/// t_drive_on > t_precharge_off and edge_time > 0.
+struct Write_timing {
+    double t_precharge_off = 20e-12;
+    double t_drive_on = 50e-12;  ///< write-enable and word line
+    double edge_time = 4e-12;
+
+    /// Reference instant for tw: word line at 50%.
+    double wl_mid() const { return t_drive_on + 0.5 * edge_time; }
+
+    /// See Read_timing::operator==.
+    bool operator==(const Write_timing&) const = default;
 };
 
 /// Structural knobs of the generated netlist.
@@ -61,11 +79,11 @@ struct Netlist_options {
     bool operator==(const Netlist_options&) const = default;
 };
 
-/// Per-cell wire-ladder devices of a built read netlist, retained so a
-/// sweep can re-point the circuit at newly extracted parasitics without
-/// rebuilding it (the MNA sparsity pattern only depends on topology).
-/// Index = cell row, sense end first.
-struct Read_ladder {
+/// Per-cell wire-ladder devices of a built column netlist (read or write),
+/// retained so a sweep can re-point the circuit at newly extracted
+/// parasitics without rebuilding it (the MNA sparsity pattern only depends
+/// on topology).  Index = cell row, near (sense/drive) end first.
+struct Column_ladder {
     std::vector<spice::Resistor*> r_bl;
     std::vector<spice::Resistor*> r_blb;
     std::vector<spice::Resistor*> r_vss;
@@ -73,6 +91,9 @@ struct Read_ladder {
     std::vector<spice::Capacitor*> c_blb;
     std::vector<spice::Capacitor*> c_vss;
 };
+
+/// Historical name from the read-only days; both paths share the type.
+using Read_ladder = Column_ladder;
 
 /// A built read-path circuit plus the handles the measurement needs.
 struct Read_netlist {
@@ -89,7 +110,21 @@ struct Read_netlist {
     double vdd = 0.0;
     double sense_margin = 0.0;
     int word_lines = 0;
-    Read_ladder ladder;         ///< wire devices, for update_read_netlist_wires
+    Column_ladder ladder;       ///< wire devices, for update_read_netlist_wires
+};
+
+/// A built write-path circuit plus measurement handles.
+struct Write_netlist {
+    spice::Circuit circuit;
+    spice::Node bl = 0;   ///< near-end BL (held high)
+    spice::Node blb = 0;  ///< near-end BLB (driven low)
+    spice::Node q = 0;    ///< target cell storage (flips 0 -> 1)
+    spice::Node qb = 0;
+    spice::Dc_options dc;
+    Write_timing timing;
+    double vdd = 0.0;
+    int word_lines = 0;
+    Column_ladder ladder;  ///< wire devices, for update_write_netlist_wires
 };
 
 /// Build the read netlist for the given electrical parameters.
@@ -100,15 +135,28 @@ Read_netlist build_read_netlist(const tech::Technology& tech,
                                 const Read_timing& timing = Read_timing{},
                                 const Netlist_options& nopts = Netlist_options{});
 
+/// Build the write netlist: the same column substrate as the read path,
+/// plus an n-scaled write driver (NMOS pull-down on BLB, PMOS keeper on
+/// BL) instead of an active precharge-and-equalize.
+Write_netlist build_write_netlist(const tech::Technology& tech,
+                                  const Cell_electrical& cell,
+                                  const Bitline_electrical& wires,
+                                  const Array_config& cfg,
+                                  const Write_timing& timing = Write_timing{},
+                                  const Netlist_options& nopts = Netlist_options{});
+
 /// Re-point an existing netlist's wire ladder at newly extracted
 /// parasitics.  Only the per-cell R/C values change — cell devices, the
-/// precharge circuit, and the control waveforms stay as built — so the
-/// updated netlist is device-for-device identical to a fresh
-/// build_read_netlist with the same configuration and the new wires.
-/// `nopts` must match the options the netlist was built with.
+/// periphery, and the control waveforms stay as built — so the updated
+/// netlist is device-for-device identical to a fresh build with the same
+/// configuration and the new wires.  `nopts` must match the options the
+/// netlist was built with.
 void update_read_netlist_wires(Read_netlist& net,
                                const Bitline_electrical& wires,
                                const Netlist_options& nopts = Netlist_options{});
+void update_write_netlist_wires(Write_netlist& net,
+                                const Bitline_electrical& wires,
+                                const Netlist_options& nopts = Netlist_options{});
 
 } // namespace mpsram::sram
 

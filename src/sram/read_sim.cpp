@@ -58,36 +58,4 @@ Read_result simulate_read(Read_netlist& net, const Read_options& opts,
     return result;  // never crossed: td = -1
 }
 
-// --- Read_sim_context ---------------------------------------------------------
-
-bool Read_sim_context::reusable(const Array_config& cfg,
-                                const Read_timing& timing,
-                                const Netlist_options& nopts) const
-{
-    return net_ && word_lines_ == cfg.word_lines && timing_ == timing &&
-           nopts_ == nopts;
-}
-
-Read_result Read_sim_context::simulate(const tech::Technology& tech,
-                                       const Cell_electrical& cell,
-                                       const Bitline_electrical& wires,
-                                       const Array_config& cfg,
-                                       const Read_timing& timing,
-                                       const Netlist_options& nopts,
-                                       const Read_options& opts)
-{
-    if (reusable(cfg, timing, nopts)) {
-        update_read_netlist_wires(*net_, wires, nopts);
-    } else {
-        net_ = std::make_unique<Read_netlist>(
-            build_read_netlist(tech, cell, wires, cfg, timing, nopts));
-        workspace_.invalidate();
-        word_lines_ = cfg.word_lines;
-        timing_ = timing;
-        nopts_ = nopts;
-        ++builds_;
-    }
-    return simulate_read(*net_, opts, workspace_);
-}
-
 } // namespace mpsram::sram

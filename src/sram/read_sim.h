@@ -4,12 +4,11 @@
 #ifndef MPSRAM_SRAM_READ_SIM_H
 #define MPSRAM_SRAM_READ_SIM_H
 
-#include <memory>
-
 #include "spice/analysis.h"
 #include "spice/workspace.h"
 #include "sram/netlist_builder.h"
 #include "sram/sim_accuracy.h"
+#include "sram/sim_context.h"
 
 namespace mpsram::sram {
 
@@ -53,40 +52,39 @@ Read_result simulate_read(Read_netlist& net,
 Read_result simulate_read(Read_netlist& net, const Read_options& opts,
                           spice::Transient_workspace& workspace);
 
-/// Re-entrant read-simulation context: one netlist plus one solver
-/// workspace, owned by a single worker of a sweep.  The netlist is rebuilt
-/// only when the array configuration (word lines, timing, netlist options)
-/// changes; runs that differ only in extracted wire values re-point the
-/// existing ladder and keep the symbolic factorization.
-///
-/// The technology and cell handed to simulate() must stay the same objects
-/// (or at least the same values) across calls — the context caches device
-/// parameters derived from them.  One context must not be shared between
-/// threads; sweeps allocate one per Run_context::worker.
-class Read_sim_context {
-public:
-    Read_result simulate(const tech::Technology& tech,
-                         const Cell_electrical& cell,
-                         const Bitline_electrical& wires,
-                         const Array_config& cfg,
-                         const Read_timing& timing = Read_timing{},
-                         const Netlist_options& nopts = Netlist_options{},
-                         const Read_options& opts = Read_options{});
+/// Trait binding of the read path for the shared column-simulation
+/// context (see sim_context.h).
+struct Read_sim_traits {
+    using Netlist = Read_netlist;
+    using Timing = Read_timing;
+    using Options = Read_options;
+    using Result = Read_result;
 
-    /// Netlist (re)builds performed so far — the reuse observable.
-    std::size_t netlist_builds() const { return builds_; }
-
-private:
-    bool reusable(const Array_config& cfg, const Read_timing& timing,
-                  const Netlist_options& nopts) const;
-
-    std::unique_ptr<Read_netlist> net_;
-    spice::Transient_workspace workspace_;
-    int word_lines_ = -1;
-    Read_timing timing_{};
-    Netlist_options nopts_{};
-    std::size_t builds_ = 0;
+    static Read_netlist build(const tech::Technology& tech,
+                              const Cell_electrical& cell,
+                              const Bitline_electrical& wires,
+                              const Array_config& cfg,
+                              const Read_timing& timing,
+                              const Netlist_options& nopts)
+    {
+        return build_read_netlist(tech, cell, wires, cfg, timing, nopts);
+    }
+    static void update_wires(Read_netlist& net,
+                             const Bitline_electrical& wires,
+                             const Netlist_options& nopts)
+    {
+        update_read_netlist_wires(net, wires, nopts);
+    }
+    static Read_result simulate(Read_netlist& net, const Read_options& opts,
+                                spice::Transient_workspace& workspace)
+    {
+        return simulate_read(net, opts, workspace);
+    }
 };
+
+/// Re-entrant read-simulation context; see sim_context.h for the reuse
+/// and threading contract.
+using Read_sim_context = Column_sim_context<Read_sim_traits>;
 
 } // namespace mpsram::sram
 

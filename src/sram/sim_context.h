@@ -1,0 +1,85 @@
+// Re-entrant column-simulation context: one netlist plus one solver
+// workspace, owned by a single worker of a sweep.
+//
+// The netlist is rebuilt only when the array configuration (word lines,
+// timing, netlist options) changes; runs that differ only in extracted
+// wire values re-point the existing ladder and keep the symbolic
+// factorization.  Capacitor history is re-latched by each run's DC
+// operating point, so reuse is bitwise identical to fresh builds (asserted
+// by test_core_sweep and test_core_write_sweep).
+//
+// Column_sim_context is the shared skeleton; the read and write paths are
+// thin trait instantiations (sram::Read_sim_context in read_sim.h,
+// sram::Write_sim_context in write_sim.h).  A traits type binds:
+//
+//   Traits::Netlist / Timing / Options / Result
+//   static Netlist build(tech, cell, wires, cfg, timing, nopts);
+//   static void update_wires(Netlist&, wires, nopts);
+//   static Result simulate(Netlist&, const Options&,
+//                          spice::Transient_workspace&);
+//
+// The technology and cell handed to simulate() must stay the same objects
+// (or at least the same values) across calls — the context caches device
+// parameters derived from them.  One context must not be shared between
+// threads; sweeps allocate one per Run_context::worker.
+#ifndef MPSRAM_SRAM_SIM_CONTEXT_H
+#define MPSRAM_SRAM_SIM_CONTEXT_H
+
+#include <cstddef>
+#include <memory>
+
+#include "spice/workspace.h"
+#include "sram/netlist_builder.h"
+
+namespace mpsram::sram {
+
+template <class Traits>
+class Column_sim_context {
+public:
+    using Netlist = typename Traits::Netlist;
+    using Timing = typename Traits::Timing;
+    using Options = typename Traits::Options;
+    using Result = typename Traits::Result;
+
+    Result simulate(const tech::Technology& tech, const Cell_electrical& cell,
+                    const Bitline_electrical& wires, const Array_config& cfg,
+                    const Timing& timing = Timing{},
+                    const Netlist_options& nopts = Netlist_options{},
+                    const Options& opts = Options{})
+    {
+        if (reusable(cfg, timing, nopts)) {
+            Traits::update_wires(*net_, wires, nopts);
+        } else {
+            net_ = std::make_unique<Netlist>(
+                Traits::build(tech, cell, wires, cfg, timing, nopts));
+            workspace_.invalidate();
+            word_lines_ = cfg.word_lines;
+            timing_ = timing;
+            nopts_ = nopts;
+            ++builds_;
+        }
+        return Traits::simulate(*net_, opts, workspace_);
+    }
+
+    /// Netlist (re)builds performed so far — the reuse observable.
+    std::size_t netlist_builds() const { return builds_; }
+
+private:
+    bool reusable(const Array_config& cfg, const Timing& timing,
+                  const Netlist_options& nopts) const
+    {
+        return net_ && word_lines_ == cfg.word_lines && timing_ == timing &&
+               nopts_ == nopts;
+    }
+
+    std::unique_ptr<Netlist> net_;
+    spice::Transient_workspace workspace_;
+    int word_lines_ = -1;
+    Timing timing_{};
+    Netlist_options nopts_{};
+    std::size_t builds_ = 0;
+};
+
+} // namespace mpsram::sram
+
+#endif // MPSRAM_SRAM_SIM_CONTEXT_H

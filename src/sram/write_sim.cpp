@@ -1,5 +1,6 @@
 #include "sram/write_sim.h"
 
+#include <algorithm>
 #include <string>
 
 #include "spice/measure.h"
@@ -7,166 +8,26 @@
 
 namespace mpsram::sram {
 
-namespace {
-
-std::string idx_name(const char* base, int i)
-{
-    return std::string(base) + std::to_string(i);
-}
-
-} // namespace
-
-Write_netlist build_write_netlist(const tech::Technology& tech,
-                                  const Cell_electrical& cell,
-                                  const Bitline_electrical& wires,
-                                  const Array_config& cfg,
-                                  const Write_timing& timing,
-                                  const Netlist_options& nopts)
-{
-    util::expects(cfg.word_lines > 0, "array needs word lines");
-    util::expects(wires.r_bl_cell > 0.0 && wires.c_bl_cell > 0.0,
-                  "bit-line parasitics must be extracted first");
-    util::expects(nopts.vss_rail_sharing >= 1.0,
-                  "rail sharing factor must be >= 1");
-
-    const int n = cfg.word_lines;
-    const double vdd = tech.feol.vdd;
-
-    Write_netlist net;
-    net.timing = timing;
-    net.vdd = vdd;
-    net.word_lines = n;
-
-    spice::Circuit& c = net.circuit;
-
-    const spice::Node vdd_n = c.node("vdd");
-    c.add_voltage_source("Vdd", vdd_n, spice::ground_node,
-                         spice::Waveform::dc(vdd));
-
-    const spice::Node prechb = c.node("prechb");
-    c.add_voltage_source(
-        "Vprechb", prechb, spice::ground_node,
-        spice::Waveform::pulse(0.0, vdd, timing.t_precharge_off,
-                               timing.edge_time));
-
-    // Write enable (NMOS pull-down gate) and its complement (PMOS keeper).
-    const spice::Node we = c.node("we");
-    c.add_voltage_source(
-        "Vwe", we, spice::ground_node,
-        spice::Waveform::pulse(0.0, vdd, timing.t_drive_on,
-                               timing.edge_time));
-    const spice::Node web = c.node("web");
-    c.add_voltage_source(
-        "Vweb", web, spice::ground_node,
-        spice::Waveform::pulse(vdd, 0.0, timing.t_drive_on,
-                               timing.edge_time));
-
-    const spice::Node wl = c.node("wl");
-    c.add_voltage_source(
-        "Vwl", wl, spice::ground_node,
-        spice::Waveform::pulse(0.0, vdd, timing.t_drive_on,
-                               timing.edge_time));
-
-    net.bl = c.node("bl_h");
-    net.blb = c.node("blb_h");
-
-    // Precharge pair (released before the write).
-    const double m_pre = precharge_multiplicity(n);
-    c.add_mosfet("Mpre_bl", net.bl, prechb, vdd_n, cell.pull_up, m_pre);
-    c.add_mosfet("Mpre_blb", net.blb, prechb, vdd_n, cell.pull_up, m_pre);
-    const double c_pre = precharge_cap(n, cell);
-    c.add_capacitor("Cpre_bl", net.bl, spice::ground_node, c_pre);
-    c.add_capacitor("Cpre_blb", net.blb, spice::ground_node, c_pre);
-
-    // Write driver, sized with the array like the precharge: NMOS yanks
-    // BLB low, PMOS keeper holds BL high.
-    c.add_mosfet("Mwr_pd", net.blb, we, spice::ground_node, cell.pull_down,
-                 2.0 * m_pre);
-    c.add_mosfet("Mwr_keep", net.bl, web, vdd_n, cell.pull_up, m_pre);
-
-    spice::Node bl_prev = net.bl;
-    spice::Node blb_prev = net.blb;
-    spice::Node vss_prev = spice::ground_node;
-
-    for (int i = 0; i < n; ++i) {
-        const spice::Node bl_i = c.node(idx_name("bl", i));
-        const spice::Node blb_i = c.node(idx_name("blb", i));
-        const spice::Node vss_i = c.node(idx_name("vss", i));
-        const spice::Node q_i = c.node(idx_name("q", i));
-        const spice::Node qb_i = c.node(idx_name("qb", i));
-
-        c.add_resistor(idx_name("Rbl", i), bl_prev, bl_i, wires.r_bl_cell);
-        c.add_resistor(idx_name("Rblb", i), blb_prev, blb_i,
-                       wires.r_blb_cell);
-        c.add_resistor(idx_name("Rvss", i), vss_prev, vss_i,
-                       wires.r_vss_cell / nopts.vss_rail_sharing);
-        if (nopts.vss_strap_interval > 0 &&
-            (i + 1) % nopts.vss_strap_interval == 0) {
-            c.add_resistor(idx_name("Rstrap", i), vss_i, spice::ground_node,
-                           nopts.vss_strap_resistance);
-        }
-
-        c.add_capacitor(idx_name("Cbl", i), bl_i, spice::ground_node,
-                        wires.c_bl_cell);
-        c.add_capacitor(idx_name("Cblb", i), blb_i, spice::ground_node,
-                        wires.c_blb_cell);
-        c.add_capacitor(idx_name("Cvss", i), vss_i, spice::ground_node,
-                        wires.c_vss_cell);
-        c.add_capacitor(idx_name("Cfe_bl", i), bl_i, spice::ground_node,
-                        cell.bitline_junction_cap());
-        c.add_capacitor(idx_name("Cfe_blb", i), blb_i, spice::ground_node,
-                        cell.bitline_junction_cap());
-
-        const bool accessed = (i == n - 1);
-        const spice::Node wl_i = accessed ? wl : spice::ground_node;
-
-        c.add_mosfet(idx_name("Mpu_q", i), q_i, qb_i, vdd_n, cell.pull_up,
-                     cell.m_pull_up);
-        c.add_mosfet(idx_name("Mpd_q", i), q_i, qb_i, vss_i, cell.pull_down,
-                     cell.m_pull_down);
-        c.add_mosfet(idx_name("Mpu_qb", i), qb_i, q_i, vdd_n, cell.pull_up,
-                     cell.m_pull_up);
-        c.add_mosfet(idx_name("Mpd_qb", i), qb_i, q_i, vss_i,
-                     cell.pull_down, cell.m_pull_down);
-        c.add_mosfet(idx_name("Mpg_bl", i), bl_i, wl_i, q_i, cell.pass_gate,
-                     cell.m_pass_gate);
-        c.add_mosfet(idx_name("Mpg_blb", i), blb_i, wl_i, qb_i,
-                     cell.pass_gate, cell.m_pass_gate);
-
-        c.add_capacitor(idx_name("Cq", i), q_i, spice::ground_node,
-                        cell.storage_node_cap());
-        c.add_capacitor(idx_name("Cqb", i), qb_i, spice::ground_node,
-                        cell.storage_node_cap());
-
-        // Every cell starts with q = 0; the accessed cell is written to 1.
-        net.dc.forces.push_back({q_i, 0.0, 1.0});
-        net.dc.forces.push_back({qb_i, vdd, 1.0});
-        net.dc.initial_guesses.emplace_back(bl_i, vdd);
-        net.dc.initial_guesses.emplace_back(blb_i, vdd);
-        net.dc.initial_guesses.emplace_back(vss_i, 0.0);
-
-        if (accessed) {
-            net.q = q_i;
-            net.qb = qb_i;
-        }
-
-        bl_prev = bl_i;
-        blb_prev = blb_i;
-        vss_prev = vss_i;
-    }
-
-    net.dc.initial_guesses.emplace_back(net.bl, vdd);
-    net.dc.initial_guesses.emplace_back(net.blb, vdd);
-    return net;
-}
-
 Write_result simulate_write(Write_netlist& net, const Write_options& opts)
+{
+    spice::Transient_workspace workspace;
+    return simulate_write(net, opts, workspace);
+}
+
+Write_result simulate_write(Write_netlist& net, const Write_options& opts,
+                            spice::Transient_workspace& workspace)
 {
     util::expects(opts.nominal_steps > 0, "steps must be positive");
     util::expects(opts.window > 0.0, "window must be positive");
+    util::expects(opts.window_per_cell >= 0.0,
+                  "per-cell window padding must be non-negative");
+
+    const double window =
+        std::max(opts.window, opts.window_per_cell *
+                                  static_cast<double>(net.word_lines));
 
     spice::Transient_options topts;
-    topts.tstop = net.timing.wl_mid() + opts.window;
+    topts.tstop = net.timing.wl_mid() + window;
     topts.nominal_steps = opts.nominal_steps;
     topts.dc = net.dc;
     apply_sim_accuracy(topts, opts.accuracy);
@@ -174,7 +35,7 @@ Write_result simulate_write(Write_netlist& net, const Write_options& opts)
     const std::vector<spice::Node> probes = {net.q, net.qb, net.bl,
                                              net.blb};
     const spice::Transient_result waves =
-        spice::run_transient(net.circuit, probes, topts);
+        spice::run_transient(net.circuit, probes, topts, workspace);
 
     Write_result r;
     r.steps = waves.steps();

@@ -7,68 +7,90 @@
 // storage flip (q crossing vdd/2 upward).  Interconnect variability enters
 // through the BLB ladder the driver must discharge — the same RC the read
 // study varies.
+//
+// The netlist structs and builders live in netlist_builder.h next to the
+// read path's; this header owns the measurement (simulate_write) and the
+// per-worker simulation context.
 #ifndef MPSRAM_SRAM_WRITE_SIM_H
 #define MPSRAM_SRAM_WRITE_SIM_H
 
+#include <limits>
+
+#include "spice/workspace.h"
 #include "sram/netlist_builder.h"
 #include "sram/sim_accuracy.h"
+#include "sram/sim_context.h"
 
 namespace mpsram::sram {
-
-/// Control schedule of the write: precharge releases, then the write
-/// driver and word line fire together.
-struct Write_timing {
-    double t_precharge_off = 20e-12;
-    double t_drive_on = 50e-12;  ///< write-enable and word line
-    double edge_time = 4e-12;
-
-    double wl_mid() const { return t_drive_on + 0.5 * edge_time; }
-};
-
-/// A built write-path circuit plus measurement handles.
-struct Write_netlist {
-    spice::Circuit circuit;
-    spice::Node bl = 0;   ///< near-end BL (held high)
-    spice::Node blb = 0;  ///< near-end BLB (driven low)
-    spice::Node q = 0;    ///< target cell storage (flips 0 -> 1)
-    spice::Node qb = 0;
-    spice::Dc_options dc;
-    Write_timing timing;
-    double vdd = 0.0;
-    int word_lines = 0;
-};
-
-/// Build the write netlist: column ladders and cells as in the read path,
-/// plus an n-scaled write driver (NMOS pull-down on BLB, PMOS keeper on
-/// BL) instead of an active precharge.
-Write_netlist build_write_netlist(const tech::Technology& tech,
-                                  const Cell_electrical& cell,
-                                  const Bitline_electrical& wires,
-                                  const Array_config& cfg,
-                                  const Write_timing& timing = Write_timing{},
-                                  const Netlist_options& nopts = Netlist_options{});
 
 struct Write_options {
     /// Transient resolution (nominal reference size under the fast policy).
     int nominal_steps = 1500;
-    /// Measurement window after the drive edge [s].
+    /// Measurement window after the drive edge [s]; the effective window
+    /// is max(window, window_per_cell * n) so tall columns keep their
+    /// slower flip inside the measured range.
     double window = 400e-12;
+    /// Per-cell window padding [s].
+    double window_per_cell = 1.5e-12;
     /// Integration engine (see sim_accuracy.h), same policy as the read
     /// path: calibrated adaptive-LTE by default, fixed-step when pinned.
     Sim_accuracy accuracy = default_sim_accuracy();
 };
 
 struct Write_result {
-    double tw = -1.0;      ///< [s] word-line mid to q = vdd/2; <0 if no flip
+    /// [s] word-line mid to q = vdd/2.  NaN until the cell flips, so a
+    /// failed write poisons any penalty arithmetic instead of leaking a
+    /// plausible-looking negative sentinel into it; check `flipped`.
+    double tw = std::numeric_limits<double>::quiet_NaN();
     bool flipped = false;
     double q_final = 0.0;
     double qb_final = 0.0;
     spice::Step_stats steps;  ///< step-control counters of the run
 };
 
-/// Simulate the write and measure tw.
+/// Simulate the write and measure tw.  The netlist is reusable: capacitor
+/// history is re-initialized by the DC operating point of each run.  The
+/// workspace form keeps the compiled MNA system across calls; results are
+/// bitwise identical either way.
 Write_result simulate_write(Write_netlist& net,
                             const Write_options& opts = Write_options{});
+Write_result simulate_write(Write_netlist& net, const Write_options& opts,
+                            spice::Transient_workspace& workspace);
+
+/// Trait binding of the write path for the shared column-simulation
+/// context (see sim_context.h).
+struct Write_sim_traits {
+    using Netlist = Write_netlist;
+    using Timing = Write_timing;
+    using Options = Write_options;
+    using Result = Write_result;
+
+    static Write_netlist build(const tech::Technology& tech,
+                               const Cell_electrical& cell,
+                               const Bitline_electrical& wires,
+                               const Array_config& cfg,
+                               const Write_timing& timing,
+                               const Netlist_options& nopts)
+    {
+        return build_write_netlist(tech, cell, wires, cfg, timing, nopts);
+    }
+    static void update_wires(Write_netlist& net,
+                             const Bitline_electrical& wires,
+                             const Netlist_options& nopts)
+    {
+        update_write_netlist_wires(net, wires, nopts);
+    }
+    static Write_result simulate(Write_netlist& net,
+                                 const Write_options& opts,
+                                 spice::Transient_workspace& workspace)
+    {
+        return simulate_write(net, opts, workspace);
+    }
+};
+
+/// Re-entrant write-simulation context; see sim_context.h for the reuse
+/// and threading contract.
+using Write_sim_context = Column_sim_context<Write_sim_traits>;
 
 } // namespace mpsram::sram
 

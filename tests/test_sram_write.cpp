@@ -1,5 +1,7 @@
 #include "sram/write_sim.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "extract/extractor.h"
@@ -156,6 +158,46 @@ TEST(WriteSim, ValidatesInputs)
     bad_window.window = -1.0;
     EXPECT_THROW(sram::simulate_write(net, bad_window),
                  util::Precondition_error);
+    sram::Write_options bad_padding;
+    bad_padding.window_per_cell = -1.0;
+    EXPECT_THROW(sram::simulate_write(net, bad_padding),
+                 util::Precondition_error);
+}
+
+TEST(WriteSim, ValidatesTiming)
+{
+    Fixture f(4);
+    // The drive must fire after the precharge releases...
+    sram::Write_timing drive_first;
+    drive_first.t_precharge_off = 50e-12;
+    drive_first.t_drive_on = 20e-12;
+    EXPECT_THROW(
+        sram::build_write_netlist(f.t, f.cell, f.wires, f.cfg, drive_first),
+        util::Precondition_error);
+    // ... and control edges need a positive rise/fall time.
+    sram::Write_timing no_edge;
+    no_edge.edge_time = 0.0;
+    EXPECT_THROW(
+        sram::build_write_netlist(f.t, f.cell, f.wires, f.cfg, no_edge),
+        util::Precondition_error);
+}
+
+TEST(WriteSim, NonFlipReportsNanNotNegativeSentinel)
+{
+    Fixture f(8);
+    sram::Write_netlist net =
+        sram::build_write_netlist(f.t, f.cell, f.wires, f.cfg);
+    // A window far too short for the flip: a legitimate failed write.
+    sram::Write_options blink;
+    blink.window = 1e-12;
+    blink.window_per_cell = 0.0;
+    const sram::Write_result r = sram::simulate_write(net, blink);
+    EXPECT_FALSE(r.flipped);
+    EXPECT_TRUE(std::isnan(r.tw));
+    // Penalty arithmetic on a failed write poisons the result instead of
+    // producing a plausible-looking negative percentage.
+    const double twp = (r.tw / 20e-12 - 1.0) * 100.0;
+    EXPECT_TRUE(std::isnan(twp));
 }
 
 } // namespace
