@@ -1,0 +1,257 @@
+#include "bench_driver.h"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+#include "util/contracts.h"
+#include "util/numeric.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace mpsram::bench {
+
+namespace {
+
+constexpr sram::Sim_accuracy policies[] = {sram::Sim_accuracy::fast,
+                                           sram::Sim_accuracy::reference};
+
+} // namespace
+
+double seconds_of(const std::chrono::steady_clock::duration& d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+std::vector<int> default_thread_counts()
+{
+    std::vector<int> counts = {1, 2, 4};
+    const int hw = util::Thread_pool::hardware_threads();
+    if (hw > 4) counts.push_back(hw);
+    return counts;
+}
+
+Scaling_outcome run_thread_scaling(const Scaling_config& cfg)
+{
+    util::expects(static_cast<bool>(cfg.run), "scaling config needs a run");
+    util::expects(!cfg.thread_counts.empty() && cfg.thread_counts[0] == 1,
+                  "the scaling grid must start at the serial baseline");
+
+    std::cout << cfg.workload << " walls ("
+              << util::Thread_pool::hardware_threads()
+              << " hardware threads)\n";
+    std::vector<std::string> headers = {"threads", "policy", "wall [s]"};
+    if (cfg.sims_per_row > 0.0) headers.push_back("sims/s");
+    headers.insert(headers.end(), {"thread speedup", "adaptive speedup",
+                                   "bitwise == serial"});
+    util::Table table(std::move(headers));
+
+    Scaling_outcome outcome;
+    core::Result_table serial_rows[2];
+
+    for (const int threads : cfg.thread_counts) {
+        Scaling_point p;
+        p.threads = threads;
+        for (int pi = 0; pi < 2; ++pi) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const core::Result_table rows = cfg.run(threads, policies[pi]);
+            p.wall_s[pi] = seconds_of(std::chrono::steady_clock::now() - t0);
+            outcome.rows = rows.size();
+            if (cfg.sims_per_row > 0.0) {
+                p.sims_per_s[pi] = cfg.sims_per_row *
+                                   static_cast<double>(rows.size()) /
+                                   p.wall_s[pi];
+            }
+            if (threads == 1) {
+                serial_rows[pi] = rows;
+            } else {
+                p.identical[pi] = rows == serial_rows[pi];
+            }
+        }
+        outcome.points.push_back(p);
+
+        for (int pi = 0; pi < 2; ++pi) {
+            std::vector<std::string> row = {
+                std::to_string(threads), sram::to_string(policies[pi]),
+                util::fmt_fixed(p.wall_s[pi], 3)};
+            if (cfg.sims_per_row > 0.0) {
+                row.push_back(util::fmt_fixed(p.sims_per_s[pi], 2));
+            }
+            row.insert(
+                row.end(),
+                {util::fmt_fixed(
+                     outcome.points.front().wall_s[pi] / p.wall_s[pi], 2) +
+                     "x",
+                 util::fmt_fixed(p.wall_s[1] / p.wall_s[0], 2) + "x",
+                 p.identical[pi] ? "yes" : "NO"});
+            table.add_row(std::move(row));
+        }
+    }
+    std::cout << table.render() << '\n';
+
+    for (const Scaling_point& p : outcome.points) {
+        outcome.all_identical =
+            outcome.all_identical && p.identical[0] && p.identical[1];
+    }
+    if (!outcome.all_identical) {
+        std::cout << "ERROR: parallel results diverged from serial — the\n"
+                     "determinism contract is broken.\n";
+    }
+    return outcome;
+}
+
+namespace {
+
+/// The (nominal, varied, percent) view of a sweep row; how every
+/// agreement-gated metric reports.
+struct Gated_row {
+    double nominal = 0.0;
+    double varied = 0.0;
+    double percent = 0.0;
+    bool has_percent = true;
+};
+
+Gated_row gated_row(const core::Row_value& row)
+{
+    using core::Disturb_row;
+    using core::Nominal_td_row;
+    using core::Nominal_tw_row;
+    using core::Read_row;
+    using core::Write_row;
+    if (const auto* r = std::get_if<Read_row>(&row)) {
+        return {r->td_nominal, r->td_varied, r->tdp_percent, true};
+    }
+    if (const auto* w = std::get_if<Write_row>(&row)) {
+        return {w->tw_nominal, w->tw_varied, w->twp_percent, true};
+    }
+    if (const auto* d = std::get_if<Disturb_row>(&row)) {
+        return {d->v_bump_nominal, d->v_bump_varied, d->disturb_percent,
+                true};
+    }
+    if (const auto* t = std::get_if<Nominal_td_row>(&row)) {
+        return {t->td_simulation, t->td_simulation, 0.0, false};
+    }
+    if (const auto* t = std::get_if<Nominal_tw_row>(&row)) {
+        return {t->tw_simulation, t->tw_simulation, 0.0, false};
+    }
+    util::expects(false, "agreement gate: unsupported row type");
+    return {};
+}
+
+} // namespace
+
+void accumulate_agreement(Agreement& a, const core::Result_table& reference,
+                          const core::Result_table& fast)
+{
+    util::expects(reference.metric() == fast.metric() &&
+                      reference.size() == fast.size(),
+                  "agreement gate: mismatched result tables");
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        const Gated_row ref = gated_row(reference.raw(i));
+        const Gated_row fst = gated_row(fast.raw(i));
+        a.max_rel = std::max({a.max_rel,
+                              util::rel_diff(ref.nominal, fst.nominal),
+                              util::rel_diff(ref.varied, fst.varied)});
+        if (ref.has_percent) {
+            a.max_points = std::max(a.max_points,
+                                    std::fabs(ref.percent - fst.percent));
+        }
+    }
+}
+
+Agreement run_option_agreement(
+    const std::function<core::Query(tech::Patterning_option)>& make_query)
+{
+    util::expects(static_cast<bool>(make_query),
+                  "agreement gate needs a query factory");
+    Agreement agreement;
+    const core::Study_session session;
+    for (const auto option : tech::all_patterning_options) {
+        const core::Query query = make_query(option);
+        accumulate_agreement(
+            agreement,
+            session.run(core::Query(query).with_accuracy(
+                sram::Sim_accuracy::reference)),
+            session.run(
+                core::Query(query).with_accuracy(sram::Sim_accuracy::fast)));
+    }
+    return agreement;
+}
+
+void report_agreement(const Agreement& a, const std::string& quantity)
+{
+    std::cout << "Adaptive-vs-reference agreement:\n  max |" << quantity
+              << "| deviation " << util::fmt_fixed(100.0 * a.max_rel, 4)
+              << "% , max penalty deviation "
+              << util::fmt_fixed(a.max_points, 4) << " points ("
+              << (a.within_budget() ? "within" : "OUTSIDE")
+              << " the 0.5% calibration budget)\n";
+    if (!a.within_budget()) {
+        std::cout << "ERROR: the adaptive engine left the 0.5% calibration\n"
+                     "budget — retune sram::fast_lte_* (see sim_accuracy.h).\n";
+    }
+}
+
+void print_step_table(const spice::Step_stats steps[2])
+{
+    util::Table table({"policy", "accepted", "lte rejected",
+                       "newton rejected", "total solves"});
+    for (int pi = 0; pi < 2; ++pi) {
+        table.add_row({sram::to_string(policies[pi]),
+                       std::to_string(steps[pi].accepted),
+                       std::to_string(steps[pi].lte_rejected),
+                       std::to_string(steps[pi].newton_rejected),
+                       std::to_string(steps[pi].total_attempts())});
+    }
+    std::cout << table.render() << '\n';
+}
+
+void write_bench_json(const Scaling_config& cfg,
+                      const Scaling_outcome& outcome, const Agreement& a,
+                      const spice::Step_stats steps[2], int max_word_lines,
+                      const std::vector<std::string>& extra_fields)
+{
+    std::ofstream json(cfg.json_path);
+    json << "{\n"
+         << "  \"bench\": \"" << cfg.bench_name << "\",\n"
+         << "  \"workload\": \"" << cfg.workload << "\",\n"
+         << "  \"rows\": " << outcome.rows << ",\n"
+         << "  \"max_word_lines\": " << max_word_lines << ",\n"
+         << "  \"hardware_threads\": "
+         << util::Thread_pool::hardware_threads() << ",\n"
+         << "  \"deterministic_across_threads\": "
+         << (outcome.all_identical ? "true" : "false") << ",\n"
+         << "  \"agreement\": {\"max_rel\": " << a.max_rel
+         << ", \"max_points\": " << a.max_points << ", \"within_budget\": "
+         << (a.within_budget() ? "true" : "false") << "},\n"
+         << "  \"step_counts_nominal\": {\n"
+         << "    \"word_lines\": " << max_word_lines << ",\n"
+         << "    \"fast\": {\"accepted\": " << steps[0].accepted
+         << ", \"lte_rejected\": " << steps[0].lte_rejected
+         << ", \"newton_rejected\": " << steps[0].newton_rejected << "},\n"
+         << "    \"reference\": {\"accepted\": " << steps[1].accepted
+         << ", \"lte_rejected\": " << steps[1].lte_rejected
+         << ", \"newton_rejected\": " << steps[1].newton_rejected << "}\n"
+         << "  },\n";
+    for (const std::string& field : extra_fields) {
+        json << "  " << field << "\n";
+    }
+    json << "  \"results\": [\n";
+    for (std::size_t i = 0; i < outcome.points.size(); ++i) {
+        const Scaling_point& p = outcome.points[i];
+        json << "    {\"threads\": " << p.threads
+             << ", \"wall_s_fast\": " << p.wall_s[0]
+             << ", \"wall_s_reference\": " << p.wall_s[1];
+        if (cfg.sims_per_row > 0.0) {
+            json << ", \"sims_per_s_fast\": " << p.sims_per_s[0]
+                 << ", \"sims_per_s_reference\": " << p.sims_per_s[1];
+        }
+        json << ", \"adaptive_speedup\": " << p.wall_s[1] / p.wall_s[0]
+             << "}" << (i + 1 < outcome.points.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "Wrote " << cfg.json_path << '\n';
+}
+
+} // namespace mpsram::bench

@@ -7,71 +7,33 @@
 // that the wire-RC penalty is diluted relative to the read — quantified
 // here over the n in {16, 64, 256} sweep.
 //
-// Since PR 4 this is also the write leg of the perf/calibration gates: the
-// sweep runs through the core::Variability_study batch APIs (write_sweep /
-// nominal_tw_batch / mc_twp) with per-worker Write_sim_contexts, and the
-// bench enforces
-//   - bitwise-identical parallel vs serial rows (determinism contract),
-//   - adaptive-vs-reference tw agreement <= 0.5% on every write sweep row
-//     for every patterning option (the write analogue of the PR 3 read
-//     calibration), and
-//   - emits walls, step counts and the agreement margins into
-//     BENCH_write.json next to BENCH_mc.json / BENCH_spice.json.
-//
-// Each measured run constructs a fresh Variability_study so the worst-case
-// and nominal-tw memos cannot leak work between runs.
+// Since PR 5 the workload is a query (Metric::write_tw) and the
+// thread-scaling / determinism / JSON plumbing is the shared bench driver
+// (bench_driver.h).  This bench keeps the write-specific legs: the
+// science table (twp vs tdp per option), the adaptive-vs-reference tw
+// agreement gate on every write row, the nominal-write step counters, a
+// SPICE-in-the-loop MC twp smoke, and — new with the analytic tw model —
+// a 10k-sample formula-engine twp distribution that runs without SPICE in
+// the sample loop.  Everything lands in BENCH_write.json.
 //
 //   $ ./bench_ext_write_impact [max_word_lines]
 #include <chrono>
-#include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/study.h"
-#include "sram/sim_accuracy.h"
+#include "bench_driver.h"
+#include "core/session.h"
 #include "sram/write_sim.h"
-#include "util/numeric.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
-namespace {
-
-using namespace mpsram;
-
-double seconds_of(const std::chrono::steady_clock::duration& d)
-{
-    return std::chrono::duration<double>(d).count();
-}
-
-bool bitwise_equal(const std::vector<core::Variability_study::Write_row>& a,
-                   const std::vector<core::Variability_study::Write_row>& b)
-{
-    if (a.size() != b.size()) return false;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        if (a[i].tw_nominal != b[i].tw_nominal ||
-            a[i].tw_varied != b[i].tw_varied ||
-            a[i].twp_percent != b[i].twp_percent) {
-            return false;
-        }
-    }
-    return true;
-}
-
-core::Study_options study_opts(sram::Sim_accuracy accuracy)
-{
-    core::Study_options opts;
-    opts.read.accuracy = accuracy;
-    opts.write.accuracy = accuracy;
-    return opts;
-}
-
-} // namespace
-
 int main(int argc, char** argv)
 {
+    using namespace mpsram;
+
     const int max_n = argc > 1 ? std::atoi(argv[1]) : 256;
     if (max_n < 16) {
         std::cerr << "usage: bench_ext_write_impact [max_word_lines>=16]\n";
@@ -82,13 +44,7 @@ int main(int argc, char** argv)
     for (const int n : {16, 64, 256}) {
         if (n <= max_n) sizes.push_back(n);
     }
-
     const int hw = util::Thread_pool::hardware_threads();
-    std::vector<int> thread_counts = {1, 2, 4};
-    if (hw > 4) thread_counts.push_back(hw);
-
-    constexpr sram::Sim_accuracy policies[] = {sram::Sim_accuracy::fast,
-                                               sram::Sim_accuracy::reference};
 
     std::cout << "Extension: write-time penalty (twp) vs read-time penalty "
                  "(tdp)\nat the per-option worst-case corners, n in {";
@@ -97,228 +53,148 @@ int main(int argc, char** argv)
     }
     std::cout << "}\n\n";
 
-    // --- the science table, through the batch APIs ---------------------------
-    // One study for the whole table: every option's write and read sweeps
-    // share the nominal memos and per-worker contexts; the corner searches
-    // are shared between the tw and td legs through the worst-case memo.
+    // --- the science table, through the query API ----------------------------
+    // One session for the whole table: every option's write and read
+    // queries share the nominal memos and the worst-case corner searches.
     {
-        const core::Variability_study study;
+        const core::Study_session session;
         const core::Runner_options runner{hw};
-        const auto tw_nominals = study.nominal_tw_batch(sizes, runner);
+        const auto tw_nominals = session.run(
+            core::Query(core::Metric::nominal_tw)
+                .over_word_lines(tech::Patterning_option::euv, sizes)
+                .on(runner));
 
-        util::Table table(
-            {"option", "array", "tw nominal", "twp", "tdp (read)"});
+        util::Table table({"option", "array", "tw nominal",
+                           "tw formula", "twp", "tdp (read)"});
         for (const auto option : tech::all_patterning_options) {
-            const auto write = study.write_sweep(option, sizes, runner);
-            const auto read = study.read_sweep(option, sizes, runner);
+            const auto write =
+                session.run(core::Query(core::Metric::write_tw)
+                                .over_word_lines(option, sizes)
+                                .on(runner));
+            const auto read =
+                session.run(core::Query(core::Metric::read_td)
+                                .over_word_lines(option, sizes)
+                                .on(runner));
             for (std::size_t i = 0; i < sizes.size(); ++i) {
+                const auto& nom = tw_nominals.as<core::Nominal_tw_row>(i);
                 table.add_row(
                     {std::string(tech::to_string(option)),
                      "10x" + std::to_string(sizes[i]),
-                     util::fmt_time(tw_nominals[i], 2),
-                     util::fmt_fixed(write[i].twp_percent, 2) + "%",
-                     util::fmt_fixed(read[i].tdp_percent, 2) + "%"});
+                     util::fmt_time(nom.tw_simulation, 2),
+                     util::fmt_time(nom.tw_formula, 2),
+                     util::fmt_fixed(
+                         write.as<core::Write_row>(i).twp_percent, 2) +
+                         "%",
+                     util::fmt_fixed(
+                         read.as<core::Read_row>(i).tdp_percent, 2) +
+                         "%"});
             }
         }
         std::cout << table.render() << '\n'
                   << "Expected: the write penalty follows the same option\n"
                      "ordering as the read (LE3 worst) but is diluted by "
-                     "the\nstrong, array-scaled write driver.\n\n";
+                     "the\nstrong, array-scaled write driver; the lumped "
+                     "tw formula\nunderestimates SPICE like the td one "
+                     "does.\n\n";
     }
 
     // --- thread scaling of the write sweep, per policy -----------------------
-    std::cout << "Write sweep walls (LE3 worst-case write, " << sizes.size()
-              << " array sizes, " << hw << " hardware threads)\n";
-    util::Table scaling({"threads", "policy", "wall [s]", "thread speedup",
-                         "adaptive speedup", "bitwise == serial"});
-
-    struct Point {
-        int threads = 0;
-        double wall_s[2] = {0.0, 0.0};  // indexed like `policies`
-        bool identical[2] = {true, true};
+    bench::Scaling_config cfg;
+    cfg.bench_name = "bench_ext_write_impact";
+    cfg.workload = "le3_worst_case_write_sweep";
+    cfg.json_path = "BENCH_write.json";
+    cfg.sims_per_row = 2.0;
+    cfg.run = [&sizes](int threads, sram::Sim_accuracy accuracy) {
+        const core::Study_session session;
+        return session.run(
+            core::Query(core::Metric::write_tw)
+                .over_word_lines(tech::Patterning_option::le3, sizes)
+                .with_accuracy(accuracy)
+                .on(core::Runner_options{threads}));
     };
-    std::vector<Point> points;
-    std::vector<core::Variability_study::Write_row> serial_rows[2];
-
-    for (const int threads : thread_counts) {
-        Point p;
-        p.threads = threads;
-        for (int pi = 0; pi < 2; ++pi) {
-            const core::Variability_study study(tech::n10(),
-                                                study_opts(policies[pi]));
-            const auto t0 = std::chrono::steady_clock::now();
-            const auto rows = study.write_sweep(
-                tech::Patterning_option::le3, sizes,
-                core::Runner_options{threads});
-            p.wall_s[pi] = seconds_of(std::chrono::steady_clock::now() - t0);
-            if (threads == 1) {
-                serial_rows[pi] = rows;
-            } else {
-                p.identical[pi] = bitwise_equal(rows, serial_rows[pi]);
-            }
-        }
-        points.push_back(p);
-        for (int pi = 0; pi < 2; ++pi) {
-            scaling.add_row(
-                {std::to_string(threads), sram::to_string(policies[pi]),
-                 util::fmt_fixed(p.wall_s[pi], 3),
-                 util::fmt_fixed(points.front().wall_s[pi] / p.wall_s[pi],
-                                 2) +
-                     "x",
-                 util::fmt_fixed(p.wall_s[1] / p.wall_s[0], 2) + "x",
-                 p.identical[pi] ? "yes" : "NO"});
-        }
-    }
-    std::cout << scaling.render() << '\n';
+    const bench::Scaling_outcome outcome = bench::run_thread_scaling(cfg);
 
     // --- calibration agreement: fast vs reference on every write row ---------
-    // The write analogue of the PR 3 read calibration gate: adaptive tw
-    // within 0.5% of the fixed-step reference on every write sweep row of
-    // every patterning option.
+    // The write analogue of the read calibration gate: adaptive tw within
+    // 0.5% of the fixed-step reference on every write sweep row of every
+    // patterning option.
     const core::Runner_options agreement_runner{hw};
-    double max_tw_rel = 0.0;
-    double max_twp_pts = 0.0;
-    // One study pair for all options: this section is untimed, and sharing
-    // the nominal-tw memo across options skips re-running the
-    // option-independent nominal transients (the worst-case memo is keyed
-    // per option, so every gated value is unchanged).
-    const core::Variability_study ref_study(
-        tech::n10(), study_opts(sram::Sim_accuracy::reference));
-    const core::Variability_study fast_study(
-        tech::n10(), study_opts(sram::Sim_accuracy::fast));
-    for (const auto option : tech::all_patterning_options) {
-        const auto ref_rows =
-            ref_study.write_sweep(option, sizes, agreement_runner);
-        const auto fast_rows =
-            fast_study.write_sweep(option, sizes, agreement_runner);
-        for (std::size_t i = 0; i < sizes.size(); ++i) {
-            max_tw_rel =
-                std::max({max_tw_rel,
-                          util::rel_diff(ref_rows[i].tw_nominal,
-                                         fast_rows[i].tw_nominal),
-                          util::rel_diff(ref_rows[i].tw_varied,
-                                         fast_rows[i].tw_varied)});
-            max_twp_pts =
-                std::max(max_twp_pts, std::fabs(ref_rows[i].twp_percent -
-                                                fast_rows[i].twp_percent));
-        }
-    }
-    const bool agreement_ok = max_tw_rel <= 5e-3 && max_twp_pts <= 0.5;
-    std::cout << "Adaptive-vs-reference agreement over every write sweep "
-                 "row (all options):\n  max |tw| deviation "
-              << util::fmt_fixed(100.0 * max_tw_rel, 4) << "% , max |twp| "
-              << util::fmt_fixed(max_twp_pts, 4) << " points ("
-              << (agreement_ok ? "within" : "OUTSIDE")
-              << " the 0.5% calibration budget)\n";
+    const bench::Agreement agreement =
+        bench::run_option_agreement([&](tech::Patterning_option option) {
+            return core::Query(core::Metric::write_tw)
+                .over_word_lines(option, sizes)
+                .on(agreement_runner);
+        });
+    std::cout << "Checked over every write sweep row (all options):\n";
+    bench::report_agreement(agreement, "tw");
 
     // --- step counters of one nominal write at the largest size --------------
     spice::Step_stats steps[2];
+    bench::measure_nominal_steps<sram::Write_sim_context>(sizes.back(),
+                                                          steps);
+    std::cout << "\nStep counts, nominal write at 10x" << sizes.back()
+              << ":\n";
+    bench::print_step_table(steps);
+
+    // --- MC twp: SPICE-in-the-loop smoke vs the 10k-sample formula engine ----
+    std::vector<std::string> extra_fields;
     {
-        const core::Variability_study study;
-        const tech::Technology& t = study.technology();
-        const auto cell = sram::Cell_electrical::n10(t.feol);
-        sram::Array_config cfg = study.options().array;
-        cfg.word_lines = sizes.back();
-        const geom::Wire_array nominal = study.decomposed_array(
-            tech::Patterning_option::euv, sizes.back());
-        const sram::Bitline_electrical wires =
-            sram::roll_up_nominal(study.extractor(), nominal, t, cfg);
-        for (int pi = 0; pi < 2; ++pi) {
-            sram::Write_options wopts;
-            wopts.accuracy = policies[pi];
-            sram::Write_sim_context sim;
-            steps[pi] = sim.simulate(t, cell, wires, cfg,
-                                     sram::Write_timing{},
-                                     sram::Netlist_options{}, wopts)
-                            .steps;
-        }
-        std::cout << "\nStep counts, nominal write at 10x" << sizes.back()
-                  << ":\n";
-        util::Table step_table({"policy", "accepted", "lte rejected",
-                                "newton rejected", "total solves"});
-        for (int pi = 0; pi < 2; ++pi) {
-            step_table.add_row({sram::to_string(policies[pi]),
-                                std::to_string(steps[pi].accepted),
-                                std::to_string(steps[pi].lte_rejected),
-                                std::to_string(steps[pi].newton_rejected),
-                                std::to_string(steps[pi].total_attempts())});
-        }
-        std::cout << step_table.render() << '\n';
+        const core::Study_session session;
+
+        mc::Distribution_options spice_mo;
+        spice_mo.samples = 64;
+        spice_mo.runner.threads = hw;
+        auto t0 = std::chrono::steady_clock::now();
+        const auto spice_dist =
+            session
+                .run(core::Query(core::Metric::mc_twp)
+                         .with_case({tech::Patterning_option::le3,
+                                     sizes.front()})
+                         .with_mc(spice_mo))
+                .as<mc::Tdp_distribution>(0);
+        const double spice_wall =
+            bench::seconds_of(std::chrono::steady_clock::now() - t0);
+
+        // The analytic tw model as the sample engine: 10k samples at
+        // read-MC cost (no transient per sample) — the workload the
+        // SPICE loop cannot afford.
+        mc::Distribution_options formula_mo = spice_mo;
+        formula_mo.samples = 10000;
+        t0 = std::chrono::steady_clock::now();
+        const auto formula_dist =
+            session
+                .run(core::Query(core::Metric::mc_twp)
+                         .with_case({tech::Patterning_option::le3,
+                                     sizes.front()})
+                         .with_mc(formula_mo)
+                         .with_twp_engine(core::Twp_engine::formula))
+                .as<mc::Tdp_distribution>(0);
+        const double formula_wall =
+            bench::seconds_of(std::chrono::steady_clock::now() - t0);
+
+        std::cout << "MC twp (LE3, 10x" << sizes.front() << "):\n  SPICE engine   "
+                  << spice_mo.samples << " samples: sigma "
+                  << util::fmt_fixed(spice_dist.summary.stddev, 3)
+                  << "%, wall " << util::fmt_fixed(spice_wall, 3)
+                  << " s\n  formula engine " << formula_mo.samples
+                  << " samples: sigma "
+                  << util::fmt_fixed(formula_dist.summary.stddev, 3)
+                  << "%, wall " << util::fmt_fixed(formula_wall, 3)
+                  << " s\n";
+
+        std::ostringstream mc_json;
+        mc_json << "\"mc_twp\": {\"spice\": {\"samples\": "
+                << spice_mo.samples << ", \"wall_s\": " << spice_wall
+                << ", \"mean\": " << spice_dist.summary.mean
+                << ", \"stddev\": " << spice_dist.summary.stddev
+                << "}, \"formula\": {\"samples\": " << formula_mo.samples
+                << ", \"wall_s\": " << formula_wall
+                << ", \"mean\": " << formula_dist.summary.mean
+                << ", \"stddev\": " << formula_dist.summary.stddev << "}},";
+        extra_fields.push_back(mc_json.str());
     }
 
-    // --- MC twp smoke: the SPICE-in-the-loop distribution workload -----------
-    double mc_wall = 0.0;
-    double mc_mean = 0.0;
-    double mc_stddev = 0.0;
-    constexpr int mc_samples = 64;
-    {
-        const core::Variability_study study;
-        mc::Distribution_options mo;
-        mo.samples = mc_samples;
-        mo.runner.threads = hw;
-        const auto t0 = std::chrono::steady_clock::now();
-        const auto dist = study.mc_twp(tech::Patterning_option::le3,
-                                       sizes.front(), mo);
-        mc_wall = seconds_of(std::chrono::steady_clock::now() - t0);
-        mc_mean = dist.summary.mean;
-        mc_stddev = dist.summary.stddev;
-        std::cout << "MC twp (LE3, 10x" << sizes.front() << ", "
-                  << mc_samples << " SPICE samples, " << hw
-                  << " threads): mean " << util::fmt_fixed(mc_mean, 3)
-                  << "%, sigma " << util::fmt_fixed(mc_stddev, 3)
-                  << "%, wall " << util::fmt_fixed(mc_wall, 3) << " s\n";
-    }
-
-    bool all_identical = true;
-    for (const Point& p : points) {
-        all_identical = all_identical && p.identical[0] && p.identical[1];
-    }
-    if (!all_identical) {
-        std::cout << "ERROR: parallel write rows diverged from serial — "
-                     "the\ndeterminism contract is broken.\n";
-    }
-    if (!agreement_ok) {
-        std::cout << "ERROR: the adaptive engine left the 0.5% write "
-                     "calibration\nbudget — retune sram::fast_lte_* (see "
-                     "sim_accuracy.h).\n";
-    }
-
-    std::ofstream json("BENCH_write.json");
-    json << "{\n"
-         << "  \"bench\": \"bench_ext_write_impact\",\n"
-         << "  \"workload\": \"le3_worst_case_write_sweep\",\n"
-         << "  \"array_sizes\": " << sizes.size() << ",\n"
-         << "  \"max_word_lines\": " << sizes.back() << ",\n"
-         << "  \"hardware_threads\": " << hw << ",\n"
-         << "  \"deterministic_across_threads\": "
-         << (all_identical ? "true" : "false") << ",\n"
-         << "  \"agreement\": {\"max_tw_rel\": " << max_tw_rel
-         << ", \"max_twp_points\": " << max_twp_pts
-         << ", \"within_budget\": " << (agreement_ok ? "true" : "false")
-         << "},\n"
-         << "  \"step_counts_nominal_write\": {\n"
-         << "    \"word_lines\": " << sizes.back() << ",\n"
-         << "    \"fast\": {\"accepted\": " << steps[0].accepted
-         << ", \"lte_rejected\": " << steps[0].lte_rejected
-         << ", \"newton_rejected\": " << steps[0].newton_rejected << "},\n"
-         << "    \"reference\": {\"accepted\": " << steps[1].accepted
-         << ", \"lte_rejected\": " << steps[1].lte_rejected
-         << ", \"newton_rejected\": " << steps[1].newton_rejected << "}\n"
-         << "  },\n"
-         << "  \"mc_twp\": {\"samples\": " << mc_samples
-         << ", \"wall_s\": " << mc_wall << ", \"mean\": " << mc_mean
-         << ", \"stddev\": " << mc_stddev << "},\n"
-         << "  \"results\": [\n";
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        json << "    {\"threads\": " << points[i].threads
-             << ", \"wall_s_fast\": " << points[i].wall_s[0]
-             << ", \"wall_s_reference\": " << points[i].wall_s[1]
-             << ", \"adaptive_speedup\": "
-             << points[i].wall_s[1] / points[i].wall_s[0] << "}"
-             << (i + 1 < points.size() ? "," : "") << "\n";
-    }
-    json << "  ]\n}\n";
-    std::cout << "Wrote BENCH_write.json\n";
-
-    return all_identical && agreement_ok ? 0 : 1;
+    bench::write_bench_json(cfg, outcome, agreement, steps, sizes.back(),
+                            extra_fields);
+    return outcome.all_identical && agreement.within_budget() ? 0 : 1;
 }

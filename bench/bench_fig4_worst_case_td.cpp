@@ -18,7 +18,7 @@
 #include <iostream>
 #include <vector>
 
-#include "core/study.h"
+#include "core/session.h"
 #include "util/csv.h"
 #include "util/table.h"
 
@@ -26,19 +26,21 @@ int main(int argc, char** argv)
 {
     using namespace mpsram;
 
-    core::Study_options opts;
+    // Env-aware default (MPSRAM_SIM_ACCURACY), same contract as the
+    // Study_options policies; --reference pins the oracle explicitly.
+    sram::Sim_accuracy accuracy = sram::default_sim_accuracy();
     if (argc > 1) {
         if (std::strcmp(argv[1], "--reference") != 0) {
             std::cerr << "usage: bench_fig4_worst_case_td [--reference]\n";
             return 2;
         }
-        opts.read.accuracy = sram::Sim_accuracy::reference;
+        accuracy = sram::Sim_accuracy::reference;
     }
-    core::Variability_study study(tech::n10(), opts);
+    core::Study_session session;
     constexpr int sizes[] = {16, 64, 256, 1024};
 
     std::cout << "Fig. 4: worst case wire variability impact on td ("
-              << sram::to_string(opts.read.accuracy) << " engine)\n\n";
+              << sram::to_string(accuracy) << " engine)\n\n";
 
     util::Table table({"Array size", "td nominal", "tdp LELELE", "tdp SADP",
                        "tdp EUV"});
@@ -47,12 +49,19 @@ int main(int argc, char** argv)
     csv.write_header({"word_lines", "td_nominal_s", "tdp_le3_pct",
                       "tdp_sadp_pct", "tdp_euv_pct"});
 
-    // One parallel sweep per option: the per-word-line transients fan out
-    // over all cores, bitwise identical to the serial loop they replace.
-    std::vector<core::Variability_study::Read_row> rows[3];
+    // One query per option: Metric::read_td over the word-line axis, the
+    // per-word-line transients fanned over all cores, bitwise identical
+    // to the serial loop they replace.
+    std::vector<core::Read_row> rows[3];
     for (int oi = 0; oi < 3; ++oi) {
-        rows[oi] = study.read_sweep(tech::all_patterning_options[oi], sizes,
-                                    core::Runner_options::parallel());
+        rows[oi] =
+            session
+                .run(core::Query(core::Metric::read_td)
+                         .over_word_lines(tech::all_patterning_options[oi],
+                                          sizes)
+                         .with_accuracy(accuracy)
+                         .on(core::Runner_options::parallel()))
+                .column<core::Read_row>();
     }
 
     for (std::size_t si = 0; si < std::size(sizes); ++si) {

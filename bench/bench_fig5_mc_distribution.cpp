@@ -11,7 +11,7 @@
 #include <iostream>
 #include <vector>
 
-#include "core/study.h"
+#include "core/session.h"
 #include "util/csv.h"
 #include "util/histogram.h"
 #include "util/table.h"
@@ -20,7 +20,7 @@ int main()
 {
     using namespace mpsram;
 
-    core::Variability_study study;
+    core::Study_session session;
     mc::Distribution_options mo;
     mo.samples = 20000;
 
@@ -45,16 +45,16 @@ int main()
         {tech::Patterning_option::euv, -1.0, 0.415},
     };
 
-    // All three options as one batch on the execution engine, every
-    // hardware thread busy; results are bitwise independent of the
-    // thread count.
+    // All three options as one Metric::mc_tdp query, every hardware
+    // thread busy inside each case's sample loop; results are bitwise
+    // independent of the thread count.
     mo.runner = core::Runner_options::parallel();
-    std::vector<core::Variability_study::Mc_case> batch;
-    for (const auto& c : cases) batch.push_back({c.option, n, c.ol});
+    core::Query query(core::Metric::mc_tdp);
+    for (const auto& c : cases) query.with_case({c.option, n, c.ol});
 
     const auto t0 = std::chrono::steady_clock::now();
     const std::vector<mc::Tdp_distribution> dists =
-        study.mc_tdp_batch(batch, mo);
+        session.run(query.with_mc(mo)).column<mc::Tdp_distribution>();
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -86,7 +86,7 @@ int main()
               << "Expected shape: LE3 @ 8 nm OL clearly wider (sigma more\n"
                  "than 2x SADP), with a right tail from spacing crunches;\n"
                  "SADP the narrowest.  CSV: fig5_mc_distribution.csv\n"
-              << "Batch of " << batch.size() * mo.samples << " samples in "
+              << "Batch of " << dists.size() * mo.samples << " samples in "
               << util::fmt_fixed(wall_s, 2) << " s on all hardware threads\n";
     return 0;
 }

@@ -1,74 +1,33 @@
 // SPICE sweep throughput: adaptive-vs-fixed stepping and thread scaling on
 // the Fig. 4 workload (LE3 worst-case read, one corner search + two
-// transients per word-line count).
+// transients per word-line count), driven through the query layer.
 //
-// For every thread count the sweep runs twice — once under the production
-// adaptive-LTE policy (Sim_accuracy::fast) and once under the fixed-step
-// reference (Sim_accuracy::reference) — so the wall-time table shows the
-// thread speedup and the adaptive speedup side by side.  The parallel rows
-// are compared against the serial rows of the same policy (the determinism
-// contract: bitwise identical); the two policies are compared against each
-// other on the complete Fig. 4 set — every option, n up to 1024,
-// regardless of max_word_lines — enforcing the calibration contract (td
-// and tdp within 0.5%); and one nominal read at the largest size reports
-// the step counters of each engine.  Everything lands in BENCH_spice.json next to BENCH_mc.json
-// so the sweep trajectory can be tracked across revisions.
-//
-// Each measured run constructs a fresh Variability_study so the worst-case
-// and nominal-td memos cannot leak work between runs — every run pays the
-// full corner searches and transients.
+// The workload is one query — Metric::read_td over the Fig. 4 word-line
+// progression — executed by the shared bench driver (bench_driver.h) for
+// every (threads, policy) grid point on a fresh core::Study_session, so
+// the worst-case and nominal-td memos cannot leak work between measured
+// runs.  The driver enforces the bitwise parallel-vs-serial determinism
+// contract; this bench adds the read calibration gate (adaptive td and
+// tdp within 0.5% of the fixed-step reference on the complete canonical
+// Fig. 4 set — every option, n up to 1024 — regardless of
+// max_word_lines) and the step counters of one nominal read at the
+// largest size.  Everything lands in BENCH_spice.json next to
+// BENCH_mc.json so the sweep trajectory can be tracked across revisions.
 //
 //   $ ./bench_perf_spice [max_word_lines]
-#include <algorithm>
-#include <chrono>
-#include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <string>
 #include <vector>
 
-#include "core/study.h"
+#include "bench_driver.h"
+#include "core/session.h"
 #include "sram/bitline_model.h"
-#include "sram/sim_accuracy.h"
-#include "util/numeric.h"
-#include "util/table.h"
 #include "util/thread_pool.h"
-
-namespace {
-
-using namespace mpsram;
-
-double seconds_of(const std::chrono::steady_clock::duration& d)
-{
-    return std::chrono::duration<double>(d).count();
-}
-
-bool bitwise_equal(const std::vector<core::Variability_study::Read_row>& a,
-                   const std::vector<core::Variability_study::Read_row>& b)
-{
-    if (a.size() != b.size()) return false;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        if (a[i].td_nominal != b[i].td_nominal ||
-            a[i].td_varied != b[i].td_varied ||
-            a[i].tdp_percent != b[i].tdp_percent) {
-            return false;
-        }
-    }
-    return true;
-}
-
-core::Study_options study_opts(sram::Sim_accuracy accuracy)
-{
-    core::Study_options opts;
-    opts.read.accuracy = accuracy;
-    return opts;
-}
-
-} // namespace
 
 int main(int argc, char** argv)
 {
+    using namespace mpsram;
+
     const int max_n = argc > 1 ? std::atoi(argv[1]) : 128;
     if (max_n < 16) {
         std::cerr << "usage: bench_perf_spice [max_word_lines>=16]\n";
@@ -83,73 +42,26 @@ int main(int argc, char** argv)
         if (n <= max_n) sizes.push_back(n);
     }
 
-    const int hw = util::Thread_pool::hardware_threads();
-    std::vector<int> thread_counts = {1, 2, 4};
-    if (hw > 4) thread_counts.push_back(hw);
-
-    constexpr sram::Sim_accuracy policies[] = {sram::Sim_accuracy::fast,
-                                               sram::Sim_accuracy::reference};
-
     std::cout << "SPICE sweep throughput: LE3 worst-case read (Fig. 4), "
-              << sizes.size() << " array sizes up to 10x" << max_n << ", "
-              << hw << " hardware threads\n"
+              << sizes.size() << " array sizes up to 10x" << max_n << "\n"
               << "Policies: fast = calibrated adaptive-LTE stepping "
                  "(production default), reference = fixed-step oracle\n\n";
 
-    util::Table table({"threads", "policy", "wall [s]", "sims/s",
-                       "thread speedup", "adaptive speedup",
-                       "bitwise == serial"});
-
-    struct Point {
-        int threads = 0;
-        double wall_s[2] = {0.0, 0.0};  // indexed like `policies`
-        double sims_per_s[2] = {0.0, 0.0};
-        bool identical[2] = {true, true};
+    bench::Scaling_config cfg;
+    cfg.bench_name = "bench_perf_spice";
+    cfg.workload = "le3_worst_case_read_fig4_sweep";
+    cfg.json_path = "BENCH_spice.json";
+    // Two transients (nominal + worst corner) per word-line count.
+    cfg.sims_per_row = 2.0;
+    cfg.run = [&sizes](int threads, sram::Sim_accuracy accuracy) {
+        const core::Study_session session;
+        return session.run(
+            core::Query(core::Metric::read_td)
+                .over_word_lines(tech::Patterning_option::le3, sizes)
+                .with_accuracy(accuracy)
+                .on(core::Runner_options{threads}));
     };
-    std::vector<Point> points;
-    std::vector<core::Variability_study::Read_row> serial_rows[2];
-
-    for (const int threads : thread_counts) {
-        Point p;
-        p.threads = threads;
-        for (int pi = 0; pi < 2; ++pi) {
-            // Fresh study per run: no memo crosstalk between runs.
-            const core::Variability_study study(tech::n10(),
-                                                study_opts(policies[pi]));
-            const core::Runner_options runner{threads};
-
-            const auto t0 = std::chrono::steady_clock::now();
-            const auto rows = study.read_sweep(tech::Patterning_option::le3,
-                                               sizes, runner);
-            const double wall =
-                seconds_of(std::chrono::steady_clock::now() - t0);
-
-            p.wall_s[pi] = wall;
-            // Two transients (nominal + worst corner) per word-line count.
-            p.sims_per_s[pi] =
-                2.0 * static_cast<double>(sizes.size()) / wall;
-            if (threads == 1) {
-                serial_rows[pi] = rows;
-            } else {
-                p.identical[pi] = bitwise_equal(rows, serial_rows[pi]);
-            }
-        }
-        points.push_back(p);
-
-        for (int pi = 0; pi < 2; ++pi) {
-            table.add_row(
-                {std::to_string(threads), sram::to_string(policies[pi]),
-                 util::fmt_fixed(p.wall_s[pi], 3),
-                 util::fmt_fixed(p.sims_per_s[pi], 2),
-                 util::fmt_fixed(points.front().wall_s[pi] / p.wall_s[pi],
-                                 2) +
-                     "x",
-                 util::fmt_fixed(p.wall_s[1] / p.wall_s[0], 2) + "x",
-                 p.identical[pi] ? "yes" : "NO"});
-        }
-    }
-
-    std::cout << table.render() << '\n';
+    const bench::Scaling_outcome outcome = bench::run_thread_scaling(cfg);
 
     // --- calibration agreement: fast vs reference ----------------------------
     // Always checked on the complete canonical Fig. 4 set {16, 64, 256,
@@ -160,120 +72,26 @@ int main(int argc, char** argv)
     constexpr int fig4_sizes[] = {16, 64, 256, 1024};
     // Determinism makes thread count a free choice here: run the heavy
     // reference sweeps on every core.
-    const core::Runner_options agreement_runner{hw};
-    double max_td_rel = 0.0;
-    double max_tdp_pts = 0.0;
-    for (const auto option : tech::all_patterning_options) {
-        const core::Variability_study ref_study(
-            tech::n10(), study_opts(sram::Sim_accuracy::reference));
-        const core::Variability_study fast_study(
-            tech::n10(), study_opts(sram::Sim_accuracy::fast));
-        const auto ref_rows =
-            ref_study.read_sweep(option, fig4_sizes, agreement_runner);
-        const auto fast_rows =
-            fast_study.read_sweep(option, fig4_sizes, agreement_runner);
-        for (std::size_t i = 0; i < std::size(fig4_sizes); ++i) {
-            max_td_rel =
-                std::max({max_td_rel,
-                          util::rel_diff(ref_rows[i].td_nominal,
-                                         fast_rows[i].td_nominal),
-                          util::rel_diff(ref_rows[i].td_varied,
-                                         fast_rows[i].td_varied)});
-            max_tdp_pts =
-                std::max(max_tdp_pts, std::fabs(ref_rows[i].tdp_percent -
-                                                fast_rows[i].tdp_percent));
-        }
-    }
-    const bool agreement_ok = max_td_rel <= 5e-3 && max_tdp_pts <= 0.5;
-    std::cout << "Adaptive-vs-reference agreement over the full Fig. 4 set "
-                 "(all options, n up to 1024):\n  max |td| deviation "
-              << util::fmt_fixed(100.0 * max_td_rel, 4) << "% , max |tdp| "
-              << util::fmt_fixed(max_tdp_pts, 4) << " points ("
-              << (agreement_ok ? "within" : "OUTSIDE")
-              << " the 0.5% calibration budget)\n";
+    const core::Runner_options agreement_runner{
+        util::Thread_pool::hardware_threads()};
+    const bench::Agreement agreement =
+        bench::run_option_agreement([&](tech::Patterning_option option) {
+            return core::Query(core::Metric::read_td)
+                .over_word_lines(option, fig4_sizes)
+                .on(agreement_runner);
+        });
+    std::cout << "Checked over the full Fig. 4 set (all options, n up to "
+                 "1024):\n";
+    bench::report_agreement(agreement, "td");
 
     // --- step counters of one nominal read at the largest size ---------------
     spice::Step_stats steps[2];
-    {
-        const tech::Technology t = tech::n10();
-        const sram::Cell_electrical cell = sram::Cell_electrical::n10(t.feol);
-        const extract::Extractor ex(t.metal1);
-        sram::Array_config cfg;
-        cfg.word_lines = sizes.back();
-        cfg.victim_pair = 6;
-        const geom::Wire_array arr = sram::build_metal1_array(t, cfg);
-        const sram::Bitline_electrical wires =
-            sram::roll_up_nominal(ex, arr, t, cfg);
-        for (int pi = 0; pi < 2; ++pi) {
-            sram::Read_options ropts;
-            ropts.accuracy = policies[pi];
-            sram::Read_sim_context sim;
-            steps[pi] = sim.simulate(t, cell, wires, cfg, sram::Read_timing{},
-                                     sram::Netlist_options{}, ropts)
-                            .steps;
-        }
-        std::cout << "\nStep counts, nominal read at 10x" << sizes.back()
-                  << ":\n";
-        util::Table step_table({"policy", "accepted", "lte rejected",
-                                "newton rejected", "total solves"});
-        for (int pi = 0; pi < 2; ++pi) {
-            step_table.add_row({sram::to_string(policies[pi]),
-                                std::to_string(steps[pi].accepted),
-                                std::to_string(steps[pi].lte_rejected),
-                                std::to_string(steps[pi].newton_rejected),
-                                std::to_string(steps[pi].total_attempts())});
-        }
-        std::cout << step_table.render() << '\n';
-    }
+    bench::measure_nominal_steps<sram::Read_sim_context>(sizes.back(),
+                                                         steps);
+    std::cout << "\nStep counts, nominal read at 10x" << sizes.back()
+              << ":\n";
+    bench::print_step_table(steps);
 
-    bool all_identical = true;
-    for (const Point& p : points) {
-        all_identical = all_identical && p.identical[0] && p.identical[1];
-    }
-    if (!all_identical) {
-        std::cout << "ERROR: parallel results diverged from serial — the\n"
-                     "determinism contract is broken.\n";
-    }
-    if (!agreement_ok) {
-        std::cout << "ERROR: the adaptive engine left the 0.5% calibration\n"
-                     "budget — retune sram::fast_lte_* (see sim_accuracy.h).\n";
-    }
-
-    std::ofstream json("BENCH_spice.json");
-    json << "{\n"
-         << "  \"bench\": \"bench_perf_spice\",\n"
-         << "  \"workload\": \"le3_worst_case_read_fig4_sweep\",\n"
-         << "  \"array_sizes\": " << sizes.size() << ",\n"
-         << "  \"max_word_lines\": " << sizes.back() << ",\n"
-         << "  \"hardware_threads\": " << hw << ",\n"
-         << "  \"deterministic_across_threads\": "
-         << (all_identical ? "true" : "false") << ",\n"
-         << "  \"agreement\": {\"max_td_rel\": " << max_td_rel
-         << ", \"max_tdp_points\": " << max_tdp_pts
-         << ", \"within_budget\": " << (agreement_ok ? "true" : "false")
-         << "},\n"
-         << "  \"step_counts_nominal_read\": {\n"
-         << "    \"word_lines\": " << sizes.back() << ",\n"
-         << "    \"fast\": {\"accepted\": " << steps[0].accepted
-         << ", \"lte_rejected\": " << steps[0].lte_rejected
-         << ", \"newton_rejected\": " << steps[0].newton_rejected << "},\n"
-         << "    \"reference\": {\"accepted\": " << steps[1].accepted
-         << ", \"lte_rejected\": " << steps[1].lte_rejected
-         << ", \"newton_rejected\": " << steps[1].newton_rejected << "}\n"
-         << "  },\n"
-         << "  \"results\": [\n";
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        json << "    {\"threads\": " << points[i].threads
-             << ", \"wall_s_fast\": " << points[i].wall_s[0]
-             << ", \"wall_s_reference\": " << points[i].wall_s[1]
-             << ", \"sims_per_s_fast\": " << points[i].sims_per_s[0]
-             << ", \"sims_per_s_reference\": " << points[i].sims_per_s[1]
-             << ", \"adaptive_speedup\": "
-             << points[i].wall_s[1] / points[i].wall_s[0] << "}"
-             << (i + 1 < points.size() ? "," : "") << "\n";
-    }
-    json << "  ]\n}\n";
-    std::cout << "Wrote BENCH_spice.json\n";
-
-    return all_identical && agreement_ok ? 0 : 1;
+    bench::write_bench_json(cfg, outcome, agreement, steps, sizes.back());
+    return outcome.all_identical && agreement.within_budget() ? 0 : 1;
 }

@@ -8,7 +8,7 @@
 //   EUV:    Cbl  +6.65%, Rbl -10.36%
 #include <iostream>
 
-#include "core/study.h"
+#include "core/session.h"
 #include "util/table.h"
 
 namespace {
@@ -31,7 +31,7 @@ int main()
 {
     using namespace mpsram;
 
-    core::Variability_study study;
+    core::Study_session session;
 
     std::cout << "Table I: worst-case variability per patterning option\n"
               << "(3s CD = 3 nm; SADP spacer 3s = 1.5 nm; LE3 OL 3s = 8 nm)\n\n";
@@ -40,8 +40,16 @@ int main()
                        "Rbl impact", "paper Cbl", "paper Rbl",
                        "Rvss impact"});
 
-    for (const Paper_row& ref : paper_rows) {
-        const auto row = study.worst_case(ref.option);
+    // The whole table is one query: Metric::worst_case_rc over the
+    // option axis, corner enumerations on every core.
+    const auto rows = session.run(
+        core::Query(core::Metric::worst_case_rc)
+            .over_options(tech::all_patterning_options)
+            .on(core::Runner_options::parallel()));
+
+    for (std::size_t i = 0; i < std::size(paper_rows); ++i) {
+        const Paper_row& ref = paper_rows[i];
+        const auto& row = rows.as<core::Worst_case_row>(i);
         table.add_row({std::string(tech::to_string(ref.option)),
                        row.corner,
                        util::fmt_percent(row.cbl_percent / 100.0, 2),

@@ -17,22 +17,24 @@
 #include <iostream>
 #include <vector>
 
-#include "core/study.h"
+#include "core/session.h"
 #include "util/table.h"
 
 int main(int argc, char** argv)
 {
     using namespace mpsram;
 
-    core::Study_options opts;
+    // Env-aware default (MPSRAM_SIM_ACCURACY), same contract as the
+    // Study_options policies; --reference pins the oracle explicitly.
+    sram::Sim_accuracy accuracy = sram::default_sim_accuracy();
     if (argc > 1) {
         if (std::strcmp(argv[1], "--reference") != 0) {
             std::cerr << "usage: bench_table2_formula_vs_sim [--reference]\n";
             return 2;
         }
-        opts.read.accuracy = sram::Sim_accuracy::reference;
+        accuracy = sram::Sim_accuracy::reference;
     }
-    core::Variability_study study(tech::n10(), opts);
+    core::Study_session session;
 
     struct Paper_row {
         int n;
@@ -50,15 +52,19 @@ int main(int argc, char** argv)
     util::Table table({"Array size", "Simulation", "Formula", "sim/formula",
                        "paper sim", "paper formula", "paper ratio"});
 
-    // All four nominal transients on one parallel plan.
+    // All four nominal transients on one query (Metric::nominal_td
+    // ignores the option axis), fanned over all cores.
     std::vector<int> sizes;
     for (const Paper_row& ref : paper) sizes.push_back(ref.n);
-    const auto rows =
-        study.nominal_td_batch(sizes, core::Runner_options::parallel());
+    const auto rows = session.run(
+        core::Query(core::Metric::nominal_td)
+            .over_word_lines(tech::Patterning_option::euv, sizes)
+            .with_accuracy(accuracy)
+            .on(core::Runner_options::parallel()));
 
     for (std::size_t i = 0; i < sizes.size(); ++i) {
         const Paper_row& ref = paper[i];
-        const auto& row = rows[i];
+        const auto& row = rows.as<core::Nominal_td_row>(i);
         table.add_row({
             "10x" + std::to_string(ref.n),
             util::fmt_sci(row.td_simulation, 2),

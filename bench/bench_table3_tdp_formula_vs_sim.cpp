@@ -21,23 +21,25 @@
 #include <iostream>
 #include <vector>
 
-#include "core/study.h"
+#include "core/session.h"
 #include "util/table.h"
 
 int main(int argc, char** argv)
 {
     using namespace mpsram;
 
-    core::Study_options opts;
+    // Env-aware default (MPSRAM_SIM_ACCURACY), same contract as the
+    // Study_options policies; --reference pins the oracle explicitly.
+    sram::Sim_accuracy accuracy = sram::default_sim_accuracy();
     if (argc > 1) {
         if (std::strcmp(argv[1], "--reference") != 0) {
             std::cerr
                 << "usage: bench_table3_tdp_formula_vs_sim [--reference]\n";
             return 2;
         }
-        opts.read.accuracy = sram::Sim_accuracy::reference;
+        accuracy = sram::Sim_accuracy::reference;
     }
-    core::Variability_study study(tech::n10(), opts);
+    core::Study_session session;
 
     constexpr int sizes[] = {16, 64, 256, 1024};
     const double paper_sim[3][4] = {{17.33, 20.01, 20.60, 18.29},
@@ -53,24 +55,24 @@ int main(int argc, char** argv)
     util::Table table({"Method", "Array size", "LELELE", "SADP", "EUV",
                        "paper LELELE", "paper SADP", "paper EUV"});
 
-    // Every (option, size) cell on one parallel plan; the memoized corner
-    // search means each option's worst case is enumerated exactly once.
-    std::vector<core::Variability_study::Tdp_case> cases;
+    // Every (option, size) cell on one query; the memoized corner search
+    // means each option's worst case is enumerated exactly once.
+    core::Query query(core::Metric::worst_case_tdp);
     for (int si = 0; si < 4; ++si) {
         for (int oi = 0; oi < 3; ++oi) {
-            cases.push_back({tech::all_patterning_options[oi], sizes[si]});
+            query.with_case({tech::all_patterning_options[oi], sizes[si]});
         }
     }
-    const auto rows =
-        study.worst_case_tdp_batch(cases, core::Runner_options::parallel());
+    const auto rows = session.run(query.with_accuracy(accuracy).on(
+        core::Runner_options::parallel()));
 
     for (int method = 0; method < 2; ++method) {
         for (int si = 0; si < 4; ++si) {
             const int n = sizes[si];
             double ours[3];
             for (int oi = 0; oi < 3; ++oi) {
-                const auto& row =
-                    rows[static_cast<std::size_t>(si * 3 + oi)];
+                const auto& row = rows.as<core::Tdp_row>(
+                    static_cast<std::size_t>(si * 3 + oi));
                 ours[oi] =
                     method == 0 ? row.tdp_simulation : row.tdp_formula;
             }

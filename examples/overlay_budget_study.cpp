@@ -15,7 +15,7 @@
 #include <iostream>
 #include <vector>
 
-#include "core/study.h"
+#include "core/session.h"
 #include "util/numeric.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -32,24 +32,25 @@ int main(int argc, char** argv)
         }
         sopts.read.accuracy = sram::Sim_accuracy::reference;
     }
-    core::Variability_study study(tech::n10(), sopts);
+    core::Study_session session(tech::n10(), sopts);
     constexpr int n = 64;
     mc::Distribution_options mo;
     mo.samples = 8000;
     mo.runner = core::Runner_options::parallel();
 
-    // Reference spreads and the whole OL scan as one batch: every case's
-    // sample loop fans out over the pool, and each distribution is
-    // identical to a standalone mc_tdp call.
-    std::vector<core::Variability_study::Mc_case> cases = {
-        {tech::Patterning_option::euv, n, -1.0},
-        {tech::Patterning_option::sadp, n, -1.0},
-    };
+    // Reference spreads and the whole OL scan as one Metric::mc_tdp
+    // query: every case's sample loop fans out over the pool, and each
+    // distribution is identical to a standalone single-case query.
+    core::Query query(core::Metric::mc_tdp);
+    query.with_case({tech::Patterning_option::euv, n})
+        .with_case({tech::Patterning_option::sadp, n})
+        .with_mc(mo);
     for (double ol_nm = 1.0; ol_nm <= 8.0; ol_nm += 1.0) {
-        cases.push_back(
+        query.with_case(
             {tech::Patterning_option::le3, n, ol_nm * units::nm});
     }
-    const auto dists = study.mc_tdp_batch(cases, mo);
+    const auto table = session.run(query);
+    const auto dists = table.column<mc::Tdp_distribution>();
 
     const double sigma_euv = dists[0].summary.stddev;
     const double sigma_sadp = dists[1].summary.stddev;
@@ -60,16 +61,21 @@ int main(int argc, char** argv)
 
     // sigma(tdp) of LE3 as a function of the 3-sigma overlay budget.
     const auto sigma_le3 = [&](double ol) {
-        return study.mc_tdp(tech::Patterning_option::le3, n, mo, ol)
+        return session
+            .run(core::Query(core::Metric::mc_tdp)
+                     .with_case({tech::Patterning_option::le3, n, ol})
+                     .with_mc(mo))
+            .as<mc::Tdp_distribution>(0)
             .summary.stddev;
     };
 
     util::Table sweep({"3s OL [nm]", "LE3 sigma(tdp)", "vs EUV"});
-    for (std::size_t i = 2; i < cases.size(); ++i) {
+    for (std::size_t i = 2; i < table.size(); ++i) {
         const double s = dists[i].summary.stddev;
-        sweep.add_row({util::fmt_fixed(cases[i].ol_3sigma / units::nm, 0),
-                       util::fmt_fixed(s, 3),
-                       s <= sigma_euv ? "meets" : "exceeds"});
+        sweep.add_row(
+            {util::fmt_fixed(table.axes(i).ol_3sigma / units::nm, 0),
+             util::fmt_fixed(s, 3),
+             s <= sigma_euv ? "meets" : "exceeds"});
     }
     std::cout << sweep.render() << '\n';
 

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "core/runner.h"
-#include "core/study.h"
+#include "core/session.h"
 #include "geom/drc.h"
 #include "pattern/engine.h"
 #include "util/rng.h"
@@ -27,7 +27,7 @@ int main(int argc, char** argv)
     const double guard = argc > 1 ? std::atof(argv[1]) : 1.0;  // [% tdp]
     constexpr int n = 64;
 
-    core::Variability_study study;
+    core::Study_session session;
     mc::Distribution_options mo;
     mo.samples = 20000;
 
@@ -48,13 +48,14 @@ int main(int argc, char** argv)
         {tech::Patterning_option::euv, -1.0},
     };
 
-    // All five cases as one batch on the execution engine; bitwise
-    // identical at any thread count.
+    // All five cases as one Metric::mc_tdp query; bitwise identical at
+    // any thread count.
     const auto runner = core::Runner_options::parallel();
     mo.runner = runner;
-    std::vector<core::Variability_study::Mc_case> batch;
-    for (const auto& c : cases) batch.push_back({c.option, n, c.ol});
-    const auto dists = study.mc_tdp_batch(batch, mo);
+    core::Query query(core::Metric::mc_tdp);
+    for (const auto& c : cases) query.with_case({c.option, n, c.ol});
+    const auto dists =
+        session.run(query.with_mc(mo)).column<mc::Tdp_distribution>();
 
     for (std::size_t ci = 0; ci < std::size(cases); ++ci) {
         const auto& c = cases[ci];
@@ -67,10 +68,10 @@ int main(int argc, char** argv)
         // DRC fallout: re-sample geometry and count rule violations.
         // Sample i draws from substream (2015, i), so this loop too is
         // order- and thread-count-independent.
-        tech::Technology t = study.technology();
+        tech::Technology t = session.technology();
         if (c.ol >= 0.0) t.variability.le3_ol_3sigma = c.ol;
         const auto engine = pattern::make_engine(c.option, t);
-        const auto nominal = study.decomposed_array(c.option, n, c.ol);
+        const auto nominal = session.decomposed_array(c.option, n, c.ol);
         std::atomic<int> fallout{0};
         constexpr int geo_samples = 2000;
         core::run_indexed(

@@ -40,4 +40,28 @@ Td_params derive_params(const tech::Technology& tech,
     return p;
 }
 
+Tw_params derive_tw_params(const tech::Technology& tech,
+                           const sram::Cell_electrical& cell,
+                           const sram::Bitline_electrical& wires)
+{
+    const double vdd = tech.feol.vdd;
+
+    Tw_params p;
+    p.a = discharge_constant(0.5);
+    p.r_bl_cell = wires.r_blb_cell;
+    p.c_bl_cell = wires.c_blb_cell;
+    p.c_fe = cell.bitline_junction_cap();
+
+    // The write driver is the 2x-precharge-strength NMOS pull-down of the
+    // netlist builder, sized with the array.
+    const double ion_pd_unit = spice::drive_current(cell.pull_down, vdd);
+    p.r_driver = [vdd, ion_pd_unit](int n) {
+        return effective_switch_resistance(
+            vdd, ion_pd_unit * 2.0 * sram::precharge_multiplicity(n));
+    };
+    p.c_pre = [cell](int n) { return sram::precharge_cap(n, cell); };
+
+    return p;
+}
+
 } // namespace mpsram::analytic

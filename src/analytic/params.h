@@ -6,6 +6,7 @@
 #define MPSRAM_ANALYTIC_PARAMS_H
 
 #include "analytic/td_formula.h"
+#include "analytic/tw_formula.h"
 #include "sram/bitline_model.h"
 #include "sram/cell.h"
 #include "tech/technology.h"
@@ -21,6 +22,13 @@ double effective_switch_resistance(double vdd, double ion);
 Td_params derive_params(const tech::Technology& tech,
                         const sram::Cell_electrical& cell,
                         const sram::Bitline_electrical& wires);
+
+/// Build Tw_params the same way: BLB-leg wire values, the n-scaled write
+/// driver's switch resistance, and the shared Cpre(n) rule.  The trip
+/// level is vdd/2 (a = ln 2).
+Tw_params derive_tw_params(const tech::Technology& tech,
+                           const sram::Cell_electrical& cell,
+                           const sram::Bitline_electrical& wires);
 
 } // namespace mpsram::analytic
 

@@ -1,0 +1,28 @@
+#include "analytic/tw_formula.h"
+
+#include "util/contracts.h"
+
+namespace mpsram::analytic {
+
+double tw_lumped(const Tw_params& p, int n, double rvar, double cvar)
+{
+    util::expects(n > 0, "array length must be positive");
+    util::expects(p.r_driver != nullptr && p.c_pre != nullptr,
+                  "Tw_params::r_driver and c_pre must be set");
+    util::expects(rvar > 0.0 && cvar > 0.0,
+                  "variation multipliers must be positive");
+
+    const double nn = static_cast<double>(n);
+    const double r = p.r_driver(n) + nn * p.r_bl_cell * rvar;
+    const double c = nn * (p.c_bl_cell * cvar + p.c_fe) + p.c_pre(n);
+    return p.a * r * c;
+}
+
+double twp_percent(const Tw_params& p, int n, double rvar, double cvar)
+{
+    const double nominal = tw_lumped(p, n, 1.0, 1.0);
+    const double varied = tw_lumped(p, n, rvar, cvar);
+    return (varied / nominal - 1.0) * 100.0;
+}
+
+} // namespace mpsram::analytic

@@ -1,0 +1,48 @@
+// First-order analytical write-time model: the tw analogue of the td
+// formula (td_formula.h), in the same lumped-RC family as eq. (4).
+//
+//   tw = a_w * (Rdrv(n) + n*Rblb*Rvar) * (n*(Cblb*Cvar + CFE) + Cpre(n))
+//
+// The write driver must discharge the BLB ladder below the cell's trip
+// point before the latch regenerates; a_w is the discharge constant of
+// that trip level (vdd/2 -> ln 2), Rdrv(n) the effective switch
+// resistance of the n-scaled driver NMOS, and the parenthesized terms the
+// same lumped wire R and C the td model uses — evaluated on the BLB leg,
+// which is the wire the driver actually discharges.
+//
+// Deliberately lumped, like the td model: no distributed (Elmore) term,
+// no cell regeneration time, no word-line edge interaction.  It exists so
+// variability *ratios* (twp) are cheap — the registry binds it as the
+// formula sample engine of mc_twp queries, putting 10k-sample write
+// distributions at read-MC cost — not to predict absolute tw, where it
+// systematically underestimates SPICE exactly as td_lumped does.
+#ifndef MPSRAM_ANALYTIC_TW_FORMULA_H
+#define MPSRAM_ANALYTIC_TW_FORMULA_H
+
+#include <functional>
+
+namespace mpsram::analytic {
+
+struct Tw_params {
+    double a = 0.693;        ///< discharge constant (vdd/2 trip level)
+    double r_bl_cell = 0.0;  ///< per-cell BLB resistance [ohm]
+    double c_bl_cell = 0.0;  ///< per-cell BLB capacitance [F]
+    double c_fe = 0.0;       ///< per-cell pass-gate junction load [F]
+    /// Effective driver resistance as a function of array length n (the
+    /// write driver scales with the array like the precharge) [ohm].
+    std::function<double(int)> r_driver;
+    /// Precharge-circuit capacitance per bit line vs n [F].
+    std::function<double(int)> c_pre;
+};
+
+/// Lumped write time.  rvar/cvar are the "1 + x%" multipliers of the
+/// varied BLB wire.
+double tw_lumped(const Tw_params& p, int n, double rvar = 1.0,
+                 double cvar = 1.0);
+
+/// Write-time penalty in percent: (tw(rvar,cvar) / tw(1,1) - 1) * 100.
+double twp_percent(const Tw_params& p, int n, double rvar, double cvar);
+
+} // namespace mpsram::analytic
+
+#endif // MPSRAM_ANALYTIC_TW_FORMULA_H

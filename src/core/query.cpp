@@ -1,0 +1,43 @@
+#include "core/query.h"
+
+#include "util/contracts.h"
+
+namespace mpsram::core {
+
+std::string_view to_string(Metric metric)
+{
+    switch (metric) {
+    case Metric::worst_case_rc: return "worst_case_rc";
+    case Metric::read_td: return "read_td";
+    case Metric::nominal_td: return "nominal_td";
+    case Metric::worst_case_tdp: return "worst_case_tdp";
+    case Metric::mc_tdp: return "mc_tdp";
+    case Metric::write_tw: return "write_tw";
+    case Metric::nominal_tw: return "nominal_tw";
+    case Metric::mc_twp: return "mc_twp";
+    case Metric::disturb: return "disturb";
+    }
+    return "unknown";
+}
+
+Result_table::Result_table(Metric metric, std::vector<Query_case> cases,
+                           std::vector<Row_value> rows)
+    : metric_(metric), cases_(std::move(cases)), rows_(std::move(rows))
+{
+    util::expects(cases_.size() == rows_.size(),
+                  "result table rows must match the query cases");
+}
+
+const Query_case& Result_table::axes(std::size_t i) const
+{
+    util::expects(i < cases_.size(), "result row index out of range");
+    return cases_[i];
+}
+
+const Row_value& Result_table::raw(std::size_t i) const
+{
+    util::expects(i < rows_.size(), "result row index out of range");
+    return rows_[i];
+}
+
+} // namespace mpsram::core

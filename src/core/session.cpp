@@ -1,0 +1,546 @@
+#include "core/session.h"
+
+#include <array>
+
+#include "analytic/td_formula.h"
+#include "analytic/tw_formula.h"
+#include "mc/distribution.h"
+#include "pattern/engine.h"
+#include "sram/netlist_builder.h"
+#include "util/contracts.h"
+
+namespace mpsram::core {
+
+// --- session state -----------------------------------------------------------
+
+Study_session::Study_session(tech::Technology tech, Study_options opts)
+    : tech_(std::move(tech)),
+      opts_(opts),
+      extractor_(std::make_unique<extract::Extractor>(tech_.metal1,
+                                                      opts.extraction)),
+      cell_(sram::Cell_electrical::n10(tech_.feol))
+{
+    if (opts_.array.victim_pair < 0) {
+        // The paper's LE3 worst case (Table I) perturbs only masks B and C:
+        // the victim bit line itself is on the alignment reference mask A.
+        // With 4 tracks per pair and cyclic 3-coloring, pairs 0/3/6/9 have
+        // mask-A bit lines; pick the interior one nearest the center.
+        opts_.array.victim_pair = 6;
+    }
+}
+
+tech::Technology Study_session::tech_with_ol(double ol_3sigma) const
+{
+    tech::Technology t = tech_;
+    if (ol_3sigma >= 0.0) t.variability.le3_ol_3sigma = ol_3sigma;
+    return t;
+}
+
+geom::Wire_array Study_session::decomposed_array(
+    tech::Patterning_option option, int word_lines, double ol_3sigma) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+    const tech::Technology t = tech_with_ol(ol_3sigma);
+    const auto engine = pattern::make_engine(option, t);
+    return engine->decompose(sram::build_metal1_array(t, cfg));
+}
+
+sram::Bitline_electrical Study_session::nominal_wires(int word_lines) const
+{
+    {
+        const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+        const auto it = nominal_wires_cache_.find(word_lines);
+        if (it != nominal_wires_cache_.end()) return it->second;
+    }
+
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+    // Nominal geometry needs no patterning engine: use EUV decomposition
+    // (single mask) with a zero sample == drawn layout.  Computed outside
+    // the lock (value-racy-but-deterministic, like the nominal memos).
+    const geom::Wire_array nominal =
+        decomposed_array(tech::Patterning_option::euv, word_lines);
+    const sram::Bitline_electrical wires =
+        sram::roll_up_nominal(*extractor_, nominal, tech_, cfg);
+    const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+    nominal_wires_cache_.emplace(word_lines, wires);
+    return wires;
+}
+
+Study_session::Case_geometry Study_session::case_geometry(
+    tech::Patterning_option option, int word_lines, double ol_3sigma) const
+{
+    Case_geometry g;
+    g.cfg = opts_.array;
+    g.cfg.word_lines = word_lines;
+    const tech::Technology t = tech_with_ol(ol_3sigma);
+    g.engine = pattern::make_engine(option, t);
+    g.nominal = g.engine->decompose(sram::build_metal1_array(t, g.cfg));
+    g.victims = sram::find_victim_wires(g.nominal, g.cfg);
+    return g;
+}
+
+sram::Sim_accuracy Study_session::read_accuracy(const Query& q) const
+{
+    return q.accuracy.value_or(opts_.read.accuracy);
+}
+
+sram::Sim_accuracy Study_session::write_accuracy(const Query& q) const
+{
+    return q.accuracy.value_or(opts_.write.accuracy);
+}
+
+sram::Sim_accuracy Study_session::disturb_accuracy(const Query& q) const
+{
+    return q.accuracy.value_or(opts_.disturb.accuracy);
+}
+
+// --- worst-case memo ---------------------------------------------------------
+
+mc::Worst_case_result Study_session::worst_case_full(
+    tech::Patterning_option option, int word_lines, double ol_3sigma,
+    const Runner_options& runner) const
+{
+    return *worst_case_cached(option, word_lines, ol_3sigma, runner);
+}
+
+std::shared_ptr<const mc::Worst_case_result>
+Study_session::worst_case_cached(tech::Patterning_option option,
+                                 int word_lines, double ol_3sigma,
+                                 const Runner_options& runner) const
+{
+    // Every "use the technology default" request shares one memo slot.
+    const Wc_key key{option, word_lines, ol_3sigma < 0.0 ? -1.0 : ol_3sigma};
+
+    std::promise<std::shared_ptr<const mc::Worst_case_result>> promise;
+    Wc_entry entry;
+    bool owner = false;
+    {
+        const std::lock_guard<std::mutex> lock(wc_cache_mutex_);
+        const auto it = wc_cache_.find(key);
+        if (it != wc_cache_.end()) {
+            entry = it->second;
+        } else {
+            entry = promise.get_future().share();
+            wc_cache_.emplace(key, entry);
+            owner = true;
+        }
+    }
+
+    if (owner) {
+        // The enumeration runs outside the lock; concurrent callers of the
+        // same key block on the shared future instead of duplicating it.
+        try {
+            corner_searches_.fetch_add(1, std::memory_order_relaxed);
+
+            const Case_geometry g =
+                case_geometry(option, word_lines, ol_3sigma);
+            promise.set_value(std::make_shared<const mc::Worst_case_result>(
+                mc::find_worst_case(*g.engine, *extractor_, g.nominal,
+                                    g.victims.bl, g.victims.vss, 3,
+                                    runner)));
+        } catch (...) {
+            // Un-publish the failed slot so a later call can retry, then
+            // propagate to every waiter (and to this caller via get()).
+            {
+                const std::lock_guard<std::mutex> lock(wc_cache_mutex_);
+                wc_cache_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return entry.get();
+}
+
+sram::Bitline_electrical Study_session::worst_case_wires(
+    const Query_case& c) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = c.word_lines;
+    const auto wc =
+        worst_case_cached(c.option, c.word_lines, c.ol_3sigma, {});
+    const geom::Wire_array nominal =
+        decomposed_array(c.option, c.word_lines, c.ol_3sigma);
+    return sram::roll_up_bitline(*extractor_, nominal, wc->realized, tech_,
+                                 cfg);
+}
+
+// --- measurement helpers -----------------------------------------------------
+
+double Study_session::simulate_td(const sram::Bitline_electrical& wires,
+                                  int word_lines) const
+{
+    sram::Read_sim_context sim;
+    return simulate_td_on(wires, word_lines, opts_.read.accuracy, sim);
+}
+
+double Study_session::simulate_td_on(const sram::Bitline_electrical& wires,
+                                     int word_lines,
+                                     sram::Sim_accuracy accuracy,
+                                     sram::Read_sim_context& sim) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+    sram::Read_options ropts = opts_.read;
+    ropts.accuracy = accuracy;
+    const sram::Read_result r = sim.simulate(
+        tech_, cell_, wires, cfg, opts_.timing, opts_.netlist, ropts);
+    util::ensures(r.crossed,
+                  "read simulation never reached the sense margin");
+    return r.td;
+}
+
+double Study_session::simulate_tw(const sram::Bitline_electrical& wires,
+                                  int word_lines) const
+{
+    sram::Write_sim_context sim;
+    return simulate_tw_on(wires, word_lines, opts_.write.accuracy, sim);
+}
+
+double Study_session::simulate_tw_on(const sram::Bitline_electrical& wires,
+                                     int word_lines,
+                                     sram::Sim_accuracy accuracy,
+                                     sram::Write_sim_context& sim) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+    sram::Write_options wopts = opts_.write;
+    wopts.accuracy = accuracy;
+    const sram::Write_result r =
+        sim.simulate(tech_, cell_, wires, cfg, opts_.write_timing,
+                     opts_.netlist, wopts);
+    util::ensures(r.flipped, "write simulation never flipped the cell");
+    return r.tw;
+}
+
+double Study_session::simulate_disturb_on(
+    const sram::Bitline_electrical& wires, int word_lines,
+    sram::Sim_accuracy accuracy, sram::Disturb_sim_context& sim) const
+{
+    sram::Array_config cfg = opts_.array;
+    cfg.word_lines = word_lines;
+    sram::Disturb_options dopts = opts_.disturb;
+    dopts.accuracy = accuracy;
+    // The disturb shares the read schedule: the word line that half-selects
+    // this column is fired by a read elsewhere in the row.
+    const sram::Disturb_result r = sim.simulate(
+        tech_, cell_, wires, cfg, opts_.timing, opts_.netlist, dopts);
+    util::ensures(!r.flipped,
+                  "half-select pulse flipped the cell: the column is not "
+                  "read-stable");
+    return r.v_bump;
+}
+
+double Study_session::nominal_td_spice(int word_lines,
+                                       sram::Sim_accuracy accuracy,
+                                       sram::Read_sim_context* sim) const
+{
+    const Nominal_key key{word_lines, accuracy};
+    {
+        const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+        const auto it = td_nominal_cache_.find(key);
+        if (it != td_nominal_cache_.end()) return it->second;
+    }
+
+    const sram::Bitline_electrical wires = nominal_wires(word_lines);
+    // The simulation runs outside the lock: two threads racing on the same
+    // key redundantly compute the same deterministic value, which beats
+    // serializing every caller behind a SPICE transient.
+    double td = 0.0;
+    if (sim) {
+        td = simulate_td_on(wires, word_lines, accuracy, *sim);
+    } else {
+        sram::Read_sim_context local;
+        td = simulate_td_on(wires, word_lines, accuracy, local);
+    }
+    const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+    td_nominal_cache_.emplace(key, td);
+    return td;
+}
+
+double Study_session::nominal_tw_spice(int word_lines,
+                                       sram::Sim_accuracy accuracy,
+                                       sram::Write_sim_context* sim) const
+{
+    const Nominal_key key{word_lines, accuracy};
+    {
+        const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+        const auto it = tw_nominal_cache_.find(key);
+        if (it != tw_nominal_cache_.end()) return it->second;
+    }
+
+    const sram::Bitline_electrical wires = nominal_wires(word_lines);
+    // Value-racy-but-deterministic, like the td memo.
+    double tw = 0.0;
+    if (sim) {
+        tw = simulate_tw_on(wires, word_lines, accuracy, *sim);
+    } else {
+        sram::Write_sim_context local;
+        tw = simulate_tw_on(wires, word_lines, accuracy, local);
+    }
+    const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+    tw_nominal_cache_.emplace(key, tw);
+    return tw;
+}
+
+double Study_session::nominal_disturb_spice(
+    int word_lines, sram::Sim_accuracy accuracy,
+    sram::Disturb_sim_context* sim) const
+{
+    const Nominal_key key{word_lines, accuracy};
+    {
+        const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+        const auto it = disturb_nominal_cache_.find(key);
+        if (it != disturb_nominal_cache_.end()) return it->second;
+    }
+
+    const sram::Bitline_electrical wires = nominal_wires(word_lines);
+    double bump = 0.0;
+    if (sim) {
+        bump = simulate_disturb_on(wires, word_lines, accuracy, *sim);
+    } else {
+        sram::Disturb_sim_context local;
+        bump = simulate_disturb_on(wires, word_lines, accuracy, local);
+    }
+    const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+    disturb_nominal_cache_.emplace(key, bump);
+    return bump;
+}
+
+analytic::Td_params Study_session::formula_params(int word_lines) const
+{
+    return analytic::derive_params(tech_, cell_, nominal_wires(word_lines));
+}
+
+analytic::Tw_params Study_session::tw_formula_params(int word_lines) const
+{
+    return analytic::derive_tw_params(tech_, cell_,
+                                      nominal_wires(word_lines));
+}
+
+// --- the metric registry -----------------------------------------------------
+
+/// The evaluators: one per metric, each mapping a case to its row on the
+/// worker's scratch contexts.  Friend of Study_session so the registry
+/// can reach the memos without widening the public surface.
+struct Metric_evaluators {
+    using Scratch = Study_session::Worker_scratch;
+
+    static Row_value worst_case_rc(const Study_session& s, const Query& q,
+                                   const Query_case& c, Scratch&)
+    {
+        const auto full =
+            s.worst_case_cached(c.option, c.word_lines, c.ol_3sigma,
+                                q.runner);
+        const tech::Technology t = s.tech_with_ol(c.ol_3sigma);
+        const auto engine = pattern::make_engine(c.option, t);
+
+        Worst_case_row row;
+        row.option = c.option;
+        row.corner = full->corner.describe(*engine);
+        row.cbl_percent = full->variation.c_percent();
+        row.rbl_percent = full->variation.r_percent();
+        row.vss_r_percent = (full->vss_r_factor - 1.0) * 100.0;
+        return row;
+    }
+
+    static Row_value read_td(const Study_session& s, const Query& q,
+                             const Query_case& c, Scratch& scratch)
+    {
+        const sram::Sim_accuracy acc = s.read_accuracy(q);
+        Read_row row;
+        row.td_nominal =
+            s.nominal_td_spice(c.word_lines, acc, &scratch.read);
+        row.td_varied = s.simulate_td_on(s.worst_case_wires(c),
+                                         c.word_lines, acc, scratch.read);
+        row.tdp_percent = (row.td_varied / row.td_nominal - 1.0) * 100.0;
+        return row;
+    }
+
+    static Row_value nominal_td(const Study_session& s, const Query& q,
+                                const Query_case& c, Scratch& scratch)
+    {
+        Nominal_td_row row;
+        row.td_simulation = s.nominal_td_spice(
+            c.word_lines, s.read_accuracy(q), &scratch.read);
+        row.td_formula = analytic::td_lumped(
+            s.formula_params(c.word_lines), c.word_lines);
+        return row;
+    }
+
+    static Row_value worst_case_tdp(const Study_session& s, const Query& q,
+                                    const Query_case& c, Scratch& scratch)
+    {
+        // One memoized search serves both the simulated read (worst-corner
+        // geometry) and the formula (R/C factors).
+        const auto wc =
+            s.worst_case_cached(c.option, c.word_lines, c.ol_3sigma, {});
+        const Read_row read = std::get<Read_row>(read_td(s, q, c, scratch));
+
+        Tdp_row row;
+        row.tdp_simulation = read.tdp_percent;
+        row.tdp_formula = analytic::tdp_percent(
+            s.formula_params(c.word_lines), c.word_lines,
+            wc->variation.r_factor, wc->variation.c_factor);
+        return row;
+    }
+
+    static Row_value mc_tdp(const Study_session& s, const Query& q,
+                            const Query_case& c, Scratch&)
+    {
+        const auto g =
+            s.case_geometry(c.option, c.word_lines, c.ol_3sigma);
+        return mc::tdp_distribution(*g.engine, *s.extractor_, g.nominal,
+                                    g.victims.bl,
+                                    s.formula_params(c.word_lines),
+                                    c.word_lines, q.mc);
+    }
+
+    static Row_value write_tw(const Study_session& s, const Query& q,
+                              const Query_case& c, Scratch& scratch)
+    {
+        const sram::Sim_accuracy acc = s.write_accuracy(q);
+        Write_row row;
+        row.tw_nominal =
+            s.nominal_tw_spice(c.word_lines, acc, &scratch.write);
+        row.tw_varied = s.simulate_tw_on(s.worst_case_wires(c),
+                                         c.word_lines, acc, scratch.write);
+        row.twp_percent = (row.tw_varied / row.tw_nominal - 1.0) * 100.0;
+        return row;
+    }
+
+    static Row_value nominal_tw(const Study_session& s, const Query& q,
+                                const Query_case& c, Scratch& scratch)
+    {
+        Nominal_tw_row row;
+        row.tw_simulation = s.nominal_tw_spice(
+            c.word_lines, s.write_accuracy(q), &scratch.write);
+        row.tw_formula = analytic::tw_lumped(
+            s.tw_formula_params(c.word_lines), c.word_lines);
+        return row;
+    }
+
+    static Row_value mc_twp(const Study_session& s, const Query& q,
+                            const Query_case& c, Scratch&)
+    {
+        const auto g =
+            s.case_geometry(c.option, c.word_lines, c.ol_3sigma);
+
+        if (q.twp_engine == Twp_engine::formula) {
+            // The cheap engine: the analytic tw model maps each sample's
+            // R/C factors to twp, so 10k-sample write distributions cost
+            // what the read MC does (no transient per sample).
+            const analytic::Tw_params params =
+                s.tw_formula_params(c.word_lines);
+            const int n = c.word_lines;
+            const auto metric = [&params, n](const geom::Wire_array&,
+                                             const extract::Rc_variation& v,
+                                             const Run_context&) {
+                return analytic::twp_percent(params, n, v.r_factor,
+                                             v.c_factor);
+            };
+            return mc::metric_distribution(*g.engine, *s.extractor_,
+                                           g.nominal, g.victims.bl, metric,
+                                           q.mc);
+        }
+
+        const sram::Sim_accuracy acc = s.write_accuracy(q);
+        const double tw_nom = s.nominal_tw_spice(c.word_lines, acc, nullptr);
+        sram::Write_options wopts = s.opts_.write;
+        wopts.accuracy = acc;
+
+        // SPICE-in-the-loop engine: roll up each sample's realized
+        // geometry and simulate its write on the per-worker context.  A
+        // non-flipping sample yields tw = NaN, which flows into a NaN twp
+        // instead of aborting the sweep.
+        std::vector<sram::Write_sim_context> sims(
+            static_cast<std::size_t>(q.mc.runner.resolved_threads()));
+        const auto metric = [&](const geom::Wire_array& realized,
+                                const extract::Rc_variation&,
+                                const Run_context& ctx) {
+            const sram::Bitline_electrical wires = sram::roll_up_bitline(
+                *s.extractor_, g.nominal, realized, s.tech_, g.cfg);
+            const sram::Write_result r =
+                sims[static_cast<std::size_t>(ctx.worker)].simulate(
+                    s.tech_, s.cell_, wires, g.cfg, s.opts_.write_timing,
+                    s.opts_.netlist, wopts);
+            return (r.tw / tw_nom - 1.0) * 100.0;
+        };
+        return mc::metric_distribution(*g.engine, *s.extractor_, g.nominal,
+                                       g.victims.bl, metric, q.mc);
+    }
+
+    static Row_value disturb(const Study_session& s, const Query& q,
+                             const Query_case& c, Scratch& scratch)
+    {
+        const sram::Sim_accuracy acc = s.disturb_accuracy(q);
+        Disturb_row row;
+        row.v_bump_nominal =
+            s.nominal_disturb_spice(c.word_lines, acc, &scratch.disturb);
+        row.v_bump_varied =
+            s.simulate_disturb_on(s.worst_case_wires(c), c.word_lines, acc,
+                                  scratch.disturb);
+        row.disturb_percent =
+            (row.v_bump_varied / row.v_bump_nominal - 1.0) * 100.0;
+        return row;
+    }
+};
+
+const Metric_descriptor& metric_descriptor(Metric metric)
+{
+    // Index == static_cast<int>(Metric).  worst_case_rc and the MC
+    // metrics run their cases serially (parallelism lives inside each
+    // case); everything else fans cases out on the query runner.
+    static const std::array<Metric_descriptor, 9> registry{{
+        {"worst_case_rc", true, &Metric_evaluators::worst_case_rc},
+        {"read_td", false, &Metric_evaluators::read_td},
+        {"nominal_td", false, &Metric_evaluators::nominal_td},
+        {"worst_case_tdp", false, &Metric_evaluators::worst_case_tdp},
+        {"mc_tdp", true, &Metric_evaluators::mc_tdp},
+        {"write_tw", false, &Metric_evaluators::write_tw},
+        {"nominal_tw", false, &Metric_evaluators::nominal_tw},
+        {"mc_twp", true, &Metric_evaluators::mc_twp},
+        {"disturb", false, &Metric_evaluators::disturb},
+    }};
+    const auto index = static_cast<std::size_t>(metric);
+    util::expects(index < registry.size(), "unknown metric");
+    util::expects(registry[index].name == to_string(metric),
+                  "metric registry out of sync with the Metric enum");
+    return registry[index];
+}
+
+// --- the one generic fan-out -------------------------------------------------
+
+Result_table Study_session::run(const Query& query) const
+{
+    const Metric_descriptor& d = metric_descriptor(query.metric);
+
+    std::vector<Query_case> cases = query.cases;
+    for (Query_case& c : cases) {
+        if (c.word_lines <= 0) c.word_lines = opts_.array.word_lines;
+        util::expects(c.word_lines > 0, "query case needs word lines");
+    }
+
+    // Serial-case metrics keep their per-case results independent of the
+    // sweep composition (and of query.runner): the plan runs in order on
+    // the calling thread while each case parallelizes internally.
+    const Runner_options fan_out =
+        d.serial_cases ? Runner_options{1} : query.runner;
+
+    std::vector<Row_value> rows(cases.size());
+    std::vector<Worker_scratch> scratch(
+        static_cast<std::size_t>(fan_out.resolved_threads()));
+
+    Run_plan plan;
+    plan.add_indexed(cases.size(), [&](std::size_t i,
+                                       const Run_context& ctx) {
+        rows[i] = d.eval(*this, query, cases[i],
+                         scratch[static_cast<std::size_t>(ctx.worker)]);
+    });
+    core::run(plan, fan_out);
+
+    return Result_table(query.metric, std::move(cases), std::move(rows));
+}
+
+} // namespace mpsram::core

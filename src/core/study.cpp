@@ -1,451 +1,151 @@
 #include "core/study.h"
 
-#include "analytic/params.h"
-#include "pattern/engine.h"
-#include "sram/netlist_builder.h"
-#include "util/contracts.h"
-
 namespace mpsram::core {
 
 Variability_study::Variability_study(tech::Technology tech,
                                      Study_options opts)
-    : tech_(std::move(tech)),
-      opts_(opts),
-      extractor_(std::make_unique<extract::Extractor>(tech_.metal1,
-                                                      opts.extraction)),
-      cell_(sram::Cell_electrical::n10(tech_.feol))
+    : session_(std::make_unique<Study_session>(std::move(tech), opts))
 {
-    if (opts_.array.victim_pair < 0) {
-        // The paper's LE3 worst case (Table I) perturbs only masks B and C:
-        // the victim bit line itself is on the alignment reference mask A.
-        // With 4 tracks per pair and cyclic 3-coloring, pairs 0/3/6/9 have
-        // mask-A bit lines; pick the interior one nearest the center.
-        opts_.array.victim_pair = 6;
-    }
 }
 
-tech::Technology Variability_study::tech_with_ol(double ol_3sigma) const
+template <class Row>
+Row Variability_study::run_single(Query query) const
 {
-    tech::Technology t = tech_;
-    if (ol_3sigma >= 0.0) t.variability.le3_ol_3sigma = ol_3sigma;
-    return t;
-}
-
-geom::Wire_array Variability_study::decomposed_array(
-    tech::Patterning_option option, int word_lines, double ol_3sigma) const
-{
-    sram::Array_config cfg = opts_.array;
-    cfg.word_lines = word_lines;
-    const tech::Technology t = tech_with_ol(ol_3sigma);
-    const auto engine = pattern::make_engine(option, t);
-    return engine->decompose(sram::build_metal1_array(t, cfg));
+    return session_->run(query).as<Row>(0);
 }
 
 Variability_study::Worst_case_row Variability_study::worst_case(
     tech::Patterning_option option, double ol_3sigma,
     const Runner_options& runner) const
 {
-    const auto full = worst_case_cached(option, opts_.array.word_lines,
-                                        ol_3sigma, runner);
-
-    const tech::Technology t = tech_with_ol(ol_3sigma);
-    const auto engine = pattern::make_engine(option, t);
-
-    Worst_case_row row;
-    row.option = option;
-    row.corner = full->corner.describe(*engine);
-    row.cbl_percent = full->variation.c_percent();
-    row.rbl_percent = full->variation.r_percent();
-    row.vss_r_percent = (full->vss_r_factor - 1.0) * 100.0;
-    return row;
-}
-
-mc::Worst_case_result Variability_study::worst_case_full(
-    tech::Patterning_option option, int word_lines, double ol_3sigma,
-    const Runner_options& runner) const
-{
-    return *worst_case_cached(option, word_lines, ol_3sigma, runner);
-}
-
-std::shared_ptr<const mc::Worst_case_result>
-Variability_study::worst_case_cached(tech::Patterning_option option,
-                                     int word_lines, double ol_3sigma,
-                                     const Runner_options& runner) const
-{
-    // Every "use the technology default" request shares one memo slot.
-    const Wc_key key{option, word_lines, ol_3sigma < 0.0 ? -1.0 : ol_3sigma};
-
-    std::promise<std::shared_ptr<const mc::Worst_case_result>> promise;
-    Wc_entry entry;
-    bool owner = false;
-    {
-        const std::lock_guard<std::mutex> lock(wc_cache_mutex_);
-        const auto it = wc_cache_.find(key);
-        if (it != wc_cache_.end()) {
-            entry = it->second;
-        } else {
-            entry = promise.get_future().share();
-            wc_cache_.emplace(key, entry);
-            owner = true;
-        }
-    }
-
-    if (owner) {
-        // The enumeration runs outside the lock; concurrent callers of the
-        // same key block on the shared future instead of duplicating it.
-        try {
-            corner_searches_.fetch_add(1, std::memory_order_relaxed);
-
-            sram::Array_config cfg = opts_.array;
-            cfg.word_lines = word_lines;
-            const tech::Technology t = tech_with_ol(ol_3sigma);
-            const auto engine = pattern::make_engine(option, t);
-            const geom::Wire_array nominal =
-                engine->decompose(sram::build_metal1_array(t, cfg));
-            const sram::Victim_wires victims =
-                sram::find_victim_wires(nominal, cfg);
-            promise.set_value(std::make_shared<const mc::Worst_case_result>(
-                mc::find_worst_case(*engine, *extractor_, nominal,
-                                    victims.bl, victims.vss, 3, runner)));
-        } catch (...) {
-            // Un-publish the failed slot so a later call can retry, then
-            // propagate to every waiter (and to this caller via get()).
-            {
-                const std::lock_guard<std::mutex> lock(wc_cache_mutex_);
-                wc_cache_.erase(key);
-            }
-            promise.set_exception(std::current_exception());
-        }
-    }
-    return entry.get();
+    return run_single<Worst_case_row>(
+        Query(Metric::worst_case_rc)
+            .with_case({option, 0, ol_3sigma})
+            .on(runner));
 }
 
 std::vector<Variability_study::Worst_case_row>
-Variability_study::worst_case_all_options(const Runner_options& runner,
-                                          double ol_3sigma) const
+Variability_study::worst_case_all_options(double ol_3sigma,
+                                          const Runner_options& runner) const
 {
-    std::vector<Worst_case_row> rows;
-    rows.reserve(std::size(tech::all_patterning_options));
-    for (const tech::Patterning_option option :
-         tech::all_patterning_options) {
-        rows.push_back(worst_case(option, ol_3sigma, runner));
-    }
-    return rows;
-}
-
-double Variability_study::simulate_td(const sram::Bitline_electrical& wires,
-                                      int word_lines) const
-{
-    sram::Read_sim_context sim;
-    return simulate_td_on(wires, word_lines, sim);
-}
-
-double Variability_study::simulate_td_on(
-    const sram::Bitline_electrical& wires, int word_lines,
-    sram::Read_sim_context& sim) const
-{
-    sram::Array_config cfg = opts_.array;
-    cfg.word_lines = word_lines;
-    const sram::Read_result r = sim.simulate(
-        tech_, cell_, wires, cfg, opts_.timing, opts_.netlist, opts_.read);
-    util::ensures(r.crossed,
-                  "read simulation never reached the sense margin");
-    return r.td;
-}
-
-sram::Bitline_electrical Variability_study::nominal_wires(
-    int word_lines) const
-{
-    sram::Array_config cfg = opts_.array;
-    cfg.word_lines = word_lines;
-    // Nominal geometry needs no patterning engine: use EUV decomposition
-    // (single mask) with a zero sample == drawn layout.
-    const geom::Wire_array nominal =
-        decomposed_array(tech::Patterning_option::euv, word_lines);
-    return sram::roll_up_nominal(*extractor_, nominal, tech_, cfg);
-}
-
-double Variability_study::nominal_td_spice(int word_lines,
-                                           sram::Read_sim_context* sim) const
-{
-    {
-        const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
-        const auto it = td_nominal_cache_.find(word_lines);
-        if (it != td_nominal_cache_.end()) return it->second;
-    }
-
-    const sram::Bitline_electrical wires = nominal_wires(word_lines);
-    // The simulation runs outside the lock: two threads racing on the same
-    // word_lines redundantly compute the same deterministic value, which
-    // beats serializing every caller behind a SPICE transient.
-    const double td = sim ? simulate_td_on(wires, word_lines, *sim)
-                          : simulate_td(wires, word_lines);
-    const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
-    td_nominal_cache_.emplace(word_lines, td);
-    return td;
+    return session_
+        ->run(Query(Metric::worst_case_rc)
+                  .over_options(tech::all_patterning_options, 0, ol_3sigma)
+                  .on(runner))
+        .column<Worst_case_row>();
 }
 
 Variability_study::Read_row Variability_study::worst_case_read(
     tech::Patterning_option option, int word_lines) const
 {
-    sram::Read_sim_context sim;
-    return worst_case_read_on(option, word_lines, -1.0, sim);
-}
-
-Variability_study::Read_row Variability_study::worst_case_read_on(
-    tech::Patterning_option option, int word_lines, double ol_3sigma,
-    sram::Read_sim_context& sim) const
-{
-    sram::Array_config cfg = opts_.array;
-    cfg.word_lines = word_lines;
-
-    const auto wc = worst_case_cached(option, word_lines, ol_3sigma, {});
-    const geom::Wire_array nominal =
-        decomposed_array(option, word_lines, ol_3sigma);
-    const sram::Bitline_electrical wires = sram::roll_up_bitline(
-        *extractor_, nominal, wc->realized, tech_, cfg);
-
-    Read_row row;
-    row.td_nominal = nominal_td_spice(word_lines, &sim);
-    row.td_varied = simulate_td_on(wires, word_lines, sim);
-    row.tdp_percent = (row.td_varied / row.td_nominal - 1.0) * 100.0;
-    return row;
-}
-
-template <class Context>
-void Variability_study::run_with_sim_contexts(
-    std::size_t count, const Runner_options& runner,
-    const std::function<void(std::size_t, Context&)>& job) const
-{
-    // One simulation context per worker: the netlist and solver workspace
-    // are rebuilt only when a worker moves to a different array length.
-    std::vector<Context> sims(
-        static_cast<std::size_t>(runner.resolved_threads()));
-
-    Run_plan plan;
-    plan.add_indexed(count, [&](std::size_t i, const Run_context& ctx) {
-        job(i, sims[static_cast<std::size_t>(ctx.worker)]);
-    });
-    run(plan, runner);
+    return run_single<Read_row>(
+        Query(Metric::read_td).with_case({option, word_lines}));
 }
 
 std::vector<Variability_study::Read_row> Variability_study::read_sweep(
     tech::Patterning_option option, std::span<const int> word_lines,
     const Runner_options& runner) const
 {
-    std::vector<Read_row> rows(word_lines.size());
-    run_with_sim_contexts<sram::Read_sim_context>(
-        word_lines.size(), runner,
-        [&](std::size_t i, sram::Read_sim_context& sim) {
-            rows[i] = worst_case_read_on(option, word_lines[i], -1.0, sim);
-        });
-    return rows;
-}
-
-analytic::Td_params Variability_study::formula_params(int word_lines) const
-{
-    return analytic::derive_params(tech_, cell_, nominal_wires(word_lines));
+    return session_
+        ->run(Query(Metric::read_td)
+                  .over_word_lines(option, word_lines)
+                  .on(runner))
+        .column<Read_row>();
 }
 
 Variability_study::Nominal_td_row Variability_study::nominal_td(
     int word_lines) const
 {
-    Nominal_td_row row;
-    row.td_simulation = nominal_td_spice(word_lines);
-    row.td_formula =
-        analytic::td_lumped(formula_params(word_lines), word_lines);
-    return row;
+    return run_single<Nominal_td_row>(
+        Query(Metric::nominal_td)
+            .with_case({tech::Patterning_option::euv, word_lines}));
 }
 
 std::vector<Variability_study::Nominal_td_row>
 Variability_study::nominal_td_batch(std::span<const int> word_lines,
                                     const Runner_options& runner) const
 {
-    std::vector<Nominal_td_row> rows(word_lines.size());
-    run_with_sim_contexts<sram::Read_sim_context>(
-        word_lines.size(), runner,
-        [&](std::size_t i, sram::Read_sim_context& sim) {
-            Nominal_td_row row;
-            row.td_simulation = nominal_td_spice(word_lines[i], &sim);
-            row.td_formula = analytic::td_lumped(
-                formula_params(word_lines[i]), word_lines[i]);
-            rows[i] = row;
-        });
-    return rows;
+    return session_
+        ->run(Query(Metric::nominal_td)
+                  .over_word_lines(tech::Patterning_option::euv, word_lines)
+                  .on(runner))
+        .column<Nominal_td_row>();
 }
 
 Variability_study::Tdp_row Variability_study::worst_case_tdp(
     tech::Patterning_option option, int word_lines) const
 {
-    sram::Read_sim_context sim;
-    return worst_case_tdp_on(option, word_lines, -1.0, sim);
-}
-
-Variability_study::Tdp_row Variability_study::worst_case_tdp_on(
-    tech::Patterning_option option, int word_lines, double ol_3sigma,
-    sram::Read_sim_context& sim) const
-{
-    // One memoized search serves both the simulated read (worst-corner
-    // geometry) and the formula (R/C factors) — the seed enumerated the
-    // same corners twice per Table III cell.
-    const auto wc = worst_case_cached(option, word_lines, ol_3sigma, {});
-    const Read_row read =
-        worst_case_read_on(option, word_lines, ol_3sigma, sim);
-
-    Tdp_row row;
-    row.tdp_simulation = read.tdp_percent;
-    row.tdp_formula = analytic::tdp_percent(
-        formula_params(word_lines), word_lines, wc->variation.r_factor,
-        wc->variation.c_factor);
-    return row;
+    return run_single<Tdp_row>(
+        Query(Metric::worst_case_tdp).with_case({option, word_lines}));
 }
 
 std::vector<Variability_study::Tdp_row>
 Variability_study::worst_case_tdp_batch(std::span<const Tdp_case> cases,
                                         const Runner_options& runner) const
 {
-    std::vector<Tdp_row> rows(cases.size());
-    run_with_sim_contexts<sram::Read_sim_context>(
-        cases.size(), runner,
-        [&](std::size_t i, sram::Read_sim_context& sim) {
-            rows[i] = worst_case_tdp_on(cases[i].option,
-                                        cases[i].word_lines,
-                                        cases[i].ol_3sigma, sim);
-        });
-    return rows;
+    Query query(Metric::worst_case_tdp);
+    query.cases.assign(cases.begin(), cases.end());
+    return session_->run(query.on(runner)).column<Tdp_row>();
 }
 
 mc::Tdp_distribution Variability_study::mc_tdp(
     tech::Patterning_option option, int word_lines,
     const mc::Distribution_options& mc_opts, double ol_3sigma) const
 {
-    sram::Array_config cfg = opts_.array;
-    cfg.word_lines = word_lines;
-    const tech::Technology t = tech_with_ol(ol_3sigma);
-    const auto engine = pattern::make_engine(option, t);
-    const geom::Wire_array nominal =
-        engine->decompose(sram::build_metal1_array(t, cfg));
-    const sram::Victim_wires victims = sram::find_victim_wires(nominal, cfg);
-
-    return mc::tdp_distribution(*engine, *extractor_, nominal, victims.bl,
-                                formula_params(word_lines), word_lines,
-                                mc_opts);
+    return run_single<mc::Tdp_distribution>(
+        Query(Metric::mc_tdp)
+            .with_case({option, word_lines, ol_3sigma})
+            .with_mc(mc_opts));
 }
 
 std::vector<mc::Tdp_distribution> Variability_study::mc_tdp_batch(
     std::span<const Mc_case> cases,
     const mc::Distribution_options& mc_opts) const
 {
-    // Parallelism lives inside each case's sample loop (samples outnumber
-    // cases by orders of magnitude), so every case's distribution is the
-    // same whether it runs alone or inside a sweep.
-    std::vector<mc::Tdp_distribution> results;
-    results.reserve(cases.size());
-    for (const Mc_case& c : cases) {
-        results.push_back(
-            mc_tdp(c.option, c.word_lines, mc_opts, c.ol_3sigma));
-    }
-    return results;
-}
-
-// --- write extension ---------------------------------------------------------
-
-double Variability_study::simulate_tw(const sram::Bitline_electrical& wires,
-                                      int word_lines) const
-{
-    sram::Write_sim_context sim;
-    return simulate_tw_on(wires, word_lines, sim);
-}
-
-double Variability_study::simulate_tw_on(
-    const sram::Bitline_electrical& wires, int word_lines,
-    sram::Write_sim_context& sim) const
-{
-    sram::Array_config cfg = opts_.array;
-    cfg.word_lines = word_lines;
-    const sram::Write_result r =
-        sim.simulate(tech_, cell_, wires, cfg, opts_.write_timing,
-                     opts_.netlist, opts_.write);
-    util::ensures(r.flipped, "write simulation never flipped the cell");
-    return r.tw;
-}
-
-double Variability_study::nominal_tw_spice(int word_lines,
-                                           sram::Write_sim_context* sim) const
-{
-    {
-        const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
-        const auto it = tw_nominal_cache_.find(word_lines);
-        if (it != tw_nominal_cache_.end()) return it->second;
-    }
-
-    const sram::Bitline_electrical wires = nominal_wires(word_lines);
-    // Value-racy-but-deterministic, like the td memo: racing threads
-    // redundantly compute one value instead of serializing behind a
-    // transient.
-    const double tw = sim ? simulate_tw_on(wires, word_lines, *sim)
-                          : simulate_tw(wires, word_lines);
-    const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
-    tw_nominal_cache_.emplace(word_lines, tw);
-    return tw;
-}
-
-double Variability_study::nominal_tw(int word_lines) const
-{
-    return nominal_tw_spice(word_lines);
-}
-
-std::vector<double> Variability_study::nominal_tw_batch(
-    std::span<const int> word_lines, const Runner_options& runner) const
-{
-    std::vector<double> rows(word_lines.size());
-    run_with_sim_contexts<sram::Write_sim_context>(
-        word_lines.size(), runner,
-        [&](std::size_t i, sram::Write_sim_context& sim) {
-            rows[i] = nominal_tw_spice(word_lines[i], &sim);
-        });
-    return rows;
+    Query query(Metric::mc_tdp);
+    query.cases.assign(cases.begin(), cases.end());
+    return session_->run(query.with_mc(mc_opts))
+        .column<mc::Tdp_distribution>();
 }
 
 Variability_study::Write_row Variability_study::worst_case_tw(
     tech::Patterning_option option, int word_lines) const
 {
-    sram::Write_sim_context sim;
-    return worst_case_tw_on(option, word_lines, -1.0, sim);
-}
-
-Variability_study::Write_row Variability_study::worst_case_tw_on(
-    tech::Patterning_option option, int word_lines, double ol_3sigma,
-    sram::Write_sim_context& sim) const
-{
-    sram::Array_config cfg = opts_.array;
-    cfg.word_lines = word_lines;
-
-    // Same memoized enumeration as the read paths: the worst write corner
-    // is the RC-maximizing corner of the column the driver must discharge.
-    const auto wc = worst_case_cached(option, word_lines, ol_3sigma, {});
-    const geom::Wire_array nominal =
-        decomposed_array(option, word_lines, ol_3sigma);
-    const sram::Bitline_electrical wires = sram::roll_up_bitline(
-        *extractor_, nominal, wc->realized, tech_, cfg);
-
-    Write_row row;
-    row.tw_nominal = nominal_tw_spice(word_lines, &sim);
-    row.tw_varied = simulate_tw_on(wires, word_lines, sim);
-    row.twp_percent = (row.tw_varied / row.tw_nominal - 1.0) * 100.0;
-    return row;
+    return run_single<Write_row>(
+        Query(Metric::write_tw).with_case({option, word_lines}));
 }
 
 std::vector<Variability_study::Write_row> Variability_study::write_sweep(
     tech::Patterning_option option, std::span<const int> word_lines,
     const Runner_options& runner) const
 {
-    std::vector<Write_row> rows(word_lines.size());
-    run_with_sim_contexts<sram::Write_sim_context>(
-        word_lines.size(), runner,
-        [&](std::size_t i, sram::Write_sim_context& sim) {
-            rows[i] = worst_case_tw_on(option, word_lines[i], -1.0, sim);
-        });
+    return session_
+        ->run(Query(Metric::write_tw)
+                  .over_word_lines(option, word_lines)
+                  .on(runner))
+        .column<Write_row>();
+}
+
+double Variability_study::nominal_tw(int word_lines) const
+{
+    return run_single<Nominal_tw_row>(
+               Query(Metric::nominal_tw)
+                   .with_case({tech::Patterning_option::euv, word_lines}))
+        .tw_simulation;
+}
+
+std::vector<double> Variability_study::nominal_tw_batch(
+    std::span<const int> word_lines, const Runner_options& runner) const
+{
+    const Result_table table = session_->run(
+        Query(Metric::nominal_tw)
+            .over_word_lines(tech::Patterning_option::euv, word_lines)
+            .on(runner));
+    std::vector<double> rows;
+    rows.reserve(table.size());
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        rows.push_back(table.as<Nominal_tw_row>(i).tw_simulation);
+    }
     return rows;
 }
 
@@ -453,51 +153,20 @@ mc::Tdp_distribution Variability_study::mc_twp(
     tech::Patterning_option option, int word_lines,
     const mc::Distribution_options& mc_opts, double ol_3sigma) const
 {
-    sram::Array_config cfg = opts_.array;
-    cfg.word_lines = word_lines;
-    const tech::Technology t = tech_with_ol(ol_3sigma);
-    const auto engine = pattern::make_engine(option, t);
-    const geom::Wire_array nominal =
-        engine->decompose(sram::build_metal1_array(t, cfg));
-    const sram::Victim_wires victims = sram::find_victim_wires(nominal, cfg);
-
-    const double tw_nom = nominal_tw_spice(word_lines);
-
-    // SPICE-in-the-loop metric: roll up each sample's realized geometry
-    // and simulate its write on the per-worker context.  A non-flipping
-    // sample yields tw = NaN, which flows into a NaN twp instead of
-    // aborting the sweep.
-    std::vector<sram::Write_sim_context> sims(
-        static_cast<std::size_t>(mc_opts.runner.resolved_threads()));
-    const auto metric = [&](const geom::Wire_array& realized,
-                            const extract::Rc_variation&,
-                            const core::Run_context& ctx) {
-        const sram::Bitline_electrical wires = sram::roll_up_bitline(
-            *extractor_, nominal, realized, tech_, cfg);
-        const sram::Write_result r =
-            sims[static_cast<std::size_t>(ctx.worker)].simulate(
-                tech_, cell_, wires, cfg, opts_.write_timing, opts_.netlist,
-                opts_.write);
-        return (r.tw / tw_nom - 1.0) * 100.0;
-    };
-    return mc::metric_distribution(*engine, *extractor_, nominal,
-                                   victims.bl, metric, mc_opts);
+    return run_single<mc::Tdp_distribution>(
+        Query(Metric::mc_twp)
+            .with_case({option, word_lines, ol_3sigma})
+            .with_mc(mc_opts));
 }
 
 std::vector<mc::Tdp_distribution> Variability_study::mc_twp_batch(
     std::span<const Mc_case> cases,
     const mc::Distribution_options& mc_opts) const
 {
-    // Same shape as mc_tdp_batch: parallelism lives inside each case's
-    // sample loop, so every case's distribution is independent of the
-    // sweep composition.
-    std::vector<mc::Tdp_distribution> results;
-    results.reserve(cases.size());
-    for (const Mc_case& c : cases) {
-        results.push_back(
-            mc_twp(c.option, c.word_lines, mc_opts, c.ol_3sigma));
-    }
-    return results;
+    Query query(Metric::mc_twp);
+    query.cases.assign(cases.begin(), cases.end());
+    return session_->run(query.with_mc(mc_opts))
+        .column<mc::Tdp_distribution>();
 }
 
 } // namespace mpsram::core

@@ -1,328 +1,233 @@
-// Variability_study: the paper's end-to-end flow as a single object.
+// Variability_study: the legacy per-figure facade over the query layer.
 //
-// Wraps technology selection, layout generation, patterning decomposition,
-// extraction, worst-case search, SPICE read simulation, the analytic
-// formula, and the Monte-Carlo distribution — one method per experiment of
-// the paper:
+// DEPRECATED-BUT-STABLE.  Since PR 5 the study is queried through the
+// metric-centric API — build a core::Query (query.h) and execute it with
+// core::Study_session::run (session.h):
 //
-//   worst_case()        -> Table I rows
-//   worst_case_read()   -> Fig. 4 points
-//   nominal_td()        -> Table II rows
-//   worst_case_tdp()    -> Table III rows
-//   mc_tdp()            -> Fig. 5 histograms / Table IV sigmas
+//     Study_session session;
+//     auto fig4 = session.run(Query(Metric::read_td)
+//                                 .over_word_lines(option, sizes)
+//                                 .on(Runner_options::parallel()));
 //
-// plus the write-operation extension on the same column substrate (the
-// figure of merit is tw, word-line mid to storage flip):
+// Every method below is a thin wrapper that builds the equivalent query
+// and unpacks its Result_table; results are bitwise identical to the
+// query path at any thread count (asserted by test_core_query).  The
+// wrappers are kept for source stability and will not grow: new workloads
+// register a Metric, they do not add methods here.
 //
-//   worst_case_tw() / write_sweep()  -> write analogue of Fig. 4
-//   nominal_tw() / nominal_tw_batch()
-//   mc_twp()/ mc_twp_batch()         -> SPICE-in-the-loop twp distribution
+// Canonical parameter order of the query layer (and of any future
+// wrapper): value axes first (option, word_lines, ol_3sigma), execution
+// policy (runner) last.  worst_case_all_options historically took the
+// runner first; PR 5 fixed it to the canonical order.
+//
+// Method -> Metric map:
+//
+//   worst_case() / worst_case_all_options()      Metric::worst_case_rc
+//   worst_case_read() / read_sweep()             Metric::read_td
+//   nominal_td() / nominal_td_batch()            Metric::nominal_td
+//   worst_case_tdp() / worst_case_tdp_batch()    Metric::worst_case_tdp
+//   mc_tdp() / mc_tdp_batch()                    Metric::mc_tdp
+//   worst_case_tw() / write_sweep()              Metric::write_tw
+//   nominal_tw() / nominal_tw_batch()            Metric::nominal_tw
+//   mc_twp() / mc_twp_batch()                    Metric::mc_twp
+//   (no wrapper — query only)                    Metric::disturb
 #ifndef MPSRAM_CORE_STUDY_H
 #define MPSRAM_CORE_STUDY_H
 
-#include <atomic>
-#include <cstdint>
-#include <functional>
-#include <future>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <span>
-#include <string>
-#include <tuple>
 #include <vector>
 
+#include "core/query.h"
 #include "core/runner.h"
-#include "extract/extractor.h"
-#include "mc/distribution.h"
-#include "mc/worst_case.h"
-#include "sram/read_sim.h"
-#include "sram/write_sim.h"
-#include "tech/technology.h"
+#include "core/session.h"
 
 namespace mpsram::core {
-
-struct Study_options {
-    sram::Array_config array;  ///< bl_pairs defaults to the paper's 10
-    extract::Extraction_options extraction;
-    sram::Read_timing timing;
-    /// Read-measurement options, including the integration-engine policy:
-    /// `read.accuracy` defaults to the calibrated adaptive-LTE engine
-    /// (sram::Sim_accuracy::fast) and governs every SPICE transient the
-    /// study runs — single calls, read_sweep / nominal_td_batch /
-    /// worst_case_tdp_batch, and the td references of the MC and
-    /// corner-search flows.  Pin sram::Sim_accuracy::reference for the
-    /// fixed-step oracle (tests, calibration).  Either way results are
-    /// bitwise identical at any thread count.
-    sram::Read_options read;
-    sram::Netlist_options netlist;
-    sram::Write_timing write_timing;
-    /// Write-measurement options; `write.accuracy` governs the write-path
-    /// transients exactly like `read.accuracy` does the read's.
-    sram::Write_options write;
-};
 
 class Variability_study {
 public:
     explicit Variability_study(tech::Technology tech = tech::n10(),
                                Study_options opts = Study_options{});
 
-    const tech::Technology& technology() const { return tech_; }
-    const Study_options& options() const { return opts_; }
+    const tech::Technology& technology() const
+    {
+        return session_->technology();
+    }
+    const Study_options& options() const { return session_->options(); }
 
-    // --- Table I -------------------------------------------------------------
-    struct Worst_case_row {
-        tech::Patterning_option option;
-        std::string corner;       ///< human-readable worst corner
-        double cbl_percent = 0.0; ///< victim Cbl change
-        double rbl_percent = 0.0; ///< victim Rbl change
-        double vss_r_percent = 0.0;
-    };
-    /// Worst case for one option.  `ol_3sigma` < 0 uses the technology's
-    /// assumption (LE3 only; ignored otherwise).  `runner` executes the
-    /// corner enumeration.
-    Worst_case_row worst_case(tech::Patterning_option option,
-                              double ol_3sigma = -1.0,
-                              const Runner_options& runner = {}) const;
+    /// The query engine behind every wrapper (shared state: memos,
+    /// extractor).  Preferred entry point for new code.
+    const Study_session& session() const { return *session_; }
 
-    /// Table I in one call: the worst case of every patterning option,
-    /// corner evaluations fanned out on `runner`.  Row order follows
-    /// tech::all_patterning_options regardless of thread count.
-    std::vector<Worst_case_row> worst_case_all_options(
-        const Runner_options& runner = {}, double ol_3sigma = -1.0) const;
-
-    // --- Fig. 4 ---------------------------------------------------------------
-    struct Read_row {
-        double td_nominal = 0.0;  ///< [s] SPICE, no variability
-        double td_varied = 0.0;   ///< [s] SPICE at the worst corner
-        double tdp_percent = 0.0;
-    };
-    Read_row worst_case_read(tech::Patterning_option option,
-                             int word_lines) const;
-
-    /// Fig. 4 in one call: worst_case_read for every array length of the
-    /// sweep, one SPICE job per word-line count on `runner`.  Each worker
-    /// owns a Read_sim_context (netlist + solver workspace), so repeated
-    /// transients reuse allocations; results are indexed like `word_lines`
-    /// and bitwise identical at any thread count.
-    std::vector<Read_row> read_sweep(tech::Patterning_option option,
-                                     std::span<const int> word_lines,
-                                     const Runner_options& runner = {}) const;
-
-    // --- Table II ---------------------------------------------------------------
-    struct Nominal_td_row {
-        double td_simulation = 0.0;  ///< [s]
-        double td_formula = 0.0;     ///< [s]
-    };
-    Nominal_td_row nominal_td(int word_lines) const;
-
-    /// Table II in one call: one nominal transient + formula evaluation
-    /// per word-line count, fanned out on `runner` with per-worker
-    /// simulation contexts.  Bitwise identical at any thread count.
-    std::vector<Nominal_td_row> nominal_td_batch(
-        std::span<const int> word_lines,
-        const Runner_options& runner = {}) const;
-
-    // --- Table III ----------------------------------------------------------------
-    struct Tdp_row {
-        double tdp_simulation = 0.0;  ///< [%]
-        double tdp_formula = 0.0;     ///< [%]
-    };
-    Tdp_row worst_case_tdp(tech::Patterning_option option,
-                           int word_lines) const;
-
-    /// One Table III cell: an option at an array length (and optionally an
-    /// overlay budget, LE3 only).
+    // --- legacy row/case types (aliases of the query layer's) ----------------
+    using Worst_case_row = core::Worst_case_row;
+    using Read_row = core::Read_row;
+    using Nominal_td_row = core::Nominal_td_row;
+    using Tdp_row = core::Tdp_row;
+    using Write_row = core::Write_row;
+    /// One (option, word_lines, ol_3sigma) case of a Table III / MC
+    /// sweep.  Kept as distinct structs (not Query_case aliases) because
+    /// the stable wrappers promise the historical fixed default of 64
+    /// word lines; Query_case defaults to 0 = "the session's array
+    /// default" instead.
     struct Tdp_case {
         tech::Patterning_option option;
         int word_lines = 64;
         double ol_3sigma = -1.0;  ///< < 0: technology default
+
+        operator Query_case() const { return {option, word_lines, ol_3sigma}; }
     };
+    using Mc_case = Tdp_case;
+
+    // --- Table I -------------------------------------------------------------
+    /// Worst case for one option.  `ol_3sigma` < 0 uses the technology's
+    /// assumption (LE3 only; ignored otherwise).  `runner` executes the
+    /// corner enumeration.  [wraps Metric::worst_case_rc]
+    Worst_case_row worst_case(tech::Patterning_option option,
+                              double ol_3sigma = -1.0,
+                              const Runner_options& runner = {}) const;
+
+    /// Table I in one call: the worst case of every patterning option.
+    /// Row order follows tech::all_patterning_options regardless of
+    /// thread count.  [wraps Metric::worst_case_rc; parameter order fixed
+    /// in PR 5 to the canonical (axes..., runner)]
+    std::vector<Worst_case_row> worst_case_all_options(
+        double ol_3sigma = -1.0, const Runner_options& runner = {}) const;
+
+    // --- Fig. 4 --------------------------------------------------------------
+    /// [wraps Metric::read_td]
+    Read_row worst_case_read(tech::Patterning_option option,
+                             int word_lines) const;
+
+    /// Fig. 4 in one call: worst_case_read for every array length of the
+    /// sweep, one SPICE job per word-line count on `runner`.  Results are
+    /// indexed like `word_lines` and bitwise identical at any thread
+    /// count.  [wraps Metric::read_td]
+    std::vector<Read_row> read_sweep(tech::Patterning_option option,
+                                     std::span<const int> word_lines,
+                                     const Runner_options& runner = {}) const;
+
+    // --- Table II ------------------------------------------------------------
+    /// [wraps Metric::nominal_td]
+    Nominal_td_row nominal_td(int word_lines) const;
+
+    /// Table II in one call.  [wraps Metric::nominal_td]
+    std::vector<Nominal_td_row> nominal_td_batch(
+        std::span<const int> word_lines,
+        const Runner_options& runner = {}) const;
+
+    // --- Table III -----------------------------------------------------------
+    /// [wraps Metric::worst_case_tdp]
+    Tdp_row worst_case_tdp(tech::Patterning_option option,
+                           int word_lines) const;
 
     /// Table III in one call: worst_case_tdp for every case on `runner`.
-    /// Each case runs its corner search (memoized, see below) plus two
-    /// transients in one job; results are indexed like `cases` and bitwise
-    /// identical at any thread count.
+    /// [wraps Metric::worst_case_tdp]
     std::vector<Tdp_row> worst_case_tdp_batch(
         std::span<const Tdp_case> cases,
         const Runner_options& runner = {}) const;
 
-    // --- Fig. 5 / Table IV ----------------------------------------------------------
+    // --- Fig. 5 / Table IV ---------------------------------------------------
+    /// [wraps Metric::mc_tdp]
     mc::Tdp_distribution mc_tdp(tech::Patterning_option option,
                                 int word_lines,
                                 const mc::Distribution_options& mc_opts,
                                 double ol_3sigma = -1.0) const;
 
-    /// One Monte-Carlo case of a sweep: an option at an array length and
-    /// (optionally) an overlay budget.
-    struct Mc_case {
-        tech::Patterning_option option;
-        int word_lines = 64;
-        double ol_3sigma = -1.0;  ///< < 0: technology default (LE3 only)
-    };
-
-    /// Run mc_tdp for every case of a sweep (Fig. 5's three options, an
-    /// overlay-budget scan, a word-line scaling study...).  Each case's
-    /// sample loop is fanned out on `mc_opts.runner` — samples dominate
-    /// cases by orders of magnitude, so per-case parallelism saturates
-    /// the pool while keeping every case's result independent of the
-    /// sweep composition.  Results are indexed like `cases` and bitwise
-    /// identical at any thread count.
+    /// mc_tdp for every case of a sweep.  Each case's sample loop is
+    /// fanned out on `mc_opts.runner`; every case's result is independent
+    /// of the sweep composition.  [wraps Metric::mc_tdp]
     std::vector<mc::Tdp_distribution> mc_tdp_batch(
         std::span<const Mc_case> cases,
         const mc::Distribution_options& mc_opts) const;
 
-    // --- write extension (beyond the paper) -----------------------------------
-    /// The write analogue of a Fig. 4 point: tw nominal vs tw at the
-    /// worst-case corner of the option.  The corner enumeration is shared
-    /// with the read paths through the worst-case memo — worst_case_tw and
-    /// worst_case_tdp on the same (option, word_lines, ol_3sigma) key
-    /// trigger exactly one search between them.
-    struct Write_row {
-        double tw_nominal = 0.0;  ///< [s] SPICE, no variability
-        double tw_varied = 0.0;   ///< [s] SPICE at the worst corner
-        double twp_percent = 0.0;
-    };
+    // --- write extension (beyond the paper) ----------------------------------
+    /// [wraps Metric::write_tw]
     Write_row worst_case_tw(tech::Patterning_option option,
                             int word_lines) const;
 
-    /// Write sweep in one call: worst_case_tw for every array length, one
-    /// job per word-line count on `runner` with per-worker
-    /// Write_sim_contexts (netlist + solver workspace).  Results are
-    /// indexed like `word_lines` and bitwise identical at any thread
-    /// count.
+    /// [wraps Metric::write_tw]
     std::vector<Write_row> write_sweep(tech::Patterning_option option,
                                        std::span<const int> word_lines,
                                        const Runner_options& runner = {}) const;
 
-    /// Nominal write time [s] (memoized like nominal_td).
+    /// Nominal write time [s] (memoized).  [wraps Metric::nominal_tw]
     double nominal_tw(int word_lines) const;
 
-    /// One nominal write transient per word-line count, fanned out on
-    /// `runner` with per-worker contexts.  Bitwise identical at any thread
-    /// count.
+    /// [wraps Metric::nominal_tw]
     std::vector<double> nominal_tw_batch(std::span<const int> word_lines,
                                          const Runner_options& runner = {})
         const;
 
-    /// Monte-Carlo twp distribution: the generalized sampler with a
-    /// SPICE-in-the-loop metric — every sample's realized geometry is
-    /// rolled up and its write simulated on the per-worker context, so
-    /// sample counts should be orders of magnitude below the read MC's
-    /// (each sample costs a transient, not a formula evaluation).  A
-    /// sample whose write fails to flip records NaN (NaN-safe summary)
-    /// instead of aborting the sweep.  `dist.tdp` holds twp [%].
+    /// Monte-Carlo twp distribution with the SPICE-in-the-loop sample
+    /// engine; `dist.tdp` holds twp [%].  A sample whose write fails to
+    /// flip records NaN.  For the cheap analytic engine build the query
+    /// directly: Query(Metric::mc_twp).with_twp_engine(Twp_engine::formula).
+    /// [wraps Metric::mc_twp]
     mc::Tdp_distribution mc_twp(tech::Patterning_option option,
                                 int word_lines,
                                 const mc::Distribution_options& mc_opts,
                                 double ol_3sigma = -1.0) const;
 
-    /// mc_twp for every case of a sweep; same execution contract as
-    /// mc_tdp_batch (per-case sample loops on `mc_opts.runner`).
+    /// [wraps Metric::mc_twp]
     std::vector<mc::Tdp_distribution> mc_twp_batch(
         std::span<const Mc_case> cases,
         const mc::Distribution_options& mc_opts) const;
 
-    /// SPICE tw with explicit wire electricals (write analogue of
-    /// simulate_td; throws if the write never flips the cell).
-    double simulate_tw(const sram::Bitline_electrical& wires,
-                       int word_lines) const;
-
-    // --- building blocks (exposed for examples, benches and tests) -----------
-    /// Nominal metal1 array, decomposed for the option.
+    // --- building blocks (forwarded to the session) --------------------------
     geom::Wire_array decomposed_array(tech::Patterning_option option,
                                       int word_lines,
-                                      double ol_3sigma = -1.0) const;
+                                      double ol_3sigma = -1.0) const
+    {
+        return session_->decomposed_array(option, word_lines, ol_3sigma);
+    }
 
-    const extract::Extractor& extractor() const { return *extractor_; }
+    const extract::Extractor& extractor() const
+    {
+        return session_->extractor();
+    }
 
-    /// SPICE td with explicit wire electricals (shared by the Fig. 4 and
-    /// Table II/III paths; also useful for ablation benches).
     double simulate_td(const sram::Bitline_electrical& wires,
-                       int word_lines) const;
+                       int word_lines) const
+    {
+        return session_->simulate_td(wires, word_lines);
+    }
 
-    /// Formula parameters at nominal wires for a given array length.
-    analytic::Td_params formula_params(int word_lines) const;
+    double simulate_tw(const sram::Bitline_electrical& wires,
+                       int word_lines) const
+    {
+        return session_->simulate_tw(wires, word_lines);
+    }
 
-    /// Worst-case search result with full geometry (Fig. 2-style dumps).
-    /// Memoized on (option, word_lines, ol_3sigma): the corner enumeration
-    /// runs exactly once per key no matter how many callers — concurrent
-    /// ones included — ask for it; worst_case(), worst_case_read() and
-    /// worst_case_tdp() all share the same memo.  `runner` only matters
-    /// for the caller that performs the enumeration.
+    analytic::Td_params formula_params(int word_lines) const
+    {
+        return session_->formula_params(word_lines);
+    }
+
     mc::Worst_case_result worst_case_full(tech::Patterning_option option,
                                           int word_lines,
                                           double ol_3sigma = -1.0,
                                           const Runner_options& runner = {})
-        const;
+        const
+    {
+        return session_->worst_case_full(option, word_lines, ol_3sigma,
+                                         runner);
+    }
 
-    /// Corner enumerations actually performed (not memo hits) since
-    /// construction — the observable for the one-search-per-key contract.
     std::size_t corner_search_count() const
     {
-        return corner_searches_.load(std::memory_order_relaxed);
+        return session_->corner_search_count();
     }
 
 private:
-    tech::Technology tech_with_ol(double ol_3sigma) const;
-    /// Extracted per-cell electricals of the nominal (drawn) array.
-    sram::Bitline_electrical nominal_wires(int word_lines) const;
-    double nominal_td_spice(int word_lines,
-                            sram::Read_sim_context* sim = nullptr) const;
-    double simulate_td_on(const sram::Bitline_electrical& wires,
-                          int word_lines, sram::Read_sim_context& sim) const;
-    Read_row worst_case_read_on(tech::Patterning_option option,
-                                int word_lines, double ol_3sigma,
-                                sram::Read_sim_context& sim) const;
-    Tdp_row worst_case_tdp_on(tech::Patterning_option option, int word_lines,
-                              double ol_3sigma,
-                              sram::Read_sim_context& sim) const;
-    double nominal_tw_spice(int word_lines,
-                            sram::Write_sim_context* sim = nullptr) const;
-    double simulate_tw_on(const sram::Bitline_electrical& wires,
-                          int word_lines, sram::Write_sim_context& sim) const;
-    Write_row worst_case_tw_on(tech::Patterning_option option,
-                               int word_lines, double ol_3sigma,
-                               sram::Write_sim_context& sim) const;
+    /// Run a single-case query and unpack its one row.
+    template <class Row>
+    Row run_single(Query query) const;
 
-    /// The worst-case memo entry for a key, computing it (exactly once,
-    /// promise-backed) on a miss.
-    std::shared_ptr<const mc::Worst_case_result> worst_case_cached(
-        tech::Patterning_option option, int word_lines, double ol_3sigma,
-        const Runner_options& runner) const;
-
-    /// Shared skeleton of the batch APIs: `count` jobs on a Run_plan,
-    /// each handed the per-worker simulation context (read or write) of
-    /// the worker running it.
-    template <class Context>
-    void run_with_sim_contexts(
-        std::size_t count, const Runner_options& runner,
-        const std::function<void(std::size_t, Context&)>& job) const;
-
-    tech::Technology tech_;
-    Study_options opts_;
-    std::unique_ptr<extract::Extractor> extractor_;
-    sram::Cell_electrical cell_;
-
-    // The nominal-metric memos (one per metric: td for the read path, tw
-    // for the write path) are shared by every const method; batch APIs hit
-    // them from pool workers, so all access goes through
-    // nominal_cache_mutex_.
-    mutable std::mutex nominal_cache_mutex_;
-    mutable std::map<int, double> td_nominal_cache_;
-    mutable std::map<int, double> tw_nominal_cache_;
-
-    // Worst-case memo: option/word_lines/ol_3sigma (negative budgets
-    // normalized to -1) -> shared future of the search result.  The first
-    // caller of a key inserts the future and runs the enumeration outside
-    // the lock; concurrent callers of the same key wait on the future
-    // instead of duplicating the search.
-    using Wc_key = std::tuple<tech::Patterning_option, int, double>;
-    using Wc_entry =
-        std::shared_future<std::shared_ptr<const mc::Worst_case_result>>;
-    mutable std::mutex wc_cache_mutex_;
-    mutable std::map<Wc_key, Wc_entry> wc_cache_;
-    mutable std::atomic<std::size_t> corner_searches_{0};
+    // unique_ptr keeps the class non-copyable (move-only), as it was when
+    // it owned the extractor directly: a copy sharing one session's memos
+    // and corner_search_count would silently alias observable state.
+    std::unique_ptr<Study_session> session_;
 };
 
 } // namespace mpsram::core

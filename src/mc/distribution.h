@@ -48,6 +48,16 @@ struct Tdp_distribution {
     std::vector<double> rvar;  ///< R factor per sample
     std::vector<double> cvar;  ///< C factor per sample
     util::Sample_summary summary;  ///< of tdp
+
+    /// Bit-pattern comparison (util::bits_equal), so a deterministic run
+    /// containing NaN samples (a non-flipping write) still equals its
+    /// bitwise-identical re-run.
+    bool operator==(const Tdp_distribution& o) const
+    {
+        return util::bits_equal(tdp, o.tdp) &&
+               util::bits_equal(rvar, o.rvar) &&
+               util::bits_equal(cvar, o.cvar) && summary == o.summary;
+    }
 };
 
 /// Per-sample metric of the generalized sampler: maps a realized process

@@ -1,5 +1,8 @@
 #include "spice/measure.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace mpsram::spice {
 
 double crossing_time(const Transient_result& result, const std::string& probe,
@@ -12,6 +15,18 @@ double differential_time(const Transient_result& result, const std::string& a,
                          const std::string& b, double level, double from)
 {
     return result.differential(a, b).first_crossing(level, from);
+}
+
+double peak_value(const Transient_result& result, const std::string& probe,
+                  double from)
+{
+    const util::Piecewise_linear wave = result.waveform(probe);
+    double peak = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+        if (wave.xs()[i] < from) continue;
+        peak = std::max(peak, wave.ys()[i]);
+    }
+    return peak;
 }
 
 } // namespace mpsram::spice

@@ -18,6 +18,12 @@ double differential_time(const Transient_result& result, const std::string& a,
                          const std::string& b, double level,
                          double from = 0.0);
 
+/// Maximum sampled value of the probed node at times >= from (the
+/// disturb study's figure of merit is the peak storage-node excursion).
+/// Returns -infinity if no sample lies at or after `from`.
+double peak_value(const Transient_result& result, const std::string& probe,
+                  double from = 0.0);
+
 } // namespace mpsram::spice
 
 #endif // MPSRAM_SPICE_MEASURE_H

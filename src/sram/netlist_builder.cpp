@@ -166,12 +166,20 @@ void update_column_ladder_wires(Column_ladder& ladder, int word_lines,
 
 } // namespace
 
-Read_netlist build_read_netlist(const tech::Technology& tech,
-                                const Cell_electrical& cell,
-                                const Bitline_electrical& wires,
-                                const Array_config& cfg,
-                                const Read_timing& timing,
-                                const Netlist_options& nopts)
+namespace {
+
+/// Shared build of the read-shaped column circuit: precharge/equalizer
+/// periphery plus the column substrate.  The read schedule releases the
+/// precharge before the word line fires; the disturb (half-select)
+/// schedule holds the precharge on for the whole window — the column is
+/// not the one being read, its word line just shares the fired row.
+Read_netlist build_read_like_netlist(const tech::Technology& tech,
+                                     const Cell_electrical& cell,
+                                     const Bitline_electrical& wires,
+                                     const Array_config& cfg,
+                                     const Read_timing& timing,
+                                     const Netlist_options& nopts,
+                                     bool hold_precharge)
 {
     validate_column_inputs(cfg, wires, nopts);
 
@@ -194,8 +202,10 @@ Read_netlist build_read_netlist(const tech::Technology& tech,
     const spice::Node prechb = c.node("prechb");
     c.add_voltage_source(
         "Vprechb", prechb, spice::ground_node,
-        spice::Waveform::pulse(0.0, vdd, timing.t_precharge_off,
-                               timing.edge_time));
+        hold_precharge
+            ? spice::Waveform::dc(0.0)
+            : spice::Waveform::pulse(0.0, vdd, timing.t_precharge_off,
+                                     timing.edge_time));
 
     net.wl = c.node("wl");
     c.add_voltage_source(
@@ -230,6 +240,30 @@ Read_netlist build_read_netlist(const tech::Technology& tech,
     net.blb_far = accessed.blb_far;
 
     return net;
+}
+
+} // namespace
+
+Read_netlist build_read_netlist(const tech::Technology& tech,
+                                const Cell_electrical& cell,
+                                const Bitline_electrical& wires,
+                                const Array_config& cfg,
+                                const Read_timing& timing,
+                                const Netlist_options& nopts)
+{
+    return build_read_like_netlist(tech, cell, wires, cfg, timing, nopts,
+                                   /*hold_precharge=*/false);
+}
+
+Disturb_netlist build_disturb_netlist(const tech::Technology& tech,
+                                      const Cell_electrical& cell,
+                                      const Bitline_electrical& wires,
+                                      const Array_config& cfg,
+                                      const Read_timing& timing,
+                                      const Netlist_options& nopts)
+{
+    return build_read_like_netlist(tech, cell, wires, cfg, timing, nopts,
+                                   /*hold_precharge=*/true);
 }
 
 Write_netlist build_write_netlist(const tech::Technology& tech,

@@ -127,6 +127,15 @@ struct Write_netlist {
     Column_ladder ladder;  ///< wire devices, for update_write_netlist_wires
 };
 
+/// The half-select (read-disturb) circuit is the read circuit under a
+/// different drive schedule, so it shares the handle struct: same
+/// periphery and substrate, but the precharge/equalizer stays on for the
+/// whole window (this column is not the one being read) while the
+/// accessed row's word line fires as in the read.  `timing.t_wl_on` and
+/// `edge_time` apply; `t_precharge_off` is ignored (the precharge never
+/// releases).  The disturb observable is the accessed cell's q bump.
+using Disturb_netlist = Read_netlist;
+
 /// Build the read netlist for the given electrical parameters.
 Read_netlist build_read_netlist(const tech::Technology& tech,
                                 const Cell_electrical& cell,
@@ -134,6 +143,13 @@ Read_netlist build_read_netlist(const tech::Technology& tech,
                                 const Array_config& cfg,
                                 const Read_timing& timing = Read_timing{},
                                 const Netlist_options& nopts = Netlist_options{});
+
+/// Build the half-select disturb netlist (see Disturb_netlist).
+Disturb_netlist build_disturb_netlist(
+    const tech::Technology& tech, const Cell_electrical& cell,
+    const Bitline_electrical& wires, const Array_config& cfg,
+    const Read_timing& timing = Read_timing{},
+    const Netlist_options& nopts = Netlist_options{});
 
 /// Build the write netlist: the same column substrate as the read path,
 /// plus an n-scaled write driver (NMOS pull-down on BLB, PMOS keeper on

@@ -3,11 +3,33 @@
 #ifndef MPSRAM_UTIL_STATS_H
 #define MPSRAM_UTIL_STATS_H
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
 namespace mpsram::util {
+
+/// True when two doubles carry the same bit pattern.  This is the
+/// equality the determinism contract promises ("bitwise identical at any
+/// thread count"): unlike IEEE ==, a NaN-poisoned result equals itself,
+/// so parity/determinism gates don't spuriously fail on the documented
+/// NaN paths (e.g. a non-flipping write sample).
+inline bool bits_equal(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+inline bool bits_equal(const std::vector<double>& a,
+                       const std::vector<double>& b)
+{
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!bits_equal(a[i], b[i])) return false;
+    }
+    return true;
+}
 
 /// Numerically stable streaming accumulator (Welford's algorithm).
 ///
@@ -46,6 +68,17 @@ struct Sample_summary {
     double median = 0.0;
     double p01 = 0.0;   ///< 1st percentile
     double p99 = 0.0;   ///< 99th percentile
+
+    /// Bit-pattern comparison (see bits_equal) — the thread-determinism
+    /// check of the parity tests; NaN-poisoned summaries compare equal to
+    /// identical NaN-poisoned summaries.
+    bool operator==(const Sample_summary& o) const
+    {
+        return count == o.count && bits_equal(mean, o.mean) &&
+               bits_equal(stddev, o.stddev) && bits_equal(min, o.min) &&
+               bits_equal(max, o.max) && bits_equal(median, o.median) &&
+               bits_equal(p01, o.p01) && bits_equal(p99, o.p99);
+    }
 };
 
 /// Compute a full summary of `samples`.  Empty input yields a zero summary.

@@ -6,6 +6,7 @@
 
 #include "analytic/params.h"
 #include "extract/extractor.h"
+#include "spice/mosfet_model.h"
 #include "sram/bitline_model.h"
 #include "tech/technology.h"
 #include "util/contracts.h"
@@ -177,6 +178,64 @@ TEST(Params, DerivedFromModelsAreConsistent)
     EXPECT_GT(p.r_fe, 5e3);
     EXPECT_LT(p.r_fe, 50e3);
     EXPECT_DOUBLE_EQ(p.c_pre(64), sram::precharge_cap(64, cell));
+}
+
+// --- the write formula (tw analogue of the td model) -------------------------
+
+analytic::Tw_params derived_tw_params()
+{
+    const tech::Technology t = tech::n10();
+    const sram::Cell_electrical cell = sram::Cell_electrical::n10(t.feol);
+    const extract::Extractor ex(t.metal1);
+    sram::Array_config cfg;
+    cfg.word_lines = 64;
+    cfg.victim_pair = 6;
+    const geom::Wire_array arr = sram::build_metal1_array(t, cfg);
+    return analytic::derive_tw_params(
+        t, cell, sram::roll_up_nominal(ex, arr, t, cfg));
+}
+
+TEST(TwFormula, DerivedFromModelsAreConsistent)
+{
+    const tech::Technology t = tech::n10();
+    const sram::Cell_electrical cell = sram::Cell_electrical::n10(t.feol);
+    const analytic::Tw_params p = derived_tw_params();
+
+    EXPECT_NEAR(p.a, std::log(2.0), 1e-12);  // vdd/2 trip level
+    EXPECT_GT(p.r_bl_cell, 0.0);
+    EXPECT_GT(p.c_bl_cell, 0.0);
+    EXPECT_DOUBLE_EQ(p.c_fe, cell.bitline_junction_cap());
+    EXPECT_DOUBLE_EQ(p.c_pre(64), sram::precharge_cap(64, cell));
+    // The n-scaled driver beats any single cell's pull-down and gets
+    // stronger (smaller R) with the array.
+    const double ion_pd =
+        spice::drive_current(cell.pull_down, t.feol.vdd) * cell.m_pull_down;
+    EXPECT_LT(p.r_driver(16),
+              analytic::effective_switch_resistance(t.feol.vdd, ion_pd));
+    EXPECT_LE(p.r_driver(1024), p.r_driver(16));
+}
+
+TEST(TwFormula, GrowsWithArrayAndNominalPenaltyIsZero)
+{
+    const analytic::Tw_params p = derived_tw_params();
+    EXPECT_GT(analytic::tw_lumped(p, 16), 0.0);
+    EXPECT_GT(analytic::tw_lumped(p, 256), analytic::tw_lumped(p, 16));
+    EXPECT_DOUBLE_EQ(analytic::twp_percent(p, 64, 1.0, 1.0), 0.0);
+}
+
+TEST(TwFormula, PenaltyTracksWireVariation)
+{
+    const analytic::Tw_params p = derived_tw_params();
+    // More wire C slows the write; less wire R speeds it up.  The driver
+    // term dilutes the R sensitivity relative to the read formula, which
+    // has the much larger cell RFE in its place.
+    EXPECT_GT(analytic::twp_percent(p, 64, 1.0, 1.3), 0.0);
+    EXPECT_LT(analytic::twp_percent(p, 64, 0.8, 1.0), 0.0);
+    EXPECT_THROW(analytic::tw_lumped(p, 64, -1.0, 1.0),
+                 util::Precondition_error);
+    analytic::Tw_params unset;
+    EXPECT_THROW(analytic::tw_lumped(unset, 64),
+                 util::Precondition_error);
 }
 
 } // namespace

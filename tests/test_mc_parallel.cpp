@@ -149,8 +149,9 @@ TEST(StudyBatch, McTdpBatchMatchesSingleCalls)
 TEST(StudyBatch, WorstCaseAllOptionsMatchesPerOption)
 {
     const core::Variability_study study;
+    // Canonical parameter order since PR 5: value axes first, runner last.
     const auto rows =
-        study.worst_case_all_options(core::Runner_options{4});
+        study.worst_case_all_options(-1.0, core::Runner_options{4});
     ASSERT_EQ(rows.size(), tech::all_patterning_options.size());
 
     for (std::size_t i = 0; i < rows.size(); ++i) {

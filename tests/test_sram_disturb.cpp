@@ -1,0 +1,148 @@
+// The half-select disturb measurement (disturb_sim.h): physics of the
+// storage bump, netlist reuse through the trait-bound context, and the
+// accuracy-policy agreement of the new transient path.
+#include "sram/disturb_sim.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "extract/extractor.h"
+#include "sram/bitline_model.h"
+#include "sram/layout.h"
+#include "sram/read_sim.h"
+#include "spice/measure.h"
+#include "util/numeric.h"
+
+namespace {
+
+using namespace mpsram;
+
+struct Sim_fixture {
+    tech::Technology t = tech::n10();
+    sram::Cell_electrical cell = sram::Cell_electrical::n10(t.feol);
+    extract::Extractor ex{t.metal1};
+    sram::Array_config cfg;
+    sram::Bitline_electrical wires;
+
+    explicit Sim_fixture(int n)
+    {
+        cfg.word_lines = n;
+        cfg.victim_pair = 6;
+        const geom::Wire_array arr = sram::build_metal1_array(t, cfg);
+        wires = sram::roll_up_nominal(ex, arr, t, cfg);
+    }
+};
+
+TEST(DisturbSim, BumpIsRealButNonDestructive)
+{
+    Sim_fixture f(16);
+    sram::Disturb_netlist net =
+        sram::build_disturb_netlist(f.t, f.cell, f.wires, f.cfg);
+    const sram::Disturb_result r = sram::simulate_disturb(net);
+
+    // The pass-gate / pull-down divider lifts q well off ground but a
+    // read-stable cell keeps it clear of the vdd/2 trip point.
+    EXPECT_GT(r.v_bump, 0.02 * f.t.feol.vdd);
+    EXPECT_LT(r.v_bump, 0.4 * f.t.feol.vdd);
+    EXPECT_FALSE(r.flipped);
+    EXPECT_DOUBLE_EQ(r.bump_fraction, r.v_bump / (0.5 * f.t.feol.vdd));
+    // qb stays high: the latch holds.
+    EXPECT_GT(r.qb_final, 0.8 * f.t.feol.vdd);
+    EXPECT_GT(r.steps.accepted, 0);
+}
+
+TEST(DisturbSim, PrechargeHeldOnKeepsBitLinesHigh)
+{
+    // The defining difference to the read: with the precharge never
+    // releasing, the far-end bit lines stay near vdd instead of
+    // discharging through the accessed cell.
+    Sim_fixture f(8);
+    sram::Disturb_netlist net =
+        sram::build_disturb_netlist(f.t, f.cell, f.wires, f.cfg);
+    const sram::Disturb_result r = sram::simulate_disturb(net);
+    ASSERT_FALSE(r.flipped);
+
+    sram::Read_netlist read_net =
+        sram::build_read_netlist(f.t, f.cell, f.wires, f.cfg);
+    const sram::Read_result read = sram::simulate_read(read_net);
+    ASSERT_TRUE(read.crossed);
+    // The read develops a differential; the half-selected column must not
+    // (both heads held by the precharge/equalizer).
+    EXPECT_GT(std::abs(read.bl_final - read.blb_final),
+              0.5 * f.t.feol.sense_margin);
+}
+
+TEST(DisturbSimContext, ReuseMatchesFreshBuilds)
+{
+    Sim_fixture f(8);
+    sram::Bitline_electrical heavier = f.wires;
+    heavier.c_bl_cell *= 1.4;
+    heavier.c_blb_cell *= 1.4;
+
+    sram::Disturb_sim_context ctx;
+    const auto r_nom = ctx.simulate(f.t, f.cell, f.wires, f.cfg);
+    const auto r_heavy = ctx.simulate(f.t, f.cell, heavier, f.cfg);
+    // Same array config: the second run re-points the ladder in place.
+    EXPECT_EQ(ctx.netlist_builds(), 1u);
+
+    // Back to the first wires on the reused netlist: bitwise repeatable.
+    const auto r_again = ctx.simulate(f.t, f.cell, f.wires, f.cfg);
+    EXPECT_EQ(ctx.netlist_builds(), 1u);
+    EXPECT_EQ(r_nom.v_bump, r_again.v_bump);
+
+    // Fresh single-shot builds must agree bitwise with the reused context.
+    sram::Disturb_netlist fresh_nom =
+        sram::build_disturb_netlist(f.t, f.cell, f.wires, f.cfg);
+    EXPECT_EQ(sram::simulate_disturb(fresh_nom).v_bump, r_nom.v_bump);
+    sram::Disturb_netlist fresh_heavy =
+        sram::build_disturb_netlist(f.t, f.cell, heavier, f.cfg);
+    EXPECT_EQ(sram::simulate_disturb(fresh_heavy).v_bump, r_heavy.v_bump);
+
+    // A different word-line count rebuilds netlist and workspace.
+    Sim_fixture f16(16);
+    const auto r16 = ctx.simulate(f16.t, f16.cell, f16.wires, f16.cfg);
+    EXPECT_EQ(ctx.netlist_builds(), 2u);
+    sram::Disturb_netlist fresh16 =
+        sram::build_disturb_netlist(f16.t, f16.cell, f16.wires, f16.cfg);
+    EXPECT_EQ(sram::simulate_disturb(fresh16).v_bump, r16.v_bump);
+}
+
+TEST(DisturbSim, AdaptiveMatchesReference)
+{
+    for (const int n : {8, 24}) {
+        Sim_fixture f(n);
+        sram::Disturb_options fast;
+        fast.accuracy = sram::Sim_accuracy::fast;
+        sram::Disturb_options reference;
+        reference.accuracy = sram::Sim_accuracy::reference;
+
+        sram::Disturb_netlist net =
+            sram::build_disturb_netlist(f.t, f.cell, f.wires, f.cfg);
+        const auto r_fast = sram::simulate_disturb(net, fast);
+        const auto r_ref = sram::simulate_disturb(net, reference);
+        EXPECT_LT(util::rel_diff(r_ref.v_bump, r_fast.v_bump), 5e-3)
+            << "n=" << n;
+        // The cost contract that motivates the policy.
+        EXPECT_LT(r_fast.steps.total_attempts(),
+                  r_ref.steps.total_attempts() / 2);
+    }
+}
+
+TEST(DisturbSim, PeakValueMeasuresTheWaveformMaximum)
+{
+    // peak_value on a known ramp-and-decay shape (append indexes the
+    // voltage vector by probe node id, so probe node 0).
+    spice::Transient_result result({0}, {"probe"});
+    result.append(0.0, {0.0});
+    result.append(1.0, {0.5});
+    result.append(2.0, {0.8});
+    result.append(3.0, {0.3});
+    EXPECT_DOUBLE_EQ(spice::peak_value(result, "probe"), 0.8);
+    EXPECT_DOUBLE_EQ(spice::peak_value(result, "probe", 2.5), 0.3);
+    EXPECT_EQ(spice::peak_value(result, "probe", 10.0),
+              -std::numeric_limits<double>::infinity());
+}
+
+} // namespace
