@@ -208,8 +208,8 @@ void print_step_table(const spice::Step_stats steps[2])
 }
 
 void write_bench_json(const Scaling_config& cfg,
-                      const Scaling_outcome& outcome, const Agreement& a,
-                      const spice::Step_stats steps[2], int max_word_lines,
+                      const Scaling_outcome& outcome, const Agreement* a,
+                      const spice::Step_stats* steps, int max_word_lines,
                       const std::vector<std::string>& extra_fields)
 {
     std::ofstream json(cfg.json_path);
@@ -221,19 +221,26 @@ void write_bench_json(const Scaling_config& cfg,
          << "  \"hardware_threads\": "
          << util::Thread_pool::hardware_threads() << ",\n"
          << "  \"deterministic_across_threads\": "
-         << (outcome.all_identical ? "true" : "false") << ",\n"
-         << "  \"agreement\": {\"max_rel\": " << a.max_rel
-         << ", \"max_points\": " << a.max_points << ", \"within_budget\": "
-         << (a.within_budget() ? "true" : "false") << "},\n"
-         << "  \"step_counts_nominal\": {\n"
-         << "    \"word_lines\": " << max_word_lines << ",\n"
-         << "    \"fast\": {\"accepted\": " << steps[0].accepted
-         << ", \"lte_rejected\": " << steps[0].lte_rejected
-         << ", \"newton_rejected\": " << steps[0].newton_rejected << "},\n"
-         << "    \"reference\": {\"accepted\": " << steps[1].accepted
-         << ", \"lte_rejected\": " << steps[1].lte_rejected
-         << ", \"newton_rejected\": " << steps[1].newton_rejected << "}\n"
-         << "  },\n";
+         << (outcome.all_identical ? "true" : "false") << ",\n";
+    if (a) {
+        json << "  \"agreement\": {\"max_rel\": " << a->max_rel
+             << ", \"max_points\": " << a->max_points
+             << ", \"within_budget\": "
+             << (a->within_budget() ? "true" : "false") << "},\n";
+    }
+    if (steps) {
+        json << "  \"step_counts_nominal\": {\n"
+             << "    \"word_lines\": " << max_word_lines << ",\n"
+             << "    \"fast\": {\"accepted\": " << steps[0].accepted
+             << ", \"lte_rejected\": " << steps[0].lte_rejected
+             << ", \"newton_rejected\": " << steps[0].newton_rejected
+             << "},\n"
+             << "    \"reference\": {\"accepted\": " << steps[1].accepted
+             << ", \"lte_rejected\": " << steps[1].lte_rejected
+             << ", \"newton_rejected\": " << steps[1].newton_rejected
+             << "}\n"
+             << "  },\n";
+    }
     for (const std::string& field : extra_fields) {
         json << "  " << field << "\n";
     }

@@ -121,10 +121,14 @@ void measure_nominal_steps(int word_lines, spice::Step_stats steps[2])
 
 /// Emit the uniform BENCH_*.json: scaling points, determinism flag,
 /// agreement, step counters, plus optional preformatted extra top-level
-/// fields (each line a complete `"key": value,` fragment).
+/// fields (each line a complete `"key": value,` fragment).  `a` and
+/// `steps` are nullable: a bench whose workload has no adaptive-vs-
+/// reference gate (e.g. a sample-engine comparison gated on its own
+/// agreement numbers) or no per-transient step counters simply omits
+/// those objects from the JSON.
 void write_bench_json(const Scaling_config& cfg,
-                      const Scaling_outcome& outcome, const Agreement& a,
-                      const spice::Step_stats steps[2], int max_word_lines,
+                      const Scaling_outcome& outcome, const Agreement* a,
+                      const spice::Step_stats* steps, int max_word_lines,
                       const std::vector<std::string>& extra_fields = {});
 
 } // namespace mpsram::bench

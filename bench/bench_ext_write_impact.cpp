@@ -194,7 +194,7 @@ int main(int argc, char** argv)
         extra_fields.push_back(mc_json.str());
     }
 
-    bench::write_bench_json(cfg, outcome, agreement, steps, sizes.back(),
+    bench::write_bench_json(cfg, outcome, &agreement, steps, sizes.back(),
                             extra_fields);
     return outcome.all_identical && agreement.within_budget() ? 0 : 1;
 }

@@ -1,36 +1,26 @@
-// Monte-Carlo engine throughput: threads vs wall time on the Fig. 5
-// workload (LE3 @ 8 nm 3-sigma OL, 10x64 array, 10k samples).
+// Monte-Carlo engine throughput on the shared bench driver: threads vs
+// wall time on the Fig. 5 workload (LE3 @ 8 nm 3-sigma OL, 10x64 array,
+// 10k samples, analytic-formula sample engine).
 //
-// Prints a thread-scaling table, verifies the determinism contract (the
-// parallel runs must be bitwise identical to the serial run), and emits
-// BENCH_mc.json so the samples/sec trajectory can be tracked across
-// revisions.
+// The driver runs the threads x {fast, reference} scaling grid with the
+// bitwise determinism check (the parallel distributions must equal the
+// serial ones, sample for sample) and emits BENCH_mc.json so the
+// samples/sec trajectory can be tracked across revisions.  The formula
+// engine runs no transients, so there is no adaptive-vs-reference gate
+// and no step-counter table here — the surrogate/SPICE engine comparison
+// lives in bench_ext_yield.
 //
 //   $ ./bench_perf_mc [samples]
-#include <chrono>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <string>
-#include <vector>
 
-#include "core/study.h"
-#include "util/table.h"
-#include "util/thread_pool.h"
-
-namespace {
-
-using namespace mpsram;
-
-double seconds_of(const std::chrono::steady_clock::duration& d)
-{
-    return std::chrono::duration<double>(d).count();
-}
-
-} // namespace
+#include "bench_driver.h"
 
 int main(int argc, char** argv)
 {
+    using namespace mpsram;
+
     const int samples = argc > 1 ? std::atoi(argv[1]) : 10000;
     if (samples <= 0) {
         std::cerr << "usage: bench_perf_mc [samples>0]\n";
@@ -39,85 +29,27 @@ int main(int argc, char** argv)
     constexpr int n = 64;
     constexpr double ol_8nm = 8e-9;
 
-    const core::Variability_study study;
-    mc::Distribution_options mo;
-    mo.samples = samples;
-
-    const int hw = util::Thread_pool::hardware_threads();
-    std::vector<int> thread_counts = {1, 2, 4};
-    if (hw > 4) thread_counts.push_back(hw);
-
     std::cout << "MC throughput: LE3 @ 8 nm 3s OL, 10x" << n << ", "
-              << samples << " samples, " << hw << " hardware threads\n\n";
+              << samples << " samples\n\n";
 
-    util::Table table({"threads", "wall [s]", "samples/s", "speedup",
-                       "bitwise == serial"});
-
-    struct Point {
-        int threads = 0;
-        double wall_s = 0.0;
-        double samples_per_s = 0.0;
-        bool identical = true;
+    bench::Scaling_config cfg;
+    cfg.bench_name = "bench_perf_mc";
+    cfg.workload = "le3_8nm_ol_10x64_fig5";
+    cfg.json_path = "BENCH_mc.json";
+    cfg.sims_per_row = static_cast<double>(samples);
+    cfg.run = [samples](int threads, sram::Sim_accuracy accuracy) {
+        const core::Study_session session;
+        core::Query q(core::Metric::mc_tdp);
+        q.with_case({tech::Patterning_option::le3, n, ol_8nm})
+            .with_accuracy(accuracy);
+        q.mc.samples = samples;
+        q.mc.runner = core::Runner_options{threads};
+        return session.run(q);
     };
-    std::vector<Point> points;
-    mc::Tdp_distribution serial_dist;
+    const bench::Scaling_outcome outcome = bench::run_thread_scaling(cfg);
 
-    for (const int threads : thread_counts) {
-        mo.runner.threads = threads;
-
-        // One warm-up pass, then the timed pass.
-        study.mc_tdp(tech::Patterning_option::le3, n, mo, ol_8nm);
-        const auto t0 = std::chrono::steady_clock::now();
-        const auto dist =
-            study.mc_tdp(tech::Patterning_option::le3, n, mo, ol_8nm);
-        const double wall = seconds_of(std::chrono::steady_clock::now() - t0);
-
-        Point p;
-        p.threads = threads;
-        p.wall_s = wall;
-        p.samples_per_s = samples / wall;
-        if (threads == 1) {
-            serial_dist = dist;
-        } else {
-            p.identical = dist.tdp == serial_dist.tdp &&
-                          dist.rvar == serial_dist.rvar &&
-                          dist.cvar == serial_dist.cvar;
-        }
-        points.push_back(p);
-
-        table.add_row({std::to_string(threads),
-                       util::fmt_fixed(wall, 3),
-                       util::fmt_fixed(p.samples_per_s, 0),
-                       util::fmt_fixed(points.front().wall_s / wall, 2) + "x",
-                       p.identical ? "yes" : "NO"});
-    }
-
-    std::cout << table.render() << '\n';
-
-    bool all_identical = true;
-    for (const Point& p : points) all_identical = all_identical && p.identical;
-    if (!all_identical) {
-        std::cout << "ERROR: parallel results diverged from serial — the\n"
-                     "determinism contract is broken.\n";
-    }
-
-    std::ofstream json("BENCH_mc.json");
-    json << "{\n"
-         << "  \"bench\": \"bench_perf_mc\",\n"
-         << "  \"workload\": \"le3_8nm_ol_10x64_fig5\",\n"
-         << "  \"samples\": " << samples << ",\n"
-         << "  \"hardware_threads\": " << hw << ",\n"
-         << "  \"deterministic_across_threads\": "
-         << (all_identical ? "true" : "false") << ",\n"
-         << "  \"results\": [\n";
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        json << "    {\"threads\": " << points[i].threads
-             << ", \"wall_s\": " << points[i].wall_s
-             << ", \"samples_per_s\": " << points[i].samples_per_s << "}"
-             << (i + 1 < points.size() ? "," : "") << "\n";
-    }
-    json << "  ]\n}\n";
-    std::cout << "Wrote BENCH_mc.json\n";
-
-    return all_identical ? 0 : 1;
+    bench::write_bench_json(
+        cfg, outcome, nullptr, nullptr, n,
+        {"\"samples\": " + std::to_string(samples) + ","});
+    return outcome.all_identical ? 0 : 1;
 }

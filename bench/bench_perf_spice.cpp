@@ -92,6 +92,6 @@ int main(int argc, char** argv)
               << ":\n";
     bench::print_step_table(steps);
 
-    bench::write_bench_json(cfg, outcome, agreement, steps, sizes.back());
+    bench::write_bench_json(cfg, outcome, &agreement, steps, sizes.back());
     return outcome.all_identical && agreement.within_budget() ? 0 : 1;
 }

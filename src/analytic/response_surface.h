@@ -1,0 +1,119 @@
+// Auto-calibrated response surfaces: the surrogate engine tier behind
+// Tdp_engine::surrogate / Twp_engine::surrogate (core/query.h).
+//
+// A Response_surface is a full quadratic polynomial in the patterning
+// process-sample space (one dimension per Variation_axis),
+//
+//   y(x) = c0 + sum_i b_i z_i + sum_{i<=j} c_ij z_i z_j,   z_i = x_i / s_i
+//
+// least-squares fitted against a small design set of exact (SPICE-backed)
+// evaluations.  The internal z-scaling by the per-axis design half-width
+// s_i keeps the normal equations conditioned: raw axis deviations are
+// ~1e-9 m, whose fourth powers would otherwise drown the constant column.
+//
+// The fit is deliberately quadratic — the paper's own td model (eq. 4) is
+// a product of two terms linear in the variation factors, and the factors
+// are near-linear in the axis deviations over the +/-3-sigma design box,
+// so a quadratic captures the SPICE response to a fraction of a percent.
+// The held-out gate (core::Study_session::calibrated_surfaces) measures
+// exactly that and refuses to serve a surface that misses its budget.
+#ifndef MPSRAM_ANALYTIC_RESPONSE_SURFACE_H
+#define MPSRAM_ANALYTIC_RESPONSE_SURFACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mpsram::analytic {
+
+class Response_surface {
+public:
+    Response_surface() = default;
+
+    /// Least-squares fit of a full quadratic over `points` (each of
+    /// dimension scales.size(), in physical units) against `values`.
+    /// `scales` are the per-dimension normalization half-widths (> 0).
+    /// `weights` (optional, per point, > 0) turn the fit into weighted
+    /// least squares — the calibration passes the Gaussian process
+    /// density so the surface is most faithful where the Monte-Carlo
+    /// mass lives, not uniformly over the design ball.  Requires at
+    /// least coefficient_count(d) points in general position.
+    static Response_surface fit(
+        const std::vector<std::vector<double>>& points,
+        const std::vector<double>& values, std::vector<double> scales,
+        const std::vector<double>& weights = {});
+
+    /// 1 (constant) + d (linear) + d(d+1)/2 (quadratic) terms.
+    static std::size_t coefficient_count(std::size_t dim);
+
+    std::size_t dimension() const { return scales_.size(); }
+    bool empty() const { return scales_.empty(); }
+
+    /// Evaluate at a physical-unit point of dimension().
+    double value(std::span<const double> x) const;
+
+    /// Gradient at the origin, in physical units (the fitted linear
+    /// coefficients un-scaled) — the dominant directions the importance
+    /// sampler shifts along (mc/surrogate.h).
+    std::vector<double> gradient_at_zero() const;
+
+    const std::vector<double>& coefficients() const { return coeffs_; }
+
+private:
+    std::vector<double> scales_;
+    std::vector<double> coeffs_;  ///< [c0, b_0..b_{d-1}, c_ij row-major i<=j]
+};
+
+/// Design set for a quadratic fit: three shells (full, 2/3, 1/3 scale)
+/// of a base design — full 3-level factorial for d <= 3, central-composite
+/// (center + 2d axial + 2^d corners) for larger d — with every point
+/// radially clamped onto the standardized |x/half_width| <= 1 ball, so
+/// the fit is anchored inside the region truncated Monte-Carlo sampling
+/// actually reaches instead of at sqrt(d)-radius corners.  Strictly
+/// oversamples the quadratic coefficient count; deterministic order.
+std::vector<std::vector<double>> quadratic_design(
+    std::span<const double> half_width);
+
+/// Max |prediction - exact| over the held-out points, normalized by
+/// `scale` (the design-set value span): the relative error the
+/// calibration gate compares against its budget.
+double holdout_error(const Response_surface& surface,
+                     const std::vector<std::vector<double>>& points,
+                     const std::vector<double>& exact, double scale);
+
+/// Calibration policy of the surrogate tier (core::Study_options).
+struct Surrogate_options {
+    /// Design box half-width per axis, in sigmas.  Matches the default
+    /// Monte-Carlo truncation (mc::Distribution_options::truncate_k) so
+    /// the surface is fitted exactly over the region it will be sampled.
+    double design_span_k = 3.0;
+    /// Gaussian held-out validation draws (truncated at design_span_k),
+    /// from a dedicated substream so they never collide with MC samples.
+    int holdout_points = 12;
+    /// Held-out error budget: the max |prediction - exact| over the
+    /// held-out draws, relative to the design value span, above which the
+    /// calibration throws instead of serving garbage quantiles.  This is
+    /// a pointwise-max gate — far stricter than the distribution-level
+    /// mean/sigma agreement it protects (a healthy quadratic fit lands at
+    /// 0.5-3% pointwise while agreeing on mean/sigma within a few tenths
+    /// of a percent; a broken fit lands at 10%+).
+    double budget_rel = 0.05;
+};
+
+/// One calibrated surrogate: the metric surface plus the victim R/C
+/// factor surfaces (fitted from the same design extractions for free),
+/// with the fit diagnostics the benches report and gate on.
+struct Yield_surfaces {
+    Response_surface metric;  ///< tdp or twp [%] vs axis deviations
+    Response_surface rvar;    ///< victim R factor
+    Response_surface cvar;    ///< victim C factor
+    double holdout_rel = 0.0;       ///< held-out error of `metric`
+    double design_span = 0.0;       ///< value span of the design set
+    std::size_t design_points = 0;
+    std::size_t holdout_points = 0;
+};
+
+} // namespace mpsram::analytic
+
+#endif // MPSRAM_ANALYTIC_RESPONSE_SURFACE_H

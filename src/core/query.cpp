@@ -20,6 +20,26 @@ std::string_view to_string(Metric metric)
     return "unknown";
 }
 
+std::string_view to_string(Tdp_engine engine)
+{
+    switch (engine) {
+    case Tdp_engine::formula: return "formula";
+    case Tdp_engine::spice: return "spice";
+    case Tdp_engine::surrogate: return "surrogate";
+    }
+    return "unknown";
+}
+
+std::string_view to_string(Twp_engine engine)
+{
+    switch (engine) {
+    case Twp_engine::spice: return "spice";
+    case Twp_engine::formula: return "formula";
+    case Twp_engine::surrogate: return "surrogate";
+    }
+    return "unknown";
+}
+
 Result_table::Result_table(Metric metric, std::vector<Query_case> cases,
                            std::vector<Row_value> rows)
     : metric_(metric), cases_(std::move(cases)), rows_(std::move(rows))

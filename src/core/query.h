@@ -64,12 +64,45 @@ struct Query_case {
     bool operator==(const Query_case&) const = default;
 };
 
+// --- engine tiers ------------------------------------------------------------
+// The distribution-valued metrics (mc_tdp, mc_twp) choose how each sample
+// is evaluated.  Three tiers, trading exactness for throughput:
+//
+//   tier       per-sample work                    cost      fidelity
+//   ---------  ---------------------------------  --------  -------------------
+//   spice      realize geometry, extract RC,      ~10 ms    exact (the paper's
+//              run a SPICE transient                        own method)
+//   formula    realize geometry, extract RC,      ~10 us    analytic model
+//              evaluate the closed-form td/tw               (eq. 4 / write
+//              model on the extracted factors               analogue)
+//   surrogate  evaluate a calibrated quadratic    ~1 us     held-out-gated fit
+//              response surface, no geometry                of the SPICE
+//              (analytic/response_surface.h)                response
+//
+// The surrogate tier is auto-calibrated per (option, word_lines,
+// ol_3sigma) on first use — a small SPICE design set fitted and validated
+// behind Study_session's calibration memo — and refuses to serve a fit
+// that misses Surrogate_options::budget_rel on held-out points.  All
+// tiers draw identical process samples for a given seed, so same-seed
+// cross-tier comparisons expose pure model error.
+
+/// Sample-metric engine of the `mc_tdp` metric: `formula` (the paper's
+/// Monte-Carlo method and the historical default) extracts each sample's
+/// parasitics and evaluates the analytic td model; `spice` runs a read
+/// transient per sample on a per-worker context; `surrogate` samples the
+/// calibrated response surface — the million-sample yield tier.
+enum class Tdp_engine { formula, spice, surrogate };
+
 /// Sample-metric engine of the `mc_twp` metric: `spice` rolls up every
 /// sample's geometry and runs a write transient on a per-worker context
 /// (exact, expensive — keep sample counts modest); `formula` evaluates
 /// the analytic tw model (analytic/tw_formula.h) so 10k-sample write
-/// distributions cost what the read MC does.
-enum class Twp_engine { spice, formula };
+/// distributions cost what the read MC does; `surrogate` samples the
+/// calibrated response surface (see the tier table above).
+enum class Twp_engine { spice, formula, surrogate };
+
+std::string_view to_string(Tdp_engine engine);
+std::string_view to_string(Twp_engine engine);
 
 /// A declarative study request: metric + cases + execution policy.
 /// Execution contract (same as the legacy batch APIs): results are
@@ -97,6 +130,9 @@ struct Query {
     /// Monte-Carlo spec (sample count, seed, sampling scheme, sample-loop
     /// runner) for the distribution-valued metrics; ignored otherwise.
     mc::Distribution_options mc;
+
+    /// Sample engine for mc_tdp (see the tier table); ignored otherwise.
+    Tdp_engine tdp_engine = Tdp_engine::formula;
 
     /// Sample engine for mc_twp (see Twp_engine); ignored otherwise.
     Twp_engine twp_engine = Twp_engine::spice;
@@ -148,6 +184,11 @@ struct Query {
     Query& with_mc(const mc::Distribution_options& m)
     {
         mc = m;
+        return *this;
+    }
+    Query& with_tdp_engine(Tdp_engine engine)
+    {
+        tdp_engine = engine;
         return *this;
     }
     Query& with_twp_engine(Twp_engine engine)

@@ -2,12 +2,18 @@
 
 #include <array>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "analytic/td_formula.h"
 #include "analytic/tw_formula.h"
 #include "mc/distribution.h"
+#include "mc/surrogate.h"
 #include "pattern/engine.h"
 #include "sram/netlist_builder.h"
 #include "util/contracts.h"
+#include "util/rng.h"
 
 namespace mpsram::core {
 
@@ -151,6 +157,227 @@ Study_session::worst_case_cached(tech::Patterning_option option,
         }
     }
     return entry.get();
+}
+
+// --- surrogate calibration ---------------------------------------------------
+
+namespace {
+
+/// Root seed of the held-out validation draws.  Deliberately a fixed
+/// constant (not the query seed): the calibrated surface is a property of
+/// the study point, so the memo key excludes the seed and the validation
+/// set must not depend on which query triggered the fit.
+constexpr std::uint64_t calibration_seed = 20150609;
+
+} // namespace
+
+std::shared_ptr<const analytic::Yield_surfaces>
+Study_session::calibrated_surfaces(Metric metric,
+                                   tech::Patterning_option option,
+                                   int word_lines, double ol_3sigma,
+                                   std::optional<sram::Sim_accuracy> accuracy,
+                                   const Runner_options& runner) const
+{
+    util::expects(metric == Metric::mc_tdp || metric == Metric::mc_twp,
+                  "surrogate surfaces exist only for the distribution "
+                  "metrics (mc_tdp, mc_twp)");
+    if (word_lines <= 0) word_lines = opts_.array.word_lines;
+    const sram::Sim_accuracy acc = accuracy.value_or(
+        metric == Metric::mc_tdp ? opts_.read.accuracy
+                                 : opts_.write.accuracy);
+    const Surface_key key{metric, option, word_lines,
+                          ol_3sigma < 0.0 ? -1.0 : ol_3sigma, acc};
+
+    std::promise<std::shared_ptr<const analytic::Yield_surfaces>> promise;
+    Surface_entry entry;
+    bool owner = false;
+    {
+        const std::lock_guard<std::mutex> lock(surface_cache_mutex_);
+        const auto it = surface_cache_.find(key);
+        if (it != surface_cache_.end()) {
+            entry = it->second;
+        } else {
+            entry = promise.get_future().share();
+            surface_cache_.emplace(key, entry);
+            owner = true;
+        }
+    }
+
+    if (owner) {
+        // The design evaluations and fit run outside the lock; concurrent
+        // queries of the same key wait on the shared future, so each
+        // surface is fitted exactly once per session.
+        try {
+            surface_fits_.fetch_add(1, std::memory_order_relaxed);
+            promise.set_value(calibrate_surfaces(metric, option, word_lines,
+                                                 ol_3sigma, acc, runner));
+        } catch (...) {
+            // Un-publish the failed slot (a gate miss or a failed design
+            // transient) so a later call — e.g. after loosening the
+            // budget on another session — can retry; propagate to every
+            // waiter.
+            {
+                const std::lock_guard<std::mutex> lock(surface_cache_mutex_);
+                surface_cache_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return entry.get();
+}
+
+std::shared_ptr<const analytic::Yield_surfaces>
+Study_session::calibrate_surfaces(Metric metric,
+                                  tech::Patterning_option option,
+                                  int word_lines, double ol_3sigma,
+                                  sram::Sim_accuracy accuracy,
+                                  const Runner_options& runner) const
+{
+    const analytic::Surrogate_options& sopts = opts_.surrogate;
+    const Case_geometry g = case_geometry(option, word_lines, ol_3sigma);
+    const auto& axes = g.engine->axes();
+
+    // Design box: +/- design_span_k sigmas per axis — the region the
+    // Monte-Carlo truncation confines samples to, so the fit covers
+    // exactly the space it will be evaluated on.
+    std::vector<double> half(axes.size(), 0.0);
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+        half[i] = sopts.design_span_k * axes[i].sigma;
+    }
+    std::vector<std::vector<double>> points =
+        analytic::quadratic_design(half);
+
+    // Design cloud: deterministic truncated-Gaussian draws appended to
+    // the structured skeleton, so the least-squares design empirically
+    // matches the measure the surface will be sampled under.  This is
+    // what makes the fit serve the distribution's mean and sigma: for
+    // d = 5 a per-axis truncated sample exceeds the 3-sigma *ball* 11%
+    // of the time, so a ball-bounded structured design alone leaves a
+    // tenth of the mass in extrapolation territory.
+    const std::uint64_t cloud_seed = util::Rng(calibration_seed)
+                                         .child(g.engine->name())
+                                         .child("surrogate-design")
+                                         .seed();
+    // At least 6 points per coefficient, and enough in absolute terms
+    // that the cloud's own sampling noise cannot bias the fitted mean by
+    // a noticeable fraction of sigma (the residual-mean bias shrinks as
+    // 1/sqrt(cloud)).
+    const std::size_t cloud_count = std::max<std::size_t>(
+        6 * analytic::Response_surface::coefficient_count(axes.size()), 120);
+    for (std::size_t i = 0; i < cloud_count; ++i) {
+        util::Rng rng = util::Rng::stream(cloud_seed, i);
+        points.push_back(
+            g.engine->sample_gaussian(rng, sopts.design_span_k));
+    }
+    const std::size_t design_count = points.size();
+
+    // Held-out validation draws from a dedicated fixed substream (never
+    // collides with the design cloud or any query's sample streams).
+    util::expects(sopts.holdout_points > 0,
+                  "surrogate calibration needs held-out points");
+    const std::uint64_t holdout_seed = util::Rng(calibration_seed)
+                                           .child(g.engine->name())
+                                           .child("surrogate-holdout")
+                                           .seed();
+    for (int i = 0; i < sopts.holdout_points; ++i) {
+        util::Rng rng =
+            util::Rng::stream(holdout_seed, static_cast<std::uint64_t>(i));
+        points.push_back(
+            g.engine->sample_gaussian(rng, sopts.design_span_k));
+    }
+
+    // One SPICE evaluation per point (design + held-out in one parallel
+    // pass), each writing only its own slot: bitwise identical at any
+    // `runner` thread count.
+    const double nominal =
+        metric == Metric::mc_tdp
+            ? nominal_td_spice(word_lines, accuracy, nullptr)
+            : nominal_tw_spice(word_lines, accuracy, nullptr);
+    std::vector<double> metric_vals(points.size(), 0.0);
+    std::vector<double> rvar_vals(points.size(), 0.0);
+    std::vector<double> cvar_vals(points.size(), 0.0);
+    const auto workers =
+        static_cast<std::size_t>(runner.resolved_threads());
+    std::vector<geom::Wire_array> geo_scratch(workers);
+    std::vector<sram::Read_sim_context> read_sims(
+        metric == Metric::mc_tdp ? workers : 0);
+    std::vector<sram::Write_sim_context> write_sims(
+        metric == Metric::mc_twp ? workers : 0);
+
+    run_indexed(
+        points.size(),
+        [&](std::size_t i, const Run_context& ctx) {
+            const auto w = static_cast<std::size_t>(ctx.worker);
+            geom::Wire_array& realized = geo_scratch[w];
+            g.engine->realize_into(g.nominal, points[i], realized);
+            const extract::Rc_variation v =
+                extractor_->variation(g.nominal, realized, g.victims.bl);
+            const sram::Bitline_electrical wires = sram::roll_up_bitline(
+                *extractor_, g.nominal, realized, tech_, g.cfg);
+            const double t =
+                metric == Metric::mc_tdp
+                    ? simulate_td_on(wires, word_lines, accuracy,
+                                     read_sims[w])
+                    : simulate_tw_on(wires, word_lines, accuracy,
+                                     write_sims[w]);
+            metric_vals[i] = (t / nominal - 1.0) * 100.0;
+            rvar_vals[i] = v.r_factor;
+            cvar_vals[i] = v.c_factor;
+        },
+        runner);
+
+    // Fit on the design prefix, validate on the held-out tail.
+    const std::vector<std::vector<double>> design(
+        points.begin(), points.begin() + static_cast<std::ptrdiff_t>(
+                                             design_count));
+    const std::vector<double> design_metric(
+        metric_vals.begin(),
+        metric_vals.begin() + static_cast<std::ptrdiff_t>(design_count));
+
+    // Unit weight on the cloud (already distributed per the sampling
+    // measure, so unweighted least squares minimizes the sample-weighted
+    // error that mean/sigma agreement depends on) and a small weight on
+    // the structured skeleton — enough to pin the surface over the whole
+    // design ball for the tail sampler, not enough to bias the bulk.
+    const std::size_t skeleton_count = design_count - cloud_count;
+    std::vector<double> fit_weights(design_count, 1.0);
+    for (std::size_t i = 0; i < skeleton_count; ++i) fit_weights[i] = 0.1;
+
+    auto surfaces = std::make_shared<analytic::Yield_surfaces>();
+    surfaces->metric = analytic::Response_surface::fit(design, design_metric,
+                                                       half, fit_weights);
+    surfaces->rvar = analytic::Response_surface::fit(
+        design,
+        {rvar_vals.begin(),
+         rvar_vals.begin() + static_cast<std::ptrdiff_t>(design_count)},
+        half, fit_weights);
+    surfaces->cvar = analytic::Response_surface::fit(
+        design,
+        {cvar_vals.begin(),
+         cvar_vals.begin() + static_cast<std::ptrdiff_t>(design_count)},
+        half, fit_weights);
+    surfaces->design_points = design_count;
+    surfaces->holdout_points = points.size() - design_count;
+
+    const auto [lo, hi] =
+        std::minmax_element(design_metric.begin(), design_metric.end());
+    surfaces->design_span = *hi - *lo;
+    util::ensures(surfaces->design_span > 0.0,
+                  "surrogate calibration: the design set is flat — the "
+                  "metric does not respond to this engine's axes");
+
+    const std::vector<std::vector<double>> holdout(
+        points.begin() + static_cast<std::ptrdiff_t>(design_count),
+        points.end());
+    const std::vector<double> holdout_metric(
+        metric_vals.begin() + static_cast<std::ptrdiff_t>(design_count),
+        metric_vals.end());
+    surfaces->holdout_rel = analytic::holdout_error(
+        surfaces->metric, holdout, holdout_metric, surfaces->design_span);
+    util::ensures(surfaces->holdout_rel <= sopts.budget_rel,
+                  "surrogate calibration missed its held-out error "
+                  "budget; refusing to serve the fit");
+    return surfaces;
 }
 
 sram::Bitline_electrical Study_session::worst_case_wires(
@@ -391,6 +618,51 @@ struct Metric_evaluators {
     {
         const auto g =
             s.case_geometry(c.option, c.word_lines, c.ol_3sigma);
+
+        if (q.tdp_engine == Tdp_engine::surrogate) {
+            // The million-sample tier: calibrate (memoized) and sample
+            // the quadratic surface — no geometry or SPICE per sample.
+            const auto surfaces = s.calibrated_surfaces(
+                Metric::mc_tdp, c.option, c.word_lines, c.ol_3sigma,
+                q.accuracy, q.mc.runner);
+            return mc::surrogate_distribution(*g.engine, *surfaces, q.mc);
+        }
+
+        if (q.tdp_engine == Tdp_engine::spice) {
+            // SPICE-in-the-loop: roll up each sample's realized geometry
+            // and run its read transient on the per-worker context.  A
+            // never-crossing read yields tdp = NaN (poisons the summary)
+            // instead of leaking the -1 s sentinel into the percentages.
+            const sram::Sim_accuracy acc = s.read_accuracy(q);
+            const double td_nom =
+                s.nominal_td_spice(c.word_lines, acc, nullptr);
+            sram::Read_options ropts = s.opts_.read;
+            ropts.accuracy = acc;
+
+            std::vector<sram::Read_sim_context> sims(
+                static_cast<std::size_t>(q.mc.runner.resolved_threads()));
+            const auto metric = [&](const geom::Wire_array& realized,
+                                    const extract::Rc_variation&,
+                                    const Run_context& ctx) {
+                const sram::Bitline_electrical wires =
+                    sram::roll_up_bitline(*s.extractor_, g.nominal,
+                                          realized, s.tech_, g.cfg);
+                const sram::Read_result r =
+                    sims[static_cast<std::size_t>(ctx.worker)].simulate(
+                        s.tech_, s.cell_, wires, g.cfg, s.opts_.timing,
+                        s.opts_.netlist, ropts);
+                if (!r.crossed) {
+                    return std::numeric_limits<double>::quiet_NaN();
+                }
+                return (r.td / td_nom - 1.0) * 100.0;
+            };
+            return mc::metric_distribution(*g.engine, *s.extractor_,
+                                           g.nominal, g.victims.bl, metric,
+                                           q.mc);
+        }
+
+        // The paper's own Monte-Carlo method (the historical default):
+        // extract each sample's parasitics, evaluate the analytic model.
         return mc::tdp_distribution(*g.engine, *s.extractor_, g.nominal,
                                     g.victims.bl,
                                     s.formula_params(c.word_lines),
@@ -426,6 +698,13 @@ struct Metric_evaluators {
     {
         const auto g =
             s.case_geometry(c.option, c.word_lines, c.ol_3sigma);
+
+        if (q.twp_engine == Twp_engine::surrogate) {
+            const auto surfaces = s.calibrated_surfaces(
+                Metric::mc_twp, c.option, c.word_lines, c.ol_3sigma,
+                q.accuracy, q.mc.runner);
+            return mc::surrogate_distribution(*g.engine, *surfaces, q.mc);
+        }
 
         if (q.twp_engine == Twp_engine::formula) {
             // The cheap engine: the analytic tw model maps each sample's

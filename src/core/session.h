@@ -33,6 +33,7 @@
 #include <tuple>
 
 #include "analytic/params.h"
+#include "analytic/response_surface.h"
 #include "core/query.h"
 #include "core/runner.h"
 #include "extract/extractor.h"
@@ -65,6 +66,10 @@ struct Study_options {
     /// the read timing (`timing`) — the disturb is a read of another
     /// column in the same row.
     sram::Disturb_options disturb;
+    /// Calibration policy of the surrogate engine tier: design-box span,
+    /// held-out validation size, and the relative-error budget a fitted
+    /// surface must meet before the session serves it.
+    analytic::Surrogate_options surrogate;
 };
 
 class Study_session {
@@ -119,6 +124,29 @@ public:
     std::size_t corner_search_count() const
     {
         return corner_searches_.load(std::memory_order_relaxed);
+    }
+
+    /// Calibrated surrogate surfaces of a distribution metric (`mc_tdp`
+    /// or `mc_twp`) at a study point: a small SPICE design set evaluated
+    /// on `runner` (one job per design point — bitwise identical at any
+    /// thread count), least-squares fitted, and validated on held-out
+    /// Gaussian draws.  Throws if the held-out relative error misses
+    /// `options().surrogate.budget_rel` — the gate that refuses to serve
+    /// a bad fit.  Memoized on (metric, option, word_lines, ol_3sigma,
+    /// accuracy) behind a promise-backed memo like the worst-case search:
+    /// concurrent queries of one key fit exactly once.  `accuracy`
+    /// defaults to the session's read/write policy for the metric.
+    std::shared_ptr<const analytic::Yield_surfaces> calibrated_surfaces(
+        Metric metric, tech::Patterning_option option, int word_lines,
+        double ol_3sigma = -1.0,
+        std::optional<sram::Sim_accuracy> accuracy = std::nullopt,
+        const Runner_options& runner = {}) const;
+
+    /// Surface calibrations actually performed (not memo hits) since
+    /// construction — the observable for the one-fit-per-key contract.
+    std::size_t surface_fit_count() const
+    {
+        return surface_fits_.load(std::memory_order_relaxed);
     }
 
     /// Per-worker scratch of a query run: one simulation context per
@@ -184,6 +212,14 @@ private:
         tech::Patterning_option option, int word_lines, double ol_3sigma,
         const Runner_options& runner) const;
 
+    /// The uncached calibration: design + held-out SPICE evaluations,
+    /// fit, and the held-out gate.  Called by calibrated_surfaces for the
+    /// owning (first) caller of a memo key.
+    std::shared_ptr<const analytic::Yield_surfaces> calibrate_surfaces(
+        Metric metric, tech::Patterning_option option, int word_lines,
+        double ol_3sigma, sram::Sim_accuracy accuracy,
+        const Runner_options& runner) const;
+
     tech::Technology tech_;
     Study_options opts_;
     std::unique_ptr<extract::Extractor> extractor_;
@@ -216,6 +252,20 @@ private:
     mutable std::mutex wc_cache_mutex_;
     mutable std::map<Wc_key, Wc_entry> wc_cache_;
     mutable std::atomic<std::size_t> corner_searches_{0};
+
+    // Surrogate calibration memo, same promise-backed shape as the
+    // worst-case memo (first caller fits outside the lock, concurrent
+    // callers of the key wait on the shared future, a failed fit
+    // un-publishes its slot).  Keyed per accuracy policy so mixed-engine
+    // sessions never serve a fast-calibrated surface to a reference
+    // query.
+    using Surface_key = std::tuple<Metric, tech::Patterning_option, int,
+                                   double, sram::Sim_accuracy>;
+    using Surface_entry = std::shared_future<
+        std::shared_ptr<const analytic::Yield_surfaces>>;
+    mutable std::mutex surface_cache_mutex_;
+    mutable std::map<Surface_key, Surface_entry> surface_cache_;
+    mutable std::atomic<std::size_t> surface_fits_{0};
 };
 
 /// Registry entry of a metric: everything run() needs that differs

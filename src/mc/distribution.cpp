@@ -11,11 +11,6 @@
 
 namespace mpsram::mc {
 
-namespace {
-
-/// Build all samples up front for Latin-hypercube sampling: each axis is
-/// cut into `samples` equal-probability strata of the truncated normal;
-/// every stratum is hit exactly once, in an axis-independent random order.
 std::vector<pattern::Process_sample> lhs_samples(
     const pattern::Patterning_engine& engine, util::Rng& rng,
     const Distribution_options& opts)
@@ -49,7 +44,100 @@ std::vector<pattern::Process_sample> lhs_samples(
     return out;
 }
 
+namespace {
+
+/// Samples per streaming block: the eval fan-out runs one block at a time
+/// (parallel, write-own-slot) and the accumulators consume it serially in
+/// sample order, so the block partition — a constant — never depends on
+/// the thread count and the streamed summary stays bitwise deterministic.
+constexpr std::size_t streaming_block = 8192;
+
+util::Sample_summary poisoned_summary(std::size_t count)
+{
+    constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+    return util::Sample_summary{count, nan, nan, nan, nan, nan, nan, nan};
+}
+
 } // namespace
+
+Tdp_distribution accumulate_distribution(const Sample_eval& eval,
+                                         const Distribution_options& opts)
+{
+    util::expects(opts.samples > 0, "sample count must be positive");
+    util::expects(static_cast<bool>(eval), "sample evaluator must be set");
+    const auto count = static_cast<std::size_t>(opts.samples);
+
+    Tdp_distribution dist;
+    if (opts.store_samples) {
+        dist.tdp.resize(count);
+        dist.rvar.resize(count);
+        dist.cvar.resize(count);
+        core::run_indexed(
+            count,
+            [&](std::size_t i, const core::Run_context& ctx) {
+                const Sample_values v = eval(i, ctx);
+                dist.tdp[i] = v.metric;
+                dist.rvar[i] = v.rvar;
+                dist.cvar[i] = v.cvar;
+            },
+            opts.runner);
+
+        // A failed sample (NaN metric) must poison the whole summary, not
+        // just the moments: selecting quantiles of a NaN-containing vector
+        // is undefined and min/max would silently drop the failure, so the
+        // NaN path never reaches util::summarize.
+        const bool any_nan =
+            std::any_of(dist.tdp.begin(), dist.tdp.end(),
+                        [](double x) { return std::isnan(x); });
+        dist.summary = any_nan ? poisoned_summary(dist.tdp.size())
+                               : util::summarize(dist.tdp);
+        return dist;
+    }
+
+    // Streaming mode: evaluate one fixed-size block at a time in parallel,
+    // then fold it into the accumulators serially in sample order.  Memory
+    // is O(streaming_block) regardless of the sample count.
+    util::expects(opts.sampling == Sampling::pseudo_random,
+                  "streaming accumulation requires pseudo-random sampling "
+                  "(Latin-hypercube pregenerates every sample)");
+
+    util::Running_stats stats;
+    util::P2_quantile median(0.5);
+    util::P2_quantile p01(0.01);
+    util::P2_quantile p99(0.99);
+    bool any_nan = false;
+
+    std::vector<double> block(std::min(streaming_block, count));
+    for (std::size_t begin = 0; begin < count; begin += streaming_block) {
+        const std::size_t size = std::min(streaming_block, count - begin);
+        core::run_indexed(
+            size,
+            [&](std::size_t i, const core::Run_context& ctx) {
+                block[i] = eval(begin + i, ctx).metric;
+            },
+            opts.runner);
+        for (std::size_t i = 0; i < size; ++i) {
+            if (std::isnan(block[i])) {
+                any_nan = true;
+                continue;
+            }
+            stats.add(block[i]);
+            median.add(block[i]);
+            p01.add(block[i]);
+            p99.add(block[i]);
+        }
+    }
+
+    if (any_nan) {
+        dist.summary = poisoned_summary(count);
+    } else {
+        dist.summary =
+            util::Sample_summary{stats.count(), stats.mean(), stats.stddev(),
+                                 stats.min(),   stats.max(),  median.result(),
+                                 p01.result(),  p99.result()};
+    }
+    return dist;
+}
 
 Tdp_distribution metric_distribution(const pattern::Patterning_engine& engine,
                                      const extract::Extractor& extractor,
@@ -76,12 +164,6 @@ Tdp_distribution metric_distribution(const pattern::Patterning_engine& engine,
         pregen = lhs_samples(engine, rng, opts);
     }
 
-    const auto count = static_cast<std::size_t>(opts.samples);
-    Tdp_distribution dist;
-    dist.tdp.resize(count);
-    dist.rvar.resize(count);
-    dist.cvar.resize(count);
-
     // Per-worker geometry scratch: realize_into overwrites one buffer per
     // worker instead of allocating a Wire_array (nets, colors, strings)
     // for every sample.  Worker assignment never reaches the results, so
@@ -89,8 +171,7 @@ Tdp_distribution metric_distribution(const pattern::Patterning_engine& engine,
     std::vector<geom::Wire_array> scratch(
         static_cast<std::size_t>(opts.runner.resolved_threads()));
 
-    core::run_indexed(
-        count,
+    return accumulate_distribution(
         [&](std::size_t i, const core::Run_context& ctx) {
             pattern::Process_sample s;
             if (opts.sampling == Sampling::latin_hypercube) {
@@ -104,27 +185,10 @@ Tdp_distribution metric_distribution(const pattern::Patterning_engine& engine,
             engine.realize_into(nominal, s, realized);
             const extract::Rc_variation v =
                 extractor.variation(nominal, realized, victim);
-            dist.rvar[i] = v.r_factor;
-            dist.cvar[i] = v.c_factor;
-            dist.tdp[i] = metric(realized, v, ctx);
+            return Sample_values{metric(realized, v, ctx), v.r_factor,
+                                 v.c_factor};
         },
-        opts.runner);
-
-    // A failed sample (NaN metric) must poison the whole summary, not just
-    // the moments: sorting a NaN-containing vector for the quantiles is
-    // undefined and min/max would silently drop the failure, so the NaN
-    // path never reaches util::summarize.
-    const bool any_nan =
-        std::any_of(dist.tdp.begin(), dist.tdp.end(),
-                    [](double x) { return std::isnan(x); });
-    if (any_nan) {
-        constexpr double nan = std::numeric_limits<double>::quiet_NaN();
-        dist.summary = util::Sample_summary{dist.tdp.size(), nan, nan,
-                                            nan,  nan, nan, nan, nan};
-    } else {
-        dist.summary = util::summarize(dist.tdp);
-    }
-    return dist;
+        opts);
 }
 
 Tdp_distribution tdp_distribution(const pattern::Patterning_engine& engine,

@@ -37,6 +37,17 @@ struct Distribution_options {
     /// counter-based substream (seed, i), so the tdp/rvar/cvar vectors are
     /// bitwise identical at any thread count.
     core::Runner_options runner;
+    /// Stored mode (default) materializes the per-sample tdp/rvar/cvar
+    /// vectors and summarizes with exact order-statistic quantiles.
+    /// Streaming mode (false) keeps the run memory-flat — no sample
+    /// vectors, Running_stats moments plus P-squared quantile estimates
+    /// accumulated blockwise in sample order — so 10^7-sample yield
+    /// screens fit in O(block) memory.  Moments (count/mean/stddev/
+    /// min/max) are bitwise identical between the two modes and at any
+    /// thread count; the streamed median/p01/p99 are P-squared estimates,
+    /// not exact order statistics.  Requires pseudo-random sampling
+    /// (Latin-hypercube pregenerates every sample, defeating the point).
+    bool store_samples = true;
 };
 
 struct Tdp_distribution {
@@ -70,6 +81,38 @@ struct Tdp_distribution {
 using Sample_metric = std::function<double(
     const geom::Wire_array& realized, const extract::Rc_variation& v,
     const core::Run_context& ctx)>;
+
+/// One evaluated sample of the generic accumulation loop.
+struct Sample_values {
+    double metric = 0.0;
+    double rvar = 1.0;
+    double cvar = 1.0;
+};
+
+/// Per-index sample evaluator: maps the sample's substream index (and the
+/// run context, for per-worker scratch only) to its values.  Must depend
+/// on the index alone — never on the worker or execution order.
+using Sample_eval =
+    std::function<Sample_values(std::size_t, const core::Run_context&)>;
+
+/// Pregenerate the full Latin-hypercube sample set of the engine's axes:
+/// each axis cut into opts.samples equal-probability strata of the
+/// truncated normal, every stratum hit exactly once in an
+/// axis-independent random order.  Shared by the exact and surrogate
+/// samplers; the stratification couples samples across the whole set, so
+/// construction is serial (and incompatible with streaming accumulation).
+std::vector<pattern::Process_sample> lhs_samples(
+    const pattern::Patterning_engine& engine, util::Rng& rng,
+    const Distribution_options& opts);
+
+/// The accumulation machinery shared by the exact samplers above and the
+/// surrogate tier (mc/surrogate.h): evaluates `eval(i, ctx)` for every
+/// sample index on `opts.runner` and produces the distribution — stored
+/// or streaming per `opts.store_samples` (streaming discards the
+/// per-sample rvar/cvar).  A NaN metric value poisons the summary in
+/// either mode.  Bitwise identical at any thread count.
+Tdp_distribution accumulate_distribution(const Sample_eval& eval,
+                                         const Distribution_options& opts);
 
 /// Generalized Monte-Carlo sampler: one metric value per process sample,
 /// sharing the pseudo-random / Latin-hypercube sampling machinery and the

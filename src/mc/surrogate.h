@@ -1,0 +1,82 @@
+// The surrogate Monte-Carlo tier: sample a calibrated response surface
+// (analytic/response_surface.h) instead of realizing geometry, extracting
+// parasitics, and running SPICE per sample.  Two entry points:
+//
+//   - surrogate_distribution: the drop-in fast engine behind
+//     Tdp_engine::surrogate / Twp_engine::surrogate.  Sample i draws the
+//     IDENTICAL process sample as the exact engines (same substream
+//     derivation), so a same-seed surrogate-vs-SPICE comparison cancels
+//     the sampling noise and exposes pure model error — the property the
+//     bench_ext_yield mean/sigma agreement gate relies on.  Per-sample
+//     cost is a handful of truncated-normal draws plus one quadratic
+//     evaluation: ~10^6 samples/s/core, 10^4-10^5x the SPICE tier.
+//
+//   - importance_tail: Table IV sigma-tail quantiles by importance
+//     sampling — a defensive mixture proposal (half the truncated target
+//     itself, half a shifted-mean Gaussian along the surface's dominant
+//     fitted direction) with likelihood-ratio weights, so the 5-6-sigma
+//     tdp quantiles converge with ~10^4 weighted samples instead of the
+//     10^7+ a naive sweep needs to populate the tail.  The mixture
+//     bounds every weight at 2, keeping the effective sample size a
+//     large fraction of the draw count.
+#ifndef MPSRAM_MC_SURROGATE_H
+#define MPSRAM_MC_SURROGATE_H
+
+#include <vector>
+
+#include "analytic/response_surface.h"
+#include "mc/distribution.h"
+#include "pattern/engine.h"
+
+namespace mpsram::mc {
+
+/// Monte-Carlo over the calibrated surfaces: the metric surface feeds the
+/// recorded distribution, the rvar/cvar surfaces reproduce the per-sample
+/// variation factors of the exact engines (stored mode only).  Honors
+/// every Distribution_options knob, including streaming accumulation and
+/// Latin-hypercube sampling; bitwise identical at any thread count.
+Tdp_distribution surrogate_distribution(
+    const pattern::Patterning_engine& engine,
+    const analytic::Yield_surfaces& surfaces,
+    const Distribution_options& opts);
+
+struct Tail_options {
+    /// Upper-tail quantile targets in sigma units: level z means the
+    /// p = normal_cdf(z) quantile of the metric under the (truncated)
+    /// process measure.  Note the process axes are truncated at
+    /// Distribution_options::truncate_k, so extreme levels converge
+    /// toward the truncation-bounded maximum — exactly what the modeled
+    /// (outlier-screened) process yields.
+    std::vector<double> sigma_levels = {3.0, 4.0, 5.0, 6.0};
+    int samples = 20000;
+    /// Proposal mean shift along the fitted dominant direction, in
+    /// standardized (per-axis sigma) units.  Kept inside the truncation
+    /// box: shifting past truncate_k would throw most proposal draws into
+    /// the zero-weight region.
+    double shift_sigma = 2.5;
+};
+
+struct Tail_result {
+    std::vector<double> sigma_levels;  ///< as requested
+    std::vector<double> quantiles;     ///< metric value per level
+    /// Effective sample size (sum w)^2 / sum w^2 — the convergence
+    /// diagnostic: an ESS far below `samples` means the proposal shift
+    /// fights the target and the quantiles are noisy.
+    double ess = 0.0;
+    int samples = 0;
+    double weight_sum = 0.0;  ///< estimates 1 (self-normalized check)
+};
+
+/// Importance-sampled upper-tail quantiles of the metric surface under
+/// the engine's truncated-Gaussian process measure.  Deterministic: the
+/// per-sample substreams derive from (base.seed, index) and the weighted
+/// quantile walk breaks value ties by sample index, so the result is
+/// bitwise identical at any thread count.
+Tail_result importance_tail(const pattern::Patterning_engine& engine,
+                            const analytic::Response_surface& surface,
+                            const Distribution_options& base,
+                            const Tail_options& topts);
+
+} // namespace mpsram::mc
+
+#endif // MPSRAM_MC_SURROGATE_H

@@ -64,6 +64,87 @@ double Running_stats::max() const
     return max_;
 }
 
+P2_quantile::P2_quantile(double p) : p_(p)
+{
+    expects(p > 0.0 && p < 1.0, "P2 quantile p must be in (0,1)");
+    frac_[0] = 0.0;
+    frac_[1] = p / 2.0;
+    frac_[2] = p;
+    frac_[3] = (1.0 + p) / 2.0;
+    frac_[4] = 1.0;
+}
+
+void P2_quantile::add(double x)
+{
+    if (n_ < 5) {
+        // Exact phase: keep the first five observations sorted in q_.
+        std::size_t i = n_;
+        while (i > 0 && q_[i - 1] > x) {
+            q_[i] = q_[i - 1];
+            --i;
+        }
+        q_[i] = x;
+        ++n_;
+        for (int m = 0; m < 5; ++m) pos_[m] = static_cast<double>(m);
+        return;
+    }
+
+    // Find the marker cell of x, clamping the extremes.
+    int k = 0;
+    if (x < q_[0]) {
+        q_[0] = x;
+        k = 0;
+    } else if (x >= q_[4]) {
+        q_[4] = std::max(q_[4], x);
+        k = 3;
+    } else {
+        for (k = 0; k < 3; ++k) {
+            if (x < q_[k + 1]) break;
+        }
+    }
+
+    ++n_;
+    for (int m = k + 1; m < 5; ++m) pos_[m] += 1.0;
+
+    // Nudge the three interior markers toward their desired positions.
+    const double last = static_cast<double>(n_ - 1);
+    for (int m = 1; m < 4; ++m) {
+        const double desired = last * frac_[m];
+        const double d = desired - pos_[m];
+        const bool room_up = pos_[m + 1] - pos_[m] > 1.0;
+        const bool room_down = pos_[m - 1] - pos_[m] < -1.0;
+        if ((d >= 1.0 && room_up) || (d <= -1.0 && room_down)) {
+            const double s = d >= 1.0 ? 1.0 : -1.0;
+            // Piecewise-parabolic (P2) height prediction.
+            const double np = pos_[m + 1];
+            const double nc = pos_[m];
+            const double nm = pos_[m - 1];
+            const double parabolic =
+                q_[m] + s / (np - nm) *
+                            ((nc - nm + s) * (q_[m + 1] - q_[m]) / (np - nc) +
+                             (np - nc - s) * (q_[m] - q_[m - 1]) / (nc - nm));
+            if (q_[m - 1] < parabolic && parabolic < q_[m + 1]) {
+                q_[m] = parabolic;
+            } else {
+                // Fall back to linear interpolation toward the neighbor.
+                const int j = s > 0.0 ? m + 1 : m - 1;
+                q_[m] += s * (q_[j] - q_[m]) / (pos_[j] - nc);
+            }
+            pos_[m] += s;
+        }
+    }
+}
+
+double P2_quantile::result() const
+{
+    expects(n_ > 0, "P2 quantile of an empty stream");
+    if (n_ <= 5) {
+        const std::vector<double> sorted(q_, q_ + n_);
+        return quantile_sorted(sorted, p_);
+    }
+    return q_[2];
+}
+
 double quantile_sorted(const std::vector<double>& sorted, double q)
 {
     expects(!sorted.empty(), "quantile of empty sample set");
@@ -76,6 +157,30 @@ double quantile_sorted(const std::vector<double>& sorted, double q)
     return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double quantile(std::vector<double>& scratch, double q)
+{
+    expects(!scratch.empty(), "quantile of empty sample set");
+    expects(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+    if (scratch.size() == 1) return scratch.front();
+
+    // Same order statistics and interpolation arithmetic as
+    // quantile_sorted, obtained by selection instead of a full sort.
+    const double pos = q * static_cast<double>(scratch.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+
+    const auto lo_it = scratch.begin() + static_cast<std::ptrdiff_t>(lo);
+    std::nth_element(scratch.begin(), lo_it, scratch.end());
+    const double v_lo = *lo_it;
+    // quantile_sorted clamps hi to the last element; after nth_element the
+    // upper partition holds every element >= v_lo, so its minimum is the
+    // (lo+1)-th order statistic.
+    const double v_hi = lo + 1 < scratch.size()
+                            ? *std::min_element(lo_it + 1, scratch.end())
+                            : v_lo;
+    return v_lo * (1.0 - frac) + v_hi * frac;
+}
+
 Sample_summary summarize(const std::vector<double>& samples)
 {
     Sample_summary s;
@@ -84,17 +189,16 @@ Sample_summary summarize(const std::vector<double>& samples)
     Running_stats acc;
     for (double x : samples) acc.add(x);
 
-    std::vector<double> sorted = samples;
-    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> scratch = samples;
 
     s.count = acc.count();
     s.mean = acc.mean();
     s.stddev = acc.stddev();
     s.min = acc.min();
     s.max = acc.max();
-    s.median = quantile_sorted(sorted, 0.5);
-    s.p01 = quantile_sorted(sorted, 0.01);
-    s.p99 = quantile_sorted(sorted, 0.99);
+    s.median = quantile(scratch, 0.5);
+    s.p01 = quantile(scratch, 0.01);
+    s.p99 = quantile(scratch, 0.99);
     return s;
 }
 

@@ -58,6 +58,34 @@ private:
     double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Streaming quantile estimator (Jain & Chlamtac's P-squared algorithm):
+/// five markers track the target quantile of a stream in O(1) memory.
+/// The first five observations are exact; afterwards the middle marker is
+/// adjusted with parabolic (or linear) interpolation toward its desired
+/// position.  The estimate is a few tenths of a percent off the exact
+/// order statistic for smooth distributions — the memory-flat alternative
+/// summarize() cannot be at 10^7 samples.  Purely sequential arithmetic:
+/// feeding the same stream in the same order always yields the same bits.
+class P2_quantile {
+public:
+    explicit P2_quantile(double p);
+
+    void add(double x);
+
+    /// Current estimate.  Exact (interpolated order statistic) while the
+    /// stream holds at most five samples; requires at least one.
+    double result() const;
+
+    std::size_t count() const { return n_; }
+
+private:
+    double p_ = 0.5;
+    std::size_t n_ = 0;
+    double q_[5] = {};     ///< marker heights
+    double pos_[5] = {};   ///< marker positions (0-based counts)
+    double frac_[5] = {};  ///< desired-position fractions {0, p/2, p, ...}
+};
+
 /// Batch summary of a stored sample vector, including quantiles.
 struct Sample_summary {
     std::size_t count = 0;
@@ -82,10 +110,19 @@ struct Sample_summary {
 };
 
 /// Compute a full summary of `samples`.  Empty input yields a zero summary.
+/// Quantiles are order-statistic selections (util::quantile), not a full
+/// sort — O(n) per quantile, measurable from ~10^6 samples up.
 Sample_summary summarize(const std::vector<double>& samples);
 
 /// Linear-interpolated quantile (q in [0,1]) of `sorted` ascending samples.
 double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Linear-interpolated quantile of an UNSORTED sample set via
+/// std::nth_element selection — O(n) instead of a full O(n log n) sort,
+/// bitwise identical to quantile_sorted on the sorted copy.  `scratch` is
+/// partially reordered (callers owning a throwaway copy can issue several
+/// quantiles against the same buffer).
+double quantile(std::vector<double>& scratch, double q);
 
 /// Pearson correlation coefficient of two equally sized vectors.
 double correlation(const std::vector<double>& a, const std::vector<double>& b);

@@ -1,0 +1,180 @@
+// The quadratic response surface behind the surrogate engine tier: exact
+// recovery of polynomial targets, the shell-clamped design-set geometry,
+// weighted least squares, and the held-out error the calibration gate
+// compares against its budget.
+#include "analytic/response_surface.h"
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace {
+
+using mpsram::analytic::holdout_error;
+using mpsram::analytic::quadratic_design;
+using mpsram::analytic::Response_surface;
+
+/// A full quadratic in standardized coordinates z_i = x_i / half_i; the
+/// fit must reproduce it to round-off.
+double target(const std::vector<double>& x, const std::vector<double>& half)
+{
+    const double z0 = x[0] / half[0];
+    const double z1 = x[1] / half[1];
+    return 2.0 + 0.5 * z0 - 1.25 * z1 + 0.3 * z0 * z0 + 0.7 * z0 * z1 -
+           0.2 * z1 * z1;
+}
+
+TEST(ResponseSurface, CoefficientCount)
+{
+    EXPECT_EQ(Response_surface::coefficient_count(1), 3u);
+    EXPECT_EQ(Response_surface::coefficient_count(2), 6u);
+    EXPECT_EQ(Response_surface::coefficient_count(3), 10u);
+    EXPECT_EQ(Response_surface::coefficient_count(5), 21u);
+}
+
+TEST(ResponseSurface, RecoversQuadraticExactly)
+{
+    const std::vector<double> half = {2e-9, 5e-10};
+    const auto points = quadratic_design(half);
+    std::vector<double> values;
+    for (const auto& p : points) values.push_back(target(p, half));
+    const Response_surface s = Response_surface::fit(points, values, half);
+
+    EXPECT_EQ(s.dimension(), 2u);
+    EXPECT_FALSE(s.empty());
+    std::mt19937_64 rng(5);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (int i = 0; i < 50; ++i) {
+        const std::vector<double> x = {u(rng) * half[0], u(rng) * half[1]};
+        EXPECT_NEAR(s.value(x), target(x, half), 1e-9);
+    }
+}
+
+TEST(ResponseSurface, GradientAtZeroMatchesLinearTerms)
+{
+    const std::vector<double> half = {2e-9, 5e-10};
+    const auto points = quadratic_design(half);
+    std::vector<double> values;
+    for (const auto& p : points) values.push_back(target(p, half));
+    const Response_surface s = Response_surface::fit(points, values, half);
+
+    const std::vector<double> g = s.gradient_at_zero();
+    ASSERT_EQ(g.size(), 2u);
+    EXPECT_NEAR(g[0], 0.5 / half[0], 1e-3 / half[0]);
+    EXPECT_NEAR(g[1], -1.25 / half[1], 1e-3 / half[1]);
+}
+
+TEST(ResponseSurface, UnitWeightsMatchUnweightedFit)
+{
+    const std::vector<double> half = {1.0, 1.0};
+    const auto points = quadratic_design(half);
+    std::vector<double> values;
+    for (const auto& p : points) values.push_back(target(p, half));
+    const Response_surface plain =
+        Response_surface::fit(points, values, half);
+    const Response_surface weighted = Response_surface::fit(
+        points, values, half, std::vector<double>(points.size(), 1.0));
+    ASSERT_EQ(plain.coefficients().size(), weighted.coefficients().size());
+    for (std::size_t i = 0; i < plain.coefficients().size(); ++i) {
+        EXPECT_DOUBLE_EQ(plain.coefficients()[i],
+                         weighted.coefficients()[i]);
+    }
+}
+
+TEST(ResponseSurface, WeightsSteerTheFit)
+{
+    // An over-determined 1-D fit of data a quadratic cannot interpolate:
+    // upweighting the inner points must shrink the inner-point residuals
+    // relative to the uniform fit.
+    const std::vector<double> half = {1.0};
+    std::vector<std::vector<double>> points;
+    std::vector<double> values;
+    for (const double z : {-1.0, -0.6, -0.2, 0.2, 0.6, 1.0}) {
+        points.push_back({z});
+        values.push_back(std::sin(3.0 * z));  // strongly non-quadratic
+    }
+    const Response_surface uniform =
+        Response_surface::fit(points, values, half);
+    std::vector<double> weights(points.size(), 1e-3);
+    weights[2] = 1.0;
+    weights[3] = 1.0;
+    const Response_surface inner =
+        Response_surface::fit(points, values, half, weights);
+    const double uniform_inner_err =
+        std::fabs(uniform.value(points[2]) - values[2]) +
+        std::fabs(uniform.value(points[3]) - values[3]);
+    const double inner_inner_err =
+        std::fabs(inner.value(points[2]) - values[2]) +
+        std::fabs(inner.value(points[3]) - values[3]);
+    EXPECT_LT(inner_inner_err, uniform_inner_err);
+}
+
+TEST(ResponseSurface, FitPreconditions)
+{
+    const std::vector<double> half = {1.0};
+    const std::vector<std::vector<double>> two = {{0.0}, {1.0}};
+    const std::vector<double> values = {0.0, 1.0};
+    // Fewer points than the 3 quadratic coefficients of d = 1.
+    EXPECT_THROW(Response_surface::fit(two, values, half),
+                 mpsram::util::Precondition_error);
+    // Mismatched / non-positive weights.
+    const auto points = quadratic_design(half);
+    std::vector<double> ok(points.size(), 0.5);
+    std::vector<double> vals(points.size(), 1.0);
+    EXPECT_THROW(
+        Response_surface::fit(points, vals, half, {1.0}),
+        mpsram::util::Precondition_error);
+    ok[0] = 0.0;
+    EXPECT_THROW(Response_surface::fit(points, vals, half, ok),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(QuadraticDesign, StaysInsideTheStandardizedBall)
+{
+    for (const std::size_t d : {std::size_t{1}, std::size_t{2},
+                                std::size_t{3}, std::size_t{4},
+                                std::size_t{5}}) {
+        const std::vector<double> half(d, 2.0);
+        const auto points = quadratic_design(half);
+        EXPECT_GT(points.size(), Response_surface::coefficient_count(d))
+            << "d = " << d;
+        bool has_origin = false;
+        for (const auto& p : points) {
+            ASSERT_EQ(p.size(), d);
+            double r2 = 0.0;
+            for (std::size_t a = 0; a < d; ++a) {
+                const double z = p[a] / half[a];
+                r2 += z * z;
+            }
+            EXPECT_LE(r2, 1.0 + 1e-12) << "d = " << d;
+            has_origin = has_origin || r2 == 0.0;
+        }
+        EXPECT_TRUE(has_origin) << "d = " << d;
+    }
+}
+
+TEST(QuadraticDesign, Deterministic)
+{
+    const std::vector<double> half = {1.0, 3.0, 0.5};
+    EXPECT_EQ(quadratic_design(half), quadratic_design(half));
+}
+
+TEST(HoldoutError, MeasuresNormalizedMaxDeviation)
+{
+    const std::vector<double> half = {1.0};
+    const auto points = quadratic_design(half);
+    std::vector<double> values;
+    for (const auto& p : points) values.push_back(3.0 * p[0]);
+    const Response_surface s = Response_surface::fit(points, values, half);
+
+    // Exact on points the linear target generates...
+    EXPECT_NEAR(holdout_error(s, {{0.5}}, {1.5}, 2.0), 0.0, 1e-12);
+    // ...and |prediction - exact| / scale when the exact value is off.
+    EXPECT_NEAR(holdout_error(s, {{0.5}}, {2.5}, 2.0), 0.5, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+// The surrogate engine tier through the session layer: the promise-backed
+// calibration memo (one fit per key, concurrent callers included), the
+// held-out gate refusing bad fits, and bitwise thread determinism of
+// surrogate-engine queries on the memoized surfaces.
+#include "core/session.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "util/contracts.h"
+
+namespace {
+
+using namespace mpsram;
+using core::Metric;
+using core::Query;
+
+// Small array so each calibration's SPICE design set stays cheap.
+constexpr int kWordLines = 8;
+
+TEST(SurrogateMemo, ConcurrentQueriesFitOncePerKey)
+{
+    const core::Study_session session;
+    ASSERT_EQ(session.surface_fit_count(), 0u);
+
+    std::vector<std::shared_ptr<const analytic::Yield_surfaces>> results(4);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        threads.emplace_back([&session, &results, i] {
+            results[i] = session.calibrated_surfaces(
+                Metric::mc_tdp, tech::Patterning_option::euv, kWordLines);
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    EXPECT_EQ(session.surface_fit_count(), 1u);
+    for (const auto& r : results) {
+        ASSERT_TRUE(r);
+        EXPECT_EQ(r.get(), results[0].get());  // one shared surface
+        EXPECT_LE(r->holdout_rel, session.options().surrogate.budget_rel);
+        EXPECT_GT(r->design_points, 0u);
+    }
+    // A repeat on the same key is a memo hit, not a refit.
+    (void)session.calibrated_surfaces(Metric::mc_tdp,
+                                      tech::Patterning_option::euv,
+                                      kWordLines);
+    EXPECT_EQ(session.surface_fit_count(), 1u);
+}
+
+TEST(SurrogateMemo, DistinctKeysFitSeparately)
+{
+    const core::Study_session session;
+    (void)session.calibrated_surfaces(
+        Metric::mc_tdp, tech::Patterning_option::euv, kWordLines);
+    EXPECT_EQ(session.surface_fit_count(), 1u);
+    // Different accuracy policy: its own key, its own fit.  Pin the
+    // opposite of the session default so the test holds on both policy
+    // legs (MPSRAM_SIM_ACCURACY may flip the default).
+    const sram::Sim_accuracy other =
+        session.options().read.accuracy == sram::Sim_accuracy::fast
+            ? sram::Sim_accuracy::reference
+            : sram::Sim_accuracy::fast;
+    (void)session.calibrated_surfaces(
+        Metric::mc_tdp, tech::Patterning_option::euv, kWordLines, -1.0,
+        other);
+    EXPECT_EQ(session.surface_fit_count(), 2u);
+    // The write metric calibrates its own surfaces.
+    (void)session.calibrated_surfaces(
+        Metric::mc_twp, tech::Patterning_option::euv, kWordLines);
+    EXPECT_EQ(session.surface_fit_count(), 3u);
+}
+
+TEST(SurrogateMemo, RejectsNonDistributionMetrics)
+{
+    const core::Study_session session;
+    EXPECT_THROW(session.calibrated_surfaces(Metric::read_td,
+                                             tech::Patterning_option::euv,
+                                             kWordLines),
+                 util::Precondition_error);
+}
+
+TEST(SurrogateMemo, GateThrowsAndUnpublishesOnBadBudget)
+{
+    core::Study_options opts;
+    opts.surrogate.budget_rel = 1e-9;  // no real fit can meet this
+    const core::Study_session session(tech::n10(), opts);
+
+    EXPECT_THROW(session.calibrated_surfaces(Metric::mc_tdp,
+                                             tech::Patterning_option::euv,
+                                             kWordLines),
+                 util::Postcondition_error);
+    // The failed fit must un-publish its memo slot: the retry fits again
+    // (and throws again) instead of deadlocking on a dead future.
+    EXPECT_THROW(session.calibrated_surfaces(Metric::mc_tdp,
+                                             tech::Patterning_option::euv,
+                                             kWordLines),
+                 util::Postcondition_error);
+    EXPECT_EQ(session.surface_fit_count(), 2u);
+}
+
+TEST(SurrogateQuery, BitwiseIdenticalAcrossThreadCounts)
+{
+    // One session: the calibration memo serves every run the same
+    // surfaces, so the whole query path — calibration included — must be
+    // bitwise identical at 1/2/8 threads, stored and streaming.
+    const core::Study_session session;
+    for (const bool store : {true, false}) {
+        core::Result_table reference;
+        for (const int threads : {1, 2, 8}) {
+            Query q(Metric::mc_tdp);
+            q.with_case({tech::Patterning_option::euv, kWordLines})
+                .with_tdp_engine(core::Tdp_engine::surrogate);
+            q.mc.samples = 5000;
+            q.mc.store_samples = store;
+            q.mc.runner = core::Runner_options{threads};
+            const core::Result_table table = session.run(q);
+            if (threads == 1) {
+                reference = table;
+            } else {
+                EXPECT_TRUE(table == reference)
+                    << "threads " << threads << " store " << store;
+            }
+        }
+    }
+    EXPECT_EQ(session.surface_fit_count(), 1u);
+}
+
+TEST(SurrogateQuery, TracksTheSpiceEngineDistribution)
+{
+    // Same seed, same samples: the engines draw identical process
+    // samples, so the surrogate must agree with the SPICE engine it was
+    // calibrated against on mean/sigma to the model-error level — a
+    // loose functional check (the tight gate lives in bench_ext_yield).
+    const core::Study_session session;
+    Query q(Metric::mc_tdp);
+    q.with_case({tech::Patterning_option::euv, kWordLines})
+        .with_tdp_engine(core::Tdp_engine::spice);
+    q.mc.samples = 400;
+
+    const auto spice = session.run(q).as<mc::Tdp_distribution>(0).summary;
+    q.with_tdp_engine(core::Tdp_engine::surrogate);
+    const auto surrogate =
+        session.run(q).as<mc::Tdp_distribution>(0).summary;
+
+    EXPECT_GT(surrogate.stddev, 0.0);
+    EXPECT_NEAR(surrogate.mean, spice.mean, 0.1 * spice.stddev);
+    EXPECT_NEAR(surrogate.stddev, spice.stddev, 0.1 * spice.stddev);
+}
+
+TEST(SurrogateQuery, WriteMetricServesSurrogate)
+{
+    const core::Study_session session;
+    Query q(Metric::mc_twp);
+    q.with_case({tech::Patterning_option::euv, kWordLines})
+        .with_twp_engine(core::Twp_engine::surrogate);
+    q.mc.samples = 1000;
+
+    const auto dist = session.run(q).as<mc::Tdp_distribution>(0);
+    EXPECT_EQ(dist.summary.count, 1000u);
+    EXPECT_GT(dist.summary.stddev, 0.0);
+    EXPECT_EQ(session.surface_fit_count(), 1u);
+}
+
+} // namespace

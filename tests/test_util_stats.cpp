@@ -1,5 +1,6 @@
 #include "util/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 
@@ -10,6 +11,7 @@
 namespace {
 
 using mpsram::util::correlation;
+using mpsram::util::P2_quantile;
 using mpsram::util::quantile_sorted;
 using mpsram::util::Running_stats;
 using mpsram::util::Sample_summary;
@@ -166,6 +168,101 @@ TEST(Correlation, RejectsDegenerateInput)
     EXPECT_THROW(correlation({1.0, 2.0}, {1.0}),
                  mpsram::util::Precondition_error);
     EXPECT_THROW(correlation({1.0, 1.0}, {1.0, 2.0}),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(QuantileSelect, BitwiseMatchesSortedQuantile)
+{
+    std::mt19937_64 rng(11);
+    std::normal_distribution<double> dist;
+    std::vector<double> samples(4001);
+    for (double& x : samples) x = dist(rng);
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+        std::vector<double> scratch = samples;
+        EXPECT_TRUE(mpsram::util::bits_equal(
+            mpsram::util::quantile(scratch, q), quantile_sorted(sorted, q)))
+            << "q = " << q;
+    }
+}
+
+TEST(QuantileSelect, ReusedScratchStaysConsistent)
+{
+    // The doc promises several quantiles can be issued against one
+    // partially reordered buffer: selection never loses elements.
+    std::mt19937_64 rng(12);
+    std::uniform_real_distribution<double> dist;
+    std::vector<double> samples(513);
+    for (double& x : samples) x = dist(rng);
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> scratch = samples;
+    for (const double q : {0.99, 0.5, 0.01, 0.75}) {
+        EXPECT_DOUBLE_EQ(mpsram::util::quantile(scratch, q),
+                         quantile_sorted(sorted, q));
+    }
+}
+
+TEST(QuantileSelect, RejectsBadInput)
+{
+    std::vector<double> empty;
+    std::vector<double> one = {1.0};
+    EXPECT_THROW(mpsram::util::quantile(empty, 0.5),
+                 mpsram::util::Precondition_error);
+    EXPECT_THROW(mpsram::util::quantile(one, -0.1),
+                 mpsram::util::Precondition_error);
+    EXPECT_THROW(mpsram::util::quantile(one, 1.1),
+                 mpsram::util::Precondition_error);
+}
+
+TEST(P2Quantile, ExactUpToFiveSamples)
+{
+    P2_quantile median(0.5);
+    median.add(5.0);
+    EXPECT_DOUBLE_EQ(median.result(), 5.0);
+    for (double x : {1.0, 3.0, 2.0, 4.0}) median.add(x);
+    EXPECT_EQ(median.count(), 5u);
+    EXPECT_DOUBLE_EQ(median.result(),
+                     quantile_sorted({1.0, 2.0, 3.0, 4.0, 5.0}, 0.5));
+}
+
+TEST(P2Quantile, TracksGaussianQuantiles)
+{
+    std::mt19937_64 rng(7);
+    std::normal_distribution<double> dist(10.0, 2.0);
+    P2_quantile median(0.5);
+    P2_quantile p99(0.99);
+    std::vector<double> samples(200000);
+    for (double& x : samples) {
+        x = dist(rng);
+        median.add(x);
+        p99.add(x);
+    }
+    std::sort(samples.begin(), samples.end());
+    // A few tenths of a percent of sigma on a smooth distribution.
+    EXPECT_NEAR(median.result(), quantile_sorted(samples, 0.5), 0.02);
+    EXPECT_NEAR(p99.result(), quantile_sorted(samples, 0.99), 0.05);
+}
+
+TEST(P2Quantile, DeterministicOverReplay)
+{
+    std::mt19937_64 rng(21);
+    std::uniform_real_distribution<double> dist;
+    std::vector<double> stream(10000);
+    for (double& x : stream) x = dist(rng);
+    P2_quantile a(0.9);
+    P2_quantile b(0.9);
+    for (double x : stream) a.add(x);
+    for (double x : stream) b.add(x);
+    EXPECT_TRUE(mpsram::util::bits_equal(a.result(), b.result()));
+}
+
+TEST(P2Quantile, RejectsBadUse)
+{
+    EXPECT_THROW(P2_quantile(0.0), mpsram::util::Precondition_error);
+    EXPECT_THROW(P2_quantile(1.0), mpsram::util::Precondition_error);
+    EXPECT_THROW(P2_quantile(0.5).result(),
                  mpsram::util::Precondition_error);
 }
 
