@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "sram/solver_policy.h"
 #include "util/contracts.h"
 #include "util/numeric.h"
 #include "util/table.h"
@@ -161,7 +162,8 @@ void accumulate_agreement(Agreement& a, const core::Result_table& reference,
 }
 
 Agreement run_option_agreement(
-    const std::function<core::Query(tech::Patterning_option)>& make_query)
+    const std::function<core::Query(tech::Patterning_option)>& make_query,
+    std::optional<spice::Solver_policy> fast_solver)
 {
     util::expects(static_cast<bool>(make_query),
                   "agreement gate needs a query factory");
@@ -169,12 +171,14 @@ Agreement run_option_agreement(
     const core::Study_session session;
     for (const auto option : tech::all_patterning_options) {
         const core::Query query = make_query(option);
+        core::Query fast_query =
+            core::Query(query).with_accuracy(sram::Sim_accuracy::fast);
+        if (fast_solver) fast_query.with_solver(*fast_solver);
         accumulate_agreement(
             agreement,
             session.run(core::Query(query).with_accuracy(
                 sram::Sim_accuracy::reference)),
-            session.run(
-                core::Query(query).with_accuracy(sram::Sim_accuracy::fast)));
+            session.run(fast_query));
     }
     return agreement;
 }
@@ -196,13 +200,17 @@ void report_agreement(const Agreement& a, const std::string& quantity)
 void print_step_table(const spice::Step_stats steps[2])
 {
     util::Table table({"policy", "accepted", "lte rejected",
-                       "newton rejected", "total solves"});
+                       "newton rejected", "total solves", "newton iters",
+                       "lu factors", "bypass hits"});
     for (int pi = 0; pi < 2; ++pi) {
         table.add_row({sram::to_string(policies[pi]),
                        std::to_string(steps[pi].accepted),
                        std::to_string(steps[pi].lte_rejected),
                        std::to_string(steps[pi].newton_rejected),
-                       std::to_string(steps[pi].total_attempts())});
+                       std::to_string(steps[pi].total_attempts()),
+                       std::to_string(steps[pi].newton_iterations),
+                       std::to_string(steps[pi].lu_factorizations),
+                       std::to_string(steps[pi].bypass_hits)});
     }
     std::cout << table.render() << '\n';
 }
@@ -212,10 +220,26 @@ void write_bench_json(const Scaling_config& cfg,
                       const spice::Step_stats* steps, int max_word_lines,
                       const std::vector<std::string>& extra_fields)
 {
+    // The fast legs run the process-default solver tier; reference legs
+    // always resolve to the direct oracle (sram/solver_policy.h).
+    const spice::Transient_options default_topts;
     std::ofstream json(cfg.json_path);
     json << "{\n"
          << "  \"bench\": \"" << cfg.bench_name << "\",\n"
          << "  \"workload\": \"" << cfg.workload << "\",\n"
+         << "  \"metadata\": {\"solver_policy_fast\": \""
+         << sram::to_string(sram::resolve_solver_policy(
+                sram::Sim_accuracy::fast, std::nullopt))
+         << "\", \"solver_policy_reference\": \""
+         << sram::to_string(sram::resolve_solver_policy(
+                sram::Sim_accuracy::reference, std::nullopt))
+         << "\", \"integration_method\": \""
+         << (default_topts.method ==
+                     spice::Integration_method::trapezoidal
+                 ? "trapezoidal"
+                 : "backward_euler")
+         << "\", \"sim_accuracy\": \""
+         << sram::to_string(sram::default_sim_accuracy()) << "\"},\n"
          << "  \"rows\": " << outcome.rows << ",\n"
          << "  \"max_word_lines\": " << max_word_lines << ",\n"
          << "  \"hardware_threads\": "
@@ -234,11 +258,15 @@ void write_bench_json(const Scaling_config& cfg,
              << "    \"fast\": {\"accepted\": " << steps[0].accepted
              << ", \"lte_rejected\": " << steps[0].lte_rejected
              << ", \"newton_rejected\": " << steps[0].newton_rejected
-             << "},\n"
+             << ", \"newton_iterations\": " << steps[0].newton_iterations
+             << ", \"lu_factorizations\": " << steps[0].lu_factorizations
+             << ", \"bypass_hits\": " << steps[0].bypass_hits << "},\n"
              << "    \"reference\": {\"accepted\": " << steps[1].accepted
              << ", \"lte_rejected\": " << steps[1].lte_rejected
              << ", \"newton_rejected\": " << steps[1].newton_rejected
-             << "}\n"
+             << ", \"newton_iterations\": " << steps[1].newton_iterations
+             << ", \"lu_factorizations\": " << steps[1].lu_factorizations
+             << ", \"bypass_hits\": " << steps[1].bypass_hits << "}\n"
              << "  },\n";
     }
     for (const std::string& field : extra_fields) {

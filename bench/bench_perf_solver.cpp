@@ -1,0 +1,288 @@
+// Linear-solver tier scaling: direct vs bypass (factorization-reuse
+// Newton) vs iterative (ILU(0)-BiCGSTAB) on nominal read transients of
+// 10x{256, 1024, 4096, 8192} columns, plus the gates that let the reuse
+// tiers ship: the 0.5% adaptive-vs-reference agreement budget per tier
+// and the bitwise thread-count determinism contract per tier.
+//
+// Three sections land in BENCH_solver.json:
+//
+//   - "solver_matrix": per (word_lines, policy) wall time of one nominal
+//     read at fast accuracy on a warmed column context (netlist build and
+//     symbolic factorization excluded), with the Step_stats solver
+//     counters (newton_iterations / lu_factorizations / bypass_hits) that
+//     prove WHERE the speedup comes from — bypass must show
+//     lu_factorizations well under newton_iterations.
+//   - "agreement_bypass" / "agreement_iterative": fast+bypass and
+//     fast+iterative vs the reference+direct oracle over the canonical
+//     Fig. 4 read set (every patterning option, n up to 1024), both held
+//     to the same 0.5% budget as the accuracy tier.
+//   - "per_policy_deterministic": 1/2/8-thread bitwise Result_table
+//     identity of a read sweep pinned to each tier.
+//
+//   $ ./bench_perf_solver [max_word_lines]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_driver.h"
+#include "core/session.h"
+#include "sram/bitline_model.h"
+#include "sram/read_sim.h"
+#include "sram/solver_policy.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace mpsram;
+
+constexpr spice::Solver_policy solver_tiers[] = {
+    spice::Solver_policy::direct, spice::Solver_policy::bypass,
+    spice::Solver_policy::iterative};
+
+struct Matrix_entry {
+    int word_lines = 0;
+    spice::Solver_policy policy = spice::Solver_policy::direct;
+    double wall_s = 0.0;
+    double speedup_vs_direct = 1.0;
+    spice::Step_stats steps;
+};
+
+/// One nominal read per (word_lines, policy) at fast accuracy on a warmed
+/// context, so the measured wall is the transient solve alone.
+std::vector<Matrix_entry> run_solver_matrix(const std::vector<int>& sizes)
+{
+    const core::Study_session session;
+    const tech::Technology& t = session.technology();
+    const auto cell = sram::Cell_electrical::n10(t.feol);
+
+    std::vector<Matrix_entry> matrix;
+    for (const int n : sizes) {
+        sram::Array_config cfg = session.options().array;
+        cfg.word_lines = n;
+        const geom::Wire_array nominal =
+            session.decomposed_array(tech::Patterning_option::euv, n);
+        const sram::Bitline_electrical wires =
+            sram::roll_up_nominal(session.extractor(), nominal, t, cfg);
+
+        sram::Read_sim_context sim;
+        sram::Read_options warm;
+        warm.accuracy = sram::Sim_accuracy::fast;
+        warm.solver = spice::Solver_policy::direct;
+        // At 4k/8k rows the differential never reaches the sense
+        // threshold, so window-doubling retries would cascade up to four
+        // full transients into one cell of the matrix.  One transient per
+        // (n, policy) keeps the walls comparable across n.
+        warm.max_retries = 0;
+        sim.simulate(t, cell, wires, cfg, {}, {}, warm);
+
+        double direct_wall = 0.0;
+        for (const spice::Solver_policy policy : solver_tiers) {
+            sram::Read_options opts;
+            opts.accuracy = sram::Sim_accuracy::fast;
+            opts.solver = policy;
+            opts.max_retries = 0;
+            const auto t0 = std::chrono::steady_clock::now();
+            const sram::Read_result r =
+                sim.simulate(t, cell, wires, cfg, {}, {}, opts);
+            Matrix_entry e;
+            e.word_lines = n;
+            e.policy = policy;
+            e.wall_s =
+                bench::seconds_of(std::chrono::steady_clock::now() - t0);
+            e.steps = r.steps;
+            if (policy == spice::Solver_policy::direct) {
+                direct_wall = e.wall_s;
+            }
+            e.speedup_vs_direct = direct_wall / e.wall_s;
+            matrix.push_back(e);
+        }
+    }
+    return matrix;
+}
+
+void print_solver_matrix(const std::vector<Matrix_entry>& matrix)
+{
+    util::Table table({"word lines", "policy", "wall [s]",
+                       "speedup vs direct", "newton iters", "lu factors",
+                       "bypass hits"});
+    for (const Matrix_entry& e : matrix) {
+        table.add_row({std::to_string(e.word_lines),
+                       sram::to_string(e.policy),
+                       util::fmt_fixed(e.wall_s, 3),
+                       util::fmt_fixed(e.speedup_vs_direct, 2) + "x",
+                       std::to_string(e.steps.newton_iterations),
+                       std::to_string(e.steps.lu_factorizations),
+                       std::to_string(e.steps.bypass_hits)});
+    }
+    std::cout << table.render() << '\n';
+}
+
+/// 1/2/8-thread bitwise identity of a read sweep pinned to `policy`.
+bool policy_deterministic(spice::Solver_policy policy)
+{
+    const std::vector<int> sizes = {16, 24, 32, 48, 64, 96, 128};
+    const auto run = [&](int threads) {
+        const core::Study_session session;
+        return session.run(
+            core::Query(core::Metric::read_td)
+                .over_word_lines(tech::Patterning_option::le3, sizes)
+                .with_accuracy(sram::Sim_accuracy::fast)
+                .with_solver(policy)
+                .on(core::Runner_options{threads}));
+    };
+    const core::Result_table serial = run(1);
+    bool identical = true;
+    for (const int threads : {2, 8}) {
+        identical = identical && run(threads) == serial;
+    }
+    std::cout << "  " << sram::to_string(policy)
+              << ": 1/2/8-thread bitwise identity "
+              << (identical ? "holds" : "BROKEN") << '\n';
+    return identical;
+}
+
+std::string json_of(const bench::Agreement& a)
+{
+    return "{\"max_rel\": " + std::to_string(a.max_rel) +
+           ", \"max_points\": " + std::to_string(a.max_points) +
+           ", \"within_budget\": " +
+           (a.within_budget() ? "true" : "false") + "}";
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const int max_n = argc > 1 ? std::atoi(argv[1]) : 1024;
+    if (max_n < 256) {
+        std::cerr << "usage: bench_perf_solver [max_word_lines>=256]\n";
+        return 2;
+    }
+
+    std::vector<int> matrix_sizes;
+    for (const int n : {256, 1024, 4096, 8192}) {
+        if (n <= max_n) matrix_sizes.push_back(n);
+    }
+
+    std::cout << "Solver-tier scaling: nominal EUV read, n in {256, 1024, "
+                 "4096, 8192} up to 10x"
+              << max_n << "\n"
+              << "Tiers: direct = per-iteration LU oracle, bypass = "
+                 "factorization-reuse Newton,\n"
+                 "iterative = ILU(0)-preconditioned BiCGSTAB (see "
+                 "spice/analysis.h)\n\n";
+
+    // --- per-(n, policy) wall / counter matrix at fast accuracy --------------
+    const std::vector<Matrix_entry> matrix = run_solver_matrix(matrix_sizes);
+    print_solver_matrix(matrix);
+
+    // --- thread-scaling grid of the production default tier ------------------
+    std::vector<int> sweep_sizes;
+    for (const int n : {64, 96, 128, 192, 256, 384, 512, 768, 1024}) {
+        if (n <= max_n) sweep_sizes.push_back(n);
+    }
+    bench::Scaling_config cfg;
+    cfg.bench_name = "bench_perf_solver";
+    cfg.workload = "euv_read_td_solver_tiers";
+    cfg.json_path = "BENCH_solver.json";
+    cfg.sims_per_row = 2.0;
+    cfg.run = [&sweep_sizes](int threads, sram::Sim_accuracy accuracy) {
+        const core::Study_session session;
+        return session.run(
+            core::Query(core::Metric::read_td)
+                .over_word_lines(tech::Patterning_option::euv, sweep_sizes)
+                .with_accuracy(accuracy)
+                .on(core::Runner_options{threads}));
+    };
+    const bench::Scaling_outcome outcome = bench::run_thread_scaling(cfg);
+
+    // --- per-tier agreement vs the reference+direct oracle --------------------
+    // One session so the heavy reference sweeps are computed once and the
+    // per-policy memo keys keep the three engines from crossing results.
+    constexpr int fig4_sizes[] = {16, 64, 256, 1024};
+    const core::Runner_options agreement_runner{
+        util::Thread_pool::hardware_threads()};
+    bench::Agreement gate_bypass;
+    bench::Agreement gate_iterative;
+    {
+        const core::Study_session session;
+        for (const auto option : tech::all_patterning_options) {
+            const core::Query query =
+                core::Query(core::Metric::read_td)
+                    .over_word_lines(option, fig4_sizes)
+                    .on(agreement_runner);
+            const core::Result_table reference = session.run(
+                core::Query(query).with_accuracy(
+                    sram::Sim_accuracy::reference));
+            bench::accumulate_agreement(
+                gate_bypass, reference,
+                session.run(core::Query(query)
+                                .with_accuracy(sram::Sim_accuracy::fast)
+                                .with_solver(spice::Solver_policy::bypass)));
+            bench::accumulate_agreement(
+                gate_iterative, reference,
+                session.run(
+                    core::Query(query)
+                        .with_accuracy(sram::Sim_accuracy::fast)
+                        .with_solver(spice::Solver_policy::iterative)));
+        }
+    }
+    std::cout << "Checked over the full Fig. 4 set (all options, n up to "
+                 "1024):\nbypass tier —\n";
+    bench::report_agreement(gate_bypass, "td");
+    std::cout << "iterative tier —\n";
+    bench::report_agreement(gate_iterative, "td");
+
+    // --- bitwise thread determinism per tier ----------------------------------
+    std::cout << "\nPer-tier determinism (read_td sweep, LE3):\n";
+    bool deterministic = true;
+    for (const spice::Solver_policy policy : solver_tiers) {
+        deterministic = policy_deterministic(policy) && deterministic;
+    }
+
+    // --- BENCH_solver.json ----------------------------------------------------
+    std::vector<std::string> extra;
+    std::string rows = "\"solver_matrix\": [";
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+        const Matrix_entry& e = matrix[i];
+        rows += std::string("\n    {\"word_lines\": ") +
+                std::to_string(e.word_lines) + ", \"policy\": \"" +
+                sram::to_string(e.policy) +
+                "\", \"wall_s\": " + std::to_string(e.wall_s) +
+                ", \"speedup_vs_direct\": " +
+                std::to_string(e.speedup_vs_direct) +
+                ", \"newton_iterations\": " +
+                std::to_string(e.steps.newton_iterations) +
+                ", \"lu_factorizations\": " +
+                std::to_string(e.steps.lu_factorizations) +
+                ", \"bypass_hits\": " + std::to_string(e.steps.bypass_hits) +
+                "}" + (i + 1 < matrix.size() ? "," : "");
+    }
+    rows += "\n  ],";
+    extra.push_back(rows);
+    extra.push_back("\"agreement_bypass\": " + json_of(gate_bypass) + ",");
+    extra.push_back("\"agreement_iterative\": " + json_of(gate_iterative) +
+                    ",");
+    extra.push_back(
+        std::string("\"per_policy_deterministic\": ") +
+        (deterministic ? "true" : "false") + ",");
+
+    spice::Step_stats steps[2];
+    bench::measure_nominal_steps<sram::Read_sim_context>(sweep_sizes.back(),
+                                                         steps);
+    std::cout << "\nStep counts, nominal read at 10x" << sweep_sizes.back()
+              << " (fast row runs the default "
+              << sram::to_string(sram::default_solver_policy())
+              << " tier):\n";
+    bench::print_step_table(steps);
+
+    bench::write_bench_json(cfg, outcome, &gate_bypass, steps,
+                            matrix_sizes.back(), extra);
+    return outcome.all_identical && deterministic &&
+                   gate_bypass.within_budget() &&
+                   gate_iterative.within_budget()
+               ? 0
+               : 1;
+}

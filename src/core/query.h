@@ -127,6 +127,14 @@ struct Query {
     /// never crosses results between engines.
     std::optional<sram::Sim_accuracy> accuracy;
 
+    /// Linear-solver tier override for every transient of this query;
+    /// unset defers to the session options and ultimately the resolution
+    /// contract of sram/solver_policy.h (reference accuracy always runs
+    /// direct; an explicit reuse tier under reference throws).  Memos are
+    /// keyed on the RESOLVED policy, so mixing solver tiers on one
+    /// session never crosses results between them.
+    std::optional<spice::Solver_policy> solver;
+
     /// Monte-Carlo spec (sample count, seed, sampling scheme, sample-loop
     /// runner) for the distribution-valued metrics; ignored otherwise.
     mc::Distribution_options mc;
@@ -179,6 +187,11 @@ struct Query {
     Query& with_accuracy(sram::Sim_accuracy a)
     {
         accuracy = a;
+        return *this;
+    }
+    Query& with_solver(spice::Solver_policy p)
+    {
+        solver = p;
         return *this;
     }
     Query& with_mc(const mc::Distribution_options& m)

@@ -102,6 +102,27 @@ sram::Sim_accuracy Study_session::disturb_accuracy(const Query& q) const
     return q.accuracy.value_or(opts_.disturb.accuracy);
 }
 
+spice::Solver_policy Study_session::read_solver(const Query& q) const
+{
+    return sram::resolve_solver_policy(
+        read_accuracy(q), q.solver.has_value() ? q.solver
+                                               : opts_.read.solver);
+}
+
+spice::Solver_policy Study_session::write_solver(const Query& q) const
+{
+    return sram::resolve_solver_policy(
+        write_accuracy(q), q.solver.has_value() ? q.solver
+                                                : opts_.write.solver);
+}
+
+spice::Solver_policy Study_session::disturb_solver(const Query& q) const
+{
+    return sram::resolve_solver_policy(
+        disturb_accuracy(q), q.solver.has_value() ? q.solver
+                                                  : opts_.disturb.solver);
+}
+
 // --- worst-case memo ---------------------------------------------------------
 
 mc::Worst_case_result Study_session::worst_case_full(
@@ -176,6 +197,7 @@ Study_session::calibrated_surfaces(Metric metric,
                                    tech::Patterning_option option,
                                    int word_lines, double ol_3sigma,
                                    std::optional<sram::Sim_accuracy> accuracy,
+                                   std::optional<spice::Solver_policy> solver,
                                    const Runner_options& runner) const
 {
     util::expects(metric == Metric::mc_tdp || metric == Metric::mc_twp,
@@ -185,8 +207,13 @@ Study_session::calibrated_surfaces(Metric metric,
     const sram::Sim_accuracy acc = accuracy.value_or(
         metric == Metric::mc_tdp ? opts_.read.accuracy
                                  : opts_.write.accuracy);
+    const spice::Solver_policy pol = sram::resolve_solver_policy(
+        acc, solver.has_value()
+                 ? solver
+                 : (metric == Metric::mc_tdp ? opts_.read.solver
+                                             : opts_.write.solver));
     const Surface_key key{metric, option, word_lines,
-                          ol_3sigma < 0.0 ? -1.0 : ol_3sigma, acc};
+                          ol_3sigma < 0.0 ? -1.0 : ol_3sigma, acc, pol};
 
     std::promise<std::shared_ptr<const analytic::Yield_surfaces>> promise;
     Surface_entry entry;
@@ -210,7 +237,8 @@ Study_session::calibrated_surfaces(Metric metric,
         try {
             surface_fits_.fetch_add(1, std::memory_order_relaxed);
             promise.set_value(calibrate_surfaces(metric, option, word_lines,
-                                                 ol_3sigma, acc, runner));
+                                                 ol_3sigma, acc, pol,
+                                                 runner));
         } catch (...) {
             // Un-publish the failed slot (a gate miss or a failed design
             // transient) so a later call — e.g. after loosening the
@@ -231,6 +259,7 @@ Study_session::calibrate_surfaces(Metric metric,
                                   tech::Patterning_option option,
                                   int word_lines, double ol_3sigma,
                                   sram::Sim_accuracy accuracy,
+                                  spice::Solver_policy solver,
                                   const Runner_options& runner) const
 {
     const analytic::Surrogate_options& sopts = opts_.surrogate;
@@ -291,8 +320,8 @@ Study_session::calibrate_surfaces(Metric metric,
     // `runner` thread count.
     const double nominal =
         metric == Metric::mc_tdp
-            ? nominal_td_spice(word_lines, accuracy, nullptr)
-            : nominal_tw_spice(word_lines, accuracy, nullptr);
+            ? nominal_td_spice(word_lines, accuracy, solver, nullptr)
+            : nominal_tw_spice(word_lines, accuracy, solver, nullptr);
     std::vector<double> metric_vals(points.size(), 0.0);
     std::vector<double> rvar_vals(points.size(), 0.0);
     std::vector<double> cvar_vals(points.size(), 0.0);
@@ -316,9 +345,9 @@ Study_session::calibrate_surfaces(Metric metric,
                 *extractor_, g.nominal, realized, tech_, g.cfg);
             const double t =
                 metric == Metric::mc_tdp
-                    ? simulate_td_on(wires, word_lines, accuracy,
+                    ? simulate_td_on(wires, word_lines, accuracy, solver,
                                      read_sims[w])
-                    : simulate_tw_on(wires, word_lines, accuracy,
+                    : simulate_tw_on(wires, word_lines, accuracy, solver,
                                      write_sims[w]);
             metric_vals[i] = (t / nominal - 1.0) * 100.0;
             rvar_vals[i] = v.r_factor;
@@ -399,18 +428,23 @@ double Study_session::simulate_td(const sram::Bitline_electrical& wires,
                                   int word_lines) const
 {
     sram::Read_sim_context sim;
-    return simulate_td_on(wires, word_lines, opts_.read.accuracy, sim);
+    return simulate_td_on(
+        wires, word_lines, opts_.read.accuracy,
+        sram::resolve_solver_policy(opts_.read.accuracy, opts_.read.solver),
+        sim);
 }
 
 double Study_session::simulate_td_on(const sram::Bitline_electrical& wires,
                                      int word_lines,
                                      sram::Sim_accuracy accuracy,
+                                     spice::Solver_policy solver,
                                      sram::Read_sim_context& sim) const
 {
     sram::Array_config cfg = opts_.array;
     cfg.word_lines = word_lines;
     sram::Read_options ropts = opts_.read;
     ropts.accuracy = accuracy;
+    ropts.solver = solver;
     const sram::Read_result r = sim.simulate(
         tech_, cell_, wires, cfg, opts_.timing, opts_.netlist, ropts);
     util::ensures(r.crossed,
@@ -422,18 +456,24 @@ double Study_session::simulate_tw(const sram::Bitline_electrical& wires,
                                   int word_lines) const
 {
     sram::Write_sim_context sim;
-    return simulate_tw_on(wires, word_lines, opts_.write.accuracy, sim);
+    return simulate_tw_on(
+        wires, word_lines, opts_.write.accuracy,
+        sram::resolve_solver_policy(opts_.write.accuracy,
+                                    opts_.write.solver),
+        sim);
 }
 
 double Study_session::simulate_tw_on(const sram::Bitline_electrical& wires,
                                      int word_lines,
                                      sram::Sim_accuracy accuracy,
+                                     spice::Solver_policy solver,
                                      sram::Write_sim_context& sim) const
 {
     sram::Array_config cfg = opts_.array;
     cfg.word_lines = word_lines;
     sram::Write_options wopts = opts_.write;
     wopts.accuracy = accuracy;
+    wopts.solver = solver;
     const sram::Write_result r =
         sim.simulate(tech_, cell_, wires, cfg, opts_.write_timing,
                      opts_.netlist, wopts);
@@ -443,12 +483,14 @@ double Study_session::simulate_tw_on(const sram::Bitline_electrical& wires,
 
 double Study_session::simulate_disturb_on(
     const sram::Bitline_electrical& wires, int word_lines,
-    sram::Sim_accuracy accuracy, sram::Disturb_sim_context& sim) const
+    sram::Sim_accuracy accuracy, spice::Solver_policy solver,
+    sram::Disturb_sim_context& sim) const
 {
     sram::Array_config cfg = opts_.array;
     cfg.word_lines = word_lines;
     sram::Disturb_options dopts = opts_.disturb;
     dopts.accuracy = accuracy;
+    dopts.solver = solver;
     // The disturb shares the read schedule: the word line that half-selects
     // this column is fired by a read elsewhere in the row.
     const sram::Disturb_result r = sim.simulate(
@@ -461,9 +503,10 @@ double Study_session::simulate_disturb_on(
 
 double Study_session::nominal_td_spice(int word_lines,
                                        sram::Sim_accuracy accuracy,
+                                       spice::Solver_policy solver,
                                        sram::Read_sim_context* sim) const
 {
-    const Nominal_key key{word_lines, accuracy};
+    const Nominal_key key{word_lines, accuracy, solver};
     {
         const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
         const auto it = td_nominal_cache_.find(key);
@@ -476,10 +519,10 @@ double Study_session::nominal_td_spice(int word_lines,
     // serializing every caller behind a SPICE transient.
     double td = 0.0;
     if (sim) {
-        td = simulate_td_on(wires, word_lines, accuracy, *sim);
+        td = simulate_td_on(wires, word_lines, accuracy, solver, *sim);
     } else {
         sram::Read_sim_context local;
-        td = simulate_td_on(wires, word_lines, accuracy, local);
+        td = simulate_td_on(wires, word_lines, accuracy, solver, local);
     }
     const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
     td_nominal_cache_.emplace(key, td);
@@ -488,9 +531,10 @@ double Study_session::nominal_td_spice(int word_lines,
 
 double Study_session::nominal_tw_spice(int word_lines,
                                        sram::Sim_accuracy accuracy,
+                                       spice::Solver_policy solver,
                                        sram::Write_sim_context* sim) const
 {
-    const Nominal_key key{word_lines, accuracy};
+    const Nominal_key key{word_lines, accuracy, solver};
     {
         const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
         const auto it = tw_nominal_cache_.find(key);
@@ -501,10 +545,10 @@ double Study_session::nominal_tw_spice(int word_lines,
     // Value-racy-but-deterministic, like the td memo.
     double tw = 0.0;
     if (sim) {
-        tw = simulate_tw_on(wires, word_lines, accuracy, *sim);
+        tw = simulate_tw_on(wires, word_lines, accuracy, solver, *sim);
     } else {
         sram::Write_sim_context local;
-        tw = simulate_tw_on(wires, word_lines, accuracy, local);
+        tw = simulate_tw_on(wires, word_lines, accuracy, solver, local);
     }
     const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
     tw_nominal_cache_.emplace(key, tw);
@@ -513,9 +557,9 @@ double Study_session::nominal_tw_spice(int word_lines,
 
 double Study_session::nominal_disturb_spice(
     int word_lines, sram::Sim_accuracy accuracy,
-    sram::Disturb_sim_context* sim) const
+    spice::Solver_policy solver, sram::Disturb_sim_context* sim) const
 {
-    const Nominal_key key{word_lines, accuracy};
+    const Nominal_key key{word_lines, accuracy, solver};
     {
         const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
         const auto it = disturb_nominal_cache_.find(key);
@@ -525,10 +569,12 @@ double Study_session::nominal_disturb_spice(
     const sram::Bitline_electrical wires = nominal_wires(word_lines);
     double bump = 0.0;
     if (sim) {
-        bump = simulate_disturb_on(wires, word_lines, accuracy, *sim);
+        bump = simulate_disturb_on(wires, word_lines, accuracy, solver,
+                                   *sim);
     } else {
         sram::Disturb_sim_context local;
-        bump = simulate_disturb_on(wires, word_lines, accuracy, local);
+        bump = simulate_disturb_on(wires, word_lines, accuracy, solver,
+                                   local);
     }
     const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
     disturb_nominal_cache_.emplace(key, bump);
@@ -576,11 +622,13 @@ struct Metric_evaluators {
                              const Query_case& c, Scratch& scratch)
     {
         const sram::Sim_accuracy acc = s.read_accuracy(q);
+        const spice::Solver_policy sol = s.read_solver(q);
         Read_row row;
         row.td_nominal =
-            s.nominal_td_spice(c.word_lines, acc, &scratch.read);
-        row.td_varied = s.simulate_td_on(s.worst_case_wires(c),
-                                         c.word_lines, acc, scratch.read);
+            s.nominal_td_spice(c.word_lines, acc, sol, &scratch.read);
+        row.td_varied =
+            s.simulate_td_on(s.worst_case_wires(c), c.word_lines, acc, sol,
+                             scratch.read);
         row.tdp_percent = (row.td_varied / row.td_nominal - 1.0) * 100.0;
         return row;
     }
@@ -589,8 +637,9 @@ struct Metric_evaluators {
                                 const Query_case& c, Scratch& scratch)
     {
         Nominal_td_row row;
-        row.td_simulation = s.nominal_td_spice(
-            c.word_lines, s.read_accuracy(q), &scratch.read);
+        row.td_simulation =
+            s.nominal_td_spice(c.word_lines, s.read_accuracy(q),
+                               s.read_solver(q), &scratch.read);
         row.td_formula = analytic::td_lumped(
             s.formula_params(c.word_lines), c.word_lines);
         return row;
@@ -624,7 +673,7 @@ struct Metric_evaluators {
             // the quadratic surface — no geometry or SPICE per sample.
             const auto surfaces = s.calibrated_surfaces(
                 Metric::mc_tdp, c.option, c.word_lines, c.ol_3sigma,
-                q.accuracy, q.mc.runner);
+                q.accuracy, q.solver, q.mc.runner);
             return mc::surrogate_distribution(*g.engine, *surfaces, q.mc);
         }
 
@@ -634,10 +683,12 @@ struct Metric_evaluators {
             // never-crossing read yields tdp = NaN (poisons the summary)
             // instead of leaking the -1 s sentinel into the percentages.
             const sram::Sim_accuracy acc = s.read_accuracy(q);
+            const spice::Solver_policy sol = s.read_solver(q);
             const double td_nom =
-                s.nominal_td_spice(c.word_lines, acc, nullptr);
+                s.nominal_td_spice(c.word_lines, acc, sol, nullptr);
             sram::Read_options ropts = s.opts_.read;
             ropts.accuracy = acc;
+            ropts.solver = sol;
 
             std::vector<sram::Read_sim_context> sims(
                 static_cast<std::size_t>(q.mc.runner.resolved_threads()));
@@ -673,11 +724,13 @@ struct Metric_evaluators {
                               const Query_case& c, Scratch& scratch)
     {
         const sram::Sim_accuracy acc = s.write_accuracy(q);
+        const spice::Solver_policy sol = s.write_solver(q);
         Write_row row;
         row.tw_nominal =
-            s.nominal_tw_spice(c.word_lines, acc, &scratch.write);
-        row.tw_varied = s.simulate_tw_on(s.worst_case_wires(c),
-                                         c.word_lines, acc, scratch.write);
+            s.nominal_tw_spice(c.word_lines, acc, sol, &scratch.write);
+        row.tw_varied =
+            s.simulate_tw_on(s.worst_case_wires(c), c.word_lines, acc, sol,
+                             scratch.write);
         row.twp_percent = (row.tw_varied / row.tw_nominal - 1.0) * 100.0;
         return row;
     }
@@ -686,8 +739,9 @@ struct Metric_evaluators {
                                 const Query_case& c, Scratch& scratch)
     {
         Nominal_tw_row row;
-        row.tw_simulation = s.nominal_tw_spice(
-            c.word_lines, s.write_accuracy(q), &scratch.write);
+        row.tw_simulation =
+            s.nominal_tw_spice(c.word_lines, s.write_accuracy(q),
+                               s.write_solver(q), &scratch.write);
         row.tw_formula = analytic::tw_lumped(
             s.tw_formula_params(c.word_lines), c.word_lines);
         return row;
@@ -702,7 +756,7 @@ struct Metric_evaluators {
         if (q.twp_engine == Twp_engine::surrogate) {
             const auto surfaces = s.calibrated_surfaces(
                 Metric::mc_twp, c.option, c.word_lines, c.ol_3sigma,
-                q.accuracy, q.mc.runner);
+                q.accuracy, q.solver, q.mc.runner);
             return mc::surrogate_distribution(*g.engine, *surfaces, q.mc);
         }
 
@@ -725,9 +779,12 @@ struct Metric_evaluators {
         }
 
         const sram::Sim_accuracy acc = s.write_accuracy(q);
-        const double tw_nom = s.nominal_tw_spice(c.word_lines, acc, nullptr);
+        const spice::Solver_policy sol = s.write_solver(q);
+        const double tw_nom =
+            s.nominal_tw_spice(c.word_lines, acc, sol, nullptr);
         sram::Write_options wopts = s.opts_.write;
         wopts.accuracy = acc;
+        wopts.solver = sol;
 
         // SPICE-in-the-loop engine: roll up each sample's realized
         // geometry and simulate its write on the per-worker context.  A
@@ -754,12 +811,14 @@ struct Metric_evaluators {
                              const Query_case& c, Scratch& scratch)
     {
         const sram::Sim_accuracy acc = s.disturb_accuracy(q);
+        const spice::Solver_policy sol = s.disturb_solver(q);
         Disturb_row row;
         row.v_bump_nominal =
-            s.nominal_disturb_spice(c.word_lines, acc, &scratch.disturb);
+            s.nominal_disturb_spice(c.word_lines, acc, sol,
+                                    &scratch.disturb);
         row.v_bump_varied =
             s.simulate_disturb_on(s.worst_case_wires(c), c.word_lines, acc,
-                                  scratch.disturb);
+                                  sol, scratch.disturb);
         row.disturb_percent =
             (row.v_bump_varied / row.v_bump_nominal - 1.0) * 100.0;
         return row;

@@ -133,13 +133,16 @@ public:
     /// Gaussian draws.  Throws if the held-out relative error misses
     /// `options().surrogate.budget_rel` — the gate that refuses to serve
     /// a bad fit.  Memoized on (metric, option, word_lines, ol_3sigma,
-    /// accuracy) behind a promise-backed memo like the worst-case search:
-    /// concurrent queries of one key fit exactly once.  `accuracy`
-    /// defaults to the session's read/write policy for the metric.
+    /// accuracy, resolved solver policy) behind a promise-backed memo
+    /// like the worst-case search: concurrent queries of one key fit
+    /// exactly once.  `accuracy` defaults to the session's read/write
+    /// policy for the metric; `solver` resolves against it
+    /// (sram/solver_policy.h).
     std::shared_ptr<const analytic::Yield_surfaces> calibrated_surfaces(
         Metric metric, tech::Patterning_option option, int word_lines,
         double ol_3sigma = -1.0,
         std::optional<sram::Sim_accuracy> accuracy = std::nullopt,
+        std::optional<spice::Solver_policy> solver = std::nullopt,
         const Runner_options& runner = {}) const;
 
     /// Surface calibrations actually performed (not memo hits) since
@@ -186,20 +189,33 @@ private:
     sram::Sim_accuracy write_accuracy(const Query& q) const;
     sram::Sim_accuracy disturb_accuracy(const Query& q) const;
 
+    /// Effective (resolved) solver tier of a query: the query override
+    /// when present, else the session option, resolved against the
+    /// path's effective accuracy (sram/solver_policy.h contract).
+    spice::Solver_policy read_solver(const Query& q) const;
+    spice::Solver_policy write_solver(const Query& q) const;
+    spice::Solver_policy disturb_solver(const Query& q) const;
+
     double nominal_td_spice(int word_lines, sram::Sim_accuracy accuracy,
+                            spice::Solver_policy solver,
                             sram::Read_sim_context* sim = nullptr) const;
     double nominal_tw_spice(int word_lines, sram::Sim_accuracy accuracy,
+                            spice::Solver_policy solver,
                             sram::Write_sim_context* sim = nullptr) const;
     double nominal_disturb_spice(int word_lines, sram::Sim_accuracy accuracy,
+                                 spice::Solver_policy solver,
                                  sram::Disturb_sim_context* sim) const;
     double simulate_td_on(const sram::Bitline_electrical& wires,
                           int word_lines, sram::Sim_accuracy accuracy,
+                          spice::Solver_policy solver,
                           sram::Read_sim_context& sim) const;
     double simulate_tw_on(const sram::Bitline_electrical& wires,
                           int word_lines, sram::Sim_accuracy accuracy,
+                          spice::Solver_policy solver,
                           sram::Write_sim_context& sim) const;
     double simulate_disturb_on(const sram::Bitline_electrical& wires,
                                int word_lines, sram::Sim_accuracy accuracy,
+                               spice::Solver_policy solver,
                                sram::Disturb_sim_context& sim) const;
 
     /// Worst-corner wire electricals of a case (memoized corner search +
@@ -218,7 +234,7 @@ private:
     std::shared_ptr<const analytic::Yield_surfaces> calibrate_surfaces(
         Metric metric, tech::Patterning_option option, int word_lines,
         double ol_3sigma, sram::Sim_accuracy accuracy,
-        const Runner_options& runner) const;
+        spice::Solver_policy solver, const Runner_options& runner) const;
 
     tech::Technology tech_;
     Study_options opts_;
@@ -226,12 +242,14 @@ private:
     sram::Cell_electrical cell_;
 
     // The nominal-metric memos (one per metric: td / tw / disturb bump),
-    // keyed on (word_lines, accuracy) so queries overriding the policy on
-    // one session never cross engines.  Batch evaluators hit them from
-    // pool workers, so all access goes through nominal_cache_mutex_; the
-    // values are racy-but-deterministic (redundant computes beat
+    // keyed on (word_lines, accuracy, resolved solver policy) so queries
+    // overriding either execution policy on one session never cross
+    // results between engines or solver tiers.  Batch evaluators hit them
+    // from pool workers, so all access goes through nominal_cache_mutex_;
+    // the values are racy-but-deterministic (redundant computes beat
     // serializing behind a transient).
-    using Nominal_key = std::pair<int, sram::Sim_accuracy>;
+    using Nominal_key =
+        std::tuple<int, sram::Sim_accuracy, spice::Solver_policy>;
     mutable std::mutex nominal_cache_mutex_;
     mutable std::map<Nominal_key, double> td_nominal_cache_;
     mutable std::map<Nominal_key, double> tw_nominal_cache_;
@@ -260,7 +278,8 @@ private:
     // sessions never serve a fast-calibrated surface to a reference
     // query.
     using Surface_key = std::tuple<Metric, tech::Patterning_option, int,
-                                   double, sram::Sim_accuracy>;
+                                   double, sram::Sim_accuracy,
+                                   spice::Solver_policy>;
     using Surface_entry = std::shared_future<
         std::shared_ptr<const analytic::Yield_surfaces>>;
     mutable std::mutex surface_cache_mutex_;

@@ -76,6 +76,7 @@ Dc_result dc_operating_point(Circuit& circuit, const Dc_options& opts,
                              Transient_workspace& workspace)
 {
     Mna_system& system = workspace.bind(circuit);
+    system.reset_reuse_state();
 
     Dc_result result;
     result.iterations =
@@ -155,6 +156,8 @@ Transient_result run_transient(Circuit& circuit,
     util::expects(opts.nominal_steps > 0, "nominal_steps must be positive");
 
     Mna_system& system = workspace.bind(circuit);
+    system.reset_reuse_state();
+    const Solver_counters counters_before = system.counters();
 
     // Operating point (also latches capacitor DC state).  Shares the
     // compiled system with the time loop below.
@@ -294,6 +297,14 @@ Transient_result run_transient(Circuit& circuit,
             std::fabs(t - breakpoints[next_bp]) < 1e-18;
         after_breakpoint = hit_breakpoint || newton_failures > 0;
     }
+
+    const Solver_counters& counters_after = system.counters();
+    stats.newton_iterations =
+        counters_after.newton_iterations - counters_before.newton_iterations;
+    stats.lu_factorizations =
+        counters_after.lu_factorizations - counters_before.lu_factorizations;
+    stats.bypass_hits =
+        counters_after.bypass_hits - counters_before.bypass_hits;
 
     result.set_steps(stats);
     return result;

@@ -1,4 +1,40 @@
 // Analysis drivers: DC operating point and transient simulation.
+//
+// Two orthogonal execution tiers select how much exactness a run buys:
+//
+//  * Accuracy tier (`sram::Sim_accuracy`, applied to Transient_options):
+//    fixed-step reference integration vs the calibrated adaptive-LTE
+//    controller.  Decides WHICH time points are solved.
+//
+//  * Solver tier (`spice::Solver_policy` on Newton_options.solver):
+//    decides HOW each Newton linear system is solved.
+//      - `direct`: factor the sparse LU every Newton iteration.  The
+//        bitwise oracle; pair with Sim_accuracy::reference for golden
+//        waveforms, and use it whenever a discrepancy needs a ground
+//        truth to bisect against.
+//      - `bypass`: delta-residual Newton on a reused factorization,
+//        refreshed on operating-point drift (`bypass_vtol`), dt-band
+//        exit (`bypass_dt_band`), stall (`bypass_stall_iters`), step
+//        rejection, or any forcing stamps — plus device-level bypass
+//        (`device_bypass_vtol`): quiet MOSFETs replay cached stamp
+//        entries instead of re-running the compact model, which is
+//        where the wall time actually goes (assembly dominates each
+//        iteration; the banded LU is linear in n).  Acceptance requires
+//        a final sub-tolerance step against a fresh factorization, so
+//        the accepted point passes the direct tier's own criterion;
+//        the residual model error is bounded by g * device_bypass_vtol
+//        per quiet device and gated at 0.5% end to end.  This is the
+//        production default under the fast accuracy tier.
+//      - `iterative`: the same reuse discipline caching an ILU(0)
+//        preconditioner for BiCGSTAB instead of an exact LU.  The
+//        big-array tier (4k-8k rows): factor cost grows superlinearly
+//        with word lines while SpMV + triangular sweeps stay linear, so
+//        its advantage widens with n.  Falls back to exact LU on Krylov
+//        breakdown, so robustness matches bypass.
+//    DC operating points keep their own Newton_options (Dc_options below)
+//    and default to `direct`, which pins identical initial conditions
+//    under every policy.  Per-run factorization/bypass work is observable
+//    in Step_stats.
 #ifndef MPSRAM_SPICE_ANALYSIS_H
 #define MPSRAM_SPICE_ANALYSIS_H
 
@@ -71,11 +107,19 @@ struct Transient_options {
 /// Per-run step-control counters (filled by run_transient).  `accepted` is
 /// the number of committed time steps; the reject counters distinguish the
 /// two retry causes so adaptive-vs-fixed cost comparisons and step-control
-/// regressions have an observable.
+/// regressions have an observable.  The solver counters are the per-run
+/// delta of the system's cumulative Solver_counters (DC operating-point
+/// work included): `lu_factorizations + bypass_hits == newton_iterations`,
+/// and a growing bypass share is the direct observable of the
+/// factorization-reuse tiers.
 struct Step_stats {
     int accepted = 0;
     int lte_rejected = 0;     ///< predictor error exceeded tolerance
     int newton_rejected = 0;  ///< Newton failed to converge at the step
+
+    long long newton_iterations = 0;
+    long long lu_factorizations = 0;  ///< LU factors + ILU(0) refreshes
+    long long bypass_hits = 0;        ///< solves on a reused factorization
 
     int total_attempts() const
     {
@@ -87,6 +131,9 @@ struct Step_stats {
         accepted += other.accepted;
         lte_rejected += other.lte_rejected;
         newton_rejected += other.newton_rejected;
+        newton_iterations += other.newton_iterations;
+        lu_factorizations += other.lu_factorizations;
+        bypass_hits += other.bypass_hits;
         return *this;
     }
 };

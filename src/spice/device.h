@@ -76,6 +76,15 @@ public:
 
     virtual bool is_nonlinear() const { return false; }
 
+    /// True when stamp() depends only on the terminal voltages — no
+    /// time, dt, waveform, or history state.  The reuse solver may then
+    /// replay a cached stamp across steps while every terminal stays
+    /// within its bypass tolerance (parameter edits between runs are
+    /// covered by the per-run reuse reset).  Devices that keep the
+    /// default are replayed within a single Newton solve only, where t,
+    /// dt, and history are fixed.
+    virtual bool stamp_voltage_only() const { return false; }
+
     /// Contribute linearized equations at the current iterate.
     virtual void stamp(Stamper& s, const Eval_context& ctx) const = 0;
 

@@ -17,6 +17,7 @@ public:
     /// affect the MNA sparsity pattern, so a compiled system stays valid.
     void set_resistance(double ohms);
 
+    bool stamp_voltage_only() const override { return true; }
     void stamp(Stamper& s, const Eval_context& ctx) const override;
 
 private:

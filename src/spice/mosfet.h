@@ -21,6 +21,10 @@ public:
     double multiplicity() const { return m_; }
 
     bool is_nonlinear() const override { return true; }
+    /// The EKV stamp reads only the drain/gate/source voltages, so the
+    /// reuse solver may replay it across steps while the terminals are
+    /// quiet.
+    bool stamp_voltage_only() const override { return true; }
 
     void stamp(Stamper& s, const Eval_context& ctx) const override;
 

@@ -74,6 +74,62 @@ private:
     const std::vector<double>* voltages_;
 };
 
+/// Numeric pass that also records the routed entries into a Device_cache,
+/// so quiet devices can later replay them without re-running the compact
+/// model.  Routing is identical to Assembly_stamper; matrix entries are
+/// recorded by slot so replay is one add per entry.
+class Mna_system::Caching_stamper final : public Stamper {
+public:
+    Caching_stamper(const std::vector<int>& solve_index,
+                    Sparse_matrix& m, std::vector<double>& rhs,
+                    const std::vector<double>& voltages)
+        : solve_index_(&solve_index),
+          matrix_(&m),
+          rhs_(&rhs),
+          voltages_(&voltages)
+    {
+    }
+
+    void begin(Device_cache& cache)
+    {
+        cache_ = &cache;
+        cache_->matrix_adds.clear();
+        cache_->rhs_adds.clear();
+    }
+
+    void jacobian(Node eq, Node wrt, double g) override
+    {
+        const int row = (*solve_index_)[static_cast<std::size_t>(eq)];
+        if (row < 0) return;
+        const int col = (*solve_index_)[static_cast<std::size_t>(wrt)];
+        if (col >= 0) {
+            const int s = matrix_->slot(row, col);
+            matrix_->add_at_slot(s, g);
+            cache_->matrix_adds.emplace_back(s, g);
+        } else {
+            const double v =
+                -g * (*voltages_)[static_cast<std::size_t>(wrt)];
+            (*rhs_)[static_cast<std::size_t>(row)] += v;
+            cache_->rhs_adds.emplace_back(row, v);
+        }
+    }
+
+    void rhs(Node eq, double value) override
+    {
+        const int row = (*solve_index_)[static_cast<std::size_t>(eq)];
+        if (row < 0) return;
+        (*rhs_)[static_cast<std::size_t>(row)] += value;
+        cache_->rhs_adds.emplace_back(row, value);
+    }
+
+private:
+    const std::vector<int>* solve_index_;
+    Sparse_matrix* matrix_;
+    std::vector<double>* rhs_;
+    const std::vector<double>* voltages_;
+    Device_cache* cache_ = nullptr;
+};
+
 // --- Mna_system ---------------------------------------------------------------
 
 Mna_system::Mna_system(Circuit& circuit) : circuit_(&circuit)
@@ -176,6 +232,135 @@ void Mna_system::apply_driven(double t, std::vector<double>& voltages) const
     }
 }
 
+void Mna_system::assemble(const Eval_context& ctx,
+                          const std::vector<double>& voltages,
+                          const Newton_options& opts,
+                          std::span<const Forced_node> forces)
+{
+    matrix_->clear_values();
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+    Assembly_stamper stamper(solve_index_, *matrix_, rhs_, voltages);
+    for (const auto& dev : circuit_->devices()) {
+        dev->stamp(stamper, ctx);
+    }
+
+    stamp_fixed(ctx, voltages, opts, forces);
+}
+
+/// Reuse-tier assembly.  Voltage-only devices (MOSFETs, resistors) whose
+/// terminals are all within device_bypass_vtol of their last evaluation
+/// replay cached stamps across steps; time/history devices (capacitor
+/// companions, sources) re-evaluate on the first iteration of each solve
+/// — where t, dt, and history change — and replay on the rest.  Cache
+/// replay follows device order, so the per-slot add sequence — and
+/// therefore the assembled doubles — match a fresh assembly of the same
+/// linearizations exactly.
+void Mna_system::assemble_reuse(const Eval_context& ctx,
+                                const std::vector<double>& voltages,
+                                const Newton_options& opts, bool new_step,
+                                std::span<const Forced_node> forces)
+{
+    matrix_->clear_values();
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+    const double vtol = opts.device_bypass_vtol;
+    const auto& devices = circuit_->devices();
+    if (device_cache_.size() != devices.size()) {
+        device_cache_.assign(devices.size(), {});
+    }
+
+    Assembly_stamper fresh(solve_index_, *matrix_, rhs_, voltages);
+    Caching_stamper caching(solve_index_, *matrix_, rhs_, voltages);
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        const Device& dev = *devices[i];
+        if (vtol <= 0.0) {
+            dev.stamp(fresh, ctx);
+            continue;
+        }
+        Device_cache& cache = device_cache_[i];
+        bool quiet;
+        if (dev.stamp_voltage_only()) {
+            const auto& nodes = dev.nodes();
+            quiet = cache.valid && cache.v_at_eval.size() == nodes.size();
+            for (std::size_t k = 0; quiet && k < nodes.size(); ++k) {
+                const auto n = static_cast<std::size_t>(nodes[k]);
+                quiet = std::fabs(voltages[n] - cache.v_at_eval[k]) <= vtol;
+            }
+        } else {
+            // Within-solve replay assumes an iterate-independent stamp,
+            // which only holds for linear companions and sources.
+            quiet = cache.valid && !new_step && !dev.is_nonlinear();
+        }
+        if (quiet) {
+            for (const auto& [slot, g] : cache.matrix_adds) {
+                matrix_->add_at_slot(slot, g);
+            }
+            for (const auto& [row, v] : cache.rhs_adds) {
+                rhs_[static_cast<std::size_t>(row)] += v;
+            }
+            continue;
+        }
+        caching.begin(cache);
+        dev.stamp(caching, ctx);
+        if (dev.stamp_voltage_only()) {
+            const auto& nodes = dev.nodes();
+            cache.v_at_eval.resize(nodes.size());
+            for (std::size_t k = 0; k < nodes.size(); ++k) {
+                cache.v_at_eval[k] =
+                    voltages[static_cast<std::size_t>(nodes[k])];
+            }
+        }
+        cache.valid = true;
+    }
+
+    stamp_fixed(ctx, voltages, opts, forces);
+}
+
+/// Voltage-independent tail shared by both assembly passes: gmin,
+/// initial-condition forcing, and the floating-source branch equations.
+void Mna_system::stamp_fixed(const Eval_context& ctx,
+                             const std::vector<double>& voltages,
+                             const Newton_options& opts,
+                             std::span<const Forced_node> forces)
+{
+    // gmin on every node diagonal.
+    for (std::size_t u = 0; u < unknown_nodes_.size(); ++u) {
+        matrix_->add(static_cast<int>(u), static_cast<int>(u), opts.gmin);
+    }
+
+    // Initial-condition forcing.
+    for (const Forced_node& f : forces) {
+        const int row = solve_index_[static_cast<std::size_t>(f.node)];
+        if (row < 0) continue;
+        matrix_->add(row, row, f.conductance);
+        rhs_[static_cast<std::size_t>(row)] += f.conductance * f.voltage;
+    }
+
+    // Floating-source branch equations.
+    for (const Branch& b : branches_) {
+        const Node pos = b.source->pos();
+        const Node neg = b.source->neg();
+        const int prow = solve_index_[static_cast<std::size_t>(pos)];
+        const int nrow = solve_index_[static_cast<std::size_t>(neg)];
+        double v_rhs = b.source->value(ctx.time);
+        // KCL columns: branch current flows into pos, out of neg.
+        if (prow >= 0) {
+            matrix_->add(prow, b.index, -1.0);
+            matrix_->add(b.index, prow, 1.0);
+        } else {
+            v_rhs -= voltages[static_cast<std::size_t>(pos)];
+        }
+        if (nrow >= 0) {
+            matrix_->add(nrow, b.index, 1.0);
+            matrix_->add(b.index, nrow, -1.0);
+        } else {
+            v_rhs += voltages[static_cast<std::size_t>(neg)];
+        }
+        rhs_[static_cast<std::size_t>(b.index)] += v_rhs;
+    }
+}
+
 int Mna_system::solve(const Eval_context& ctx_in,
                       std::vector<double>& voltages,
                       const Newton_options& opts,
@@ -187,55 +372,30 @@ int Mna_system::solve(const Eval_context& ctx_in,
     Eval_context ctx = ctx_in;
     apply_driven(ctx.time, voltages);
 
+    if (opts.solver == Solver_policy::direct) {
+        return solve_direct(ctx, voltages, opts, forces);
+    }
+    return solve_reuse(ctx, voltages, opts, forces);
+}
+
+int Mna_system::solve_direct(Eval_context ctx, std::vector<double>& voltages,
+                             const Newton_options& opts,
+                             std::span<const Forced_node> forces)
+{
+    // The reference path: every operation here predates the solver tiers
+    // and must stay bitwise identical to them.  Direct factors leave no
+    // reusable state (no operating point is recorded for them).
+    factored_ = false;
+
     const int max_iter = opts.max_iterations;
 
     for (int iter = 1; iter <= max_iter; ++iter) {
-        matrix_->clear_values();
-        std::fill(rhs_.begin(), rhs_.end(), 0.0);
-
         ctx.voltages = voltages.data();
-        Assembly_stamper stamper(solve_index_, *matrix_, rhs_, voltages);
-        for (const auto& dev : circuit_->devices()) {
-            dev->stamp(stamper, ctx);
-        }
-
-        // gmin on every node diagonal.
-        for (std::size_t u = 0; u < unknown_nodes_.size(); ++u) {
-            matrix_->add(static_cast<int>(u), static_cast<int>(u), opts.gmin);
-        }
-
-        // Initial-condition forcing.
-        for (const Forced_node& f : forces) {
-            const int row = solve_index_[static_cast<std::size_t>(f.node)];
-            if (row < 0) continue;
-            matrix_->add(row, row, f.conductance);
-            rhs_[static_cast<std::size_t>(row)] += f.conductance * f.voltage;
-        }
-
-        // Floating-source branch equations.
-        for (const Branch& b : branches_) {
-            const Node pos = b.source->pos();
-            const Node neg = b.source->neg();
-            const int prow = solve_index_[static_cast<std::size_t>(pos)];
-            const int nrow = solve_index_[static_cast<std::size_t>(neg)];
-            double v_rhs = b.source->value(ctx.time);
-            // KCL columns: branch current flows into pos, out of neg.
-            if (prow >= 0) {
-                matrix_->add(prow, b.index, -1.0);
-                matrix_->add(b.index, prow, 1.0);
-            } else {
-                v_rhs -= voltages[static_cast<std::size_t>(pos)];
-            }
-            if (nrow >= 0) {
-                matrix_->add(nrow, b.index, 1.0);
-                matrix_->add(b.index, nrow, -1.0);
-            } else {
-                v_rhs += voltages[static_cast<std::size_t>(neg)];
-            }
-            rhs_[static_cast<std::size_t>(b.index)] += v_rhs;
-        }
+        assemble(ctx, voltages, opts, forces);
 
         lu_->factor(*matrix_, opts.pivot_floor);
+        ++counters_.lu_factorizations;
+        ++counters_.newton_iterations;
         solution_ = rhs_;
         lu_->solve(solution_);
 
@@ -262,6 +422,192 @@ int Mna_system::solve(const Eval_context& ctx_in,
     throw Convergence_error(
         "Newton did not converge in " + std::to_string(max_iter) +
         " iterations (t = " + std::to_string(ctx.time) + " s)");
+}
+
+bool Mna_system::factor_stale(const Eval_context& ctx,
+                              const std::vector<double>& voltages,
+                              const Newton_options& opts) const
+{
+    if (!factored_ || factored_policy_ != opts.solver) return true;
+    if (mode_at_factor_ != ctx.mode || method_at_factor_ != ctx.method) {
+        return true;
+    }
+    if (gmin_at_factor_ != opts.gmin) return true;
+    if (ctx.mode == Analysis_mode::transient) {
+        if (dt_at_factor_ <= 0.0 || ctx.dt <= 0.0) return true;
+        const double ratio = ctx.dt / dt_at_factor_;
+        if (ratio > opts.bypass_dt_band ||
+            ratio * opts.bypass_dt_band < 1.0) {
+            return true;
+        }
+    } else if (ctx.dt != dt_at_factor_) {
+        return true;
+    }
+    // Drift over the FULL node vector: driven nodes are not unknowns, but
+    // a moving word line changes every linearization it gates.
+    for (std::size_t n = 0; n < voltages.size(); ++n) {
+        if (std::fabs(voltages[n] - v_at_factor_[n]) > opts.bypass_vtol) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void Mna_system::factor_current(const Newton_options& opts)
+{
+    if (opts.solver == Solver_policy::iterative) {
+        if (!ilu_) ilu_ = std::make_unique<Ilu0>(*matrix_);
+        ilu_->factor(*matrix_, opts.pivot_floor);
+    } else {
+        lu_->factor(*matrix_, opts.pivot_floor);
+    }
+    ++counters_.lu_factorizations;
+}
+
+void Mna_system::solve_delta(const Newton_options& opts)
+{
+    if (opts.solver != Solver_policy::iterative) {
+        delta_ = residual_;
+        lu_->solve(delta_);
+        return;
+    }
+    if (bicgstab(*matrix_, *ilu_, residual_, delta_, opts.iterative_tol,
+                 opts.iterative_max_iters, krylov_scratch_) >= 0) {
+        return;
+    }
+    // Krylov breakdown or exhaustion under a stale preconditioner:
+    // refresh it once, then fall back to an exact factorization.
+    ilu_->factor(*matrix_, opts.pivot_floor);
+    ++counters_.lu_factorizations;
+    if (bicgstab(*matrix_, *ilu_, residual_, delta_, opts.iterative_tol,
+                 opts.iterative_max_iters, krylov_scratch_) >= 0) {
+        return;
+    }
+    lu_->factor(*matrix_, opts.pivot_floor);
+    ++counters_.lu_factorizations;
+    delta_ = residual_;
+    lu_->solve(delta_);
+}
+
+int Mna_system::solve_reuse(Eval_context ctx, std::vector<double>& voltages,
+                            const Newton_options& opts,
+                            std::span<const Forced_node> forces)
+{
+    // Delta-residual (chord) Newton.  The Jacobian and linearization RHS
+    // are assembled every iteration — with quiet nonlinear devices served
+    // from their stamp caches (assemble_reuse) — and only the linear
+    // solve runs on a possibly stale factorization:
+    //
+    //     r = rhs - J x      (assembled J and rhs, SpMV)
+    //     M delta = r        (M = stale LU or ILU-preconditioned Krylov)
+    //     x += clamp(delta)
+    //
+    // The fixed point satisfies r = 0 for the assembled system, so a
+    // stale M only slows convergence — it cannot change the answer.  This
+    // is what makes bypass safe for the nonlinear MOSFET stamps, where
+    // pairing a stale factorization with a fresh absolute RHS would
+    // converge to the wrong point.  Device-level bypass does perturb the
+    // fixed point, by at most g * device_bypass_vtol per quiet device;
+    // the 0.5% agreement gate holds that end to end.
+    const int max_iter = opts.max_iterations;
+    const std::size_t n_node = unknown_nodes_.size();
+
+    // Set when the loop converged under a stale operator: the next
+    // iteration refreshes and recomputes a TRUE Newton step, so the
+    // accepted point passes the same fresh-Jacobian tolerance test as
+    // the direct tier (a small chord step under a slowly contracting
+    // stale M does not bound the true step).
+    bool confirm = false;
+    // Consecutive iterations served by the current factorization in this
+    // solve: the stall trigger refreshes a factor that has worked this
+    // long without converging, rather than abandoning reuse wholesale.
+    int stale_iters = 0;
+
+    for (int iter = 1; iter <= max_iter; ++iter) {
+        ctx.voltages = voltages.data();
+        assemble_reuse(ctx, voltages, opts, iter == 1, forces);
+        ++counters_.newton_iterations;
+
+        const bool refresh = !forces.empty() || confirm ||
+                             stale_iters >= opts.bypass_stall_iters ||
+                             factor_stale(ctx, voltages, opts);
+        if (refresh) {
+            factor_current(opts);
+            factored_policy_ = opts.solver;
+            mode_at_factor_ = ctx.mode;
+            method_at_factor_ = ctx.method;
+            dt_at_factor_ = ctx.dt;
+            gmin_at_factor_ = opts.gmin;
+            v_at_factor_ = voltages;
+            // Factors taken with forcing stamps in the matrix are never
+            // valid for an unforced solve.
+            factored_ = forces.empty();
+            stale_iters = 0;
+        } else {
+            ++counters_.bypass_hits;
+            ++stale_iters;
+        }
+
+        x_.resize(total_unknowns_);
+        for (std::size_t u = 0; u < n_node; ++u) {
+            x_[u] = voltages[static_cast<std::size_t>(unknown_nodes_[u])];
+        }
+        for (std::size_t b = 0; b < branches_.size(); ++b) {
+            x_[n_node + b] = branch_currents_[b];
+        }
+        matrix_->multiply(x_, residual_);
+        for (std::size_t i = 0; i < total_unknowns_; ++i) {
+            residual_[i] = rhs_[i] - residual_[i];
+        }
+
+        solve_delta(opts);
+
+        bool converged = true;
+        for (std::size_t u = 0; u < n_node; ++u) {
+            const auto node = static_cast<std::size_t>(unknown_nodes_[u]);
+            double dv = delta_[u];
+            if (dv > opts.vstep_limit) dv = opts.vstep_limit;
+            if (dv < -opts.vstep_limit) dv = -opts.vstep_limit;
+            voltages[node] += dv;
+            const double tol =
+                opts.abstol + opts.reltol * std::fabs(voltages[node]);
+            if (std::fabs(dv) > tol) converged = false;
+        }
+        for (std::size_t b = 0; b < branches_.size(); ++b) {
+            branch_currents_[b] += delta_[n_node + b];
+        }
+
+        // Acceptance: the final sub-tolerance step must be measured
+        // against an operator that is current for the accepted point —
+        // either refreshed this iteration, or still inside the
+        // (dt-exact, bypass_vtol) staleness envelope of the final
+        // iterate.  That criterion is meaningful from iteration 1 on
+        // (unlike the direct path's two-iteration minimum, which guards
+        // an absolute-RHS solve, a sub-tolerance DELTA against a current
+        // operator is already a converged Newton test — quiet waveform
+        // stretches accept in one cache-replay iteration).  A solve that
+        // converged outside the envelope gets one confirmation iteration
+        // on a fresh factorization instead; device bypass keeps that
+        // cheap, since every nonlinear device is quiet after a
+        // sub-tolerance update.
+        if (converged) {
+            if (refresh || !factor_stale(ctx, voltages, opts)) return iter;
+            confirm = true;
+        }
+    }
+
+    // A failed step is about to be rejected and retried smaller — do not
+    // let its factorization leak into the retry.
+    factored_ = false;
+    throw Convergence_error(
+        "Newton did not converge in " + std::to_string(max_iter) +
+        " iterations (t = " + std::to_string(ctx.time) + " s)");
+}
+
+void Mna_system::reset_reuse_state()
+{
+    factored_ = false;
+    for (Device_cache& c : device_cache_) c.valid = false;
 }
 
 void Mna_system::accept(const Eval_context& ctx)

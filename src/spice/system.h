@@ -18,6 +18,26 @@
 
 namespace mpsram::spice {
 
+/// Linear-solver tier inside the Newton loop (full semantics in
+/// analysis.h, next to the accuracy tier it composes with).
+///
+///   direct    — factor the Jacobian on every Newton iteration.  The
+///               bitwise oracle; every other tier is gated against it.
+///   bypass    — delta-residual (chord) Newton with device-level bypass:
+///               the Jacobian and RHS are assembled every iteration, with
+///               quiet nonlinear devices (terminal movement below
+///               device_bypass_vtol) replaying cached stamps instead of
+///               re-running the compact model, and the linear solve
+///               reuses the last LU factorization until the operating
+///               point drifts, dt leaves the factor-time band, or
+///               convergence stalls.  Converged solutions satisfy the
+///               assembled residual — exact up to g * device_bypass_vtol
+///               per quiet device, held to the 0.5% agreement budget.
+///   iterative — same reuse discipline applied to an ILU(0)
+///               preconditioner driving BiCGSTAB; the big-array tier
+///               where refactorization dominates wall time.
+enum class Solver_policy { direct, bypass, iterative };
+
 struct Newton_options {
     int max_iterations = 100;
     /// Per-node voltage convergence: |dv| <= abstol + reltol * |v|.
@@ -28,6 +48,50 @@ struct Newton_options {
     /// Conductance to ground added on every node diagonal [S].
     double gmin = 1e-12;
     double pivot_floor = 1e-13;
+
+    Solver_policy solver = Solver_policy::direct;
+    /// bypass/iterative: refresh the factorization when any node voltage
+    /// (driven nodes included — word-line ramps move the MOSFET
+    /// linearizations) drifts more than this from the factor-time
+    /// operating point [V].  Kept tight: a near-current operator keeps
+    /// chord steps Newton-quality AND lets a converged solve accept on a
+    /// still-valid factor without a confirmation iteration.
+    double bypass_vtol = 5e-3;
+    /// bypass/iterative: refresh when dt leaves [dt_f / band, dt_f * band]
+    /// around the factor-time step (capacitor companion conductances
+    /// scale as C/dt).  Default 1.0 = dt-exact reuse: the adaptive
+    /// controller parks at dt_max through quiet stretches, which is
+    /// where reuse pays; reusing across a dt change perturbs every
+    /// companion conductance and stalls the chord iteration.
+    double bypass_dt_band = 1.0;
+    /// bypass/iterative: refresh once a factorization has served this
+    /// many consecutive Newton iterations within a solve (convergence
+    /// stall under a stale operator).
+    int bypass_stall_iters = 5;
+    /// bypass/iterative: device-level bypass (the classic SPICE BYPASS
+    /// lever).  A nonlinear device whose terminal voltages — driven
+    /// terminals included — all moved less than this [V] since its last
+    /// evaluation replays its cached stamp entries instead of re-running
+    /// the compact model.  The replayed linearization is off by at most
+    /// g * vtol, which the 0.5% agreement gate bounds end to end; the
+    /// direct tier never uses it.  0 disables.
+    double device_bypass_vtol = 1e-4;
+    /// iterative: BiCGSTAB relative-residual target and iteration cap.
+    /// The Krylov solve only has to deliver a Newton DELTA good to the
+    /// convergence tolerances — far looser than machine precision.
+    double iterative_tol = 1e-8;
+    int iterative_max_iters = 400;
+};
+
+/// Cumulative linear-solver work counters (monotone over the life of the
+/// system; analysis drivers snapshot-and-diff them into per-run
+/// Step_stats).  `bypass_hits` counts Newton iterations whose linear
+/// solve was served by a reused factorization/preconditioner —
+/// factorization-avoidance made observable.
+struct Solver_counters {
+    long long newton_iterations = 0;
+    long long lu_factorizations = 0;  ///< LU factors + ILU(0) refreshes
+    long long bypass_hits = 0;
 };
 
 /// A node temporarily pinned toward a voltage through a conductance
@@ -67,12 +131,47 @@ public:
     /// Branch current of floating source `i` from the last solve [A].
     double branch_current(std::size_t i) const;
 
+    /// Cumulative solver work counters (never reset; diff snapshots).
+    const Solver_counters& counters() const { return counters_; }
+
+    /// Drop all cross-solve reuse state (stale factorization, device
+    /// stamp caches).  Analyses call this once per run so a result is a
+    /// function of that run's inputs alone — never of what a reused
+    /// workspace solved before.  Load-bearing for MC: samples change
+    /// device parameters without moving the voltages the staleness
+    /// checks watch.
+    void reset_reuse_state();
+
 private:
     class Assembly_stamper;
     class Pattern_stamper;
+    class Caching_stamper;
 
     void classify();
     void build_pattern();
+
+    void assemble(const Eval_context& ctx, const std::vector<double>& voltages,
+                  const Newton_options& opts,
+                  std::span<const Forced_node> forces);
+    void assemble_reuse(const Eval_context& ctx,
+                        const std::vector<double>& voltages,
+                        const Newton_options& opts, bool new_step,
+                        std::span<const Forced_node> forces);
+    void stamp_fixed(const Eval_context& ctx,
+                     const std::vector<double>& voltages,
+                     const Newton_options& opts,
+                     std::span<const Forced_node> forces);
+    int solve_direct(Eval_context ctx, std::vector<double>& voltages,
+                     const Newton_options& opts,
+                     std::span<const Forced_node> forces);
+    int solve_reuse(Eval_context ctx, std::vector<double>& voltages,
+                    const Newton_options& opts,
+                    std::span<const Forced_node> forces);
+    bool factor_stale(const Eval_context& ctx,
+                      const std::vector<double>& voltages,
+                      const Newton_options& opts) const;
+    void factor_current(const Newton_options& opts);
+    void solve_delta(const Newton_options& opts);
 
     Circuit* circuit_;
     std::vector<int> solve_index_;    ///< node -> unknown index or -1
@@ -98,6 +197,37 @@ private:
     std::vector<double> rhs_;
     std::vector<double> solution_;
     std::vector<double> branch_currents_;
+
+    // Factorization-reuse state (bypass / iterative tiers).  The reuse
+    // validity conditions live in factor_stale(); `v_at_factor_` is the
+    // full node-indexed voltage vector at factor time.
+    Solver_counters counters_;
+    bool factored_ = false;
+    Solver_policy factored_policy_ = Solver_policy::direct;
+    Analysis_mode mode_at_factor_ = Analysis_mode::dc;
+    Integration_method method_at_factor_ = Integration_method::backward_euler;
+    double dt_at_factor_ = 0.0;
+    double gmin_at_factor_ = 0.0;
+    std::vector<double> v_at_factor_;
+
+    std::unique_ptr<Ilu0> ilu_;       ///< lazy; lives with the workspace
+    Bicgstab_scratch krylov_scratch_;
+    std::vector<double> x_, residual_, delta_;
+
+    // Device-level bypass state (reuse tiers only; see
+    // Newton_options::device_bypass_vtol).  One cache per device, indexed
+    // by position in circuit_->devices(); replay preserves the stamp
+    // order of a fresh assembly, so per-tier bitwise determinism holds.
+    // Validity rests on the nonlinear-device contract that stamps depend
+    // only on terminal voltages (true for the EKV MOSFET) — the drift
+    // check against `v_at_eval` is the sole invalidation trigger.
+    struct Device_cache {
+        std::vector<std::pair<int, double>> matrix_adds;  ///< (slot, g)
+        std::vector<std::pair<int, double>> rhs_adds;     ///< (row, v)
+        std::vector<double> v_at_eval;  ///< terminal voltages at eval
+        bool valid = false;
+    };
+    std::vector<Device_cache> device_cache_;
 };
 
 } // namespace mpsram::spice

@@ -1,0 +1,61 @@
+#include "sram/solver_policy.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/contracts.h"
+
+namespace mpsram::sram {
+
+spice::Solver_policy default_solver_policy()
+{
+    static const spice::Solver_policy value = [] {
+        const char* env = std::getenv("MPSRAM_SOLVER_POLICY");
+        if (env == nullptr || std::strcmp(env, "bypass") == 0) {
+            return spice::Solver_policy::bypass;
+        }
+        if (std::strcmp(env, "direct") == 0) {
+            return spice::Solver_policy::direct;
+        }
+        // Same loud-failure rule as MPSRAM_SIM_ACCURACY: a typo'd pin
+        // must not silently run the wrong solver.
+        util::expects(
+            std::strcmp(env, "iterative") == 0,
+            "MPSRAM_SOLVER_POLICY must be 'direct', 'bypass' or 'iterative'");
+        return spice::Solver_policy::iterative;
+    }();
+    return value;
+}
+
+spice::Solver_policy resolve_solver_policy(
+    Sim_accuracy accuracy, std::optional<spice::Solver_policy> requested)
+{
+    if (accuracy == Sim_accuracy::reference) {
+        util::expects(
+            !requested.has_value() ||
+                *requested == spice::Solver_policy::direct,
+            "Sim_accuracy::reference is the bitwise oracle and only runs "
+            "the direct solver; drop the explicit solver request or use "
+            "Sim_accuracy::fast");
+        return spice::Solver_policy::direct;
+    }
+    return requested.value_or(default_solver_policy());
+}
+
+void apply_solver_policy(spice::Transient_options& topts,
+                         spice::Solver_policy policy)
+{
+    topts.newton.solver = policy;
+}
+
+const char* to_string(spice::Solver_policy policy)
+{
+    switch (policy) {
+    case spice::Solver_policy::direct: return "direct";
+    case spice::Solver_policy::bypass: return "bypass";
+    case spice::Solver_policy::iterative: return "iterative";
+    }
+    return "unknown";
+}
+
+} // namespace mpsram::sram
