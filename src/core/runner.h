@@ -20,6 +20,8 @@
 #include <functional>
 #include <vector>
 
+#include "util/check.h"
+
 namespace mpsram::core {
 
 struct Runner_options {
@@ -43,6 +45,28 @@ struct Run_context {
     std::size_t job_index = 0;
     int worker = 0;
 };
+
+/// The checked form of the write-own-slot contract: a job's output slot
+/// is its plan index, verified against the output size in checked builds
+/// (a mis-sized result vector silently truncates or scribbles otherwise).
+/// Usage: `rows[checked_slot(ctx, rows.size())] = ...`.
+inline std::size_t checked_slot(const Run_context& ctx, std::size_t bound)
+{
+    MPSRAM_REQUIRE(ctx.job_index < bound, "Run_plan slot out of range",
+                   MPSRAM_VAL(ctx.job_index), MPSRAM_VAL(bound));
+    return ctx.job_index;
+}
+
+/// Checked per-worker scratch access: worker ids are only valid below the
+/// resolved thread count the scratch was sized for.
+inline std::size_t checked_worker(const Run_context& ctx, std::size_t bound)
+{
+    const auto worker = static_cast<std::size_t>(ctx.worker);
+    MPSRAM_REQUIRE(ctx.worker >= 0 && worker < bound,
+                   "worker id outside the scratch pool",
+                   MPSRAM_VAL(ctx.worker), MPSRAM_VAL(bound));
+    return worker;
+}
 
 /// An ordered list of independent jobs.  Jobs must not depend on each
 /// other's side effects; the runner may execute them in any order.

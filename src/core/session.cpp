@@ -873,8 +873,14 @@ Result_table Study_session::run(const Query& query) const
     Run_plan plan;
     plan.add_indexed(cases.size(), [&](std::size_t i,
                                        const Run_context& ctx) {
-        rows[i] = d.eval(*this, query, cases[i],
-                         scratch[static_cast<std::size_t>(ctx.worker)]);
+        // Write-own-slot + plan-order contract: row i belongs to case i,
+        // and the plan index IS the case index (the reduction into the
+        // Result_table relies on that ordering, not on completion order).
+        const std::size_t slot = checked_slot(ctx, rows.size());
+        MPSRAM_ASSERT(slot == i, "plan order out of sync with case order",
+                      MPSRAM_VAL(slot), MPSRAM_VAL(i));
+        rows[slot] = d.eval(*this, query, cases[i],
+                            scratch[checked_worker(ctx, scratch.size())]);
     });
     core::run(plan, fan_out);
 

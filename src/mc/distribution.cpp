@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "util/check.h"
 #include "util/contracts.h"
 #include "util/numeric.h"
 #include "util/rng.h"
@@ -76,9 +77,10 @@ Tdp_distribution accumulate_distribution(const Sample_eval& eval,
             count,
             [&](std::size_t i, const core::Run_context& ctx) {
                 const Sample_values v = eval(i, ctx);
-                dist.tdp[i] = v.metric;
-                dist.rvar[i] = v.rvar;
-                dist.cvar[i] = v.cvar;
+                const std::size_t slot = core::checked_slot(ctx, count);
+                dist.tdp[slot] = v.metric;
+                dist.rvar[slot] = v.rvar;
+                dist.cvar[slot] = v.cvar;
             },
             opts.runner);
 
@@ -113,7 +115,10 @@ Tdp_distribution accumulate_distribution(const Sample_eval& eval,
         core::run_indexed(
             size,
             [&](std::size_t i, const core::Run_context& ctx) {
-                block[i] = eval(begin + i, ctx).metric;
+                // Block-local slot; the SAMPLE index handed to eval is
+                // begin + i, which is what its substream derives from.
+                block[core::checked_slot(ctx, size)] =
+                    eval(begin + i, ctx).metric;
             },
             opts.runner);
         for (std::size_t i = 0; i < size; ++i) {
@@ -173,6 +178,9 @@ Tdp_distribution metric_distribution(const pattern::Patterning_engine& engine,
 
     return accumulate_distribution(
         [&](std::size_t i, const core::Run_context& ctx) {
+            // Substream contract: sample i draws from (base_seed, i) and
+            // nothing else, so i must stay inside the experiment.
+            MPSRAM_REQUIRE_INDEX(i, static_cast<std::size_t>(opts.samples));
             pattern::Process_sample s;
             if (opts.sampling == Sampling::latin_hypercube) {
                 s = pregen[i];
@@ -181,7 +189,7 @@ Tdp_distribution metric_distribution(const pattern::Patterning_engine& engine,
                 s = engine.sample_gaussian(rng, opts.truncate_k);
             }
             geom::Wire_array& realized =
-                scratch[static_cast<std::size_t>(ctx.worker)];
+                scratch[core::checked_worker(ctx, scratch.size())];
             engine.realize_into(nominal, s, realized);
             const extract::Rc_variation v =
                 extractor.variation(nominal, realized, victim);

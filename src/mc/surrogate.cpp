@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/check.h"
 #include "util/contracts.h"
 #include "util/numeric.h"
 #include "util/rng.h"
@@ -39,12 +40,13 @@ Tdp_distribution surrogate_distribution(
     const bool fill_factors = opts.store_samples;
     return accumulate_distribution(
         [&](std::size_t i, const core::Run_context& ctx) {
+            MPSRAM_REQUIRE_INDEX(i, static_cast<std::size_t>(opts.samples));
             const pattern::Process_sample* s = nullptr;
             if (opts.sampling == Sampling::latin_hypercube) {
                 s = &pregen[i];
             } else {
                 pattern::Process_sample& own =
-                    scratch[static_cast<std::size_t>(ctx.worker)];
+                    scratch[core::checked_worker(ctx, scratch.size())];
                 util::Rng rng = util::Rng::stream(base_seed, i);
                 own.clear();
                 for (const pattern::Variation_axis& axis : engine.axes()) {
@@ -118,7 +120,7 @@ Tail_result importance_tail(const pattern::Patterning_engine& engine,
         [&](std::size_t i, const core::Run_context& ctx) {
             util::Rng rng = util::Rng::stream(tail_seed, i);
             pattern::Process_sample& x =
-                scratch[static_cast<std::size_t>(ctx.worker)];
+                scratch[core::checked_worker(ctx, scratch.size())];
             // Defensive mixture proposal: with probability 1/2 draw from
             // the target itself (the truncated process measure), else
             // from the shifted normal N(mu, I).  The likelihood ratio
@@ -139,10 +141,11 @@ Tail_result importance_tail(const pattern::Patterning_engine& engine,
                 log_qp += mu[a] * z - 0.5 * mu[a] * mu[a];
                 x[a] = z * axes[a].sigma;
             }
-            values[i] = surface.value(x);
+            const std::size_t slot = core::checked_slot(ctx, count);
+            values[slot] = surface.value(x);
             // Outside the box (possible only for shifted draws) the
             // target density is zero.
-            weights[i] =
+            weights[slot] =
                 inside ? 1.0 / (0.5 + 0.5 * std::exp(log_qp)) : 0.0;
         },
         base.runner);

@@ -1,5 +1,6 @@
 #include "mc/worst_case.h"
 
+#include "util/check.h"
 #include "util/contracts.h"
 
 namespace mpsram::mc {
@@ -23,7 +24,7 @@ Worst_case_result find_worst_case(const pattern::Patterning_engine& engine,
     const auto corner_metric = [&](const pattern::Process_sample& s,
                                    const core::Run_context& ctx) {
         geom::Wire_array& realized =
-            scratch[static_cast<std::size_t>(ctx.worker)];
+            scratch[core::checked_worker(ctx, scratch.size())];
         engine.realize_into(nominal, s, realized);
         return metric(realized, ctx);
     };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "spice/exceptions.h"
+#include "util/check.h"
 #include "util/contracts.h"
 
 namespace mpsram::spice {
@@ -215,6 +216,10 @@ void Sparse_lu::factor(const Sparse_matrix& a, double pivot_floor)
 
         const double piv =
             u_values_[static_cast<std::size_t>(u_row_ptr_[i])];
+        // NaN slips past the floor test below (every NaN comparison is
+        // false) and would poison the whole back-substitution.
+        MPSRAM_ASSERT(std::isfinite(piv), "non-finite LU pivot",
+                      MPSRAM_VAL(piv), MPSRAM_VAL(i));
         if (std::fabs(piv) < pivot_floor) {
             throw Singular_matrix_error(
                 "near-zero pivot at row " + std::to_string(i));
@@ -301,6 +306,8 @@ void Ilu0::factor(const Sparse_matrix& a, double pivot_floor)
         }
 
         const double piv = values_[static_cast<std::size_t>(diag_slot_[i])];
+        MPSRAM_ASSERT(std::isfinite(piv), "non-finite ILU(0) pivot",
+                      MPSRAM_VAL(piv), MPSRAM_VAL(i));
         if (std::fabs(piv) < pivot_floor) {
             throw Singular_matrix_error("near-zero ILU(0) pivot at row " +
                                         std::to_string(i));
@@ -380,6 +387,12 @@ int bicgstab(const Sparse_matrix& a, const Ilu0& m,
 
     for (int k = 1; k <= max_iters; ++k) {
         const double rho_next = dot(w.r0, w.r);
+        // A non-finite recurrence coefficient means the residual is
+        // already poisoned; the breakdown test below would miss NaN
+        // (fabs(NaN) < tiny is false) and keep iterating on garbage.
+        MPSRAM_ASSERT(std::isfinite(rho_next),
+                      "non-finite BiCGSTAB residual correlation",
+                      MPSRAM_VAL(rho_next), MPSRAM_VAL(k));
         if (std::fabs(rho_next) < tiny) return -1;
         const double beta = (rho_next / rho) * (alpha / omega);
         for (std::size_t i = 0; i < n; ++i) {

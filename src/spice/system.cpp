@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "spice/exceptions.h"
+#include "util/check.h"
 #include "util/contracts.h"
 
 namespace mpsram::spice {
@@ -49,6 +50,12 @@ public:
 
     void jacobian(Node eq, Node wrt, double g) override
     {
+        // A NaN-poisoned stamp caught here names the exact (eq, wrt)
+        // entry; downstream it would surface as an unrelated
+        // Convergence_error (NaN never satisfies the pivot floor or the
+        // tolerance test) long after the cause.
+        MPSRAM_ASSERT(std::isfinite(g), "non-finite Jacobian stamp",
+                      MPSRAM_VAL(g), MPSRAM_VAL(eq), MPSRAM_VAL(wrt));
         const int row = (*solve_index_)[static_cast<std::size_t>(eq)];
         if (row < 0) return;  // ground or driven equation: dropped
         const int col = (*solve_index_)[static_cast<std::size_t>(wrt)];
@@ -63,6 +70,8 @@ public:
 
     void rhs(Node eq, double value) override
     {
+        MPSRAM_ASSERT(std::isfinite(value), "non-finite RHS stamp",
+                      MPSRAM_VAL(value), MPSRAM_VAL(eq));
         const int row = (*solve_index_)[static_cast<std::size_t>(eq)];
         if (row >= 0) (*rhs_)[static_cast<std::size_t>(row)] += value;
     }
@@ -99,6 +108,10 @@ public:
 
     void jacobian(Node eq, Node wrt, double g) override
     {
+        // Same poison guard as Assembly_stamper: a cached NaN would be
+        // replayed on every bypass hit until the envelope invalidates.
+        MPSRAM_ASSERT(std::isfinite(g), "non-finite Jacobian stamp (cached)",
+                      MPSRAM_VAL(g), MPSRAM_VAL(eq), MPSRAM_VAL(wrt));
         const int row = (*solve_index_)[static_cast<std::size_t>(eq)];
         if (row < 0) return;
         const int col = (*solve_index_)[static_cast<std::size_t>(wrt)];
@@ -116,6 +129,8 @@ public:
 
     void rhs(Node eq, double value) override
     {
+        MPSRAM_ASSERT(std::isfinite(value), "non-finite RHS stamp (cached)",
+                      MPSRAM_VAL(value), MPSRAM_VAL(eq));
         const int row = (*solve_index_)[static_cast<std::size_t>(eq)];
         if (row < 0) return;
         (*rhs_)[static_cast<std::size_t>(row)] += value;
@@ -398,6 +413,12 @@ int Mna_system::solve_direct(Eval_context ctx, std::vector<double>& voltages,
         ++counters_.newton_iterations;
         solution_ = rhs_;
         lu_->solve(solution_);
+        // NaN/Inf in the update vector would pass the tolerance test
+        // below (every comparison with NaN is false) and be accepted as
+        // "converged" — the solver-vector guard closes that hole.
+        MPSRAM_ASSERT(util::all_finite(solution_),
+                      "non-finite direct Newton update",
+                      MPSRAM_VAL(ctx.time), MPSRAM_VAL(iter));
 
         // Damped update + convergence check.
         bool converged = true;
@@ -561,6 +582,13 @@ int Mna_system::solve_reuse(Eval_context ctx, std::vector<double>& voltages,
         }
 
         solve_delta(opts);
+        // The residual is assembled fresh each iteration, so a poisoned
+        // delta means either a poisoned stamp slipped through or the
+        // stale factorization/preconditioner produced garbage.
+        MPSRAM_ASSERT(util::all_finite(delta_),
+                      "non-finite reuse-tier Newton delta",
+                      MPSRAM_VAL(ctx.time), MPSRAM_VAL(iter),
+                      MPSRAM_VAL(static_cast<int>(opts.solver)));
 
         bool converged = true;
         for (std::size_t u = 0; u < n_node; ++u) {
@@ -591,7 +619,19 @@ int Mna_system::solve_reuse(Eval_context ctx, std::vector<double>& voltages,
         // cheap, since every nonlinear device is quiet after a
         // sub-tolerance update.
         if (converged) {
-            if (refresh || !factor_stale(ctx, voltages, opts)) return iter;
+            if (refresh || !factor_stale(ctx, voltages, opts)) {
+                // Stale-LU acceptance contract: an accepted point was
+                // measured against a current operator — refreshed this
+                // iteration or still inside the (dt-band, bypass_vtol)
+                // envelope of the final iterate.  `factored_` may only be
+                // down when this solve carried forcing stamps, whose
+                // factors are deliberately never kept.
+                MPSRAM_ASSERT(factored_ || !forces.empty(),
+                              "reuse-tier solve accepted without a live "
+                              "factorization",
+                              MPSRAM_VAL(ctx.time), MPSRAM_VAL(iter));
+                return iter;
+            }
             confirm = true;
         }
     }

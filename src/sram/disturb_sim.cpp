@@ -1,9 +1,11 @@
 #include "sram/disturb_sim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "spice/measure.h"
+#include "util/check.h"
 #include "util/contracts.h"
 
 namespace mpsram::sram {
@@ -52,6 +54,11 @@ Disturb_result simulate_disturb(Disturb_netlist& net,
     r.v_bump = std::max(0.0, spice::peak_value(waves, q_name,
                                                net.timing.t_wl_on));
     r.bump_fraction = r.v_bump / (0.5 * net.vdd);
+    // Bump contract: the peak is clamped non-negative above and a NaN
+    // waveform must not leak into the half-select metric as a "bump".
+    MPSRAM_ENSURE(std::isfinite(r.v_bump) && r.v_bump >= 0.0,
+                  "disturb bump must be finite and non-negative",
+                  MPSRAM_VAL(r.v_bump), MPSRAM_VAL(r.q_final));
     // Destructive only if the latch ends on the wrong side; a transient
     // graze of vdd/2 that regenerates back low is not a lost bit.  (The
     // peak always bounds q_final, so no separate bump check is needed.)

@@ -1,8 +1,10 @@
 #include "sram/read_sim.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "spice/measure.h"
+#include "util/check.h"
 #include "util/contracts.h"
 
 namespace mpsram::sram {
@@ -17,6 +19,12 @@ Read_result simulate_read(Read_netlist& net, const Read_options& opts,
                           spice::Transient_workspace& workspace)
 {
     util::expects(opts.nominal_steps > 0, "steps must be positive");
+    MPSRAM_REQUIRE(opts.min_window > 0.0 && opts.window_per_cell >= 0.0,
+                   "read window options must define a positive window",
+                   MPSRAM_VAL(opts.min_window),
+                   MPSRAM_VAL(opts.window_per_cell));
+    MPSRAM_REQUIRE(opts.max_retries >= 0, "retry count must be non-negative",
+                   MPSRAM_VAL(opts.max_retries));
 
     const double t_ref = net.timing.wl_mid();
     double window =
@@ -55,6 +63,12 @@ Read_result simulate_read(Read_netlist& net, const Read_options& opts,
             result.crossed = true;
             result.t_cross = t_cross;
             result.td = t_cross - t_ref;
+            // Timing contract: a crossed read reports a finite delay
+            // measured from wordline mid-rise, never a negative one.
+            MPSRAM_ENSURE(std::isfinite(result.td) && result.td >= 0.0,
+                          "read delay must be finite and non-negative",
+                          MPSRAM_VAL(result.td), MPSRAM_VAL(t_cross),
+                          MPSRAM_VAL(t_ref));
             return result;
         }
         window *= 2.0;

@@ -1,24 +1,29 @@
 #include "sram/sim_accuracy.h"
 
 #include <cstdlib>
-#include <cstring>
+#include <string>
 
 #include "util/contracts.h"
 
 namespace mpsram::sram {
 
+Sim_accuracy parse_sim_accuracy(std::string_view text)
+{
+    if (text == "fast") return Sim_accuracy::fast;
+    if (text == "reference") return Sim_accuracy::reference;
+    // A typo must not silently run the wrong engine: someone pinning the
+    // oracle for a validation run needs the pin to fail loudly, and the
+    // message must show what was seen and what would have worked.
+    throw util::Precondition_error(
+        "invalid MPSRAM_SIM_ACCURACY value '" + std::string(text) +
+        "' (accepted: 'reference', 'fast')");
+}
+
 Sim_accuracy default_sim_accuracy()
 {
     static const Sim_accuracy value = [] {
         const char* env = std::getenv("MPSRAM_SIM_ACCURACY");
-        if (env == nullptr || std::strcmp(env, "fast") == 0) {
-            return Sim_accuracy::fast;
-        }
-        // A typo must not silently run the wrong engine: someone pinning
-        // the oracle for a validation run needs the pin to fail loudly.
-        util::expects(std::strcmp(env, "reference") == 0,
-                      "MPSRAM_SIM_ACCURACY must be 'reference' or 'fast'");
-        return Sim_accuracy::reference;
+        return env == nullptr ? Sim_accuracy::fast : parse_sim_accuracy(env);
     }();
     return value;
 }

@@ -25,6 +25,8 @@
 #ifndef MPSRAM_SRAM_SIM_ACCURACY_H
 #define MPSRAM_SRAM_SIM_ACCURACY_H
 
+#include <string_view>
+
 #include "spice/analysis.h"
 
 namespace mpsram::sram {
@@ -39,10 +41,17 @@ inline constexpr double fast_lte_rel = 1e-3;
 inline constexpr double fast_lte_abs = 1e-4;
 inline constexpr double fast_lte_max_growth = 16.0;
 
+/// Parse a policy token ('reference' or 'fast').  Any other value throws
+/// util::Precondition_error naming the offending value and the accepted
+/// set — a typo'd MPSRAM_SIM_ACCURACY pin must not silently run the wrong
+/// engine.  Exposed separately from default_sim_accuracy() so the
+/// rejection path is unit-testable (the default is memoized per process).
+Sim_accuracy parse_sim_accuracy(std::string_view text);
+
 /// Process-wide default policy: Sim_accuracy::fast, overridable once per
 /// process with MPSRAM_SIM_ACCURACY=reference|fast so test and CI legs can
-/// pin the reference engine without code changes.  Any other value throws
-/// (a typo'd pin must not silently run the wrong engine).
+/// pin the reference engine without code changes.  Invalid values throw
+/// via parse_sim_accuracy.
 Sim_accuracy default_sim_accuracy();
 
 /// Configure `topts` for the policy: `reference` forces fixed stepping,

@@ -1,28 +1,31 @@
 #include "sram/solver_policy.h"
 
 #include <cstdlib>
-#include <cstring>
+#include <string>
 
 #include "util/contracts.h"
 
 namespace mpsram::sram {
 
+spice::Solver_policy parse_solver_policy(std::string_view text)
+{
+    if (text == "bypass") return spice::Solver_policy::bypass;
+    if (text == "direct") return spice::Solver_policy::direct;
+    if (text == "iterative") return spice::Solver_policy::iterative;
+    // Same loud-failure rule as MPSRAM_SIM_ACCURACY: a typo'd pin must
+    // not silently run the wrong solver, and the message must show what
+    // was seen and what would have worked.
+    throw util::Precondition_error(
+        "invalid MPSRAM_SOLVER_POLICY value '" + std::string(text) +
+        "' (accepted: 'direct', 'bypass', 'iterative')");
+}
+
 spice::Solver_policy default_solver_policy()
 {
     static const spice::Solver_policy value = [] {
         const char* env = std::getenv("MPSRAM_SOLVER_POLICY");
-        if (env == nullptr || std::strcmp(env, "bypass") == 0) {
-            return spice::Solver_policy::bypass;
-        }
-        if (std::strcmp(env, "direct") == 0) {
-            return spice::Solver_policy::direct;
-        }
-        // Same loud-failure rule as MPSRAM_SIM_ACCURACY: a typo'd pin
-        // must not silently run the wrong solver.
-        util::expects(
-            std::strcmp(env, "iterative") == 0,
-            "MPSRAM_SOLVER_POLICY must be 'direct', 'bypass' or 'iterative'");
-        return spice::Solver_policy::iterative;
+        return env == nullptr ? spice::Solver_policy::bypass
+                              : parse_solver_policy(env);
     }();
     return value;
 }

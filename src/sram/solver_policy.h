@@ -24,15 +24,24 @@
 #define MPSRAM_SRAM_SOLVER_POLICY_H
 
 #include <optional>
+#include <string_view>
 
 #include "spice/analysis.h"
 #include "sram/sim_accuracy.h"
 
 namespace mpsram::sram {
 
+/// Parse a solver-tier token ('direct', 'bypass' or 'iterative').  Any
+/// other value throws util::Precondition_error naming the offending value
+/// and the accepted set.  Exposed separately from default_solver_policy()
+/// so the rejection path is unit-testable (the default is memoized per
+/// process).
+spice::Solver_policy parse_solver_policy(std::string_view text);
+
 /// Process-wide default solver tier under fast accuracy:
 /// spice::Solver_policy::bypass, overridable once per process with
-/// MPSRAM_SOLVER_POLICY=direct|bypass|iterative.  Any other value throws.
+/// MPSRAM_SOLVER_POLICY=direct|bypass|iterative.  Invalid values throw
+/// via parse_solver_policy.
 spice::Solver_policy default_solver_policy();
 
 /// Resolve a possibly-defaulted solver request against the accuracy tier

@@ -1,9 +1,11 @@
 #include "sram/write_sim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "spice/measure.h"
+#include "util/check.h"
 #include "util/contracts.h"
 
 namespace mpsram::sram {
@@ -50,6 +52,11 @@ Write_result simulate_write(Write_netlist& net, const Write_options& opts,
     if (t_flip >= 0.0 && r.q_final > 0.5 * net.vdd) {
         r.flipped = true;
         r.tw = t_flip - net.timing.wl_mid();
+        // Timing contract: a flipped cell reports a finite write time
+        // measured from wordline mid-rise, never a negative one.
+        MPSRAM_ENSURE(std::isfinite(r.tw) && r.tw >= 0.0,
+                      "write time must be finite and non-negative",
+                      MPSRAM_VAL(r.tw), MPSRAM_VAL(t_flip));
     }
     return r;
 }

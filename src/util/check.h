@@ -1,0 +1,166 @@
+// Checked-build contract macros for hot-path invariants.
+//
+// Two contract layers coexist in this codebase:
+//
+//   * util/contracts.h (`expects`/`ensures`/`invariant`) — ALWAYS-ON
+//     argument validation at API boundaries, where the cost is one branch
+//     per call and a silent out-of-domain parameter would corrupt a
+//     measurement.
+//   * this header (`MPSRAM_ASSERT` / `MPSRAM_REQUIRE` / `MPSRAM_ENSURE`)
+//     — hot-loop invariants (per-stamp finiteness, per-sample slot
+//     bounds, per-iteration solver state) that are too expensive to
+//     check on every Release run.  They are compiled to nothing unless
+//     the build defines MPSRAM_CHECKED (CMake: -DMPSRAM_CHECKED=ON), in
+//     which case a violation throws Contract_error with the expression,
+//     source location, message, and the values captured via MPSRAM_VAL.
+//
+// Semantics:
+//
+//   MPSRAM_REQUIRE(cond, msg, MPSRAM_VAL(x)...)   precondition
+//   MPSRAM_ENSURE(cond, msg, MPSRAM_VAL(x)...)    postcondition
+//   MPSRAM_ASSERT(cond, msg, MPSRAM_VAL(x)...)    internal invariant
+//
+// In unchecked builds the condition and value expressions are NOT
+// evaluated (they sit in the dead branch of a constant conditional, which
+// still odr-uses the operands, so no unused-variable warnings appear
+// under -Werror).  Checks must therefore never carry side effects.
+#ifndef MPSRAM_UTIL_CHECK_H
+#define MPSRAM_UTIL_CHECK_H
+
+#include <cmath>
+#include <initializer_list>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpsram::util {
+
+/// Thrown by a failed MPSRAM_* contract macro in a checked build.
+class Contract_error : public std::logic_error {
+public:
+    explicit Contract_error(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+/// True when every element is finite — the poison detector the checked
+/// build runs over device stamps, solver vectors, and Newton updates.
+inline bool all_finite(const std::vector<double>& v)
+{
+    for (const double x : v) {
+        if (!std::isfinite(x)) return false;
+    }
+    return true;
+}
+
+namespace check_detail {
+
+template <class T>
+std::string display(const T& v)
+{
+    std::ostringstream os;
+    if constexpr (std::is_same_v<T, bool>) {
+        os << (v ? "true" : "false");
+    } else if constexpr (std::is_floating_point_v<T>) {
+        os.precision(std::numeric_limits<T>::max_digits10);
+        os << v;
+    } else {
+        os << v;
+    }
+    return os.str();
+}
+
+/// One `name = value` capture of MPSRAM_VAL, formatted at failure time
+/// (captures are only constructed on the failing path).
+struct Named_value {
+    const char* name;
+    std::string value;
+
+    template <class T>
+    Named_value(const char* n, const T& v) : name(n), value(display(v))
+    {
+    }
+};
+
+[[noreturn]] inline void fail(const char* macro, const char* expr,
+                              const char* file, int line,
+                              std::string_view message,
+                              std::initializer_list<Named_value> values)
+{
+    std::string what;
+    what += macro;
+    what += "(";
+    what += expr;
+    what += ") failed at ";
+    what += file;
+    what += ":";
+    what += std::to_string(line);
+    what += ": ";
+    what += message;
+    if (values.size() != 0) {
+        what += " [";
+        bool first = true;
+        for (const Named_value& nv : values) {
+            if (!first) what += ", ";
+            first = false;
+            what += nv.name;
+            what += " = ";
+            what += nv.value;
+        }
+        what += "]";
+    }
+    throw Contract_error(what);
+}
+
+/// Swallows the check operands in unchecked builds (never called; lives
+/// in the dead branch of a constant conditional to keep the operands
+/// odr-used and warning-free).
+template <class... Args>
+inline void sink(Args&&...)
+{
+}
+
+} // namespace check_detail
+
+} // namespace mpsram::util
+
+/// Capture an expression for the failure message: MPSRAM_VAL(x) renders
+/// as `x = <value>` when the surrounding check fires.
+#define MPSRAM_VAL(expr) \
+    ::mpsram::util::check_detail::Named_value { #expr, (expr) }
+
+#ifdef MPSRAM_CHECKED
+
+#define MPSRAM_CHECK_IMPL_(macro, cond, msg, ...)                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::mpsram::util::check_detail::fail(macro, #cond, __FILE__,       \
+                                               __LINE__, (msg),              \
+                                               {__VA_ARGS__});               \
+        }                                                                    \
+    } while (false)
+
+#else
+
+#define MPSRAM_CHECK_IMPL_(macro, cond, msg, ...)                            \
+    ((void)(true ? (void)0                                                   \
+                 : ::mpsram::util::check_detail::sink(                       \
+                       (cond), (msg)__VA_OPT__(, ) __VA_ARGS__)))
+
+#endif // MPSRAM_CHECKED
+
+#define MPSRAM_ASSERT(cond, ...) \
+    MPSRAM_CHECK_IMPL_("MPSRAM_ASSERT", cond, __VA_ARGS__)
+#define MPSRAM_REQUIRE(cond, ...) \
+    MPSRAM_CHECK_IMPL_("MPSRAM_REQUIRE", cond, __VA_ARGS__)
+#define MPSRAM_ENSURE(cond, ...) \
+    MPSRAM_CHECK_IMPL_("MPSRAM_ENSURE", cond, __VA_ARGS__)
+
+/// Bounds form of MPSRAM_REQUIRE for the write-own-slot contracts.
+#define MPSRAM_REQUIRE_INDEX(index, bound)                                   \
+    MPSRAM_REQUIRE((index) < (bound), "index out of range",                  \
+                   MPSRAM_VAL(index), MPSRAM_VAL(bound))
+
+#endif // MPSRAM_UTIL_CHECK_H
