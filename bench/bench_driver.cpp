@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
+#include "core/serialize.h"
 #include "sram/solver_policy.h"
 #include "util/contracts.h"
 #include "util/numeric.h"
@@ -215,6 +217,73 @@ void print_step_table(const spice::Step_stats steps[2])
     std::cout << table.render() << '\n';
 }
 
+Cache_smoke run_cache_smoke(
+    const std::function<core::Result_table(const core::Study_session&)>& run,
+    const std::string& cache_dir)
+{
+    util::expects(static_cast<bool>(run), "cache smoke needs a workload");
+    util::expects(!cache_dir.empty(), "cache smoke needs a directory");
+    std::filesystem::remove_all(cache_dir);
+
+    core::Study_options opts;
+    opts.cache.mode = core::Cache_mode::readwrite;
+    opts.cache.directory = cache_dir;
+
+    Cache_smoke smoke;
+    std::string cold_dump;
+    {
+        const core::Study_session cold(tech::n10(), opts);
+        const auto t0 = std::chrono::steady_clock::now();
+        const core::Result_table table = run(cold);
+        smoke.cold_s = seconds_of(std::chrono::steady_clock::now() - t0);
+        smoke.cold_stores = cold.cache_store_count();
+        cold_dump = core::json_of_result_table(table).dump();
+    }
+    {
+        const core::Study_session warm(tech::n10(), opts);
+        const auto t0 = std::chrono::steady_clock::now();
+        const core::Result_table table = run(warm);
+        smoke.warm_s = seconds_of(std::chrono::steady_clock::now() - t0);
+        smoke.warm_hits = warm.cache_hit_count();
+        smoke.warm_misses = warm.cache_miss_count();
+        // Dump-string equality is the bitwise check: the canonical
+        // encoding round-trips every double (NaN included) through its
+        // bit pattern, so equal dumps means equal bits.
+        smoke.identical = core::json_of_result_table(table).dump() ==
+                          cold_dump;
+        smoke.spice_skipped = warm.corner_search_count() == 0 &&
+                              warm.surface_fit_count() == 0;
+    }
+
+    std::cout << "Cold-then-warm cache smoke (" << cache_dir << "):\n"
+              << "  cold " << util::fmt_fixed(smoke.cold_s, 3) << " s ("
+              << smoke.cold_stores << " entries stored), warm "
+              << util::fmt_fixed(smoke.warm_s, 3) << " s ("
+              << smoke.warm_hits << " hits, " << smoke.warm_misses
+              << " misses)\n"
+              << "  warm table bitwise identical: "
+              << (smoke.identical ? "yes" : "NO")
+              << ", SPICE work skipped: "
+              << (smoke.spice_skipped ? "yes" : "NO") << "\n";
+    if (!smoke.passed()) {
+        std::cout << "ERROR: the warm run was not served bitwise-identically "
+                     "from the cache\n";
+    }
+    return smoke;
+}
+
+std::vector<std::string> cache_smoke_fields(const Cache_smoke& s)
+{
+    return {"\"cache_smoke\": {\"cold_s\": " + std::to_string(s.cold_s) +
+            ", \"warm_s\": " + std::to_string(s.warm_s) +
+            ", \"warm_hits\": " + std::to_string(s.warm_hits) +
+            ", \"warm_misses\": " + std::to_string(s.warm_misses) +
+            ", \"cold_stores\": " + std::to_string(s.cold_stores) +
+            ", \"identical\": " + (s.identical ? "true" : "false") +
+            ", \"spice_skipped\": " + (s.spice_skipped ? "true" : "false") +
+            ", \"passed\": " + (s.passed() ? "true" : "false") + "},"};
+}
+
 void write_bench_json(const Scaling_config& cfg,
                       const Scaling_outcome& outcome, const Agreement* a,
                       const spice::Step_stats* steps, int max_word_lines,
@@ -239,7 +308,17 @@ void write_bench_json(const Scaling_config& cfg,
                  ? "trapezoidal"
                  : "backward_euler")
          << "\", \"sim_accuracy\": \""
-         << sram::to_string(sram::default_sim_accuracy()) << "\"},\n"
+         << sram::to_string(sram::default_sim_accuracy())
+         << "\", \"cache_mode\": \""
+         // The effective process-wide mode: without a configured
+         // directory the cache never engages regardless of MPSRAM_CACHE.
+         << core::to_string(core::default_cache_dir()
+                                ? core::default_cache_mode()
+                                : core::Cache_mode::off)
+         << "\", \"cache_hits\": " << core::process_cache_stats().hits
+         << ", \"cache_misses\": " << core::process_cache_stats().misses
+         << ", \"cache_stores\": " << core::process_cache_stats().stores
+         << "},\n"
          << "  \"rows\": " << outcome.rows << ",\n"
          << "  \"max_word_lines\": " << max_word_lines << ",\n"
          << "  \"hardware_threads\": "

@@ -14,12 +14,14 @@
 #define MPSRAM_BENCH_BENCH_DRIVER_H
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/query.h"
+#include "core/result_cache.h"
 #include "core/session.h"
 #include "spice/analysis.h"
 #include "sram/bitline_model.h"
@@ -124,6 +126,35 @@ void measure_nominal_steps(int word_lines, spice::Step_stats steps[2])
                         .steps;
     }
 }
+
+/// Cold-then-warm result-cache smoke (core/result_cache.h): wipe
+/// `cache_dir`, run `run` on a fresh readwrite-cached session (cold,
+/// stores every artifact), run it again on a second fresh session (warm)
+/// and check the warm run (a) returned a bitwise-identical table, (b)
+/// was served from disk (hits > 0), and (c) skipped the simulation work
+/// entirely — zero corner searches and surface fits on the warm session.
+struct Cache_smoke {
+    double cold_s = 0.0;
+    double warm_s = 0.0;
+    std::uint64_t warm_hits = 0;
+    std::uint64_t warm_misses = 0;
+    std::uint64_t cold_stores = 0;
+    bool identical = false;      ///< warm table bitwise == cold table
+    bool spice_skipped = false;  ///< warm corner searches + fits == 0
+    bool passed() const
+    {
+        return identical && spice_skipped && warm_hits > 0;
+    }
+};
+
+/// Run the smoke and print its verdict.  `run` must execute the same
+/// deterministic workload on whichever session it is given.
+Cache_smoke run_cache_smoke(
+    const std::function<core::Result_table(const core::Study_session&)>& run,
+    const std::string& cache_dir);
+
+/// Preformatted extra-field lines for write_bench_json.
+std::vector<std::string> cache_smoke_fields(const Cache_smoke& s);
 
 /// Emit the uniform BENCH_*.json: scaling points, determinism flag,
 /// agreement, step counters, plus optional preformatted extra top-level

@@ -242,6 +242,23 @@ int main(int argc, char** argv)
         deterministic = policy_deterministic(policy) && deterministic;
     }
 
+    // --- cold-then-warm result-cache smoke ------------------------------------
+    // The warm rerun of the cached agreement-style sweep must skip every
+    // corner search and surface fit and return bitwise-identical rows —
+    // the acceptance gate of the persistence layer (core/result_cache.h).
+    std::cout << '\n';
+    static constexpr int smoke_sizes[] = {16, 64, 256};
+    const bench::Cache_smoke smoke = bench::run_cache_smoke(
+        [&agreement_runner](const core::Study_session& session) {
+            return session.run(
+                core::Query(core::Metric::read_td)
+                    .over_word_lines(tech::Patterning_option::le3,
+                                     smoke_sizes)
+                    .with_accuracy(sram::Sim_accuracy::fast)
+                    .on(agreement_runner));
+        },
+        "BENCH_solver.cache");
+
     // --- BENCH_solver.json ----------------------------------------------------
     std::vector<std::string> extra;
     std::string rows = "\"solver_matrix\": [";
@@ -268,6 +285,9 @@ int main(int argc, char** argv)
     extra.push_back(
         std::string("\"per_policy_deterministic\": ") +
         (deterministic ? "true" : "false") + ",");
+    for (std::string& field : bench::cache_smoke_fields(smoke)) {
+        extra.push_back(std::move(field));
+    }
 
     spice::Step_stats steps[2];
     bench::measure_nominal_steps<sram::Read_sim_context>(sweep_sizes.back(),
@@ -282,7 +302,7 @@ int main(int argc, char** argv)
                             matrix_sizes.back(), extra);
     return outcome.all_identical && deterministic &&
                    gate_bypass.within_budget() &&
-                   gate_iterative.within_budget()
+                   gate_iterative.within_budget() && smoke.passed()
                ? 0
                : 1;
 }

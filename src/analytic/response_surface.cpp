@@ -108,6 +108,23 @@ Response_surface Response_surface::fit(
     return surface;
 }
 
+Response_surface Response_surface::restore(std::vector<double> scales,
+                                           std::vector<double> coeffs)
+{
+    util::expects(!scales.empty(),
+                  "restoring a response surface needs scales");
+    for (const double s : scales) {
+        util::expects(s > 0.0, "response-surface scales must be positive");
+    }
+    util::expects(coeffs.size() == coefficient_count(scales.size()),
+                  "restored coefficient count does not match the "
+                  "surface dimension");
+    Response_surface surface;
+    surface.scales_ = std::move(scales);
+    surface.coeffs_ = std::move(coeffs);
+    return surface;
+}
+
 double Response_surface::value(std::span<const double> x) const
 {
     const std::size_t d = scales_.size();

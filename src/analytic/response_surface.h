@@ -44,6 +44,14 @@ public:
         const std::vector<double>& values, std::vector<double> scales,
         const std::vector<double>& weights = {});
 
+    /// Rebuild a fitted surface from its serialized state (`scales()` and
+    /// `coefficients()`, see core/serialize.h).  Requires scales > 0 and
+    /// coeffs.size() == coefficient_count(scales.size()); the restored
+    /// surface evaluates bitwise identically to the original (value() is
+    /// pure arithmetic over these two vectors).
+    static Response_surface restore(std::vector<double> scales,
+                                    std::vector<double> coeffs);
+
     /// 1 (constant) + d (linear) + d(d+1)/2 (quadratic) terms.
     static std::size_t coefficient_count(std::size_t dim);
 
@@ -59,6 +67,9 @@ public:
     std::vector<double> gradient_at_zero() const;
 
     const std::vector<double>& coefficients() const { return coeffs_; }
+    /// Per-dimension normalization half-widths (the serialized state next
+    /// to coefficients()).
+    const std::vector<double>& scales() const { return scales_; }
 
 private:
     std::vector<double> scales_;

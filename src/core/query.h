@@ -107,6 +107,15 @@ std::string_view to_string(Twp_engine engine);
 /// A declarative study request: metric + cases + execution policy.
 /// Execution contract (same as the legacy batch APIs): results are
 /// indexed like `cases` and bitwise identical at any thread count.
+///
+/// Persistence: a query serializes to canonical JSON and its result is
+/// cacheable under a canonical hash (core/serialize.h).  The hash covers
+/// everything that changes the VALUE of the answer — metric, resolved
+/// cases, resolved accuracy/solver, engine tiers, MC spec, and the
+/// session's configuration fingerprint — and deliberately excludes pure
+/// execution policy (`runner`, `mc.runner`, cache options): the bitwise
+/// thread-count determinism above is exactly what makes a thread-count-
+/// free key sound.
 struct Query {
     Query() = default;
     explicit Query(Metric m) : metric(m) {}

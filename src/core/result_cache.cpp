@@ -1,0 +1,153 @@
+#include "core/result_cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "util/atomic_file.h"
+#include "util/contracts.h"
+#include "util/hash.h"
+
+namespace mpsram::core {
+
+namespace {
+
+// Process-wide aggregate, fed by every instance's counters as they tick.
+std::atomic<std::uint64_t> global_hits{0};
+std::atomic<std::uint64_t> global_misses{0};
+std::atomic<std::uint64_t> global_stores{0};
+
+} // namespace
+
+Cache_mode parse_cache_mode(std::string_view text)
+{
+    if (text == "off") return Cache_mode::off;
+    if (text == "read") return Cache_mode::read;
+    if (text == "readwrite") return Cache_mode::readwrite;
+    throw util::Precondition_error(
+        "invalid MPSRAM_CACHE value '" + std::string(text) +
+        "' (accepted: 'off', 'read', 'readwrite')");
+}
+
+Cache_mode default_cache_mode()
+{
+    static const Cache_mode mode = [] {
+        const char* env = std::getenv("MPSRAM_CACHE");
+        if (env == nullptr) return Cache_mode::readwrite;
+        return parse_cache_mode(env);
+    }();
+    return mode;
+}
+
+std::string parse_cache_dir(std::string_view text)
+{
+    if (text.empty()) {
+        throw util::Precondition_error(
+            "invalid MPSRAM_CACHE_DIR value '' (must name a directory; "
+            "unset the variable to disable the cache)");
+    }
+    return std::string(text);
+}
+
+const std::optional<std::string>& default_cache_dir()
+{
+    static const std::optional<std::string> dir =
+        []() -> std::optional<std::string> {
+        const char* env = std::getenv("MPSRAM_CACHE_DIR");
+        if (env == nullptr) return std::nullopt;
+        return parse_cache_dir(env);
+    }();
+    return dir;
+}
+
+const char* to_string(Cache_mode mode)
+{
+    switch (mode) {
+    case Cache_mode::off: return "off";
+    case Cache_mode::read: return "read";
+    case Cache_mode::readwrite: return "readwrite";
+    }
+    return "off";
+}
+
+Result_cache::Result_cache(std::string directory, Cache_mode mode,
+                           std::uint64_t version)
+    : directory_(std::move(directory)), mode_(mode), version_(version)
+{
+    util::expects(!directory_.empty(),
+                  "a result cache needs a directory");
+}
+
+std::string Result_cache::entry_path(std::string_view kind,
+                                     std::uint64_t key) const
+{
+    return directory_ + "/v" + std::to_string(version_) + "/" +
+           std::string(kind) + "/" + util::hex16(key) + ".json";
+}
+
+std::optional<util::Json> Result_cache::load(std::string_view kind,
+                                             std::uint64_t key)
+{
+    const auto miss = [this]() -> std::optional<util::Json> {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        global_misses.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    };
+    if (mode_ == Cache_mode::off) return std::nullopt;
+
+    const std::optional<std::string> raw =
+        util::read_file(entry_path(kind, key));
+    if (!raw) return miss();
+
+    // A damaged entry (torn write outside write_file_atomic, disk fault,
+    // manual edit) must degrade to a recompute, never propagate.
+    try {
+        const util::Json envelope = util::Json::parse(*raw);
+        if (envelope.at("version").as_u64() != version_) return miss();
+        if (envelope.at("kind").as_string() != kind) return miss();
+        if (envelope.at("key").as_string() != util::hex16(key)) {
+            return miss();
+        }
+        const util::Json& payload = envelope.at("payload");
+        const std::uint64_t checksum = util::fnv1a(payload.dump());
+        if (envelope.at("checksum").as_string() != util::hex16(checksum)) {
+            return miss();
+        }
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        global_hits.fetch_add(1, std::memory_order_relaxed);
+        return payload;
+    } catch (const util::Precondition_error&) {
+        return miss();
+    }
+}
+
+void Result_cache::store(std::string_view kind, std::uint64_t key,
+                         const util::Json& payload)
+{
+    if (mode_ != Cache_mode::readwrite) return;
+
+    util::Json envelope;
+    envelope.set("version", version_);
+    envelope.set("kind", kind);
+    envelope.set("key", util::hex16(key));
+    envelope.set("checksum", util::hex16(util::fnv1a(payload.dump())));
+    envelope.set("payload", payload);
+
+    const std::string path = entry_path(kind, key);
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path());
+    util::write_file_atomic(path, envelope.dump());
+    stores_.fetch_add(1, std::memory_order_relaxed);
+    global_stores.fetch_add(1, std::memory_order_relaxed);
+}
+
+Cache_stats process_cache_stats()
+{
+    Cache_stats s;
+    s.hits = global_hits.load(std::memory_order_relaxed);
+    s.misses = global_misses.load(std::memory_order_relaxed);
+    s.stores = global_stores.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace mpsram::core

@@ -8,11 +8,13 @@
 
 #include "analytic/td_formula.h"
 #include "analytic/tw_formula.h"
+#include "core/serialize.h"
 #include "mc/distribution.h"
 #include "mc/surrogate.h"
 #include "pattern/engine.h"
 #include "sram/netlist_builder.h"
 #include "util/contracts.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace mpsram::core {
@@ -32,6 +34,18 @@ Study_session::Study_session(tech::Technology tech, Study_options opts)
         // With 4 tracks per pair and cyclic 3-coloring, pairs 0/3/6/9 have
         // mask-A bit lines; pick the interior one nearest the center.
         opts_.array.victim_pair = 6;
+    }
+
+    // Fingerprint the resolved configuration (victim_pair included), then
+    // bring up the on-disk cache if a directory is configured anywhere.
+    fingerprint_ = core::config_fingerprint(tech_, opts_);
+    const Cache_mode mode = opts_.cache.mode.value_or(default_cache_mode());
+    const std::string dir = !opts_.cache.directory.empty()
+                                ? opts_.cache.directory
+                                : default_cache_dir().value_or("");
+    if (mode != Cache_mode::off && !dir.empty()) {
+        cache_ = std::make_shared<Result_cache>(dir, mode,
+                                                serialization_version);
     }
 }
 
@@ -159,14 +173,32 @@ Study_session::worst_case_cached(tech::Patterning_option option,
         // The enumeration runs outside the lock; concurrent callers of the
         // same key block on the shared future instead of duplicating it.
         try {
+            const std::uint64_t disk_key =
+                corner_key(fingerprint_, option, word_lines, ol_3sigma);
+            std::optional<util::Json> stored =
+                cache_ ? cache_->load("corner", disk_key) : std::nullopt;
+            if (stored) {
+                // Served from disk: no enumeration, the search counter
+                // stays flat (the observable the warm-cache tests gate).
+                promise.set_value(
+                    std::make_shared<const mc::Worst_case_result>(
+                        worst_case_of_json(*stored)));
+                return entry.get();
+            }
+
             corner_searches_.fetch_add(1, std::memory_order_relaxed);
 
             const Case_geometry g =
                 case_geometry(option, word_lines, ol_3sigma);
-            promise.set_value(std::make_shared<const mc::Worst_case_result>(
+            auto result = std::make_shared<const mc::Worst_case_result>(
                 mc::find_worst_case(*g.engine, *extractor_, g.nominal,
                                     g.victims.bl, g.victims.vss, 3,
-                                    runner)));
+                                    runner));
+            if (cache_) {
+                cache_->store("corner", disk_key,
+                              json_of_worst_case(*result));
+            }
+            promise.set_value(std::move(result));
         } catch (...) {
             // Un-publish the failed slot so a later call can retry, then
             // propagate to every waiter (and to this caller via get()).
@@ -235,10 +267,30 @@ Study_session::calibrated_surfaces(Metric metric,
         // queries of the same key wait on the shared future, so each
         // surface is fitted exactly once per session.
         try {
+            const std::uint64_t disk_key =
+                surface_key(fingerprint_, metric, option, word_lines,
+                            ol_3sigma, acc, pol);
+            std::optional<util::Json> stored =
+                cache_ ? cache_->load("surface", disk_key) : std::nullopt;
+            if (stored) {
+                // Served from disk: no design evaluations, no fit — the
+                // fit counter stays flat (restored surfaces evaluate
+                // bitwise identically, Response_surface::restore).
+                promise.set_value(
+                    std::make_shared<const analytic::Yield_surfaces>(
+                        surfaces_of_json(*stored)));
+                return entry.get();
+            }
+
             surface_fits_.fetch_add(1, std::memory_order_relaxed);
-            promise.set_value(calibrate_surfaces(metric, option, word_lines,
-                                                 ol_3sigma, acc, pol,
-                                                 runner));
+            std::shared_ptr<const analytic::Yield_surfaces> fitted =
+                calibrate_surfaces(metric, option, word_lines, ol_3sigma,
+                                   acc, pol, runner);
+            if (cache_) {
+                cache_->store("surface", disk_key,
+                              json_of_surfaces(*fitted));
+            }
+            promise.set_value(std::move(fitted));
         } catch (...) {
             // Un-publish the failed slot (a gate miss or a failed design
             // transient) so a later call — e.g. after loosening the
@@ -513,6 +565,18 @@ double Study_session::nominal_td_spice(int word_lines,
         if (it != td_nominal_cache_.end()) return it->second;
     }
 
+    // Memory miss: consult the disk cache before paying for a transient.
+    const std::uint64_t disk_key = nominal_key(fingerprint_, "nominal_td",
+                                               word_lines, accuracy, solver);
+    if (cache_) {
+        if (const auto stored = cache_->load("nominal_td", disk_key)) {
+            const double td = util::double_of_json(stored->at("value"));
+            const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+            td_nominal_cache_.emplace(key, td);
+            return td;
+        }
+    }
+
     const sram::Bitline_electrical wires = nominal_wires(word_lines);
     // The simulation runs outside the lock: two threads racing on the same
     // key redundantly compute the same deterministic value, which beats
@@ -523,6 +587,11 @@ double Study_session::nominal_td_spice(int word_lines,
     } else {
         sram::Read_sim_context local;
         td = simulate_td_on(wires, word_lines, accuracy, solver, local);
+    }
+    if (cache_) {
+        util::Json payload;
+        payload.set("value", util::json_of_double(td));
+        cache_->store("nominal_td", disk_key, payload);
     }
     const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
     td_nominal_cache_.emplace(key, td);
@@ -541,6 +610,17 @@ double Study_session::nominal_tw_spice(int word_lines,
         if (it != tw_nominal_cache_.end()) return it->second;
     }
 
+    const std::uint64_t disk_key = nominal_key(fingerprint_, "nominal_tw",
+                                               word_lines, accuracy, solver);
+    if (cache_) {
+        if (const auto stored = cache_->load("nominal_tw", disk_key)) {
+            const double tw = util::double_of_json(stored->at("value"));
+            const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+            tw_nominal_cache_.emplace(key, tw);
+            return tw;
+        }
+    }
+
     const sram::Bitline_electrical wires = nominal_wires(word_lines);
     // Value-racy-but-deterministic, like the td memo.
     double tw = 0.0;
@@ -549,6 +629,11 @@ double Study_session::nominal_tw_spice(int word_lines,
     } else {
         sram::Write_sim_context local;
         tw = simulate_tw_on(wires, word_lines, accuracy, solver, local);
+    }
+    if (cache_) {
+        util::Json payload;
+        payload.set("value", util::json_of_double(tw));
+        cache_->store("nominal_tw", disk_key, payload);
     }
     const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
     tw_nominal_cache_.emplace(key, tw);
@@ -566,6 +651,17 @@ double Study_session::nominal_disturb_spice(
         if (it != disturb_nominal_cache_.end()) return it->second;
     }
 
+    const std::uint64_t disk_key = nominal_key(
+        fingerprint_, "nominal_disturb", word_lines, accuracy, solver);
+    if (cache_) {
+        if (const auto stored = cache_->load("nominal_disturb", disk_key)) {
+            const double bump = util::double_of_json(stored->at("value"));
+            const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
+            disturb_nominal_cache_.emplace(key, bump);
+            return bump;
+        }
+    }
+
     const sram::Bitline_electrical wires = nominal_wires(word_lines);
     double bump = 0.0;
     if (sim) {
@@ -575,6 +671,11 @@ double Study_session::nominal_disturb_spice(
         sram::Disturb_sim_context local;
         bump = simulate_disturb_on(wires, word_lines, accuracy, solver,
                                    local);
+    }
+    if (cache_) {
+        util::Json payload;
+        payload.set("value", util::json_of_double(bump));
+        cache_->store("nominal_disturb", disk_key, payload);
     }
     const std::lock_guard<std::mutex> lock(nominal_cache_mutex_);
     disturb_nominal_cache_.emplace(key, bump);
@@ -860,6 +961,27 @@ Result_table Study_session::run(const Query& query) const
         util::expects(c.word_lines > 0, "query case needs word lines");
     }
 
+    // Full-query cache: on a hit the run performs no simulation work at
+    // all (no memo traffic, no counter movement) and the rows — rebound
+    // onto THIS query's normalized axes — are bitwise identical to a
+    // fresh compute, by the determinism contract.
+    const std::uint64_t disk_key = cache_ ? query_key(*this, query) : 0;
+    if (cache_) {
+        if (const auto stored = cache_->load("query", disk_key)) {
+            const Result_table cached = result_table_of_json(*stored);
+            util::ensures(cached.metric() == query.metric &&
+                              cached.size() == cases.size(),
+                          "cached query entry does not match its key");
+            std::vector<Row_value> rows;
+            rows.reserve(cached.size());
+            for (std::size_t i = 0; i < cached.size(); ++i) {
+                rows.push_back(cached.raw(i));
+            }
+            return Result_table(query.metric, std::move(cases),
+                                std::move(rows));
+        }
+    }
+
     // Serial-case metrics keep their per-case results independent of the
     // sweep composition (and of query.runner): the plan runs in order on
     // the calling thread while each case parallelizes internally.
@@ -884,7 +1006,9 @@ Result_table Study_session::run(const Query& query) const
     });
     core::run(plan, fan_out);
 
-    return Result_table(query.metric, std::move(cases), std::move(rows));
+    Result_table table(query.metric, std::move(cases), std::move(rows));
+    if (cache_) cache_->store("query", disk_key, json_of_result_table(table));
+    return table;
 }
 
 } // namespace mpsram::core

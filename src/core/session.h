@@ -35,6 +35,7 @@
 #include "analytic/params.h"
 #include "analytic/response_surface.h"
 #include "core/query.h"
+#include "core/result_cache.h"
 #include "core/runner.h"
 #include "extract/extractor.h"
 #include "mc/worst_case.h"
@@ -70,6 +71,12 @@ struct Study_options {
     /// held-out validation size, and the relative-error budget a fitted
     /// surface must meet before the session serves it.
     analytic::Surrogate_options surrogate;
+    /// On-disk result cache policy (core/result_cache.h).  Unset fields
+    /// fall back to the MPSRAM_CACHE / MPSRAM_CACHE_DIR pins; with no
+    /// directory from either source the session runs uncached.  These
+    /// options never enter the canonical cache keys — caching is
+    /// execution policy, like thread counts.
+    Cache_options cache;
 };
 
 class Study_session {
@@ -151,6 +158,48 @@ public:
     {
         return surface_fits_.load(std::memory_order_relaxed);
     }
+
+    // --- on-disk result cache -------------------------------------------------
+    // When Study_options::cache (or the MPSRAM_CACHE_DIR pin) names a
+    // directory, the session persists its expensive artifacts across
+    // processes: full query results in run(), worst-case corners, nominal
+    // SPICE transients, and calibrated surrogate fits — each addressed by
+    // the canonical-hash contract of core/serialize.h.  The keys cover
+    // everything that influences a result (configuration fingerprint,
+    // resolved axes, resolved execution policies, MC spec, engine tiers,
+    // format version) and deliberately exclude everything that does not
+    // (thread counts, cache mode/directory).  That is sound because of
+    // the determinism contract above: a result is a pure function of its
+    // key material, bitwise identical at any thread count, so an entry
+    // written by any process — at any parallelism, in any shard — is THE
+    // result.  A warm cache therefore skips the corresponding compute
+    // entirely (corner_search_count() / surface_fit_count() stay flat on
+    // hits) and returns bitwise-identical rows.
+
+    /// Cache traffic of this session (entries served / missed / written).
+    /// All zero when the session runs uncached.
+    std::uint64_t cache_hit_count() const
+    {
+        return cache_ ? cache_->hit_count() : 0;
+    }
+    std::uint64_t cache_miss_count() const
+    {
+        return cache_ ? cache_->miss_count() : 0;
+    }
+    std::uint64_t cache_store_count() const
+    {
+        return cache_ ? cache_->store_count() : 0;
+    }
+    /// The resolved cache mode (off when no directory is configured).
+    Cache_mode cache_mode() const
+    {
+        return cache_ ? cache_->mode() : Cache_mode::off;
+    }
+
+    /// FNV-1a fingerprint of the session's technology + study options
+    /// (core/serialize.h) — the configuration component of every cache
+    /// key, exposed for the shard driver and tests.
+    std::uint64_t config_fingerprint() const { return fingerprint_; }
 
     /// Per-worker scratch of a query run: one simulation context per
     /// operation kind.  Contexts build their netlists lazily on first
@@ -240,6 +289,12 @@ private:
     Study_options opts_;
     std::unique_ptr<extract::Extractor> extractor_;
     sram::Cell_electrical cell_;
+
+    /// On-disk cache (null when off or no directory is configured) and
+    /// the configuration fingerprint its keys embed.  The cache's own
+    /// counters are atomic, so const query paths may use it freely.
+    std::shared_ptr<Result_cache> cache_;
+    std::uint64_t fingerprint_ = 0;
 
     // The nominal-metric memos (one per metric: td / tw / disturb bump),
     // keyed on (word_lines, accuracy, resolved solver policy) so queries

@@ -1,0 +1,132 @@
+#include "core/shard.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/serialize.h"
+#include "util/contracts.h"
+#include "util/hash.h"
+
+namespace mpsram::core {
+
+std::vector<Shard_range> shard_plan(std::size_t case_count,
+                                    std::size_t shards)
+{
+    util::expects(shards > 0, "a shard plan needs at least one shard");
+    std::vector<Shard_range> plan;
+    plan.reserve(shards);
+    const std::size_t base = case_count / shards;
+    const std::size_t extra = case_count % shards;
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < shards; ++i) {
+        const std::size_t size = base + (i < extra ? 1 : 0);
+        plan.push_back({begin, begin + size});
+        begin += size;
+    }
+    return plan;
+}
+
+Shard_part run_shard(const Study_session& session, const Query& query,
+                     Shard_range range, std::size_t index,
+                     std::size_t count)
+{
+    util::expects(range.begin <= range.end &&
+                      range.end <= query.cases.size(),
+                  "shard range exceeds the query's case list");
+    util::expects(index < count, "shard index exceeds the shard count");
+
+    Query sub = query;
+    sub.cases.assign(query.cases.begin() +
+                         static_cast<std::ptrdiff_t>(range.begin),
+                     query.cases.begin() +
+                         static_cast<std::ptrdiff_t>(range.end));
+
+    Shard_part part;
+    part.query_hash = query_key(session, query);
+    part.index = index;
+    part.count = count;
+    part.range = range;
+    part.table = session.run(sub);
+    return part;
+}
+
+util::Json json_of_shard_part(const Shard_part& part)
+{
+    util::Json j;
+    j.set("kind", "shard_part");
+    j.set("version", serialization_version);
+    j.set("query_hash", util::hex16(part.query_hash));
+    j.set("index", static_cast<std::uint64_t>(part.index));
+    j.set("count", static_cast<std::uint64_t>(part.count));
+    j.set("begin", static_cast<std::uint64_t>(part.range.begin));
+    j.set("end", static_cast<std::uint64_t>(part.range.end));
+    j.set("table", json_of_result_table(part.table));
+    return j;
+}
+
+Shard_part shard_part_of_json(const util::Json& j)
+{
+    util::expects(j.at("kind").as_string() == "shard_part",
+                  "not a shard-part envelope");
+    util::expects(j.at("version").as_u64() == serialization_version,
+                  "shard-part serialization version mismatch");
+    Shard_part part;
+    std::uint64_t hash = 0;
+    const std::string& hex = j.at("query_hash").as_string();
+    util::expects(hex.size() == 16, "malformed shard-part query hash");
+    for (const char c : hex) {
+        const int digit = c >= '0' && c <= '9'   ? c - '0'
+                          : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                                                 : -1;
+        util::expects(digit >= 0, "malformed shard-part query hash");
+        hash = hash << 4 | static_cast<std::uint64_t>(digit);
+    }
+    part.query_hash = hash;
+    part.index = static_cast<std::size_t>(j.at("index").as_u64());
+    part.count = static_cast<std::size_t>(j.at("count").as_u64());
+    part.range.begin = static_cast<std::size_t>(j.at("begin").as_u64());
+    part.range.end = static_cast<std::size_t>(j.at("end").as_u64());
+    part.table = result_table_of_json(j.at("table"));
+    return part;
+}
+
+Result_table merge_shard_parts(std::uint64_t query_hash,
+                               std::size_t case_count,
+                               std::vector<Shard_part> parts)
+{
+    util::expects(!parts.empty(), "merging zero shard parts");
+    std::sort(parts.begin(), parts.end(),
+              [](const Shard_part& a, const Shard_part& b) {
+                  return a.range.begin < b.range.begin;
+              });
+
+    const Metric metric = parts.front().table.metric();
+    std::vector<Query_case> cases;
+    std::vector<Row_value> rows;
+    cases.reserve(case_count);
+    rows.reserve(case_count);
+
+    std::size_t next = 0;
+    for (const Shard_part& part : parts) {
+        util::expects(part.query_hash == query_hash,
+                      "shard part answers a different query (canonical "
+                      "hash mismatch)");
+        util::expects(part.table.metric() == metric,
+                      "shard parts disagree on the metric");
+        util::expects(part.range.begin == next,
+                      "shard ranges do not tile the case list (gap or "
+                      "overlap)");
+        util::expects(part.table.size() == part.range.size(),
+                      "shard table size does not match its range");
+        for (std::size_t i = 0; i < part.table.size(); ++i) {
+            cases.push_back(part.table.axes(i));
+            rows.push_back(part.table.raw(i));
+        }
+        next = part.range.end;
+    }
+    util::expects(next == case_count,
+                  "shard ranges do not cover every case");
+    return Result_table(metric, std::move(cases), std::move(rows));
+}
+
+} // namespace mpsram::core

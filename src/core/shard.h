@@ -1,0 +1,79 @@
+// Shard executor: split one query's case list into k contiguous index
+// ranges, run each range as an independent process (or session), and
+// merge the partial Result_tables back into the single-process answer.
+//
+// Determinism argument for the merge: run() computes row i as a pure
+// function of case i and the session configuration — one job per case,
+// each writing only its own slot, randomized metrics keyed on sample
+// indices (core/session.h).  A shard therefore computes exactly the rows
+// of its range, bit for bit, that the single process would have computed
+// at those indices, and merging is pure concatenation in range order —
+// no reductions, no reordering, no arithmetic.  merge_shard_parts()
+// checks the preconditions that make that argument sound: every part
+// answers the same canonical query (query_key match) and the ranges tile
+// [0, case_count) exactly.
+//
+// The process-level driver is tools/mpsram_shard (emit / run / merge /
+// exec subcommands); this header is the library seam it and the tests
+// share.
+#ifndef MPSRAM_CORE_SHARD_H
+#define MPSRAM_CORE_SHARD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "core/session.h"
+#include "util/json.h"
+
+namespace mpsram::core {
+
+/// Half-open case-index range [begin, end).
+struct Shard_range {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+    bool operator==(const Shard_range&) const = default;
+};
+
+/// Split [0, case_count) into `shards` contiguous near-equal ranges (the
+/// first case_count % shards ranges get one extra case; empty ranges are
+/// legal when shards > case_count).  Deterministic tiling: concatenating
+/// the ranges in order reproduces [0, case_count).
+std::vector<Shard_range> shard_plan(std::size_t case_count,
+                                    std::size_t shards);
+
+/// One shard's answer: enough context to validate a merge.
+struct Shard_part {
+    std::uint64_t query_hash = 0;  ///< query_key of the FULL query
+    std::size_t index = 0;         ///< this shard's position, < count
+    std::size_t count = 0;         ///< total shards of the split
+    Shard_range range;             ///< case indices this part answers
+    Result_table table;            ///< rows of exactly that range
+};
+
+/// Run the sub-query of `query` restricted to `range` on `session` and
+/// wrap it as a merge-ready part.  `index` / `count` document the split.
+Shard_part run_shard(const Study_session& session, const Query& query,
+                     Shard_range range, std::size_t index,
+                     std::size_t count);
+
+/// Envelope round-trip for the part files the process driver exchanges.
+util::Json json_of_shard_part(const Shard_part& part);
+Shard_part shard_part_of_json(const util::Json& j);
+
+/// Concatenate the parts of one split back into the full Result_table.
+/// Parts may arrive in any order; they are assembled by range.  Throws
+/// util::Precondition_error unless every part carries `query_hash` and
+/// the ranges tile [0, case_count) exactly — the preconditions of the
+/// determinism argument above.  The merged table is bitwise identical to
+/// a single-process run of the full query.
+Result_table merge_shard_parts(std::uint64_t query_hash,
+                               std::size_t case_count,
+                               std::vector<Shard_part> parts);
+
+} // namespace mpsram::core
+
+#endif // MPSRAM_CORE_SHARD_H

@@ -1,0 +1,50 @@
+#include "util/atomic_file.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "util/contracts.h"
+
+namespace mpsram::util {
+
+std::optional<std::string> read_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    expects(!in.bad(), "read error on '" + path + "'");
+    return buffer.str();
+}
+
+void write_file_atomic(const std::string& path, std::string_view contents)
+{
+    // Unique within the process by counter, across processes by pid; both
+    // are deterministic inputs (no clocks, no RNG).
+    static std::atomic<unsigned long> serial{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(serial.fetch_add(1, std::memory_order_relaxed));
+
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        expects(static_cast<bool>(out),
+                "cannot create temporary file '" + tmp + "'");
+        out.write(contents.data(),
+                  static_cast<std::streamsize>(contents.size()));
+        out.flush();
+        expects(static_cast<bool>(out), "write error on '" + tmp + "'");
+    }
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw Precondition_error("cannot rename '" + tmp + "' over '" +
+                                 path + "'");
+    }
+}
+
+} // namespace mpsram::util

@@ -1,0 +1,35 @@
+// Atomic whole-file I/O for the result cache (core/result_cache.h).
+//
+// Concurrent cache writers — two processes, or two sessions in one
+// process, racing to store the same key — must never let a reader observe
+// a half-written entry.  write_file_atomic gets POSIX rename atomicity:
+// the contents land in a uniquely-named temporary in the SAME directory
+// (rename is only atomic within a filesystem) and are renamed over the
+// destination, so the destination path either holds the old bytes or the
+// complete new bytes, never a prefix.  Racing writers of one key both
+// succeed; last rename wins, and with content-addressed keys both wrote
+// the same bytes anyway.
+//
+// Temp names derive from the process id and a process-wide counter — not
+// from timestamps or randomness, which the determinism lint bans in src/.
+#ifndef MPSRAM_UTIL_ATOMIC_FILE_H
+#define MPSRAM_UTIL_ATOMIC_FILE_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mpsram::util {
+
+/// Entire contents of `path`, or nullopt when the file cannot be opened
+/// (absent, unreadable).  Read errors after open throw.
+std::optional<std::string> read_file(const std::string& path);
+
+/// Write `contents` to `path` atomically (temp file + rename).  Parent
+/// directories must exist.  Throws util::Precondition_error when the
+/// temporary cannot be written or the rename fails.
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+} // namespace mpsram::util
+
+#endif // MPSRAM_UTIL_ATOMIC_FILE_H

@@ -1,0 +1,21 @@
+#include "util/hash.h"
+
+namespace mpsram::util {
+
+std::uint64_t fnv1a(std::string_view text)
+{
+    return Fnv1a{}.update(text).digest();
+}
+
+std::string hex16(std::uint64_t v)
+{
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+} // namespace mpsram::util

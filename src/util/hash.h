@@ -1,0 +1,68 @@
+// Stable content hashing for the persistence layer (core/result_cache.h).
+//
+// FNV-1a over 64 bits: a fixed, platform-independent byte-stream hash, so
+// a cache key computed on one machine or in one process is the same key
+// everywhere.  std::hash is deliberately NOT used anywhere near the cache
+// — its value is unspecified per platform/STL and may change between
+// library versions, which would silently orphan every stored entry.
+//
+// Multi-byte inputs (u64, double) are folded little-endian-style by
+// explicit shifts, so the digest does not depend on host endianness.
+// Doubles hash their IEEE bit pattern (std::bit_cast), which makes the
+// digest total over NaNs: a NaN-poisoned value hashes reproducibly
+// instead of poisoning the key.
+#ifndef MPSRAM_UTIL_HASH_H
+#define MPSRAM_UTIL_HASH_H
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mpsram::util {
+
+/// Incremental FNV-1a (64-bit) hasher.
+class Fnv1a {
+public:
+    Fnv1a& update(std::string_view text)
+    {
+        for (const char c : text) step(static_cast<unsigned char>(c));
+        return *this;
+    }
+
+    Fnv1a& update(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            step(static_cast<unsigned char>(v >> (8 * i)));
+        }
+        return *this;
+    }
+
+    /// Hash the IEEE-754 bit pattern (total over NaN payloads and -0.0).
+    Fnv1a& update(double v)
+    {
+        return update(std::bit_cast<std::uint64_t>(v));
+    }
+
+    std::uint64_t digest() const { return state_; }
+
+private:
+    void step(unsigned char byte)
+    {
+        state_ ^= byte;
+        state_ *= 1099511628211ull;  // FNV prime (64-bit)
+    }
+
+    std::uint64_t state_ = 14695981039346656037ull;  // FNV offset basis
+};
+
+/// One-shot convenience.
+std::uint64_t fnv1a(std::string_view text);
+
+/// Fixed-width lowercase hex rendering of a digest ("00ab...", 16 chars)
+/// — the cache's file-name form of a key.
+std::string hex16(std::uint64_t v);
+
+} // namespace mpsram::util
+
+#endif // MPSRAM_UTIL_HASH_H

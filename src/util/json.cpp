@@ -1,0 +1,496 @@
+#include "util/json.h"
+
+#include <bit>
+#include <charconv>
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/hash.h"
+
+namespace mpsram::util {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted)
+{
+    throw Precondition_error(std::string("json value is not ") + wanted);
+}
+
+} // namespace
+
+bool Json::as_bool() const
+{
+    const bool* b = std::get_if<bool>(&value_);
+    if (!b) kind_error("a boolean");
+    return *b;
+}
+
+double Json::as_double() const
+{
+    if (const double* d = std::get_if<double>(&value_)) return *d;
+    if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) {
+        return static_cast<double>(*u);
+    }
+    kind_error("a number");
+}
+
+std::uint64_t Json::as_u64() const
+{
+    if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) {
+        return *u;
+    }
+    if (const double* d = std::get_if<double>(&value_)) {
+        // Canonical dumps never take this path (integral doubles dump
+        // without a decimal point and re-parse as u64), but hand-written
+        // input like `{"samples": 100.0}` should still be accepted when
+        // the value is exactly representable.
+        expects(*d >= 0.0 && *d <= 9007199254740992.0 &&
+                    *d == std::floor(*d),
+                "json number is not an exact unsigned integer");
+        return static_cast<std::uint64_t>(*d);
+    }
+    kind_error("an unsigned integer");
+}
+
+const std::string& Json::as_string() const
+{
+    const std::string* s = std::get_if<std::string>(&value_);
+    if (!s) kind_error("a string");
+    return *s;
+}
+
+const Json_array& Json::as_array() const
+{
+    const Json_array* a = std::get_if<Json_array>(&value_);
+    if (!a) kind_error("an array");
+    return *a;
+}
+
+const Json_object& Json::as_object() const
+{
+    const Json_object* o = std::get_if<Json_object>(&value_);
+    if (!o) kind_error("an object");
+    return *o;
+}
+
+Json_array& Json::as_array()
+{
+    Json_array* a = std::get_if<Json_array>(&value_);
+    if (!a) kind_error("an array");
+    return *a;
+}
+
+Json_object& Json::as_object()
+{
+    Json_object* o = std::get_if<Json_object>(&value_);
+    if (!o) kind_error("an object");
+    return *o;
+}
+
+const Json* Json::find(std::string_view key) const
+{
+    const Json_object* o = std::get_if<Json_object>(&value_);
+    if (!o) return nullptr;
+    // Last writer wins on (non-canonical) duplicate keys.
+    const Json* found = nullptr;
+    for (const auto& [k, v] : *o) {
+        if (k == key) found = &v;
+    }
+    return found;
+}
+
+const Json& Json::at(std::string_view key) const
+{
+    const Json* found = find(key);
+    if (!found) {
+        throw Precondition_error("json object is missing key '" +
+                                 std::string(key) + "'");
+    }
+    return *found;
+}
+
+void Json::set(std::string_view key, Json value)
+{
+    if (is_null()) value_ = Json_object{};
+    Json_object& o = as_object();
+    for (auto& [k, v] : o) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    o.emplace_back(std::string(key), std::move(value));
+}
+
+// --- dump --------------------------------------------------------------------
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out)
+{
+    static constexpr char hex[] = "0123456789abcdef";
+    out += '"';
+    for (const char raw : s) {
+        const auto c = static_cast<unsigned char>(raw);
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                out += "\\u00";
+                out += hex[c >> 4];
+                out += hex[c & 0xf];
+            } else {
+                out += raw;
+            }
+        }
+    }
+    out += '"';
+}
+
+void dump_number(double v, std::string& out)
+{
+    // Shortest decimal that round-trips to the identical bit pattern —
+    // the property that makes dump() content-addressable.  Non-finite
+    // values have no JSON form; callers encode them via json_of_double.
+    expects(std::isfinite(v), "json cannot dump a non-finite number "
+                              "(use json_of_double)");
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out.append(buf, res.ptr);
+}
+
+void dump_value(const Json& j, std::string& out)
+{
+    switch (j.kind()) {
+    case Json::Kind::null: out += "null"; break;
+    case Json::Kind::boolean: out += j.as_bool() ? "true" : "false"; break;
+    case Json::Kind::number: dump_number(j.as_double(), out); break;
+    case Json::Kind::u64: {
+        char buf[24];
+        const auto res = std::to_chars(buf, buf + sizeof buf, j.as_u64());
+        out.append(buf, res.ptr);
+        break;
+    }
+    case Json::Kind::string: dump_string(j.as_string(), out); break;
+    case Json::Kind::array: {
+        out += '[';
+        const Json_array& a = j.as_array();
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (i) out += ',';
+            dump_value(a[i], out);
+        }
+        out += ']';
+        break;
+    }
+    case Json::Kind::object: {
+        out += '{';
+        const Json_object& o = j.as_object();
+        for (std::size_t i = 0; i < o.size(); ++i) {
+            if (i) out += ',';
+            dump_string(o[i].first, out);
+            out += ':';
+            dump_value(o[i].second, out);
+        }
+        out += '}';
+        break;
+    }
+    }
+}
+
+} // namespace
+
+std::string Json::dump() const
+{
+    std::string out;
+    dump_value(*this, out);
+    return out;
+}
+
+// --- parse -------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json run()
+    {
+        const Json value = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters");
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const
+    {
+        throw Precondition_error("json parse error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_ws()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    Json parse_value()
+    {
+        skip_ws();
+        switch (peek()) {
+        case '{': return parse_object();
+        case '[': return parse_array();
+        case '"': return Json(parse_string());
+        case 't':
+            if (!consume_literal("true")) fail("bad literal");
+            return Json(true);
+        case 'f':
+            if (!consume_literal("false")) fail("bad literal");
+            return Json(false);
+        case 'n':
+            if (!consume_literal("null")) fail("bad literal");
+            return Json(nullptr);
+        default: return parse_number();
+        }
+    }
+
+    Json parse_object()
+    {
+        expect('{');
+        Json_object members;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return Json(std::move(members));
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            members.emplace_back(std::move(key), parse_value());
+            skip_ws();
+            const char c = peek();
+            ++pos_;
+            if (c == '}') return Json(std::move(members));
+            if (c != ',') fail("expected ',' or '}'");
+        }
+    }
+
+    Json parse_array()
+    {
+        expect('[');
+        Json_array items;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return Json(std::move(items));
+        }
+        while (true) {
+            items.push_back(parse_value());
+            skip_ws();
+            const char c = peek();
+            ++pos_;
+            if (c == ']') return Json(std::move(items));
+            if (c != ',') fail("expected ',' or ']'");
+        }
+    }
+
+    unsigned parse_hex4()
+    {
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = peek();
+            ++pos_;
+            value <<= 4;
+            if (c >= '0' && c <= '9') {
+                value |= static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            } else {
+                fail("bad \\u escape");
+            }
+        }
+        return value;
+    }
+
+    void append_utf8(unsigned cp, std::string& out)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    std::string parse_string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            const char c = peek();
+            ++pos_;
+            if (c == '"') return out;
+            if (c == '\\') {
+                const char esc = peek();
+                ++pos_;
+                switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    unsigned cp = parse_hex4();
+                    if (cp >= 0xd800 && cp <= 0xdbff &&
+                        text_.substr(pos_, 2) == "\\u") {
+                        pos_ += 2;
+                        const unsigned lo = parse_hex4();
+                        if (lo < 0xdc00 || lo > 0xdfff) {
+                            fail("bad surrogate pair");
+                        }
+                        cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                    }
+                    append_utf8(cp, out);
+                    break;
+                }
+                default: fail("bad escape");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    Json parse_number()
+    {
+        const std::size_t start = pos_;
+        bool integral = true;
+        if (peek() == '-') {
+            integral = false;
+            ++pos_;
+        }
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start) fail("expected a value");
+        const char* first = text_.data() + start;
+        const char* last = text_.data() + pos_;
+        if (integral) {
+            // Unsigned integer tokens keep 64-bit precision (seeds exceed
+            // a double's 2^53 exact range); overflow falls back to double.
+            std::uint64_t u = 0;
+            const auto res = std::from_chars(first, last, u);
+            if (res.ec == std::errc{} && res.ptr == last) return Json(u);
+        }
+        double d = 0.0;
+        const auto res = std::from_chars(first, last, d);
+        if (res.ec != std::errc{} || res.ptr != last) fail("bad number");
+        return Json(d);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json Json::parse(std::string_view text)
+{
+    return Parser(text).run();
+}
+
+// --- non-finite double tagging -----------------------------------------------
+
+Json json_of_double(double v)
+{
+    if (std::isfinite(v)) return Json(v);
+    return Json("f64:" + hex16(std::bit_cast<std::uint64_t>(v)));
+}
+
+double double_of_json(const Json& j)
+{
+    if (j.is_string()) {
+        const std::string& s = j.as_string();
+        expects(s.size() == 20 && s.compare(0, 4, "f64:") == 0,
+                "expected an 'f64:<16 hex digits>' tagged double");
+        std::uint64_t bits = 0;
+        const auto res =
+            std::from_chars(s.data() + 4, s.data() + s.size(), bits, 16);
+        expects(res.ec == std::errc{} && res.ptr == s.data() + s.size(),
+                "bad hex digits in tagged double");
+        return std::bit_cast<double>(bits);
+    }
+    if (j.kind() == Json::Kind::u64) {
+        // Integral doubles dump without a decimal point and re-parse as
+        // u64; values that took that path are exactly representable, but
+        // 2^64-1 itself would round up on the cast, so go through the
+        // text form only for in-range values.
+        const std::uint64_t u = j.as_u64();
+        const double d = static_cast<double>(u);
+        // Guard the cast-back: 2^64-1 rounds UP to 2^64, whose conversion
+        // to u64 would be undefined, not merely inexact.
+        expects(d < 18446744073709551616.0 &&
+                    static_cast<std::uint64_t>(d) == u,
+                "integer is too large for an exact double");
+        return d;
+    }
+    return j.as_double();
+}
+
+} // namespace mpsram::util

@@ -1,0 +1,108 @@
+// Canonical JSON for the persistence layer (core/serialize.h,
+// core/result_cache.h).
+//
+// A deliberately small value type + parser + dumper with the properties a
+// content-addressed cache needs and a general-purpose library would not
+// promise:
+//
+//   * Deterministic compact dump: no whitespace, object members in
+//     insertion order (objects are ordered vectors, never hash maps), and
+//     doubles rendered by std::to_chars shortest-round-trip — the same
+//     value always produces the same bytes, so dump() output is hashable.
+//   * Bitwise numeric round-trip: a finite double dumps to the shortest
+//     decimal that parses back to the identical bit pattern; integers up
+//     to 2^64-1 (seeds) keep full precision through a dedicated u64 kind
+//     (a plain double kind would truncate above 2^53).
+//   * Non-finite doubles (NaN-poisoned rows, infinities) have no JSON
+//     number form; json_of_double encodes them as the tagged string
+//     "f64:<16 hex digits>" of their bit pattern and double_of_json
+//     decodes it, so a NaN payload round-trips bitwise (see the
+//     Result_table serialization contract, core/serialize.h).
+//
+// Parsing is strict: malformed input throws util::Precondition_error with
+// the byte offset.  Duplicate object keys are accepted (last one wins via
+// find(); canonical producers never emit them).
+#ifndef MPSRAM_UTIL_JSON_H
+#define MPSRAM_UTIL_JSON_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace mpsram::util {
+
+class Json;
+/// Ordered members — canonical dumps must not depend on a hash order.
+using Json_object = std::vector<std::pair<std::string, Json>>;
+using Json_array = std::vector<Json>;
+
+class Json {
+public:
+    enum class Kind { null, boolean, number, u64, string, array, object };
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool b) : value_(b) {}
+    Json(double v) : value_(v) {}
+    Json(std::uint64_t v) : value_(v) {}
+    Json(int v) : value_(static_cast<double>(v)) {}
+    Json(const char* s) : value_(std::string(s)) {}
+    Json(std::string s) : value_(std::move(s)) {}
+    Json(std::string_view s) : value_(std::string(s)) {}
+    Json(Json_array a) : value_(std::move(a)) {}
+    Json(Json_object o) : value_(std::move(o)) {}
+
+    Kind kind() const { return static_cast<Kind>(value_.index()); }
+    bool is_null() const { return kind() == Kind::null; }
+    bool is_object() const { return kind() == Kind::object; }
+    bool is_array() const { return kind() == Kind::array; }
+    bool is_string() const { return kind() == Kind::string; }
+
+    /// Typed access; throws util::Precondition_error on a kind mismatch.
+    bool as_bool() const;
+    /// Accepts both numeric kinds (an integral double dumps without a
+    /// decimal point and parses back as u64; the cast is exact for every
+    /// value that took that path).
+    double as_double() const;
+    /// Accepts u64, and a non-negative integral double (<= 2^53).
+    std::uint64_t as_u64() const;
+    const std::string& as_string() const;
+    const Json_array& as_array() const;
+    const Json_object& as_object() const;
+    Json_array& as_array();
+    Json_object& as_object();
+
+    /// Object member lookup; nullptr when absent (or not an object).
+    const Json* find(std::string_view key) const;
+    /// Object member access; throws naming the missing key.
+    const Json& at(std::string_view key) const;
+    /// Append (or replace) an object member, keeping insertion order.
+    void set(std::string_view key, Json value);
+
+    /// Canonical compact rendering (see the header comment).
+    std::string dump() const;
+
+    /// Strict parse; throws util::Precondition_error on malformed input.
+    static Json parse(std::string_view text);
+
+private:
+    std::variant<std::nullptr_t, bool, double, std::uint64_t, std::string,
+                 Json_array, Json_object>
+        value_ = nullptr;
+};
+
+/// Encode a double for JSON: finite values as numbers (shortest
+/// round-trip), non-finite as the tagged string "f64:<16 hex digits>" of
+/// the IEEE bit pattern.  Always round-trips bitwise via double_of_json.
+Json json_of_double(double v);
+
+/// Decode json_of_double's output (number, u64, or "f64:..." string).
+double double_of_json(const Json& j);
+
+} // namespace mpsram::util
+
+#endif // MPSRAM_UTIL_JSON_H

@@ -1,0 +1,291 @@
+// Persistence layer (core/serialize.h + core/result_cache.h): canonical
+// round-trips, the canonical-hash contract, and the on-disk cache's
+// correctness properties — version-bump invalidation, corruption
+// degrading to a miss, concurrent writers leaving one valid entry, and a
+// warm session served entirely from disk.
+#include "core/result_cache.h"
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "core/runner.h"
+#include "core/session.h"
+#include "util/atomic_file.h"
+#include "util/contracts.h"
+#include "util/hash.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace mpsram;
+
+/// Fresh per-test scratch directory under the ctest working directory.
+std::string scratch_dir(const std::string& name)
+{
+    const std::string dir = "cache_test_scratch/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::string entry_file(const std::string& dir, std::uint64_t version,
+                       const std::string& kind, std::uint64_t key)
+{
+    return dir + "/v" + std::to_string(version) + "/" + kind + "/" +
+           util::hex16(key) + ".json";
+}
+
+TEST(CoreCache, QueryJsonRoundTripsEveryField)
+{
+    core::Query q(core::Metric::mc_twp);
+    q.cases = {{tech::Patterning_option::le3, 24, 0.5},
+               {tech::Patterning_option::sadp, 0, -1.0}};
+    q.accuracy = sram::Sim_accuracy::reference;
+    q.mc.samples = 123;
+    q.mc.seed = 0xdeadbeefcafef00dULL;  // > 2^53: needs the u64 kind
+    q.mc.truncate_k = 2.5;
+    q.mc.sampling = mc::Sampling::latin_hypercube;
+    q.mc.store_samples = false;
+    q.twp_engine = core::Twp_engine::surrogate;
+
+    const core::Query back =
+        core::query_of_json(core::json_of_query(q));
+    EXPECT_EQ(core::json_of_query(back).dump(),
+              core::json_of_query(q).dump());
+    EXPECT_EQ(back.metric, q.metric);
+    EXPECT_EQ(back.cases, q.cases);
+    EXPECT_EQ(back.accuracy, q.accuracy);
+    EXPECT_EQ(back.mc.seed, q.mc.seed);
+    EXPECT_EQ(back.mc.sampling, q.mc.sampling);
+    EXPECT_EQ(back.twp_engine, q.twp_engine);
+}
+
+TEST(CoreCache, QueryKeyIgnoresExecutionPolicy)
+{
+    const core::Study_session session;
+    const core::Query base =
+        core::Query(core::Metric::read_td)
+            .with_case({tech::Patterning_option::le3, 16, -1.0});
+
+    // Thread counts are execution policy: bitwise-identical results at
+    // any count is the determinism contract, so the key must not move.
+    core::Query threaded = base;
+    threaded.runner.threads = 8;
+    threaded.mc.runner.threads = 8;
+    EXPECT_EQ(core::query_key(session, base),
+              core::query_key(session, threaded));
+}
+
+TEST(CoreCache, QueryKeyResolvesSessionDefaults)
+{
+    const core::Study_session session;
+    // word_lines <= 0 resolves to the session's array default (64) and
+    // any negative overlay budget normalizes to -1: different spellings
+    // of the same resolved case share one entry.
+    const core::Query spelled =
+        core::Query(core::Metric::read_td)
+            .with_case({tech::Patterning_option::le3, 0, -5.0});
+    const core::Query resolved =
+        core::Query(core::Metric::read_td)
+            .with_case({tech::Patterning_option::le3,
+                        session.options().array.word_lines, -1.0});
+    EXPECT_EQ(core::query_key(session, spelled),
+              core::query_key(session, resolved));
+}
+
+TEST(CoreCache, QueryKeySeparatesResultChangingFields)
+{
+    const core::Study_session session;
+    const core::Query base =
+        core::Query(core::Metric::mc_tdp)
+            .with_case({tech::Patterning_option::le3, 16, -1.0});
+    const std::uint64_t base_key = core::query_key(session, base);
+
+    core::Query other_seed = base;
+    other_seed.mc.seed += 1;
+    EXPECT_NE(core::query_key(session, other_seed), base_key);
+
+    core::Query other_metric = base;
+    other_metric.metric = core::Metric::mc_twp;
+    EXPECT_NE(core::query_key(session, other_metric), base_key);
+
+    core::Query other_engine = base;
+    other_engine.tdp_engine = core::Tdp_engine::surrogate;
+    EXPECT_NE(core::query_key(session, other_engine), base_key);
+
+    core::Query other_accuracy = base;
+    other_accuracy.accuracy = sram::Sim_accuracy::reference;
+    EXPECT_NE(core::query_key(session, other_accuracy), base_key);
+}
+
+TEST(CoreCache, NanPoisonedTableRoundTripsBitwise)
+{
+    // A non-flipping write sample poisons its row with NaN; IEEE ==
+    // cannot compare such tables, so the bitwise check is dump equality.
+    constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    const core::Result_table table(
+        core::Metric::write_tw,
+        {{tech::Patterning_option::le3, 16, -1.0},
+         {tech::Patterning_option::euv, 16, -1.0}},
+        {core::Write_row{nan, -0.0, inf}, core::Write_row{1e-9, 2e-9, 3.5}});
+
+    const util::Json encoded = core::json_of_result_table(table);
+    const core::Result_table back = core::result_table_of_json(
+        util::Json::parse(encoded.dump()));
+    EXPECT_EQ(core::json_of_result_table(back).dump(), encoded.dump());
+    EXPECT_TRUE(std::isnan(back.as<core::Write_row>(0).tw_nominal));
+    EXPECT_TRUE(std::signbit(back.as<core::Write_row>(0).tw_varied));
+    EXPECT_TRUE(std::isinf(back.as<core::Write_row>(0).twp_percent));
+}
+
+TEST(CoreCache, WarmSessionIsServedEntirelyFromDisk)
+{
+    const std::string dir = scratch_dir("warm");
+    core::Study_options opts;
+    opts.cache.mode = core::Cache_mode::readwrite;
+    opts.cache.directory = dir;
+    const core::Query query =
+        core::Query(core::Metric::read_td)
+            .with_case({tech::Patterning_option::le3, 16, -1.0});
+
+    core::Result_table cold_table;
+    {
+        const core::Study_session cold(tech::n10(), opts);
+        cold_table = cold.run(query);
+        EXPECT_EQ(cold.cache_hit_count(), 0u);
+        EXPECT_GT(cold.cache_store_count(), 0u);
+        EXPECT_EQ(cold.corner_search_count(), 1u);
+    }
+    {
+        const core::Study_session warm(tech::n10(), opts);
+        const core::Result_table warm_table = warm.run(query);
+        // The acceptance gate: zero SPICE work, served from disk,
+        // bitwise identical.
+        EXPECT_GT(warm.cache_hit_count(), 0u);
+        EXPECT_EQ(warm.corner_search_count(), 0u);
+        EXPECT_EQ(warm.surface_fit_count(), 0u);
+        EXPECT_EQ(warm_table, cold_table);
+        EXPECT_EQ(core::json_of_result_table(warm_table).dump(),
+                  core::json_of_result_table(cold_table).dump());
+    }
+}
+
+TEST(CoreCache, VersionBumpOrphansOldEntries)
+{
+    const std::string dir = scratch_dir("version");
+    util::Json payload;
+    payload.set("value", 42.0);
+
+    core::Result_cache v1(dir, core::Cache_mode::readwrite, 1);
+    v1.store("query", 7, payload);
+    ASSERT_TRUE(v1.load("query", 7).has_value());
+
+    core::Result_cache v2(dir, core::Cache_mode::readwrite, 2);
+    EXPECT_FALSE(v2.load("query", 7).has_value());
+    EXPECT_EQ(v2.miss_count(), 1u);
+}
+
+TEST(CoreCache, CorruptedEntriesDegradeToMisses)
+{
+    const std::string dir = scratch_dir("corrupt");
+    util::Json payload;
+    payload.set("value", 42.0);
+    core::Result_cache cache(dir, core::Cache_mode::readwrite, 1);
+    cache.store("query", 9, payload);
+    const std::string path = entry_file(dir, 1, "query", 9);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Truncated file: not even JSON.
+    util::write_file_atomic(path, "{\"version\":1,\"kind\":\"qu");
+    EXPECT_FALSE(cache.load("query", 9).has_value());
+
+    // Tampered payload: parses, but the checksum no longer matches.
+    const std::optional<std::string> original = util::read_file(path);
+    cache.store("query", 9, payload);
+    util::Json envelope =
+        util::Json::parse(*util::read_file(path));
+    envelope.set("payload", [] {
+        util::Json j;
+        j.set("value", 43.0);
+        return j;
+    }());
+    util::write_file_atomic(path, envelope.dump());
+    EXPECT_FALSE(cache.load("query", 9).has_value());
+
+    // A wrong-kind hit (file renamed across kind directories) misses too.
+    cache.store("query", 9, payload);
+    const std::string corner_path = entry_file(dir, 1, "corner", 9);
+    std::filesystem::create_directories(
+        std::filesystem::path(corner_path).parent_path());
+    std::filesystem::copy_file(
+        path, corner_path,
+        std::filesystem::copy_options::overwrite_existing);
+    EXPECT_FALSE(cache.load("corner", 9).has_value());
+
+    // The intact entry still hits.
+    EXPECT_TRUE(cache.load("query", 9).has_value());
+    (void)original;
+}
+
+TEST(CoreCache, ConcurrentWritersLeaveOneValidEntry)
+{
+    const std::string dir = scratch_dir("concurrent");
+    util::Json payload;
+    payload.set("rows", util::Json_array{util::Json(1.25), util::Json(2.5)});
+    const std::string expected = payload.dump();
+
+    // Every writer stores the same bytes (the determinism contract is
+    // what makes that true for real results); whichever rename wins must
+    // leave a loadable, checksum-valid entry.
+    core::run_indexed(
+        16,
+        [&dir, &payload](std::size_t, const core::Run_context&) {
+            core::Result_cache writer(dir, core::Cache_mode::readwrite, 1);
+            writer.store("query", 11, payload);
+        },
+        core::Runner_options{8});
+
+    core::Result_cache reader(dir, core::Cache_mode::readwrite, 1);
+    const auto loaded = reader.load("query", 11);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->dump(), expected);
+    EXPECT_EQ(reader.hit_count(), 1u);
+}
+
+TEST(CoreCache, ReadModeNeverWrites)
+{
+    const std::string dir = scratch_dir("readonly");
+    util::Json payload;
+    payload.set("value", 1.0);
+    core::Result_cache reader(dir, core::Cache_mode::read, 1);
+    reader.store("query", 3, payload);
+    EXPECT_EQ(reader.store_count(), 0u);
+    EXPECT_FALSE(std::filesystem::exists(entry_file(dir, 1, "query", 3)));
+    EXPECT_FALSE(reader.load("query", 3).has_value());
+    EXPECT_EQ(reader.miss_count(), 1u);
+}
+
+TEST(CoreCache, UncachedSessionReportsZeroTrafficAndOffMode)
+{
+    core::Study_options opts;
+    opts.cache.mode = core::Cache_mode::off;
+    // `off` wins even with a directory configured (also sidesteps GCC
+    // 12's optional<string> maybe-uninitialized false positive at -O3).
+    opts.cache.directory = scratch_dir("off");
+    const core::Study_session session(tech::n10(), opts);
+    EXPECT_EQ(session.cache_mode(), core::Cache_mode::off);
+    EXPECT_EQ(session.cache_hit_count(), 0u);
+    EXPECT_EQ(session.cache_miss_count(), 0u);
+    EXPECT_EQ(session.cache_store_count(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+// Shard executor (core/shard.h): plan tiling, part-envelope round-trip,
+// the k=1/2/4 merge-equals-single-process contract, and the merge
+// preconditions that keep a bad part file from producing a wrong table.
+#include "core/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/query.h"
+#include "core/serialize.h"
+#include "core/session.h"
+#include "util/contracts.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace mpsram;
+
+TEST(CoreShard, PlanTilesTheCaseListContiguously)
+{
+    for (const auto& [count, shards] :
+         {std::pair<std::size_t, std::size_t>{10, 3},
+          {7, 7},
+          {5, 8},
+          {0, 2},
+          {12, 1}}) {
+        const std::vector<core::Shard_range> plan =
+            core::shard_plan(count, shards);
+        ASSERT_EQ(plan.size(), shards);
+        std::size_t next = 0;
+        std::size_t max_size = 0;
+        std::size_t min_size = count + 1;
+        for (const core::Shard_range& r : plan) {
+            EXPECT_EQ(r.begin, next);
+            EXPECT_LE(r.begin, r.end);
+            next = r.end;
+            max_size = std::max(max_size, r.size());
+            min_size = std::min(min_size, r.size());
+        }
+        EXPECT_EQ(next, count);
+        // Near-equal split: sizes differ by at most one.
+        EXPECT_LE(max_size - min_size, 1u);
+    }
+}
+
+TEST(CoreShard, PlanRejectsZeroShards)
+{
+    EXPECT_THROW(core::shard_plan(4, 0), util::Precondition_error);
+}
+
+TEST(CoreShard, PartEnvelopeRoundTrips)
+{
+    core::Shard_part part;
+    part.query_hash = 0x0123456789abcdefULL;
+    part.index = 1;
+    part.count = 3;
+    part.range = {2, 4};
+    part.table = core::Result_table(
+        core::Metric::nominal_td,
+        {{tech::Patterning_option::euv, 16, -1.0},
+         {tech::Patterning_option::euv, 24, -1.0}},
+        {core::Nominal_td_row{1e-9, 1.1e-9},
+         core::Nominal_td_row{2e-9, 2.1e-9}});
+
+    const util::Json encoded = core::json_of_shard_part(part);
+    const core::Shard_part back = core::shard_part_of_json(
+        util::Json::parse(encoded.dump()));
+    EXPECT_EQ(back.query_hash, part.query_hash);
+    EXPECT_EQ(back.index, part.index);
+    EXPECT_EQ(back.count, part.count);
+    EXPECT_EQ(back.range, part.range);
+    EXPECT_EQ(back.table, part.table);
+}
+
+TEST(CoreShard, MergedShardsMatchSingleProcessBitwise)
+{
+    // One session: the per-(option, word_lines) memos mean the SPICE work
+    // runs once and every shard split reuses it, so the test stays cheap
+    // while still exercising run_shard's sub-query path end to end.
+    const core::Study_session session;
+    static constexpr int sizes[] = {16, 24, 32, 48};
+    const core::Query query =
+        core::Query(core::Metric::read_td)
+            .over_word_lines(tech::Patterning_option::le3, sizes);
+
+    const core::Result_table full = session.run(query);
+    const std::uint64_t hash = core::query_key(session, query);
+
+    for (const std::size_t k : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}}) {
+        const std::vector<core::Shard_range> plan =
+            core::shard_plan(query.cases.size(), k);
+        std::vector<core::Shard_part> parts;
+        // Reverse submission order: merge must reassemble by range.
+        for (std::size_t i = k; i-- > 0;) {
+            parts.push_back(
+                core::run_shard(session, query, plan[i], i, k));
+        }
+        const core::Result_table merged = core::merge_shard_parts(
+            hash, query.cases.size(), std::move(parts));
+        EXPECT_EQ(merged, full) << "k=" << k;
+        EXPECT_EQ(core::json_of_result_table(merged).dump(),
+                  core::json_of_result_table(full).dump())
+            << "k=" << k;
+    }
+}
+
+TEST(CoreShard, MergeRejectsInvalidPartSets)
+{
+    const core::Study_session session;
+    static constexpr int sizes[] = {16, 24};
+    const core::Query query =
+        core::Query(core::Metric::nominal_td)
+            .over_word_lines(tech::Patterning_option::euv, sizes);
+    const std::uint64_t hash = core::query_key(session, query);
+    const std::vector<core::Shard_range> plan =
+        core::shard_plan(query.cases.size(), 2);
+
+    const auto parts = [&] {
+        std::vector<core::Shard_part> p;
+        p.push_back(core::run_shard(session, query, plan[0], 0, 2));
+        p.push_back(core::run_shard(session, query, plan[1], 1, 2));
+        return p;
+    };
+
+    // A part answering a different canonical query.
+    {
+        std::vector<core::Shard_part> p = parts();
+        p[0].query_hash ^= 1;
+        EXPECT_THROW(core::merge_shard_parts(hash, query.cases.size(),
+                                             std::move(p)),
+                     util::Precondition_error);
+    }
+    // A gap: one range missing.
+    {
+        std::vector<core::Shard_part> p = parts();
+        p.pop_back();
+        EXPECT_THROW(core::merge_shard_parts(hash, query.cases.size(),
+                                             std::move(p)),
+                     util::Precondition_error);
+    }
+    // An overlap: the same range twice.
+    {
+        std::vector<core::Shard_part> p = parts();
+        p[1] = p[0];
+        EXPECT_THROW(core::merge_shard_parts(hash, query.cases.size(),
+                                             std::move(p)),
+                     util::Precondition_error);
+    }
+    // Zero parts.
+    EXPECT_THROW(core::merge_shard_parts(hash, query.cases.size(), {}),
+                 util::Precondition_error);
+    // The valid set still merges.
+    EXPECT_EQ(core::merge_shard_parts(hash, query.cases.size(), parts())
+                  .size(),
+              query.cases.size());
+}
+
+} // namespace

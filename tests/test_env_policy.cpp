@@ -1,6 +1,7 @@
-// Env-pin parsing for the two execution-policy variables.  The memoized
-// default_* getters can only be exercised once per process, so the tests
-// target the parse functions they delegate to.
+// Env-pin parsing for the execution-policy and cache variables.  The
+// memoized default_* getters can only be exercised once per process, so
+// the tests target the parse functions they delegate to.
+#include "core/result_cache.h"
 #include "sram/sim_accuracy.h"
 #include "sram/solver_policy.h"
 
@@ -80,6 +81,68 @@ TEST(EnvPolicy, SolverPolicyErrorNamesValueAndAcceptedSet)
     }
 }
 
+TEST(EnvPolicy, CacheModeParsesAcceptedTokens)
+{
+    EXPECT_EQ(core::parse_cache_mode("off"), core::Cache_mode::off);
+    EXPECT_EQ(core::parse_cache_mode("read"), core::Cache_mode::read);
+    EXPECT_EQ(core::parse_cache_mode("readwrite"),
+              core::Cache_mode::readwrite);
+}
+
+TEST(EnvPolicy, CacheModeRejectsUnknownToken)
+{
+    EXPECT_THROW(core::parse_cache_mode("Off"), util::Precondition_error);
+    EXPECT_THROW(core::parse_cache_mode(""), util::Precondition_error);
+    EXPECT_THROW(core::parse_cache_mode("write"),
+                 util::Precondition_error);
+    EXPECT_THROW(core::parse_cache_mode("rw"), util::Precondition_error);
+}
+
+TEST(EnvPolicy, CacheModeErrorNamesValueAndAcceptedSet)
+{
+    try {
+        core::parse_cache_mode("readwrit");
+        FAIL() << "parse should have thrown";
+    } catch (const util::Precondition_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("MPSRAM_CACHE"), std::string::npos) << what;
+        EXPECT_NE(what.find("'readwrit'"), std::string::npos) << what;
+        EXPECT_NE(what.find("'off'"), std::string::npos) << what;
+        EXPECT_NE(what.find("'read'"), std::string::npos) << what;
+        EXPECT_NE(what.find("'readwrite'"), std::string::npos) << what;
+    }
+}
+
+TEST(EnvPolicy, CacheDirAcceptsAnyNonEmptyPath)
+{
+    EXPECT_EQ(core::parse_cache_dir("/tmp/mpsram-cache"),
+              "/tmp/mpsram-cache");
+    EXPECT_EQ(core::parse_cache_dir("relative/dir"), "relative/dir");
+}
+
+TEST(EnvPolicy, CacheDirRejectsEmptyPinNamingTheVariable)
+{
+    // An empty pin is a configuration bug, not "no cache": disabling is
+    // spelled by unsetting the variable (or MPSRAM_CACHE=off).
+    try {
+        core::parse_cache_dir("");
+        FAIL() << "parse should have thrown";
+    } catch (const util::Precondition_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("MPSRAM_CACHE_DIR"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(EnvPolicy, CacheToStringRoundTripsThroughParse)
+{
+    for (const core::Cache_mode mode :
+         {core::Cache_mode::off, core::Cache_mode::read,
+          core::Cache_mode::readwrite}) {
+        EXPECT_EQ(core::parse_cache_mode(core::to_string(mode)), mode);
+    }
+}
+
 TEST(EnvPolicy, DefaultsAreUsableWithoutEnvPins)
 {
     // The memoized getters must at minimum return a member of the enum
@@ -92,6 +155,12 @@ TEST(EnvPolicy, DefaultsAreUsableWithoutEnvPins)
     EXPECT_TRUE(pol == spice::Solver_policy::direct ||
                 pol == spice::Solver_policy::bypass ||
                 pol == spice::Solver_policy::iterative);
+    const core::Cache_mode mode = core::default_cache_mode();
+    EXPECT_TRUE(mode == core::Cache_mode::off ||
+                mode == core::Cache_mode::read ||
+                mode == core::Cache_mode::readwrite);
+    // default_cache_dir() must not throw when the variable is unset.
+    (void)core::default_cache_dir();
 }
 
 } // namespace

@@ -1,0 +1,143 @@
+// Canonical JSON (util/json.h): the dump/parse properties the
+// content-addressed cache relies on — deterministic compact rendering,
+// bitwise numeric round-trip (u64 seeds, shortest-round-trip doubles,
+// tagged non-finite encoding), and a strict parser.
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/contracts.h"
+
+namespace {
+
+using mpsram::util::Json;
+using mpsram::util::Json_array;
+using mpsram::util::double_of_json;
+using mpsram::util::json_of_double;
+using mpsram::util::Precondition_error;
+
+TEST(UtilJson, DumpIsCompactAndInsertionOrdered)
+{
+    Json j;
+    j.set("b", 1.5);
+    j.set("a", true);
+    j.set("c", "x");
+    // Members stay in insertion order (ordered vector, not a hash map)
+    // and the rendering is whitespace-free — the dump is hashable.
+    EXPECT_EQ(j.dump(), "{\"b\":1.5,\"a\":true,\"c\":\"x\"}");
+}
+
+TEST(UtilJson, SetReplacesInPlace)
+{
+    Json j;
+    j.set("a", 1.0);
+    j.set("b", 2.0);
+    j.set("a", 3.0);
+    EXPECT_EQ(j.dump(), "{\"a\":3,\"b\":2}");
+}
+
+TEST(UtilJson, ParseRoundTripsDump)
+{
+    Json j;
+    j.set("null", nullptr);
+    j.set("flag", false);
+    j.set("n", 42);
+    j.set("list", Json_array{Json(1.0), Json("two"), Json(true)});
+    Json nested;
+    nested.set("x", -0.125);
+    j.set("obj", std::move(nested));
+    const std::string dump = j.dump();
+    EXPECT_EQ(Json::parse(dump).dump(), dump);
+}
+
+TEST(UtilJson, U64KeepsFullPrecision)
+{
+    // Seeds exceed 2^53; the dedicated u64 kind must not lose bits.
+    const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+    Json j;
+    j.set("seed", big);
+    const Json back = Json::parse(j.dump());
+    EXPECT_EQ(back.at("seed").as_u64(), big);
+    EXPECT_EQ(back.dump(), j.dump());
+}
+
+TEST(UtilJson, DoubleShortestRoundTripIsBitwise)
+{
+    for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, 1e-300,
+                           -2.2250738585072014e-308, 12345.6789}) {
+        const Json back = Json::parse(Json(v).dump());
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(back.as_double()),
+                  std::bit_cast<std::uint64_t>(v))
+            << Json(v).dump();
+    }
+}
+
+TEST(UtilJson, NegativeZeroRoundTripsBitwise)
+{
+    const double nz = -0.0;
+    const double back = double_of_json(Json::parse(json_of_double(nz).dump()));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+              std::bit_cast<std::uint64_t>(nz));
+}
+
+TEST(UtilJson, NonFiniteDoublesUseTaggedStringAndRoundTripBitwise)
+{
+    const double values[] = {std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity()};
+    for (const double v : values) {
+        const Json encoded = json_of_double(v);
+        ASSERT_TRUE(encoded.is_string());
+        EXPECT_EQ(encoded.as_string().rfind("f64:", 0), 0u)
+            << encoded.dump();
+        const double back = double_of_json(Json::parse(encoded.dump()));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+                  std::bit_cast<std::uint64_t>(v));
+    }
+}
+
+TEST(UtilJson, FiniteDoublesStayPlainNumbers)
+{
+    const Json encoded = json_of_double(2.5);
+    EXPECT_FALSE(encoded.is_string());
+    EXPECT_EQ(encoded.dump(), "2.5");
+    EXPECT_EQ(double_of_json(encoded), 2.5);
+}
+
+TEST(UtilJson, StringEscapesRoundTrip)
+{
+    const std::string nasty = "quote\" backslash\\ newline\n tab\t "
+                              "control\x01 done";
+    Json j;
+    j.set("s", nasty);
+    EXPECT_EQ(Json::parse(j.dump()).at("s").as_string(), nasty);
+}
+
+TEST(UtilJson, StrictParserRejectsMalformedInput)
+{
+    EXPECT_THROW(Json::parse(""), Precondition_error);
+    EXPECT_THROW(Json::parse("{"), Precondition_error);
+    EXPECT_THROW(Json::parse("{\"a\":1,}"), Precondition_error);
+    EXPECT_THROW(Json::parse("[1 2]"), Precondition_error);
+    EXPECT_THROW(Json::parse("\"unterminated"), Precondition_error);
+    EXPECT_THROW(Json::parse("nul"), Precondition_error);
+    EXPECT_THROW(Json::parse("{}extra"), Precondition_error);
+}
+
+TEST(UtilJson, TypedAccessThrowsOnKindMismatch)
+{
+    const Json j = Json::parse("{\"a\":1.5}");
+    EXPECT_THROW(j.at("a").as_string(), Precondition_error);
+    EXPECT_THROW(j.at("missing"), Precondition_error);
+    EXPECT_EQ(j.find("missing"), nullptr);
+    // A fractional double has no exact u64 meaning.
+    EXPECT_THROW(j.at("a").as_u64(), Precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,356 @@
+// mpsram_shard: process-level shard driver for study queries.
+//
+// Splits one query's case list into k contiguous ranges, runs each range
+// in an independent process (fork per shard — each child is a fresh
+// Study_session with its own memory memos), and merges the partial
+// tables bitwise-identically to a single-process run (the determinism
+// argument lives in core/shard.h).  With MPSRAM_CACHE_DIR set, the
+// shards share the on-disk result cache and a warm rerun skips the
+// simulation work entirely.
+//
+// Subcommands:
+//   emit  --metric M --options le3,sadp,euv --word-lines 16,24,32
+//         [--ol V] [--accuracy A] [--solver S] [--samples N] [--seed S]
+//         [--tdp-engine E] [--twp-engine E] [--out FILE]
+//       Compose a query and write its JSON (stdout by default).
+//   run   --query FILE --shard I --count K --out FILE [--threads N]
+//       Run shard I of K and write the part envelope.
+//   merge --query FILE --out FILE PART...
+//       Merge part envelopes into the full table (bare table JSON).
+//   exec  --query FILE --count K --out FILE [--threads N] [--expect-warm]
+//       Fork K shard processes, wait, merge, write the full table.
+//       --expect-warm additionally requires every shard to be served
+//       from the cache (hits > 0, zero corner searches / surface fits).
+//
+// The merged output of exec/merge is byte-stable: `cmp` of k=1/2/4 runs
+// is the CI gate for the shard-merge determinism contract.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/query.h"
+#include "core/serialize.h"
+#include "core/session.h"
+#include "core/shard.h"
+#include "sram/sim_accuracy.h"
+#include "sram/solver_policy.h"
+#include "util/atomic_file.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace mpsram;
+
+[[noreturn]] void usage(const std::string& message)
+{
+    std::cerr << "mpsram_shard: " << message << "\n"
+              << "subcommands: emit | run | merge | exec (see the header "
+                 "comment)\n";
+    std::exit(2);
+}
+
+/// Minimal flag scanner: --name value pairs plus positional leftovers.
+struct Args {
+    std::vector<std::pair<std::string, std::string>> flags;
+    std::vector<std::string> positional;
+
+    std::optional<std::string> get(const std::string& name) const
+    {
+        for (const auto& flag : flags) {
+            if (flag.first == name) return flag.second;
+        }
+        return std::nullopt;
+    }
+    std::string require(const std::string& name) const
+    {
+        const auto v = get(name);
+        if (!v) usage("missing required flag --" + name);
+        return *v;
+    }
+    bool has(const std::string& name) const
+    {
+        return get(name).has_value();
+    }
+};
+
+Args parse_args(int argc, char** argv, int first)
+{
+    Args args;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            const std::string name = arg.substr(2);
+            if (name == "expect-warm") {
+                args.flags.emplace_back(name, "1");
+                continue;
+            }
+            if (i + 1 >= argc) usage("flag --" + name + " needs a value");
+            args.flags.emplace_back(name, argv[++i]);
+        } else {
+            args.positional.push_back(arg);
+        }
+    }
+    return args;
+}
+
+std::vector<std::string> split_list(const std::string& text)
+{
+    std::vector<std::string> out;
+    std::stringstream stream(text);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+        if (!item.empty()) out.push_back(item);
+    }
+    return out;
+}
+
+std::string slurp(const std::string& path)
+{
+    const auto contents = util::read_file(path);
+    if (!contents) usage("cannot read '" + path + "'");
+    return *contents;
+}
+
+void write_out(const std::optional<std::string>& path,
+               const std::string& contents)
+{
+    if (!path) {
+        std::cout << contents << "\n";
+        return;
+    }
+    std::ofstream out(*path, std::ios::binary | std::ios::trunc);
+    out << contents;
+    out.flush();
+    if (!out) usage("cannot write '" + *path + "'");
+}
+
+tech::Patterning_option option_of_token(const std::string& token)
+{
+    if (token == "le3") return tech::Patterning_option::le3;
+    if (token == "sadp") return tech::Patterning_option::sadp;
+    if (token == "euv") return tech::Patterning_option::euv;
+    usage("unknown patterning option '" + token +
+          "' (accepted: le3, sadp, euv)");
+}
+
+core::Metric metric_of_token(const std::string& token)
+{
+    for (int i = 0; i < 9; ++i) {
+        const auto m = static_cast<core::Metric>(i);
+        if (core::to_string(m) == token) return m;
+    }
+    usage("unknown metric '" + token + "'");
+}
+
+int cmd_emit(const Args& args)
+{
+    core::Query query(metric_of_token(args.require("metric")));
+
+    std::vector<int> word_lines;
+    for (const std::string& n : split_list(args.require("word-lines"))) {
+        word_lines.push_back(std::stoi(n));
+    }
+    const double ol =
+        args.get("ol") ? std::stod(*args.get("ol")) : -1.0;
+    for (const std::string& opt : split_list(args.require("options"))) {
+        for (const int n : word_lines) {
+            query.cases.push_back({option_of_token(opt), n, ol});
+        }
+    }
+
+    if (const auto a = args.get("accuracy")) {
+        query.accuracy = sram::parse_sim_accuracy(*a);
+    }
+    if (const auto s = args.get("solver")) {
+        query.solver = sram::parse_solver_policy(*s);
+    }
+    if (const auto n = args.get("samples")) {
+        query.mc.samples = std::stoi(*n);
+    }
+    if (const auto s = args.get("seed")) {
+        query.mc.seed = std::stoull(*s);
+    }
+    if (const auto e = args.get("tdp-engine")) {
+        if (*e == "formula") query.tdp_engine = core::Tdp_engine::formula;
+        else if (*e == "spice") query.tdp_engine = core::Tdp_engine::spice;
+        else if (*e == "surrogate")
+            query.tdp_engine = core::Tdp_engine::surrogate;
+        else usage("unknown tdp engine '" + *e + "'");
+    }
+    if (const auto e = args.get("twp-engine")) {
+        if (*e == "formula") query.twp_engine = core::Twp_engine::formula;
+        else if (*e == "spice") query.twp_engine = core::Twp_engine::spice;
+        else if (*e == "surrogate")
+            query.twp_engine = core::Twp_engine::surrogate;
+        else usage("unknown twp engine '" + *e + "'");
+    }
+
+    write_out(args.get("out"), core::json_of_query(query).dump());
+    return 0;
+}
+
+core::Query load_query(const Args& args)
+{
+    core::Query query = core::query_of_json(
+        util::Json::parse(slurp(args.require("query"))));
+    if (const auto t = args.get("threads")) {
+        query.runner.threads = std::stoi(*t);
+        query.mc.runner.threads = query.runner.threads;
+    }
+    return query;
+}
+
+/// Run one shard on a fresh session and return the part.  Asserts the
+/// warm-cache contract when requested: served entirely from disk, no
+/// corner searches, no surface fits.
+core::Shard_part run_one_shard(const core::Query& query, std::size_t index,
+                               std::size_t count, bool expect_warm)
+{
+    const core::Study_session session;
+    const std::vector<core::Shard_range> plan =
+        core::shard_plan(query.cases.size(), count);
+    core::Shard_part part =
+        core::run_shard(session, query, plan[index], index, count);
+    if (expect_warm) {
+        if (session.cache_hit_count() == 0 ||
+            session.corner_search_count() != 0 ||
+            session.surface_fit_count() != 0) {
+            std::cerr << "mpsram_shard: shard " << index
+                      << " was not served from the cache (hits="
+                      << session.cache_hit_count()
+                      << " corner_searches=" << session.corner_search_count()
+                      << " surface_fits=" << session.surface_fit_count()
+                      << ")\n";
+            std::exit(1);
+        }
+    }
+    return part;
+}
+
+int cmd_run(const Args& args)
+{
+    const core::Query query = load_query(args);
+    const auto index =
+        static_cast<std::size_t>(std::stoul(args.require("shard")));
+    const auto count =
+        static_cast<std::size_t>(std::stoul(args.require("count")));
+    if (index >= count) usage("--shard must be < --count");
+
+    const core::Shard_part part =
+        run_one_shard(query, index, count, args.has("expect-warm"));
+    write_out(args.get("out"), core::json_of_shard_part(part).dump());
+    return 0;
+}
+
+int cmd_merge(const Args& args)
+{
+    const core::Query query = load_query(args);
+    const core::Study_session session;
+    const std::uint64_t hash = core::query_key(session, query);
+
+    std::vector<core::Shard_part> parts;
+    if (args.positional.empty()) usage("merge needs part files");
+    for (const std::string& path : args.positional) {
+        parts.push_back(
+            core::shard_part_of_json(util::Json::parse(slurp(path))));
+    }
+    const core::Result_table merged =
+        core::merge_shard_parts(hash, query.cases.size(),
+                                std::move(parts));
+    write_out(args.get("out"), core::json_of_result_table(merged).dump());
+    return 0;
+}
+
+int cmd_exec(const Args& args)
+{
+    const core::Query query = load_query(args);
+    const auto count =
+        static_cast<std::size_t>(std::stoul(args.require("count")));
+    if (count == 0) usage("--count must be positive");
+    const std::string out = args.require("out");
+    const bool expect_warm = args.has("expect-warm");
+
+    // One process per shard: each child computes its range on a fresh
+    // session and writes a part file; the parent merges.  Sharing an
+    // MPSRAM_CACHE_DIR across the children exercises the concurrent-
+    // writer path of the cache (atomic rename, last writer wins with
+    // identical bytes).
+    std::vector<pid_t> children;
+    for (std::size_t i = 0; i < count; ++i) {
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            std::cerr << "mpsram_shard: fork failed\n";
+            return 1;
+        }
+        if (pid == 0) {
+            try {
+                const core::Shard_part part =
+                    run_one_shard(query, i, count, expect_warm);
+                write_out(out + ".part" + std::to_string(i),
+                          core::json_of_shard_part(part).dump());
+                std::_Exit(0);
+            } catch (const std::exception& e) {
+                std::cerr << "mpsram_shard: shard " << i << ": " << e.what()
+                          << "\n";
+                std::_Exit(1);
+            }
+        }
+        children.push_back(pid);
+    }
+
+    bool failed = false;
+    for (const pid_t pid : children) {
+        int status = 0;
+        if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+            WEXITSTATUS(status) != 0) {
+            failed = true;
+        }
+    }
+    if (failed) {
+        std::cerr << "mpsram_shard: a shard process failed\n";
+        return 1;
+    }
+
+    const core::Study_session session;
+    const std::uint64_t hash = core::query_key(session, query);
+    std::vector<core::Shard_part> parts;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::string path = out + ".part" + std::to_string(i);
+        parts.push_back(
+            core::shard_part_of_json(util::Json::parse(slurp(path))));
+        std::remove(path.c_str());
+    }
+    const core::Result_table merged = core::merge_shard_parts(
+        hash, query.cases.size(), std::move(parts));
+    write_out(out, core::json_of_result_table(merged).dump());
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc < 2) usage("missing subcommand");
+    const std::string command = argv[1];
+    const Args args = parse_args(argc, argv, 2);
+    try {
+        if (command == "emit") return cmd_emit(args);
+        if (command == "run") return cmd_run(args);
+        if (command == "merge") return cmd_merge(args);
+        if (command == "exec") return cmd_exec(args);
+    } catch (const std::exception& e) {
+        std::cerr << "mpsram_shard: " << e.what() << "\n";
+        return 1;
+    }
+    usage("unknown subcommand '" + command + "'");
+}
