@@ -1,0 +1,129 @@
+#include "core/csv.h"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/csv.h"
+
+namespace mpsram::core {
+
+namespace {
+
+/// Shortest-round-trip rendering, the same rule util::Json::dump applies
+/// to numbers — equal values always produce equal bytes.
+std::string cell_of(double v)
+{
+    if (std::isnan(v)) return "nan";
+    if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    util::invariant(ec == std::errc{}, "to_chars failed on a double");
+    return std::string(buf, end);
+}
+
+std::string cell_of(int v)
+{
+    return std::to_string(v);
+}
+
+std::string cell_of(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+struct Csv_rows {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> cells; ///< value columns per row
+
+    void visit(const Worst_case_row& r)
+    {
+        header = {"corner", "cbl_percent", "rbl_percent", "vss_r_percent"};
+        cells.push_back({r.corner, cell_of(r.cbl_percent),
+                         cell_of(r.rbl_percent), cell_of(r.vss_r_percent)});
+    }
+    void visit(const Read_row& r)
+    {
+        header = {"td_nominal", "td_varied", "tdp_percent"};
+        cells.push_back({cell_of(r.td_nominal), cell_of(r.td_varied),
+                         cell_of(r.tdp_percent)});
+    }
+    void visit(const Nominal_td_row& r)
+    {
+        header = {"td_simulation", "td_formula"};
+        cells.push_back({cell_of(r.td_simulation), cell_of(r.td_formula)});
+    }
+    void visit(const Tdp_row& r)
+    {
+        header = {"tdp_simulation", "tdp_formula"};
+        cells.push_back({cell_of(r.tdp_simulation), cell_of(r.tdp_formula)});
+    }
+    void visit(const Write_row& r)
+    {
+        header = {"tw_nominal", "tw_varied", "twp_percent"};
+        cells.push_back({cell_of(r.tw_nominal), cell_of(r.tw_varied),
+                         cell_of(r.twp_percent)});
+    }
+    void visit(const Nominal_tw_row& r)
+    {
+        header = {"tw_simulation", "tw_formula"};
+        cells.push_back({cell_of(r.tw_simulation), cell_of(r.tw_formula)});
+    }
+    void visit(const Disturb_row& r)
+    {
+        header = {"v_bump_nominal", "v_bump_varied", "disturb_percent"};
+        cells.push_back({cell_of(r.v_bump_nominal),
+                         cell_of(r.v_bump_varied),
+                         cell_of(r.disturb_percent)});
+    }
+    void visit(const mc::Tdp_distribution& r)
+    {
+        header = {"samples", "mean", "stddev", "min",
+                  "max",     "median", "p01",  "p99"};
+        const util::Sample_summary& s = r.summary;
+        cells.push_back({cell_of(static_cast<std::uint64_t>(s.count)),
+                         cell_of(s.mean), cell_of(s.stddev), cell_of(s.min),
+                         cell_of(s.max), cell_of(s.median), cell_of(s.p01),
+                         cell_of(s.p99)});
+    }
+};
+
+} // namespace
+
+std::string to_csv(const Result_table& table)
+{
+    Csv_rows rows;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        std::visit([&](const auto& row) { rows.visit(row); }, table.raw(i));
+    }
+
+    std::ostringstream out;
+    util::Csv_writer csv(out);
+
+    std::vector<std::string> header = {"option", "word_lines", "ol_3sigma"};
+    if (table.empty()) {
+        // An empty table still carries its metric; without a row there is
+        // no value column set, so export the axes header alone.
+        csv.write_header(header);
+        return out.str();
+    }
+    header.insert(header.end(), rows.header.begin(), rows.header.end());
+    csv.write_header(header);
+
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        const Query_case& axes = table.axes(i);
+        std::vector<std::string> record = {
+            std::string(tech::to_string(axes.option)),
+            cell_of(axes.word_lines), cell_of(axes.ol_3sigma)};
+        record.insert(record.end(), rows.cells[i].begin(),
+                      rows.cells[i].end());
+        csv.write_row(record);
+    }
+    return out.str();
+}
+
+} // namespace mpsram::core

@@ -1,0 +1,33 @@
+// CSV export of a Result_table — the spreadsheet-facing sibling of the
+// canonical JSON encoding (core/serialize.h).
+//
+// Layout: a header row, then one record per case.  The first three
+// columns are the case axes (option, word_lines, ol_3sigma); the rest
+// are the metric's row fields, named after the row-struct members.
+// Distribution-valued metrics (mc_tdp, mc_twp) export the per-case
+// sample SUMMARY (count, mean, stddev, min, max, median, p01, p99) —
+// the raw sample vectors belong to the JSON encoding, not to a
+// row-per-case table.
+//
+// Determinism: numeric cells render through std::to_chars shortest
+// round-trip (the same rule canonical JSON uses), so equal tables
+// export byte-identical CSV — `cmp` works on exports exactly like it
+// does on dumps.  Non-finite values render as "nan"/"inf"/"-inf"
+// (spreadsheet-friendly; the CSV surface is for reading, not for
+// re-ingestion — round-trips stay on JSON).
+#ifndef MPSRAM_CORE_CSV_H
+#define MPSRAM_CORE_CSV_H
+
+#include <string>
+
+#include "core/query.h"
+
+namespace mpsram::core {
+
+/// Render `table` as CSV (header + one record per case, trailing
+/// newline after every record, '\n' line endings).
+std::string to_csv(const Result_table& table);
+
+} // namespace mpsram::core
+
+#endif // MPSRAM_CORE_CSV_H

@@ -1,8 +1,10 @@
 #include "core/result_cache.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <utility>
+#include <vector>
 
 #include "util/atomic_file.h"
 #include "util/contracts.h"
@@ -139,6 +141,89 @@ void Result_cache::store(std::string_view kind, std::uint64_t key,
     util::write_file_atomic(path, envelope.dump());
     stores_.fetch_add(1, std::memory_order_relaxed);
     global_stores.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// A cache entry is self-describing; valid means load() could serve it:
+/// parseable envelope whose kind/key agree with the file's own path and
+/// whose checksum matches the payload.  Anything else is dead weight.
+bool valid_entry(const std::filesystem::path& path, const std::string& raw)
+{
+    try {
+        const util::Json envelope = util::Json::parse(raw);
+        envelope.at("version").as_u64();
+        if (envelope.at("kind").as_string() !=
+            path.parent_path().filename().string()) {
+            return false;
+        }
+        if (envelope.at("key").as_string() != path.stem().string()) {
+            return false;
+        }
+        const std::uint64_t checksum =
+            util::fnv1a(envelope.at("payload").dump());
+        return envelope.at("checksum").as_string() == util::hex16(checksum);
+    } catch (const util::Precondition_error&) {
+        return false;
+    }
+}
+
+} // namespace
+
+Gc_stats gc_result_cache(const std::string& directory,
+                         const Gc_options& options)
+{
+    namespace fs = std::filesystem;
+    util::expects(fs::is_directory(directory),
+                  "cache-gc needs an existing cache directory");
+
+    struct Entry {
+        fs::path path;
+        std::uint64_t bytes = 0;
+        fs::file_time_type mtime;
+    };
+    Gc_stats stats;
+    std::vector<Entry> survivors;
+    for (const auto& item : fs::recursive_directory_iterator(directory)) {
+        if (!item.is_regular_file()) continue;
+        const fs::path& path = item.path();
+        if (path.extension() != ".json") continue;
+        const std::uint64_t bytes = item.file_size();
+        stats.bytes_before += bytes;
+        const std::optional<std::string> raw = util::read_file(path.string());
+        if (!raw || !valid_entry(path, *raw)) {
+            fs::remove(path);
+            ++stats.corrupt_deleted;
+            continue;
+        }
+        survivors.push_back({path, bytes, item.last_write_time()});
+    }
+
+    if (options.max_bytes) {
+        // Oldest first; path breaks mtime ties so the eviction order is
+        // reproducible on filesystems with coarse timestamps.
+        std::sort(survivors.begin(), survivors.end(),
+                  [](const Entry& a, const Entry& b) {
+                      if (a.mtime != b.mtime) return a.mtime < b.mtime;
+                      return a.path < b.path;
+                  });
+        std::uint64_t total = 0;
+        for (const Entry& e : survivors) total += e.bytes;
+        std::size_t next = 0;
+        while (total > *options.max_bytes && next < survivors.size()) {
+            fs::remove(survivors[next].path);
+            total -= survivors[next].bytes;
+            ++stats.evicted;
+            ++next;
+        }
+        survivors.erase(survivors.begin(),
+                        survivors.begin() +
+                            static_cast<std::ptrdiff_t>(next));
+    }
+
+    stats.entries = survivors.size();
+    for (const Entry& e : survivors) stats.bytes_after += e.bytes;
+    return stats;
 }
 
 Cache_stats process_cache_stats()

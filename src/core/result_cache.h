@@ -133,6 +133,43 @@ private:
 /// metadata: BENCH_*.json report these next to their timings).
 Cache_stats process_cache_stats();
 
+// --- offline garbage collection ----------------------------------------------
+// `mpsram_shard cache-gc` drives this: a cache directory grows without
+// bound (every new query key is a new file), so long-lived caches need an
+// offline sweep.  GC never touches entry CONTENT — an entry is either
+// kept verbatim or unlinked — so a post-GC cache serves exactly the bytes
+// a pre-GC cache would have.
+
+struct Gc_options {
+    /// Size bound on the surviving entries.  Unset: no eviction, the
+    /// sweep only deletes corrupt envelopes.
+    std::optional<std::uint64_t> max_bytes;
+};
+
+struct Gc_stats {
+    std::size_t entries = 0;          ///< valid entries surviving the GC
+    std::size_t corrupt_deleted = 0;  ///< damaged envelopes unlinked
+    std::size_t evicted = 0;          ///< valid entries unlinked for size
+    std::uint64_t bytes_before = 0;   ///< entry bytes found (corrupt incl.)
+    std::uint64_t bytes_after = 0;    ///< entry bytes surviving
+};
+
+/// Sweep a cache directory (every version/kind subdirectory):
+///
+///   1. Delete corrupt envelopes on sight — unparseable, checksum
+///      mismatch, or a key/kind disagreeing with the file's own path.
+///      (load() would treat each as a miss forever; the file is pure
+///      waste.)
+///   2. When `max_bytes` is set, evict valid entries oldest-mtime-first
+///      (path as the deterministic tie-break) until the survivors fit.
+///
+/// Concurrent writers stay safe: stores are atomic renames, so the sweep
+/// sees each entry either complete or not at all, and deleting an entry
+/// a session holds open cannot tear it (POSIX unlink).  A directory with
+/// no entries is fine (zero stats); a nonexistent directory throws.
+Gc_stats gc_result_cache(const std::string& directory,
+                         const Gc_options& options = {});
+
 } // namespace mpsram::core
 
 #endif // MPSRAM_CORE_RESULT_CACHE_H

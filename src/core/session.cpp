@@ -953,6 +953,7 @@ const Metric_descriptor& metric_descriptor(Metric metric)
 
 Result_table Study_session::run(const Query& query) const
 {
+    query_runs_.fetch_add(1, std::memory_order_relaxed);
     const Metric_descriptor& d = metric_descriptor(query.metric);
 
     std::vector<Query_case> cases = query.cases;

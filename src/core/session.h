@@ -90,7 +90,22 @@ public:
     /// Execute a query: one row per case, indexed like `query.cases`,
     /// bitwise identical at any `query.runner` thread count.  Cases with
     /// word_lines <= 0 resolve to `options().array.word_lines`.
+    ///
+    /// Safe for concurrent callers on one shared session — this is the
+    /// entry point the query service daemon (core/service.h) multiplexes
+    /// clients onto.  The shared state is either promise-backed (corner
+    /// and surface memos: one compute per key, concurrent callers wait)
+    /// or mutex-guarded (nominal memos), and the on-disk cache is atomic;
+    /// every caller receives the same bitwise-identical rows.
     Result_table run(const Query& query) const;
+
+    /// Queries executed through run() since construction (memoized or
+    /// not) — the serve-traffic observable reported by the service
+    /// daemon's `status` op.
+    std::size_t query_run_count() const
+    {
+        return query_runs_.load(std::memory_order_relaxed);
+    }
 
     // --- building blocks (exposed for examples, benches and tests) -----------
     /// Nominal metal1 array, decomposed for the option.
@@ -340,6 +355,9 @@ private:
     mutable std::mutex surface_cache_mutex_;
     mutable std::map<Surface_key, Surface_entry> surface_cache_;
     mutable std::atomic<std::size_t> surface_fits_{0};
+
+    /// run() invocations (query_run_count above).
+    mutable std::atomic<std::size_t> query_runs_{0};
 };
 
 /// Registry entry of a metric: everything run() needs that differs

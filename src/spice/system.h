@@ -121,6 +121,7 @@ public:
               std::span<const Forced_node> forces = {});
 
     /// Notify every device that the step at `ctx` was accepted.
+    // lint:allow(raw-socket) -- a stepper callback, not the syscall
     void accept(const Eval_context& ctx);
 
     /// Union of breakpoints of all sources in (0, tstop), sorted unique.

@@ -39,6 +39,7 @@ public:
 
     /// Compiled system for `circuit`, rebuilt only when the circuit is not
     /// the one already bound or its node/device structure changed.
+    // lint:allow(raw-socket) -- binds a workspace, not a socket
     Mna_system& bind(Circuit& circuit);
 
     /// Drop the bound system (next bind() rebuilds).  Call after replacing

@@ -1,0 +1,244 @@
+#include "util/socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace mpsram::util {
+
+namespace {
+
+[[noreturn]] void raise(const std::string& what)
+{
+    throw std::runtime_error("socket: " + what + ": " +
+                             std::strerror(errno));
+}
+
+sockaddr_un address_of(const std::string& path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw std::runtime_error("socket: path too long for a Unix-domain "
+                                 "socket: '" +
+                                 path + "'");
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+// --- Socket ------------------------------------------------------------------
+
+Socket::~Socket()
+{
+    close();
+}
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket Socket::connect_unix(const std::string& path)
+{
+    const sockaddr_un addr = address_of(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) raise("socket()");
+    Socket sock(fd);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        raise("connect('" + path + "')");
+    }
+    return sock;
+}
+
+std::optional<std::size_t> Socket::read_some(char* buf, std::size_t size,
+                                             int timeout_ms)
+{
+    if (!poll_readable(fd_, timeout_ms)) return std::nullopt;
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buf, size, 0);
+        if (n >= 0) return static_cast<std::size_t>(n);
+        if (errno == EINTR) continue;
+        raise("recv()");
+    }
+}
+
+std::optional<std::size_t> Socket::try_read(char* buf, std::size_t size)
+{
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buf, size, MSG_DONTWAIT);
+        if (n >= 0) return static_cast<std::size_t>(n);
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+        raise("recv()");
+    }
+}
+
+void Socket::write_all(std::string_view data, int timeout_ms)
+{
+    std::size_t written = 0;
+    while (written < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + written,
+                                 data.size() - written, MSG_NOSIGNAL);
+        if (n > 0) {
+            written += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!poll_writable(fd_, timeout_ms)) {
+                throw std::runtime_error(
+                    "socket: send() stalled past its timeout");
+            }
+            continue;
+        }
+        raise("send()");
+    }
+}
+
+// --- Unix_listener -----------------------------------------------------------
+
+Unix_listener::Unix_listener(std::string path, int backlog)
+    : path_(std::move(path))
+{
+    const sockaddr_un addr = address_of(path_);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd_ < 0) raise("socket()");
+    // A stale socket file from a daemon that died uncleanly would make
+    // bind() fail with EADDRINUSE even though nobody is listening.
+    ::unlink(path_.c_str());
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = saved;
+        raise("bind('" + path_ + "')");
+    }
+    if (::listen(fd_, backlog) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        ::unlink(path_.c_str());
+        fd_ = -1;
+        errno = saved;
+        raise("listen('" + path_ + "')");
+    }
+}
+
+Unix_listener::~Unix_listener()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        ::unlink(path_.c_str());
+    }
+}
+
+std::optional<Socket> Unix_listener::accept_client()
+{
+    for (;;) {
+        const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK);
+        if (fd >= 0) return Socket(fd);
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED) {
+            return std::nullopt;
+        }
+        raise("accept()");
+    }
+}
+
+// --- poll helpers ------------------------------------------------------------
+
+namespace {
+
+bool poll_one(int fd, short events, int timeout_ms)
+{
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    for (;;) {
+        const int n = ::poll(&p, 1, timeout_ms);
+        if (n > 0) return true;
+        if (n == 0) return false;
+        if (errno == EINTR) continue;
+        raise("poll()");
+    }
+}
+
+} // namespace
+
+bool poll_readable(int fd, int timeout_ms)
+{
+    return poll_one(fd, POLLIN, timeout_ms);
+}
+
+bool poll_writable(int fd, int timeout_ms)
+{
+    return poll_one(fd, POLLOUT, timeout_ms);
+}
+
+std::vector<std::size_t> poll_readable_set(const std::vector<int>& fds,
+                                           int timeout_ms)
+{
+    std::vector<pollfd> set(fds.size());
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+        set[i].fd = fds[i];
+        set[i].events = POLLIN;
+    }
+    for (;;) {
+        const int n = ::poll(set.data(),
+                             static_cast<nfds_t>(set.size()), timeout_ms);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            raise("poll()");
+        }
+        std::vector<std::size_t> ready;
+        if (n == 0) return ready;
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            if (set[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+                ready.push_back(i);
+            }
+        }
+        return ready;
+    }
+}
+
+// --- Line_buffer -------------------------------------------------------------
+
+std::optional<std::string> Line_buffer::pop_line()
+{
+    const std::size_t nl = buffer_.find('\n');
+    if (nl == std::string::npos) return std::nullopt;
+    std::string line = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return line;
+}
+
+} // namespace mpsram::util

@@ -1,0 +1,132 @@
+// Unix-domain socket primitives for the query service tier
+// (core/service.h): RAII fd wrappers, poll-based readiness with timeouts,
+// and newline framing for the line-delimited JSON protocol.
+//
+// This file and src/core/service.cpp are the ONLY places allowed to touch
+// the raw socket/accept/poll syscalls — the determinism lint
+// (tools/lint_determinism.py, rule `raw-socket`) enforces that the I/O
+// surface stays confined to this audited layer.  Design rules:
+//
+//   - No hidden threads: everything here is synchronous, poll-driven I/O
+//     with explicit millisecond timeouts.  Concurrency is the caller's
+//     problem (the service daemon multiplexes clients on one poll loop;
+//     util::Thread_pool remains the only threading primitive).
+//   - No signals: writes use MSG_NOSIGNAL, so a vanished peer surfaces as
+//     an exception (EPIPE), never as a process-killing SIGPIPE.
+//   - Errors throw std::runtime_error naming the syscall and errno text;
+//     orderly EOF and timeouts are values, not exceptions.
+#ifndef MPSRAM_UTIL_SOCKET_H
+#define MPSRAM_UTIL_SOCKET_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpsram::util {
+
+/// RAII wrapper of a connected stream-socket fd (client side, or an
+/// accepted peer on the server side).  Move-only; the fd closes on
+/// destruction.
+class Socket {
+public:
+    Socket() = default;
+    /// Adopt an already-open fd (ownership transfers).
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket();
+
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+    Socket(Socket&& other) noexcept;
+    Socket& operator=(Socket&& other) noexcept;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+
+    /// Connect to a listening Unix-domain socket at `path`.  Throws
+    /// std::runtime_error when the path is too long for sockaddr_un or
+    /// the connect fails (no listener, refused, ...).
+    static Socket connect_unix(const std::string& path);
+
+    /// Wait up to `timeout_ms` for readability, then read once into
+    /// `buf`.  Returns the byte count (> 0), 0 on orderly EOF, or nullopt
+    /// on timeout.  Throws on I/O errors.
+    std::optional<std::size_t> read_some(char* buf, std::size_t size,
+                                         int timeout_ms);
+
+    /// Nonblocking read: byte count (> 0), 0 on orderly EOF, nullopt when
+    /// the read would block.  Throws on I/O errors.
+    std::optional<std::size_t> try_read(char* buf, std::size_t size);
+
+    /// Write all of `data`, polling for writability (up to `timeout_ms`
+    /// per stall) when the send buffer is full.  Throws on timeout, EPIPE
+    /// (peer gone) or any other error — a partial write never returns.
+    void write_all(std::string_view data, int timeout_ms);
+
+private:
+    int fd_ = -1;
+};
+
+/// A bound + listening Unix-domain socket.  The constructor unlinks a
+/// stale socket file at `path` (a previous daemon that died without
+/// cleanup), binds, and listens; the destructor closes and unlinks, so a
+/// graceful shutdown leaves no socket file behind.  Accepted fds are
+/// nonblocking.
+class Unix_listener {
+public:
+    explicit Unix_listener(std::string path, int backlog = 64);
+    ~Unix_listener();
+
+    Unix_listener(const Unix_listener&) = delete;
+    Unix_listener& operator=(const Unix_listener&) = delete;
+
+    int fd() const { return fd_; }
+    const std::string& path() const { return path_; }
+
+    /// Accept one pending connection; nullopt when none is waiting.
+    /// Throws on real accept errors (EMFILE, ...).
+    std::optional<Socket> accept_client();
+
+private:
+    std::string path_;
+    int fd_ = -1;
+};
+
+/// True when `fd` becomes readable within `timeout_ms` (POLLIN, or a
+/// hang-up/error the next read will surface); false on timeout.
+bool poll_readable(int fd, int timeout_ms);
+
+/// True when `fd` becomes writable within `timeout_ms`; false on timeout.
+bool poll_writable(int fd, int timeout_ms);
+
+/// Indices (into `fds`, in input order — a deterministic iteration order
+/// for the service loop) of the fds that are readable or hung up within
+/// `timeout_ms`.  Empty on timeout.
+std::vector<std::size_t> poll_readable_set(const std::vector<int>& fds,
+                                           int timeout_ms);
+
+/// Newline framing for the line-delimited protocol: append raw reads,
+/// pop complete '\n'-terminated lines (terminator stripped).  Bytes after
+/// the last newline stay buffered until their terminator arrives.
+class Line_buffer {
+public:
+    void append(const char* data, std::size_t size)
+    {
+        buffer_.append(data, size);
+    }
+
+    /// The next complete line, or nullopt when none is buffered.
+    std::optional<std::string> pop_line();
+
+    /// Bytes buffered but not yet terminated.
+    std::size_t pending_bytes() const { return buffer_.size(); }
+
+private:
+    std::string buffer_;
+};
+
+} // namespace mpsram::util
+
+#endif // MPSRAM_UTIL_SOCKET_H

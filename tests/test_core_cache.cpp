@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
@@ -272,6 +273,92 @@ TEST(CoreCache, ReadModeNeverWrites)
     EXPECT_FALSE(std::filesystem::exists(entry_file(dir, 1, "query", 3)));
     EXPECT_FALSE(reader.load("query", 3).has_value());
     EXPECT_EQ(reader.miss_count(), 1u);
+}
+
+TEST(CoreCacheGc, DeletesCorruptEntriesAndKeepsValidOnes)
+{
+    const std::string dir = scratch_dir("gc_corrupt");
+    util::Json payload;
+    payload.set("value", 42.0);
+    core::Result_cache cache(dir, core::Cache_mode::readwrite, 1);
+    cache.store("query", 1, payload);
+    cache.store("query", 2, payload);
+    cache.store("corner", 3, payload);
+
+    // Damage one entry (truncation) and plant a key/path mismatch (a
+    // valid envelope copied under the wrong name).
+    util::write_file_atomic(entry_file(dir, 1, "query", 2),
+                            "{\"version\":1,\"ki");
+    std::filesystem::copy_file(
+        entry_file(dir, 1, "query", 1), entry_file(dir, 1, "query", 4),
+        std::filesystem::copy_options::overwrite_existing);
+
+    const core::Gc_stats stats = core::gc_result_cache(dir);
+    EXPECT_EQ(stats.corrupt_deleted, 2u);
+    EXPECT_EQ(stats.evicted, 0u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_GT(stats.bytes_before, stats.bytes_after);
+
+    // The survivors still load; the damaged files are gone.
+    EXPECT_TRUE(cache.load("query", 1).has_value());
+    EXPECT_TRUE(cache.load("corner", 3).has_value());
+    EXPECT_FALSE(std::filesystem::exists(entry_file(dir, 1, "query", 2)));
+    EXPECT_FALSE(std::filesystem::exists(entry_file(dir, 1, "query", 4)));
+}
+
+TEST(CoreCacheGc, EvictsOldestFirstUnderAByteBound)
+{
+    const std::string dir = scratch_dir("gc_evict");
+    util::Json payload;
+    payload.set("value", 42.0);
+    core::Result_cache cache(dir, core::Cache_mode::readwrite, 1);
+    cache.store("query", 1, payload);
+    cache.store("query", 2, payload);
+    cache.store("query", 3, payload);
+
+    // Pin distinct mtimes so "oldest" is unambiguous: 1 oldest, 3 newest.
+    namespace fs = std::filesystem;
+    const auto now = fs::last_write_time(entry_file(dir, 1, "query", 3));
+    fs::last_write_time(entry_file(dir, 1, "query", 1),
+                        now - std::chrono::hours(2));
+    fs::last_write_time(entry_file(dir, 1, "query", 2),
+                        now - std::chrono::hours(1));
+
+    const std::uint64_t each =
+        fs::file_size(entry_file(dir, 1, "query", 1));
+    core::Gc_options options;
+    options.max_bytes = 2 * each;  // room for exactly two entries
+    const core::Gc_stats stats = core::gc_result_cache(dir, options);
+
+    EXPECT_EQ(stats.evicted, 1u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_LE(stats.bytes_after, *options.max_bytes);
+    EXPECT_FALSE(std::filesystem::exists(entry_file(dir, 1, "query", 1)));
+    EXPECT_TRUE(cache.load("query", 2).has_value());
+    EXPECT_TRUE(cache.load("query", 3).has_value());
+}
+
+TEST(CoreCacheGc, ZeroBoundEvictsEverythingValid)
+{
+    const std::string dir = scratch_dir("gc_zero");
+    util::Json payload;
+    payload.set("value", 1.0);
+    core::Result_cache cache(dir, core::Cache_mode::readwrite, 1);
+    cache.store("query", 1, payload);
+    cache.store("surface", 2, payload);
+
+    core::Gc_options options;
+    options.max_bytes = 0;
+    const core::Gc_stats stats = core::gc_result_cache(dir, options);
+    EXPECT_EQ(stats.evicted, 2u);
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.bytes_after, 0u);
+}
+
+TEST(CoreCacheGc, MissingDirectoryIsRejected)
+{
+    EXPECT_THROW(core::gc_result_cache("cache_test_scratch/nope_gc"),
+                 util::Precondition_error);
 }
 
 TEST(CoreCache, UncachedSessionReportsZeroTrafficAndOffMode)

@@ -1,0 +1,102 @@
+// CSV export (core/csv.h): header/record layout per metric family,
+// shortest-round-trip numeric cells (byte-stable exports), RFC-4180
+// escaping of text cells, distribution summaries, and the empty table.
+#include "core/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "core/query.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace mpsram;
+
+TEST(CoreCsv, ScalarMetricExportsAxesAndRowFields)
+{
+    const core::Result_table table(
+        core::Metric::nominal_td,
+        {{tech::Patterning_option::euv, 16, -1.0},
+         {tech::Patterning_option::le3, 24, 0.5}},
+        {core::Nominal_td_row{1.5e-9, 2e-9},
+         core::Nominal_td_row{0.25, 4.0}});
+
+    EXPECT_EQ(core::to_csv(table),
+              "option,word_lines,ol_3sigma,td_simulation,td_formula\n"
+              "EUV,16,-1,1.5e-09,2e-09\n"
+              "LELELE,24,0.5,0.25,4\n");
+}
+
+TEST(CoreCsv, ExportIsByteStable)
+{
+    const core::Result_table table(
+        core::Metric::read_td,
+        {{tech::Patterning_option::sadp, 32, -1.0}},
+        {core::Read_row{1.0 / 3.0, 2.0 / 3.0, 12.5}});
+    const std::string once = core::to_csv(table);
+    EXPECT_EQ(core::to_csv(table), once);
+    // Shortest-round-trip: the cell parses back to the identical bits.
+    EXPECT_NE(once.find("0.3333333333333333"), std::string::npos);
+}
+
+TEST(CoreCsv, WorstCaseCornerTextIsEscaped)
+{
+    core::Worst_case_row row;
+    row.option = tech::Patterning_option::le3;
+    row.corner = "mask A +1, mask B -1";  // comma forces RFC-4180 quoting
+    row.cbl_percent = 10.0;
+    row.rbl_percent = -2.5;
+    row.vss_r_percent = 1.25;
+    const core::Result_table table(
+        core::Metric::worst_case_rc,
+        {{tech::Patterning_option::le3, 16, -1.0}}, {row});
+
+    const std::string csv = core::to_csv(table);
+    EXPECT_NE(csv.find("\"mask A +1, mask B -1\""), std::string::npos);
+    EXPECT_NE(csv.find("corner,cbl_percent"), std::string::npos);
+}
+
+TEST(CoreCsv, DistributionMetricExportsTheSummary)
+{
+    mc::Tdp_distribution dist;
+    dist.tdp = {1.0, 2.0, 3.0};
+    dist.summary.count = 3;
+    dist.summary.mean = 2.0;
+    dist.summary.stddev = 1.0;
+    dist.summary.min = 1.0;
+    dist.summary.max = 3.0;
+    dist.summary.median = 2.0;
+    dist.summary.p01 = 1.0;
+    dist.summary.p99 = 3.0;
+    const core::Result_table table(
+        core::Metric::mc_tdp, {{tech::Patterning_option::euv, 16, -1.0}},
+        {dist});
+
+    EXPECT_EQ(core::to_csv(table),
+              "option,word_lines,ol_3sigma,samples,mean,stddev,min,max,"
+              "median,p01,p99\n"
+              "EUV,16,-1,3,2,1,1,3,2,1,3\n");
+}
+
+TEST(CoreCsv, NonFiniteCellsRenderAsText)
+{
+    constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    const core::Result_table table(
+        core::Metric::write_tw, {{tech::Patterning_option::le3, 16, -1.0}},
+        {core::Write_row{nan, inf, -inf}});
+
+    const std::string csv = core::to_csv(table);
+    EXPECT_NE(csv.find("nan,inf,-inf"), std::string::npos);
+}
+
+TEST(CoreCsv, EmptyTableIsAxesHeaderOnly)
+{
+    const core::Result_table table(core::Metric::read_td, {}, {});
+    EXPECT_EQ(core::to_csv(table), "option,word_lines,ol_3sigma\n");
+}
+
+} // namespace

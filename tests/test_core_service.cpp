@@ -1,0 +1,409 @@
+// Query service (core/service.h + util/socket.h): protocol envelopes,
+// malformed-input rejection, the bitwise identity of daemon-served
+// results, warm memo serving, backpressure, graceful-shutdown drain, and
+// N concurrent clients receiving identical tables from one daemon.
+//
+// The protocol core is exercised socket-free through handle_line (the
+// designed seam); the daemon loop end to end through a forked server
+// child, mirroring the mpsram_shard exec pattern.  The fork happens
+// while this process is single-threaded (pools join between uses), so
+// the suite stays TSan-clean.
+#include "core/service.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/query.h"
+#include "core/runner.h"
+#include "core/serialize.h"
+#include "core/session.h"
+#include "util/hash.h"
+#include "util/json.h"
+#include "util/socket.h"
+
+namespace {
+
+using namespace mpsram;
+
+/// Session used by every test: cache off, so results come from compute
+/// and the daemon's memo — no test scratch leaks into a shared cache.
+core::Study_options uncached()
+{
+    core::Study_options opts;
+    opts.cache.mode = core::Cache_mode::off;
+    return opts;
+}
+
+/// The cheapest real query: one nominal-td SPICE transient.
+core::Query small_query()
+{
+    return core::Query(core::Metric::nominal_td)
+        .with_case({tech::Patterning_option::euv, 8, -1.0});
+}
+
+std::string query_line(const core::Query& q, std::uint64_t id)
+{
+    util::Json request;
+    request.set("v", core::service_protocol_version);
+    request.set("op", "query");
+    request.set("id", id);
+    request.set("query", core::json_of_query(q));
+    return request.dump();
+}
+
+std::string op_line(const std::string& op)
+{
+    util::Json request;
+    request.set("v", core::service_protocol_version);
+    request.set("op", op);
+    return request.dump();
+}
+
+// --- protocol core (socket-free) ---------------------------------------------
+
+TEST(CoreService, MalformedRequestsGetStructuredErrors)
+{
+    const core::Study_session session(tech::n10(), uncached());
+    core::Query_service service(session, {});
+
+    const auto code_of = [&](const std::string& line) {
+        const util::Json response =
+            util::Json::parse(service.handle_line(line));
+        EXPECT_FALSE(response.at("ok").as_bool());
+        return response.at("error").at("code").as_string();
+    };
+
+    EXPECT_EQ(code_of("this is not json"), "malformed");
+    EXPECT_EQ(code_of("[1,2,3]"), "malformed");
+    EXPECT_EQ(code_of("{\"op\":\"status\"}"), "malformed");  // no version
+    EXPECT_EQ(code_of("{\"v\":\"x\",\"op\":\"status\"}"), "malformed");
+    EXPECT_EQ(code_of("{\"v\":99,\"op\":\"status\"}"), "bad_version");
+    EXPECT_EQ(code_of("{\"v\":1}"), "malformed");  // no op
+    EXPECT_EQ(code_of("{\"v\":1,\"op\":\"frobnicate\"}"), "unsupported_op");
+    EXPECT_EQ(code_of("{\"v\":1,\"op\":\"query\"}"), "malformed");
+    EXPECT_EQ(code_of("{\"v\":1,\"op\":\"query\",\"query\":{\"bad\":1}}"),
+              "malformed");
+
+    // Every rejection produced a response; none touched the session.
+    EXPECT_EQ(service.stats().requests, 9u);
+    EXPECT_EQ(service.stats().errors, 9u);
+    EXPECT_EQ(service.stats().queries, 0u);
+    EXPECT_EQ(session.query_run_count(), 0u);
+    EXPECT_FALSE(service.shutdown_requested());
+}
+
+TEST(CoreService, ErrorEnvelopeEchoesTheRequestId)
+{
+    const core::Study_session session(tech::n10(), uncached());
+    core::Query_service service(session, {});
+    const util::Json response = util::Json::parse(service.handle_line(
+        "{\"v\":1,\"op\":\"nope\",\"id\":\"req-17\"}"));
+    EXPECT_EQ(response.at("id").as_string(), "req-17");
+    EXPECT_EQ(response.at("error").at("code").as_string(),
+              "unsupported_op");
+}
+
+TEST(CoreService, QueryIsServedBitwiseIdenticalAndMemoized)
+{
+    const core::Study_session session(tech::n10(), uncached());
+    core::Query_service service(session, {});
+    const core::Query query = small_query();
+
+    // The reference bytes: an in-process run on the same session.
+    const std::string expected =
+        core::json_of_result_table(session.run(query)).dump();
+
+    const util::Json cold =
+        util::Json::parse(service.handle_line(query_line(query, 1)));
+    ASSERT_TRUE(cold.at("ok").as_bool());
+    EXPECT_EQ(cold.at("op").as_string(), "query");
+    EXPECT_EQ(cold.at("id").as_u64(), 1u);
+    EXPECT_EQ(cold.at("result").dump(), expected);
+    EXPECT_FALSE(cold.at("serve").at("memo_hit").as_bool());
+    EXPECT_EQ(cold.at("serve").at("query_hash").as_string(),
+              util::hex16(core::query_key(session, query)));
+
+    // Same query again: served from the daemon memo, same bytes, no new
+    // session run.
+    const std::size_t runs_after_cold = session.query_run_count();
+    const util::Json warm =
+        util::Json::parse(service.handle_line(query_line(query, 2)));
+    ASSERT_TRUE(warm.at("ok").as_bool());
+    EXPECT_EQ(warm.at("result").dump(), expected);
+    EXPECT_TRUE(warm.at("serve").at("memo_hit").as_bool());
+    EXPECT_EQ(warm.at("serve").at("corner_searches").as_u64(), 0u);
+    EXPECT_EQ(warm.at("serve").at("surface_fits").as_u64(), 0u);
+    EXPECT_EQ(session.query_run_count(), runs_after_cold);
+
+    EXPECT_EQ(service.stats().queries, 2u);
+    EXPECT_EQ(service.stats().memo_hits, 1u);
+    EXPECT_EQ(service.memo_entries(), 1u);
+}
+
+TEST(CoreService, StatusAndCacheStatsReportTheCounters)
+{
+    const core::Study_session session(tech::n10(), uncached());
+    core::Query_service service(session, {});
+    (void)service.handle_line(query_line(small_query(), 1));
+
+    const util::Json status =
+        util::Json::parse(service.handle_line(op_line("status")));
+    ASSERT_TRUE(status.at("ok").as_bool());
+    const util::Json& s = status.at("status");
+    EXPECT_EQ(s.at("queries").as_u64(), 1u);
+    EXPECT_EQ(s.at("memo_entries").as_u64(), 1u);
+    EXPECT_EQ(s.at("query_runs").as_u64(), session.query_run_count());
+    EXPECT_EQ(s.at("cache_mode").as_string(), "off");
+    EXPECT_EQ(s.at("protocol_version").as_u64(),
+              core::service_protocol_version);
+    EXPECT_EQ(s.at("config_fingerprint").as_string(),
+              util::hex16(session.config_fingerprint()));
+
+    const util::Json cache =
+        util::Json::parse(service.handle_line(op_line("cache_stats")));
+    ASSERT_TRUE(cache.at("ok").as_bool());
+    EXPECT_EQ(cache.at("cache_stats").at("session").at("hits").as_u64(),
+              0u);
+    EXPECT_EQ(cache.at("cache_stats").at("session").at("mode").as_string(),
+              "off");
+}
+
+TEST(CoreService, ShutdownAcksAndSetsTheFlag)
+{
+    const core::Study_session session(tech::n10(), uncached());
+    core::Query_service service(session, {});
+    const util::Json ack =
+        util::Json::parse(service.handle_line(op_line("shutdown")));
+    ASSERT_TRUE(ack.at("ok").as_bool());
+    EXPECT_EQ(ack.at("op").as_string(), "shutdown");
+    EXPECT_EQ(ack.at("draining").as_u64(), 0u);
+    EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(CoreService, BusyLineIsAStructuredRejection)
+{
+    const core::Study_session session(tech::n10(), uncached());
+    core::Service_options opts;
+    opts.max_pending = 1;
+    core::Query_service service(session, opts);
+
+    const util::Json busy = util::Json::parse(service.busy_line(
+        "{\"v\":1,\"op\":\"query\",\"id\":7,\"query\":{}}"));
+    EXPECT_FALSE(busy.at("ok").as_bool());
+    EXPECT_EQ(busy.at("error").at("code").as_string(), "busy");
+    EXPECT_EQ(busy.at("id").as_u64(), 7u);  // id salvaged for correlation
+    EXPECT_EQ(service.stats().busy, 1u);
+    // busy is backpressure, not a protocol error.
+    EXPECT_EQ(service.stats().errors, 0u);
+}
+
+// --- daemon loop (forked server) ---------------------------------------------
+
+/// Forked mpsram-serve-alike: runs Query_service::serve() over a fresh
+/// uncached session in a child process; the destructor reaps it (SIGKILL
+/// only if a test failed before the graceful shutdown).
+struct Server {
+    explicit Server(const core::Service_options& opts)
+    {
+        std::filesystem::remove(opts.socket_path);
+        pid = ::fork();
+        if (pid == 0) {
+            try {
+                const core::Study_session session(tech::n10(), uncached());
+                core::Query_service service(session, opts);
+                std::_Exit(service.serve());
+            } catch (...) {
+                std::_Exit(3);
+            }
+        }
+    }
+
+    /// Wait for the daemon to exit and return its status (-1 on reap
+    /// failure).  The graceful-shutdown contract is exit code 0.
+    int wait()
+    {
+        int status = 0;
+        if (::waitpid(pid, &status, 0) < 0) return -1;
+        pid = -1;
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    ~Server()
+    {
+        if (pid > 0) {
+            ::kill(pid, SIGKILL);
+            int status = 0;
+            ::waitpid(pid, &status, 0);
+        }
+    }
+
+    pid_t pid = -1;
+};
+
+/// Connect, retrying until the forked server has bound its socket.
+util::Socket connect_with_retry(const std::string& path)
+{
+    for (int attempt = 0;; ++attempt) {
+        try {
+            return util::Socket::connect_unix(path);
+        } catch (const std::exception&) {
+            if (attempt > 100) throw;
+            ::usleep(50 * 1000);
+        }
+    }
+}
+
+/// Send `lines` in ONE syscall (AF_UNIX delivers a small write
+/// contiguously, so the server admits the whole pipeline in one read
+/// pass) and collect exactly `expected` response lines.
+std::vector<std::string> exchange(util::Socket& sock,
+                                  const std::vector<std::string>& lines,
+                                  std::size_t expected)
+{
+    std::string batch;
+    for (const std::string& line : lines) batch += line + "\n";
+    sock.write_all(batch, 10000);
+
+    std::vector<std::string> responses;
+    util::Line_buffer buffer;
+    char buf[4096];
+    while (responses.size() < expected) {
+        if (auto line = buffer.pop_line()) {
+            responses.push_back(std::move(*line));
+            continue;
+        }
+        const auto n = sock.read_some(buf, sizeof buf, 60000);
+        if (!n || *n == 0) break;  // timeout or daemon gone
+        buffer.append(buf, *n);
+    }
+    return responses;
+}
+
+TEST(CoreServiceDaemon, ConcurrentClientsReceiveIdenticalTables)
+{
+    const std::string socket_path = "service_test_concurrent.sock";
+    core::Service_options opts;
+    opts.socket_path = socket_path;
+    opts.poll_interval_ms = 10;
+    Server server(opts);
+    ASSERT_GT(server.pid, 0);
+    connect_with_retry(socket_path);  // wait for the bind, then drop
+
+    const core::Query query = small_query();
+    const core::Study_session local(tech::n10(), uncached());
+    const std::string expected =
+        core::json_of_result_table(local.run(query)).dump();
+
+    // >= 4 clients, all connected before any request is sent, hammering
+    // one daemon concurrently.  Every response must carry the same bytes
+    // as the in-process run.
+    constexpr std::size_t clients = 4;
+    std::vector<std::string> results(clients);
+    core::run_indexed(
+        clients,
+        [&](std::size_t i, const core::Run_context&) {
+            util::Socket sock = connect_with_retry(socket_path);
+            const auto responses =
+                exchange(sock, {query_line(query, i)}, 1);
+            if (responses.size() == 1) results[i] = responses[0];
+        },
+        core::Runner_options{static_cast<int>(clients)});
+
+    for (std::size_t i = 0; i < clients; ++i) {
+        ASSERT_FALSE(results[i].empty()) << "client " << i;
+        const util::Json response = util::Json::parse(results[i]);
+        ASSERT_TRUE(response.at("ok").as_bool()) << results[i];
+        EXPECT_EQ(response.at("result").dump(), expected)
+            << "client " << i;
+    }
+
+    util::Socket admin = connect_with_retry(socket_path);
+    exchange(admin, {op_line("shutdown")}, 1);
+    EXPECT_EQ(server.wait(), 0);
+    EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+TEST(CoreServiceDaemon, QueueOverflowGetsBusyNotAHang)
+{
+    const std::string socket_path = "service_test_busy.sock";
+    core::Service_options opts;
+    opts.socket_path = socket_path;
+    opts.max_pending = 1;
+    opts.poll_interval_ms = 10;
+    Server server(opts);
+    ASSERT_GT(server.pid, 0);
+
+    // Three pipelined requests against a queue of one: the first is
+    // admitted, the other two are rejected immediately with `busy`
+    // (emitted at admission time, so they arrive before the executed
+    // request's response).
+    const core::Query query = small_query();
+    util::Socket sock = connect_with_retry(socket_path);
+    const auto responses = exchange(sock,
+                                    {query_line(query, 1),
+                                     query_line(query, 2),
+                                     query_line(query, 3)},
+                                    3);
+    ASSERT_EQ(responses.size(), 3u);
+
+    std::size_t ok = 0, busy = 0;
+    for (const std::string& line : responses) {
+        const util::Json response = util::Json::parse(line);
+        if (response.at("ok").as_bool()) {
+            ++ok;
+        } else {
+            EXPECT_EQ(response.at("error").at("code").as_string(), "busy");
+            ++busy;
+        }
+    }
+    EXPECT_EQ(ok, 1u);
+    EXPECT_EQ(busy, 2u);
+
+    exchange(sock, {op_line("shutdown")}, 1);
+    EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(CoreServiceDaemon, ShutdownDrainsAdmittedRequests)
+{
+    const std::string socket_path = "service_test_drain.sock";
+    core::Service_options opts;
+    opts.socket_path = socket_path;
+    opts.poll_interval_ms = 10;
+    Server server(opts);
+    ASSERT_GT(server.pid, 0);
+
+    // query / shutdown / query pipelined in one write: ALL THREE were
+    // admitted before the shutdown executes, so all three get answered
+    // (the drain), then the daemon exits 0 and unlinks its socket.
+    const core::Query query = small_query();
+    util::Socket sock = connect_with_retry(socket_path);
+    const auto responses = exchange(sock,
+                                    {query_line(query, 1),
+                                     op_line("shutdown"),
+                                     query_line(query, 2)},
+                                    3);
+    ASSERT_EQ(responses.size(), 3u);
+
+    const util::Json first = util::Json::parse(responses[0]);
+    const util::Json ack = util::Json::parse(responses[1]);
+    const util::Json last = util::Json::parse(responses[2]);
+    EXPECT_TRUE(first.at("ok").as_bool());
+    EXPECT_EQ(first.at("op").as_string(), "query");
+    EXPECT_EQ(ack.at("op").as_string(), "shutdown");
+    EXPECT_EQ(ack.at("draining").as_u64(), 1u);  // one request behind it
+    EXPECT_TRUE(last.at("ok").as_bool());
+    EXPECT_EQ(last.at("result").dump(), first.at("result").dump());
+
+    EXPECT_EQ(server.wait(), 0);
+    EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+} // namespace

@@ -24,6 +24,11 @@ introduced, before any bench gate can notice a drifting checksum:
                        outside util::Thread_pool bypass the deterministic
                        chunking of core::run and the one-pool-per-thread
                        discipline.
+  raw-socket           socket/accept/bind/connect/recv/send/poll/select
+                       syscalls outside src/util/ and src/core/service.cpp
+                       grow an unaudited I/O surface; all socket I/O goes
+                       through util::Socket / util::Unix_listener and the
+                       service daemon's poll loop.
 
 Escape hatch: a finding on a line containing `// lint:allow(<rule>)` (or
 whose previous line is exactly such a comment) is suppressed.  Use it for
@@ -51,6 +56,11 @@ SOURCE_SUFFIXES = {".cpp", ".h", ".hpp", ".cc"}
 # Paths (relative to the repo root, '/'-separated) where raw threading
 # primitives are the implementation of the sanctioned pool itself.
 RAW_THREAD_ALLOWED = ("src/util/thread_pool.h", "src/util/thread_pool.cpp")
+
+# Where raw socket/poll syscalls are the implementation of the sanctioned
+# I/O layer: the util socket wrappers and the service daemon's poll loop.
+RAW_SOCKET_ALLOWED_PREFIXES = ("src/util/",)
+RAW_SOCKET_ALLOWED = ("src/core/service.cpp",)
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 EXPECT_RE = re.compile(r"//\s*lint:expect\(([a-z-]+)\)")
@@ -171,6 +181,24 @@ LINE_RULES = [
         "raw threading outside util::Thread_pool bypasses the "
         "deterministic chunking of core::run",
     ),
+    (
+        "raw-socket",
+        # Two spellings of a raw syscall: a bare call (`accept(fd, ...)`,
+        # not preceded by an identifier, '.', or '::' — so member calls
+        # and qualified names stay quiet) and a global-qualified call
+        # (`::socket(...)` where the `::` is not itself qualified).
+        re.compile(
+            r"(?<![\w.:])(?:socket|accept4?|bind|listen|connect|recv"
+            r"|send(?:msg|to)?|poll|ppoll|select|epoll_(?:create1?|ctl|wait))"
+            r"\s*\("
+            r"|(?<![\w)>\]])::(?:socket|accept4?|bind|listen|connect|recv"
+            r"|send(?:msg|to)?|poll|ppoll|select|epoll_(?:create1?|ctl|wait))"
+            r"\s*\("
+        ),
+        "raw socket/poll syscalls outside src/util/ and "
+        "src/core/service.cpp; route I/O through util::Socket / "
+        "util::Unix_listener",
+    ),
 ]
 
 UNORDERED_DECL_RE = re.compile(
@@ -213,6 +241,11 @@ def scan_file(path: Path, relpath: str, self_test: bool) -> tuple[list, list]:
     for idx, line in enumerate(code_lines, start=1):
         for rule, rx, message in LINE_RULES:
             if rule == "raw-thread" and relpath in RAW_THREAD_ALLOWED:
+                continue
+            if rule == "raw-socket" and (
+                relpath.startswith(RAW_SOCKET_ALLOWED_PREFIXES)
+                or relpath in RAW_SOCKET_ALLOWED
+            ):
                 continue
             if rx.search(line):
                 report(idx, rule, message)

@@ -90,6 +90,20 @@ inline void bad_raw_thread()
 #pragma omp parallel for  // lint:expect(raw-thread)
 // (the pragma itself is the violation; no loop needed for the fixture)
 
+// --- raw-socket: syscall I/O outside the audited layer ----------------------
+inline int bad_raw_socket()
+{
+    const int fd = socket(1, 1, 0);  // lint:expect(raw-socket)
+    return fd;
+}
+
+inline int bad_qualified_socket_calls(int fd)
+{
+    const int client = ::accept4(fd, nullptr, nullptr, 0);  // lint:expect(raw-socket)
+    ::poll(nullptr, 0, 0);  // lint:expect(raw-socket)
+    return client;
+}
+
 // --- escape hatch: reviewed exceptions stay silent --------------------------
 inline std::size_t allowed_unordered_size_only(
     const std::unordered_map<std::string, double>& weights)
@@ -108,6 +122,7 @@ inline std::size_t allowed_unordered_size_only(
 inline int clean_lookalikes()
 {
     // "rand(" in a comment and a string must not fire: rand( time( now(
+    // (nor "socket( accept( poll(" here in a comment)
     const std::string s = "std::random_device rand( time( float ";
     int operand = 1;        // 'rand' inside an identifier
     int wall_time = 2;      // 'time' inside an identifier
@@ -121,7 +136,11 @@ inline int clean_lookalikes()
     std::vector<int> sorted_keys{1, 2, 3};
     int sum = 0;
     for (int k : sorted_keys) sum += k;  // ordered iteration is fine
-    return operand + wall_time + hardware + sum +
+    const auto accept_step = [](int v) { return v; };
+    const int stepped = accept_step(7);  // not the accept() syscall
+    const auto bindings = [](int v) { return v; };
+    const int bound = bindings(1);       // not bind() either
+    return operand + wall_time + hardware + sum + stepped + bound +
            static_cast<int>(s.size()) +
            (it != lut.end() ? it->second : 0);
 }

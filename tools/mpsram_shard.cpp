@@ -15,12 +15,18 @@
 //       Compose a query and write its JSON (stdout by default).
 //   run   --query FILE --shard I --count K --out FILE [--threads N]
 //       Run shard I of K and write the part envelope.
-//   merge --query FILE --out FILE PART...
-//       Merge part envelopes into the full table (bare table JSON).
+//   merge --query FILE --out FILE [--format json|csv] PART...
+//       Merge part envelopes into the full table (bare table JSON, or a
+//       CSV export via core/csv.h).
 //   exec  --query FILE --count K --out FILE [--threads N] [--expect-warm]
 //       Fork K shard processes, wait, merge, write the full table.
 //       --expect-warm additionally requires every shard to be served
 //       from the cache (hits > 0, zero corner searches / surface fits).
+//   cache-gc --dir DIR [--max-bytes N]
+//       Sweep a result-cache directory: delete corrupt envelopes on
+//       sight and, with --max-bytes, evict valid entries oldest-mtime-
+//       first until the survivors fit (core::gc_result_cache).  Prints
+//       the sweep stats as JSON.
 //
 // The merged output of exec/merge is byte-stable: `cmp` of k=1/2/4 runs
 // is the CI gate for the shard-merge determinism contract.
@@ -38,7 +44,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "core/csv.h"
 #include "core/query.h"
+#include "core/result_cache.h"
 #include "core/serialize.h"
 #include "core/session.h"
 #include "core/shard.h"
@@ -54,8 +62,8 @@ using namespace mpsram;
 [[noreturn]] void usage(const std::string& message)
 {
     std::cerr << "mpsram_shard: " << message << "\n"
-              << "subcommands: emit | run | merge | exec (see the header "
-                 "comment)\n";
+              << "subcommands: emit | run | merge | exec | cache-gc (see "
+                 "the header comment)\n";
     std::exit(2);
 }
 
@@ -267,7 +275,35 @@ int cmd_merge(const Args& args)
     const core::Result_table merged =
         core::merge_shard_parts(hash, query.cases.size(),
                                 std::move(parts));
-    write_out(args.get("out"), core::json_of_result_table(merged).dump());
+    const std::string format = args.get("format").value_or("json");
+    if (format == "json") {
+        write_out(args.get("out"),
+                  core::json_of_result_table(merged).dump());
+    } else if (format == "csv") {
+        write_out(args.get("out"), core::to_csv(merged));
+    } else {
+        usage("unknown --format '" + format + "' (accepted: json, csv)");
+    }
+    return 0;
+}
+
+int cmd_cache_gc(const Args& args)
+{
+    core::Gc_options options;
+    if (const auto n = args.get("max-bytes")) {
+        options.max_bytes = std::stoull(*n);
+    }
+    const core::Gc_stats stats =
+        core::gc_result_cache(args.require("dir"), options);
+
+    util::Json report;
+    report.set("entries", static_cast<std::uint64_t>(stats.entries));
+    report.set("corrupt_deleted",
+               static_cast<std::uint64_t>(stats.corrupt_deleted));
+    report.set("evicted", static_cast<std::uint64_t>(stats.evicted));
+    report.set("bytes_before", stats.bytes_before);
+    report.set("bytes_after", stats.bytes_after);
+    write_out(args.get("out"), report.dump());
     return 0;
 }
 
@@ -348,6 +384,7 @@ int main(int argc, char** argv)
         if (command == "run") return cmd_run(args);
         if (command == "merge") return cmd_merge(args);
         if (command == "exec") return cmd_exec(args);
+        if (command == "cache-gc") return cmd_cache_gc(args);
     } catch (const std::exception& e) {
         std::cerr << "mpsram_shard: " << e.what() << "\n";
         return 1;
