@@ -96,12 +96,22 @@ util::Json Query_service::op_query(const util::Json& request,
         key = query_key(session_, query);
         const auto memoized = memo_.find(key);
         if (memoized != memo_.end()) {
-            table = memoized->second;
+            table = memoized->second.table;
+            memo_lru_.splice(memo_lru_.begin(), memo_lru_,
+                             memoized->second.lru);
             memo_hit = true;
             ++stats_.memo_hits;
         } else {
             table = json_of_result_table(session_.run(query));
-            memo_.emplace(key, table);
+            if (opts_.max_memo_entries > 0) {
+                memo_lru_.push_front(key);
+                memo_.emplace(key, Memo_entry{table, memo_lru_.begin()});
+                if (memo_.size() > opts_.max_memo_entries) {
+                    memo_.erase(memo_lru_.back());
+                    memo_lru_.pop_back();
+                    ++stats_.memo_evictions;
+                }
+            }
         }
     } catch (const std::exception& ex) {
         return error_json("failed", ex.what(), id);
@@ -135,6 +145,7 @@ util::Json Query_service::op_status(const util::Json* id)
     status.set("queries", stats_.queries);
     status.set("memo_hits", stats_.memo_hits);
     status.set("memo_entries", static_cast<std::uint64_t>(memo_.size()));
+    status.set("memo_evictions", stats_.memo_evictions);
     status.set("errors", stats_.errors);
     status.set("busy", stats_.busy);
     status.set("queue_depth", static_cast<std::uint64_t>(queue_depth_));
@@ -270,15 +281,20 @@ int Query_service::serve()
     std::deque<Pending> queue;
     char buf[4096];
 
-    auto send = [&](std::uint64_t client_id, const std::string& body) {
+    // Deliver one response line.  Returns false when the client is gone
+    // or its write failed — a vanished or stalled client costs itself
+    // its connection, never the daemon.  NEVER erases from `clients`:
+    // callers iterate the map while sending, so removal is always theirs
+    // to defer (the high-severity use-after-free this design prevents).
+    auto send = [&](std::uint64_t client_id,
+                    const std::string& body) -> bool {
         const auto it = clients.find(client_id);
-        if (it == clients.end()) return;
+        if (it == clients.end()) return false;
         try {
             it->second.sock.write_all(body + "\n", opts_.write_timeout_ms);
+            return true;
         } catch (const std::exception&) {
-            // A vanished or stalled client costs itself its connection,
-            // never the daemon.
-            clients.erase(it);
+            return false;
         }
     };
 
@@ -310,31 +326,57 @@ int Query_service::serve()
         // 3. Drain every readable client and admit ALL complete lines
         //    before executing anything, so a pipelined burst observes the
         //    queue bound atomically (overflow -> immediate busy envelope).
-        std::vector<std::uint64_t> gone;
+        //    Removal is deferred: `dead` (broken write / oversized line)
+        //    is reaped before execution, `eof` (orderly half-close) only
+        //    AFTER the execute loop, so a client that pipelines requests
+        //    and shuts down its write side still gets every answer.
+        std::vector<std::uint64_t> dead;
+        std::vector<std::uint64_t> eof;
         for (const std::size_t index : ready) {
             if (index == 0) continue;
             const std::uint64_t cid = owner[index - 1];
             auto it = clients.find(cid);
             if (it == clients.end()) continue;
             Client& client = it->second;
-            bool eof = false;
+            bool hung_up = false;
+            bool broken = false;
             while (auto n = client.sock.try_read(buf, sizeof buf)) {
                 if (*n == 0) {
-                    eof = true;
+                    hung_up = true;
                     break;
                 }
                 client.lines.append(buf, *n);
             }
             while (auto line = client.lines.pop_line()) {
                 if (queue.size() >= opts_.max_pending) {
-                    send(cid, busy_line(*line));
+                    if (!send(cid, busy_line(*line))) {
+                        broken = true;
+                        break;
+                    }
                 } else {
                     queue.push_back(Pending{cid, std::move(*line)});
                 }
             }
-            if (eof) gone.push_back(cid);
+            if (!broken &&
+                client.lines.pending_bytes() > opts_.max_line_bytes) {
+                // An unterminated stream past the bound can never become
+                // a request; answer once and cut the connection so the
+                // buffer cannot grow without limit.
+                send(cid,
+                     error_json("malformed",
+                                "request line exceeds max_line_bytes=" +
+                                    std::to_string(opts_.max_line_bytes),
+                                nullptr)
+                         .dump());
+                broken = true;
+            }
+            if (broken) {
+                dead.push_back(cid);
+            } else if (hung_up) {
+                eof.push_back(cid);
+            }
         }
-        for (const std::uint64_t cid : gone) clients.erase(cid);
+        for (const std::uint64_t cid : dead) clients.erase(cid);
 
         // 4. Execute the admitted requests in admission order.  Requests
         //    admitted before a shutdown drain normally; the loop then
@@ -343,8 +385,11 @@ int Query_service::serve()
             Pending pending = std::move(queue.front());
             queue.pop_front();
             queue_depth_ = queue.size();
-            send(pending.client, handle_line(pending.line));
+            if (!send(pending.client, handle_line(pending.line))) {
+                clients.erase(pending.client);
+            }
         }
+        for (const std::uint64_t cid : eof) clients.erase(cid);
         if (shutdown_) break;
     }
     // ~Unix_listener closes and unlinks the socket file.

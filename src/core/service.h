@@ -54,7 +54,8 @@
 //                                     only — never part of a result)
 //                     queue_depth     requests still queued behind this one
 //   op:status       `"status"`: daemon + session counters (requests,
-//                   queries, memo_hits, memo_entries, errors, busy,
+//                   queries, memo_hits, memo_entries, memo_evictions,
+//                   errors, busy,
 //                   queue_depth, max_pending, session query_runs /
 //                   corner_searches / surface_fits, cache_mode,
 //                   config_fingerprint, protocol + serialization versions).
@@ -75,16 +76,26 @@
 //   failed          the query raised during execution (e.g. a solver-
 //                   policy contract violation); the daemon stays up
 //
+// A connection streaming more than Service_options::max_line_bytes
+// without a newline is answered with one `malformed` envelope (no `id` —
+// the line never completed, so there is nothing to salvage) and then
+// disconnected: the daemon's per-client line buffer is bounded, so an
+// unterminated byte stream can never exhaust its memory.
+//
 // A protocol error NEVER terminates the daemon: every request produces
 // exactly one response envelope, and client I/O failures just drop that
 // client.
 //
 // ### Lifecycle
 //
-// serve() binds the socket, then loops: poll listener + clients, admit
-// complete lines into the bounded request queue (overflow → immediate
-// `busy`), execute queued requests in admission order on the shared warm
-// session.  op:shutdown is graceful by construction — the ack is sent,
+// serve() binds the socket (refusing to usurp a live daemon on the same
+// path — see util::Unix_listener), then loops: poll listener + clients,
+// admit complete lines into the bounded request queue (overflow →
+// immediate `busy`), execute queued requests in admission order on the
+// shared warm session.  A client that half-closes (shutdown(SHUT_WR))
+// after pipelining requests still receives every queued response: EOF'd
+// clients are only reaped after the requests they admitted have been
+// answered.  op:shutdown is graceful by construction — the ack is sent,
 // every request already admitted is drained (executed and answered),
 // new reads and connections are refused, the socket file is unlinked,
 // and serve() returns 0.
@@ -103,6 +114,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <string>
 #include <string_view>
@@ -127,6 +139,14 @@ struct Service_options {
     std::size_t max_pending = 64;
     /// Connection bound; connections beyond it are accepted and closed.
     std::size_t max_clients = 64;
+    /// Per-client line-buffer bound: a connection holding more than this
+    /// many unterminated bytes gets a `malformed` envelope and is
+    /// disconnected (memory backpressure, never unbounded growth).
+    std::size_t max_line_bytes = 16u << 20;
+    /// Result-memo bound: at most this many encoded Result_tables are
+    /// retained, least-recently-served evicted first.  0 disables the
+    /// memo entirely (the on-disk Result_cache still applies).
+    std::size_t max_memo_entries = 1024;
     /// Idle poll tick of the serve loop [ms].
     int poll_interval_ms = 100;
     /// Send stall budget per client write [ms]; a slower client is
@@ -143,6 +163,7 @@ struct Service_stats {
     std::uint64_t requests = 0;   ///< lines received (busy ones included)
     std::uint64_t queries = 0;    ///< op:query executed successfully
     std::uint64_t memo_hits = 0;  ///< queries served from the result memo
+    std::uint64_t memo_evictions = 0;  ///< LRU entries dropped at the bound
     std::uint64_t errors = 0;     ///< error envelopes other than busy
     std::uint64_t busy = 0;       ///< backpressure rejections
 };
@@ -194,8 +215,16 @@ private:
     /// Result_table.  This is what turns a repeated query into a
     /// sub-millisecond response even with the on-disk cache off; entries
     /// are sound to share across clients because results are pure
-    /// functions of their canonical key material.
-    std::map<std::uint64_t, util::Json> memo_;
+    /// functions of their canonical key material.  Bounded at
+    /// Service_options::max_memo_entries with least-recently-served
+    /// eviction (memo_lru_ front = most recent), so a long-lived daemon
+    /// serving varied queries stays memory-flat.
+    struct Memo_entry {
+        util::Json table;
+        std::list<std::uint64_t>::iterator lru;
+    };
+    std::map<std::uint64_t, Memo_entry> memo_;
+    std::list<std::uint64_t> memo_lru_;
 };
 
 } // namespace mpsram::core

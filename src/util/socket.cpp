@@ -7,6 +7,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -123,17 +124,45 @@ void Socket::write_all(std::string_view data, int timeout_ms)
     }
 }
 
+void Socket::shutdown_write()
+{
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
 // --- Unix_listener -----------------------------------------------------------
 
 Unix_listener::Unix_listener(std::string path, int backlog)
     : path_(std::move(path))
 {
     const sockaddr_un addr = address_of(path_);
+    // A stale socket file from a daemon that died uncleanly would make
+    // bind() fail with EADDRINUSE even though nobody is listening — but
+    // only a PROVEN-stale file may be reclaimed: a live listener must
+    // not be usurped (its clients would silently land on us), and a
+    // non-socket file at the path is someone else's data, not ours to
+    // delete.
+    struct stat st{};
+    if (::lstat(path_.c_str(), &st) == 0) {
+        if (!S_ISSOCK(st.st_mode)) {
+            throw std::runtime_error(
+                "socket: refusing to replace non-socket file '" + path_ +
+                "'");
+        }
+        const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (probe < 0) raise("socket()");
+        const bool live =
+            ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0;
+        ::close(probe);
+        if (live) {
+            throw std::runtime_error(
+                "socket: a daemon is already listening on '" + path_ +
+                "'");
+        }
+        ::unlink(path_.c_str());
+    }
     fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
     if (fd_ < 0) raise("socket()");
-    // A stale socket file from a daemon that died uncleanly would make
-    // bind() fail with EADDRINUSE even though nobody is listening.
-    ::unlink(path_.c_str());
     if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
                sizeof(addr)) != 0) {
         const int saved = errno;

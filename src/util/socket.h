@@ -65,15 +65,22 @@ public:
     /// (peer gone) or any other error — a partial write never returns.
     void write_all(std::string_view data, int timeout_ms);
 
+    /// Half-close: shut down the write side (the peer's next read sees
+    /// EOF) while the read side stays open for pending responses.
+    void shutdown_write();
+
 private:
     int fd_ = -1;
 };
 
-/// A bound + listening Unix-domain socket.  The constructor unlinks a
-/// stale socket file at `path` (a previous daemon that died without
-/// cleanup), binds, and listens; the destructor closes and unlinks, so a
-/// graceful shutdown leaves no socket file behind.  Accepted fds are
-/// nonblocking.
+/// A bound + listening Unix-domain socket.  The constructor reclaims a
+/// STALE socket file at `path` (a previous daemon that died without
+/// cleanup — the file exists but nobody answers a connect probe); a path
+/// with a live listener throws ("already listening"), so a second daemon
+/// can never silently usurp a running one, and a path holding anything
+/// other than a socket is refused rather than deleted.  It then binds
+/// and listens; the destructor closes and unlinks, so a graceful
+/// shutdown leaves no socket file behind.  Accepted fds are nonblocking.
 class Unix_listener {
 public:
     explicit Unix_listener(std::string path, int backlog = 64);

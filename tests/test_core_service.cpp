@@ -14,7 +14,9 @@
 
 #include <csignal>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -203,6 +205,110 @@ TEST(CoreService, BusyLineIsAStructuredRejection)
     EXPECT_EQ(service.stats().busy, 1u);
     // busy is backpressure, not a protocol error.
     EXPECT_EQ(service.stats().errors, 0u);
+}
+
+TEST(CoreService, MemoIsBoundedWithLruEviction)
+{
+    const core::Study_session session(tech::n10(), uncached());
+    core::Service_options opts;
+    opts.max_memo_entries = 2;
+    core::Query_service service(session, opts);
+
+    const auto serve = [&](int word_lines) {
+        const core::Query query =
+            core::Query(core::Metric::nominal_td)
+                .with_case(
+                    {tech::Patterning_option::euv, word_lines, -1.0});
+        return util::Json::parse(
+            service.handle_line(query_line(query, word_lines)));
+    };
+
+    EXPECT_FALSE(serve(8).at("serve").at("memo_hit").as_bool());
+    EXPECT_FALSE(serve(16).at("serve").at("memo_hit").as_bool());
+    EXPECT_EQ(service.memo_entries(), 2u);
+
+    // Touch 8 so 16 becomes least recently served, then force an
+    // eviction with a third distinct query.
+    EXPECT_TRUE(serve(8).at("serve").at("memo_hit").as_bool());
+    EXPECT_FALSE(serve(32).at("serve").at("memo_hit").as_bool());
+    EXPECT_EQ(service.memo_entries(), 2u);
+    EXPECT_EQ(service.stats().memo_evictions, 1u);
+
+    // 8 survived (recently served); 16 was the eviction victim.
+    EXPECT_TRUE(serve(8).at("serve").at("memo_hit").as_bool());
+    EXPECT_FALSE(serve(16).at("serve").at("memo_hit").as_bool());
+}
+
+TEST(CoreService, MemoBoundOfZeroDisablesMemoization)
+{
+    const core::Study_session session(tech::n10(), uncached());
+    core::Service_options opts;
+    opts.max_memo_entries = 0;
+    core::Query_service service(session, opts);
+
+    const std::string line = query_line(small_query(), 1);
+    EXPECT_TRUE(
+        util::Json::parse(service.handle_line(line)).at("ok").as_bool());
+    const util::Json repeat = util::Json::parse(service.handle_line(line));
+    EXPECT_FALSE(repeat.at("serve").at("memo_hit").as_bool());
+    EXPECT_EQ(service.memo_entries(), 0u);
+}
+
+// --- listener path safety ----------------------------------------------------
+
+TEST(UtilSocket, ListenerRefusesALiveDaemonPath)
+{
+    const std::string path = "service_test_takeover.sock";
+    std::filesystem::remove(path);
+    util::Unix_listener listener(path);
+
+    // A second daemon on the same path fails loudly instead of silently
+    // deleting the live daemon's socket and taking over...
+    EXPECT_THROW({ util::Unix_listener usurper(path); },
+                 std::runtime_error);
+
+    // ...and the first is untouched: the file is still its socket and
+    // still accepts connections.
+    EXPECT_TRUE(std::filesystem::is_socket(path));
+    EXPECT_TRUE(util::Socket::connect_unix(path).valid());
+}
+
+TEST(UtilSocket, ListenerRefusesToDeleteANonSocketFile)
+{
+    const std::string path = "service_test_not_a_socket";
+    { std::ofstream(path) << "precious bytes\n"; }
+    EXPECT_THROW({ util::Unix_listener listener(path); },
+                 std::runtime_error);
+    EXPECT_TRUE(std::filesystem::exists(path));
+    std::filesystem::remove(path);
+}
+
+TEST(UtilSocket, ListenerReclaimsAStaleSocketFile)
+{
+    const std::string path = "service_test_stale.sock";
+    std::filesystem::remove(path);
+
+    // A daemon that died uncleanly: the child binds, then _Exits without
+    // running destructors, leaving a socket file nobody listens on.
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        try {
+            util::Unix_listener stale(path);
+            std::_Exit(0);
+        } catch (...) {
+            std::_Exit(3);
+        }
+    }
+    ASSERT_GT(pid, 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_EQ(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 0);
+    ASSERT_TRUE(std::filesystem::is_socket(path));
+
+    // The connect probe finds no listener, so the stale file is
+    // reclaimed and the new daemon binds.
+    util::Unix_listener listener(path);
+    EXPECT_TRUE(util::Socket::connect_unix(path).valid());
 }
 
 // --- daemon loop (forked server) ---------------------------------------------
@@ -404,6 +510,132 @@ TEST(CoreServiceDaemon, ShutdownDrainsAdmittedRequests)
 
     EXPECT_EQ(server.wait(), 0);
     EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+TEST(CoreServiceDaemon, OversizedLineIsRejectedAndDisconnected)
+{
+    const std::string socket_path = "service_test_oversize.sock";
+    core::Service_options opts;
+    opts.socket_path = socket_path;
+    opts.max_line_bytes = 1024;
+    opts.poll_interval_ms = 10;
+    Server server(opts);
+    ASSERT_GT(server.pid, 0);
+
+    // 4 KiB with no terminator can never become a request; the bounded
+    // line buffer rejects it instead of growing forever.
+    util::Socket sock = connect_with_retry(socket_path);
+    sock.write_all(std::string(4096, 'x'), 10000);
+
+    util::Line_buffer buffer;
+    char buf[4096];
+    std::string line;
+    for (;;) {
+        if (auto popped = buffer.pop_line()) {
+            line = std::move(*popped);
+            break;
+        }
+        const auto n = sock.read_some(buf, sizeof buf, 60000);
+        ASSERT_TRUE(n && *n > 0) << "no rejection envelope arrived";
+        buffer.append(buf, *n);
+    }
+    const util::Json response = util::Json::parse(line);
+    EXPECT_FALSE(response.at("ok").as_bool());
+    EXPECT_EQ(response.at("error").at("code").as_string(), "malformed");
+
+    // The connection is cut after the one rejection envelope.
+    const auto n = sock.read_some(buf, sizeof buf, 60000);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 0u);
+
+    util::Socket admin = connect_with_retry(socket_path);
+    exchange(admin, {op_line("shutdown")}, 1);
+    EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(CoreServiceDaemon, HalfClosedClientStillGetsItsAnswers)
+{
+    const std::string socket_path = "service_test_halfclose.sock";
+    core::Service_options opts;
+    opts.socket_path = socket_path;
+    opts.poll_interval_ms = 10;
+    Server server(opts);
+    ASSERT_GT(server.pid, 0);
+
+    // Pipeline two requests, then half-close: the daemon sees the EOF
+    // with (or after) the request bytes, but must answer everything the
+    // connection admitted before reaping it.
+    const core::Query query = small_query();
+    util::Socket sock = connect_with_retry(socket_path);
+    sock.write_all(query_line(query, 1) + "\n" + query_line(query, 2) +
+                       "\n",
+                   10000);
+    sock.shutdown_write();
+
+    util::Line_buffer buffer;
+    char buf[4096];
+    std::vector<std::string> responses;
+    while (responses.size() < 2) {
+        if (auto line = buffer.pop_line()) {
+            responses.push_back(std::move(*line));
+            continue;
+        }
+        const auto n = sock.read_some(buf, sizeof buf, 60000);
+        if (!n || *n == 0) break;
+        buffer.append(buf, *n);
+    }
+    ASSERT_EQ(responses.size(), 2u);
+    for (const std::string& response : responses) {
+        EXPECT_TRUE(util::Json::parse(response).at("ok").as_bool())
+            << response;
+    }
+
+    util::Socket admin = connect_with_retry(socket_path);
+    exchange(admin, {op_line("shutdown")}, 1);
+    EXPECT_EQ(server.wait(), 0);
+}
+
+TEST(CoreServiceDaemon, VanishingBusyClientDoesNotKillTheDaemon)
+{
+    const std::string socket_path = "service_test_vanish.sock";
+    core::Service_options opts;
+    opts.socket_path = socket_path;
+    opts.max_pending = 1;
+    opts.poll_interval_ms = 10;
+    Server server(opts);
+    ASSERT_GT(server.pid, 0);
+
+    // Overflow the queue, then vanish without reading a byte: the busy
+    // rejections hit a dead connection mid-drain (the use-after-free
+    // regression scenario — the daemon must survive the failed sends).
+    {
+        util::Socket burst = connect_with_retry(socket_path);
+        std::string lines;
+        for (int i = 0; i < 32; ++i) {
+            lines += query_line(small_query(), i) + "\n";
+        }
+        burst.write_all(lines, 10000);
+    } // closed here, every response unread
+
+    // The daemon is still alive and answering.  `busy` is admission-time
+    // backpressure, so a status racing the burst's drain may transiently
+    // be rejected too — retry until an answer lands.
+    util::Socket admin = connect_with_retry(socket_path);
+    util::Json status;
+    for (int attempt = 0;; ++attempt) {
+        const auto responses = exchange(admin, {op_line("status")}, 1);
+        ASSERT_EQ(responses.size(), 1u) << "daemon stopped answering";
+        status = util::Json::parse(responses[0]);
+        if (status.at("ok").as_bool()) break;
+        ASSERT_EQ(status.at("error").at("code").as_string(), "busy")
+            << responses[0];
+        ASSERT_LT(attempt, 100);
+        ::usleep(10 * 1000);
+    }
+    EXPECT_GE(status.at("status").at("busy").as_u64(), 1u);
+
+    exchange(admin, {op_line("shutdown")}, 1);
+    EXPECT_EQ(server.wait(), 0);
 }
 
 } // namespace

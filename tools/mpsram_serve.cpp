@@ -9,16 +9,22 @@
 //
 // Usage:
 //   mpsram_serve --socket PATH [--threads N] [--max-pending N]
-//                [--max-clients N] [--poll-ms N]
+//                [--max-clients N] [--max-line-bytes N]
+//                [--memo-entries N] [--poll-ms N]
 //
-//   --socket       socket file to listen on (unlinked on shutdown)
-//   --threads      worker threads per served query (0 = hardware)
-//   --max-pending  request-queue bound; overflow gets a `busy` envelope
-//   --max-clients  concurrent-connection bound
-//   --poll-ms      idle poll tick of the serve loop
+//   --socket          socket file to listen on (unlinked on shutdown)
+//   --threads         worker threads per served query (0 = hardware)
+//   --max-pending     request-queue bound; overflow gets a `busy` envelope
+//   --max-clients     concurrent-connection bound
+//   --max-line-bytes  per-client line-buffer bound; an unterminated
+//                     stream past it is rejected and disconnected
+//   --memo-entries    result-memo bound (LRU eviction; 0 disables)
+//   --poll-ms         idle poll tick of the serve loop
 //
 // Exit status: 0 after a graceful shutdown drain; nonzero when the
-// socket cannot be bound.  Protocol errors never terminate the daemon.
+// socket cannot be bound (including when another daemon is already
+// listening on the path — a live daemon is never usurped).  Protocol
+// errors never terminate the daemon.
 
 #include <cstdlib>
 #include <iostream>
@@ -37,7 +43,8 @@ using namespace mpsram;
 {
     std::cerr << "mpsram_serve: " << message << "\n"
               << "usage: mpsram_serve --socket PATH [--threads N] "
-                 "[--max-pending N] [--max-clients N] [--poll-ms N]\n";
+                 "[--max-pending N] [--max-clients N] "
+                 "[--max-line-bytes N] [--memo-entries N] [--poll-ms N]\n";
     std::exit(2);
 }
 
@@ -88,6 +95,12 @@ int main(int argc, char** argv)
         }
         if (const auto n = args.get("max-clients")) {
             opts.max_clients = std::stoul(*n);
+        }
+        if (const auto n = args.get("max-line-bytes")) {
+            opts.max_line_bytes = std::stoul(*n);
+        }
+        if (const auto n = args.get("memo-entries")) {
+            opts.max_memo_entries = std::stoul(*n);
         }
         if (const auto n = args.get("poll-ms")) {
             opts.poll_interval_ms = std::stoi(*n);
